@@ -1,0 +1,197 @@
+// Benchmark harness: one bench target per reproduced table/figure, plus
+// microbenchmarks of the mechanisms. Modeled quantities (cycles, bytes) are
+// attached with b.ReportMetric; ns/op measures the simulator itself.
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/layout"
+	"repro/internal/pbox"
+	"repro/internal/rng"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// BenchmarkTable1 regenerates Table I: back-to-back generation rate of each
+// randomness source. ns/op is our implementation's host rate;
+// model-cycles/op is the paper's measured figure, used by the cost model.
+func BenchmarkTable1(b *testing.B) {
+	for _, scheme := range []string{"pseudo", "aes-1", "aes-10", "rdrand"} {
+		b.Run(scheme, func(b *testing.B) {
+			src, err := rng.NewByName(scheme, 1, rng.SeededTRNG(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var sink uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sink ^= src.Next()
+			}
+			_ = sink
+			b.ReportMetric(src.Cost(), "model-cycles/op")
+		})
+	}
+}
+
+// fig3Subset keeps the bench run tractable while covering the interesting
+// regimes: call-heavy with deep recursion (perlbench), the 85KB-frame worst
+// case (gobmk), the loop-dominated floor (lbm), and an I/O-bound app
+// (proftpd). dopbench -exp fig3 runs the full 16-benchmark figure.
+var fig3Subset = []string{"perlbench", "gobmk", "lbm", "proftpd"}
+
+// BenchmarkFig3 regenerates Fig 3 rows: each iteration is one full workload
+// run; overhead%/op reports the modeled slowdown vs. the fixed baseline.
+func BenchmarkFig3(b *testing.B) {
+	for _, name := range fig3Subset {
+		w, ok := workload.ByName(name)
+		if !ok {
+			b.Fatalf("no workload %s", name)
+		}
+		// Baseline cycles measured once per workload.
+		base := vm.New(w.Prog(), layout.NewFixed(), &vm.Env{}, &vm.Options{TRNG: rng.SeededTRNG(1)})
+		if _, err := base.Run(); err != nil {
+			b.Fatal(err)
+		}
+		baseCycles := base.Stats().Cycles
+		for _, scheme := range []string{"fixed", "smokestack+pseudo", "smokestack+aes-10", "smokestack+rdrand"} {
+			b.Run(fmt.Sprintf("%s/%s", name, scheme), func(b *testing.B) {
+				eng, err := layout.NewByName(scheme, w.Prog(), 1, rng.SeededTRNG(1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				var cycles float64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m := vm.New(w.Prog(), eng, &vm.Env{}, &vm.Options{TRNG: rng.SeededTRNG(2)})
+					if _, err := m.Run(); err != nil {
+						b.Fatal(err)
+					}
+					cycles = m.Stats().Cycles
+				}
+				b.ReportMetric(cycles, "model-cycles/op")
+				b.ReportMetric((cycles-baseCycles)/baseCycles*100, "overhead-%")
+			})
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates Fig 4's quantity: P-BOX construction for each
+// workload's program, reporting the read-only bytes added (the memory
+// overhead source). ns/op measures Algorithm 1's table-generation speed.
+func BenchmarkFig4(b *testing.B) {
+	for _, name := range []string{"perlbench", "h264ref", "xalancbmk"} {
+		w, ok := workload.ByName(name)
+		if !ok {
+			b.Fatalf("no workload %s", name)
+		}
+		b.Run(name, func(b *testing.B) {
+			var bytes int64
+			for i := 0; i < b.N; i++ {
+				eng := layout.NewSmokestack(w.Prog(), rng.NewPseudo(1), nil)
+				bytes = eng.Box().TotalBytes()
+			}
+			b.ReportMetric(float64(bytes), "pbox-bytes")
+		})
+	}
+}
+
+// BenchmarkPentest measures one full attack attempt (probe + attack run)
+// against Smokestack for each synthetic scenario — the §V-C security
+// evaluation's unit of work.
+func BenchmarkPentest(b *testing.B) {
+	for _, s := range attack.PentestMatrix() {
+		b.Run(s.Name, func(b *testing.B) {
+			src := rng.NewAESCtr(10, rng.SeededTRNG(3))
+			eng := layout.NewSmokestack(s.Program.Prog, src, nil)
+			d := &attack.Deployment{Program: s.Program, Engine: eng, TRNG: rng.SeededTRNG(4)}
+			successes := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, err := s.Attempt(d)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if out == attack.Success {
+					successes++
+				}
+			}
+			b.ReportMetric(float64(successes)/float64(b.N)*100, "bypass-%")
+		})
+	}
+}
+
+// BenchmarkCVE measures the real-vulnerability exploit attempts against the
+// baseline (they land every time — this is the exploit's own cost).
+func BenchmarkCVE(b *testing.B) {
+	for _, s := range attack.CVEScenarios() {
+		b.Run(s.Name, func(b *testing.B) {
+			d := &attack.Deployment{Program: s.Program, Engine: layout.NewFixed(), TRNG: rng.SeededTRNG(5)}
+			for i := 0; i < b.N; i++ {
+				out, err := s.Attempt(d)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if out != attack.Success {
+					b.Fatalf("exploit failed against the baseline: %v", out)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPBoxBuild measures Algorithm 1's table generation for n-object
+// frames (n! permutations each).
+func BenchmarkPBoxBuild(b *testing.B) {
+	for _, n := range []int{3, 4, 5, 6} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			allocs := make([]pbox.Alloc, n)
+			for i := range allocs {
+				allocs[i] = pbox.Alloc{Size: int64(8 << (i % 3)), Align: 8}
+			}
+			cfg := pbox.DefaultConfig()
+			for i := 0; i < b.N; i++ {
+				box := pbox.New(cfg)
+				box.Register(allocs)
+			}
+		})
+	}
+}
+
+// BenchmarkLayoutDraw measures the per-invocation layout decision of each
+// engine — the host-side cost of what the paper's prologue does.
+func BenchmarkLayoutDraw(b *testing.B) {
+	w, _ := workload.ByName("bzip2")
+	fn, _ := w.Prog().FuncByName("mtfEncode")
+	for _, scheme := range []string{"fixed", "staticrand", "smokestack+pseudo", "smokestack+aes-10"} {
+		b.Run(scheme, func(b *testing.B) {
+			eng, err := layout.NewByName(scheme, w.Prog(), 1, rng.SeededTRNG(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = eng.Layout(fn)
+			}
+		})
+	}
+}
+
+// BenchmarkVMThroughput measures raw interpreter speed (simulated
+// instructions per host second) on the lbm kernel.
+func BenchmarkVMThroughput(b *testing.B) {
+	w, _ := workload.ByName("lbm")
+	var instr uint64
+	for i := 0; i < b.N; i++ {
+		m := vm.New(w.Prog(), layout.NewFixed(), &vm.Env{}, &vm.Options{TRNG: rng.SeededTRNG(1)})
+		if _, err := m.Run(); err != nil {
+			b.Fatal(err)
+		}
+		instr = m.Stats().Instructions
+	}
+	b.ReportMetric(float64(instr), "sim-instructions/op")
+}

@@ -1,0 +1,68 @@
+// Command attacklab runs one DOP attack scenario against one defense and
+// reports the campaign outcome — the interactive face of the security
+// evaluation (dopbench -exp pentest/cve runs the full matrices).
+//
+// Usage:
+//
+//	attacklab -scenario direct-stack -engine smokestack+aes-10 [-budget 10] [-seed N]
+//	attacklab -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/attack"
+	"repro/internal/layout"
+	"repro/internal/rng"
+)
+
+func scenarios() map[string]*attack.Scenario {
+	m := make(map[string]*attack.Scenario)
+	for _, s := range append(attack.PentestMatrix(), attack.CVEScenarios()...) {
+		m[s.Name] = s
+	}
+	return m
+}
+
+func main() {
+	name := flag.String("scenario", "direct-stack", "attack scenario name")
+	engine := flag.String("engine", "smokestack+aes-10", "defense engine")
+	budget := flag.Int("budget", 10, "brute-force attempt budget (service restarts)")
+	seed := flag.Uint64("seed", 7, "deterministic seed")
+	list := flag.Bool("list", false, "list scenarios and engines")
+	flag.Parse()
+
+	all := scenarios()
+	if *list {
+		fmt.Println("scenarios:")
+		for _, s := range append(attack.PentestMatrix(), attack.CVEScenarios()...) {
+			fmt.Printf("  %-14s  (program %s, vulnerable function %s)\n",
+				s.Name, s.Program.Name, s.Program.VulnFunc)
+		}
+		fmt.Println("engines: fixed staticrand padding baserand smokestack+{pseudo,aes-1,aes-10,rdrand}")
+		return
+	}
+	s, ok := all[*name]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "attacklab: unknown scenario %q (try -list)\n", *name)
+		os.Exit(2)
+	}
+	eng, err := layout.NewByName(*engine, s.Program.Prog, *seed, rng.SeededTRNG(*seed))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "attacklab: %v\n", err)
+		os.Exit(2)
+	}
+	d := &attack.Deployment{Program: s.Program, Engine: eng, TRNG: rng.SeededTRNG(*seed + 1)}
+	r := s.Run(d, *budget)
+	fmt.Println(r)
+	if r.Err != nil {
+		os.Exit(1)
+	}
+	if r.Succeeded() {
+		fmt.Println("attack result: the defense was BYPASSED")
+		return
+	}
+	fmt.Println("attack result: the defense STOPPED the attack")
+}

@@ -1,0 +1,58 @@
+// Command dopbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	dopbench -exp fig3|fig4|table1|pentest|bypass|cve|ablation-rng|ablation-pbox|all
+//	         [-seed N] [-jitter]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig3, fig4, table1, pentest, bypass, cve, ablation-rng, ablation-pbox, entropy, all")
+	seed := flag.Uint64("seed", 42, "seed for all deterministic random streams")
+	jitter := flag.Bool("jitter", true, "enable the instruction-scheduling perturbation model in fig3")
+	flag.Parse()
+
+	cfg := harness.Config{Seed: *seed, Jitter: *jitter, Out: os.Stdout}
+
+	exps := map[string]func(harness.Config) error{
+		"fig3":          harness.PrintFig3,
+		"fig4":          harness.PrintFig4,
+		"table1":        harness.PrintTable1,
+		"pentest":       harness.PrintPentest,
+		"bypass":        harness.PrintBypass,
+		"cve":           harness.PrintCVE,
+		"ablation-rng":  harness.PrintAblationRNG,
+		"ablation-pbox": harness.PrintPBoxAblation,
+		"entropy":       harness.PrintEntropyCurve,
+	}
+	order := []string{"table1", "fig3", "fig4", "pentest", "bypass", "cve", "ablation-rng", "ablation-pbox", "entropy"}
+
+	run := func(name string) {
+		fmt.Printf("================ %s ================\n", name)
+		if err := exps[name](cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "dopbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	if *exp == "all" {
+		for _, name := range order {
+			run(name)
+		}
+		return
+	}
+	if _, ok := exps[*exp]; !ok {
+		fmt.Fprintf(os.Stderr, "dopbench: unknown experiment %q (want one of %v or all)\n", *exp, order)
+		os.Exit(2)
+	}
+	run(*exp)
+}

@@ -1,0 +1,84 @@
+// Command smokestack compiles and runs a MiniC program under a chosen
+// stack-layout scheme, printing the program's output and the modeled
+// performance counters — the reproduction's equivalent of "clang
+// -fsmokestack; ./a.out".
+//
+// Usage:
+//
+//	smokestack [-scheme S] [-seed N] [-show-layout FUNC] [-invocations K]
+//	           [-dump-ir] file.c
+//
+// Schemes: fixed (baseline), staticrand, padding, baserand,
+// smokestack+{pseudo,aes-1,aes-10,rdrand}.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	scheme := flag.String("scheme", "smokestack+aes-10", "stack layout scheme")
+	seed := flag.Uint64("seed", 1, "deterministic seed")
+	showLayout := flag.String("show-layout", "", "print frame layouts of this function over several invocations")
+	invocations := flag.Int("invocations", 4, "invocations to show with -show-layout")
+	dumpIR := flag.Bool("dump-ir", false, "print the compiled IR and exit")
+	optimize := flag.Bool("O", false, "run the IR constant folder before executing")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: smokestack [flags] file.c")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "smokestack: %v\n", err)
+		os.Exit(1)
+	}
+	prog, err := core.Build(flag.Arg(0), string(src))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "smokestack: %v\n", err)
+		os.Exit(1)
+	}
+	if *optimize {
+		n := prog.IR.Optimize()
+		fmt.Fprintf(os.Stderr, "smokestack: constant folder rewrote %d instructions\n", n)
+	}
+	if *dumpIR {
+		fmt.Print(prog.IR.String())
+		return
+	}
+	if *showLayout != "" {
+		layouts, err := prog.FrameLayouts(*scheme, *showLayout, *invocations, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "smokestack: %v\n", err)
+			os.Exit(1)
+		}
+		fn, _ := prog.IR.FuncByName(*showLayout)
+		fmt.Printf("frame layouts of %s under %s:\n", *showLayout, *scheme)
+		for i, fl := range layouts {
+			fmt.Printf("  invocation %d (frame %d bytes):", i+1, fl.Size)
+			for ai, a := range fn.Allocas {
+				fmt.Printf(" %s@%d", a.Name, fl.Offsets[ai])
+			}
+			if fl.GuardOffset >= 0 {
+				fmt.Printf(" [guard@%d]", fl.GuardOffset)
+			}
+			fmt.Println()
+		}
+		return
+	}
+	res, err := prog.Run(core.RunConfig{Scheme: *scheme, Seed: *seed})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "smokestack: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(res.Output)
+	fmt.Printf("\n[%s] exit=%d cycles=%.0f instructions=%d calls=%d maxdepth=%d resident=%dB\n",
+		res.Engine, res.Exit, res.Stats.Cycles, res.Stats.Instructions,
+		res.Stats.Calls, res.Stats.MaxDepth, res.Resident)
+}

@@ -1,0 +1,24 @@
+// Package repro is a from-scratch Go reproduction of "Smokestack:
+// Thwarting DOP Attacks with Runtime Stack Layout Randomization" (Aga &
+// Austin, CGO 2019).
+//
+// The root package holds only documentation and the benchmark harness
+// (bench_test.go); the system lives under internal/:
+//
+//   - internal/minic/*, internal/ir, internal/compile — the MiniC compiler
+//     substrate (the reproduction's LLVM).
+//   - internal/mem, internal/vm — the byte-addressed machine simulator with
+//     C overflow semantics and the cycle cost model.
+//   - internal/pbox, internal/rng, internal/layout — the Smokestack system:
+//     Algorithm 1's permutation tables, the four randomness sources, and
+//     the five stack-layout engines.
+//   - internal/attack, internal/attack/corpus — the DOP attack framework
+//     and the vulnerable-program corpus (Listing 1, RIPE-style variants,
+//     librelp/Wireshark/ProFTPD CVE models).
+//   - internal/workload, internal/harness — SPEC-shaped benchmarks and the
+//     experiment drivers for every figure and table.
+//   - internal/core — the public facade used by cmd/* and examples/*.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+package repro

@@ -1,0 +1,58 @@
+// dopdemo walks through the paper's Listing 1 end to end: a data-oriented
+// programming attack chains virtual MOV/ADD instructions through a
+// vulnerable dispatcher loop by repeatedly overflowing a stack buffer. The
+// demo runs the exploit against the deterministic baseline (it lands
+// first try) and against Smokestack (it misses, crashes, or trips the
+// function-identifier guard).
+//
+//	go run ./examples/dopdemo
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/attack"
+	"repro/internal/layout"
+	"repro/internal/rng"
+	"repro/internal/vm"
+)
+
+func main() {
+	scenario := attack.Listing1Scenario()
+	prog := scenario.Program
+
+	fmt.Println("The vulnerable program (paper Listing 1):")
+	fmt.Println(prog.Source)
+
+	// Benign run: result is 0 — the dispatcher's gadgets never fire.
+	eng := layout.NewFixed()
+	m := vm.New(prog.Prog, eng, &vm.Env{}, &vm.Options{TRNG: rng.SeededTRNG(1)})
+	if _, err := m.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("benign run under the fixed baseline prints: 0 (no attack)")
+
+	// The attack: five crafted inputs that set req/step/size/ctr at their
+	// known offsets above buf, executing MOV step,1337 then ADD size,step
+	// three times — a tiny data-oriented program. Goal: result == 4011.
+	fmt.Println("\n--- attack vs fixed layout ---")
+	d := &attack.Deployment{Program: prog, Engine: layout.NewFixed(), TRNG: rng.SeededTRNG(2)}
+	r := scenario.Run(d, 1)
+	fmt.Println(r)
+
+	fmt.Println("\n--- same attack vs smokestack+aes-10, 10 restarts allowed ---")
+	src, err := rng.NewByName("aes-10", 3, rng.SeededTRNG(3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ss := layout.NewSmokestack(prog.Prog, src, nil)
+	d2 := &attack.Deployment{Program: prog, Engine: ss, TRNG: rng.SeededTRNG(4)}
+	r2 := scenario.Run(d2, 10)
+	fmt.Println(r2)
+
+	fmt.Println("\nWhy: the attacker's payload encodes offsets learned from a probe run,")
+	fmt.Println("but every invocation of dispatch() draws a fresh permutation from the")
+	fmt.Println("P-BOX, so the writes land on the wrong locals — or on the permuted")
+	fmt.Println("function-identifier slot, which the epilogue check detects.")
+}

@@ -1,0 +1,53 @@
+// keyextract reproduces the ProFTPD CVE-2006-5815 DOP chain from the
+// paper's §V-C: a MOV gadget loads the one unrandomized chain-base pointer,
+// seven LOAD gadgets walk the randomized pointer chain, and a SEND gadget
+// exfiltrates the OpenSSL private key — all while re-corrupting the
+// dispatcher loop counter to keep the chain alive. It then demonstrates the
+// RNG-prediction ablation: with a memory-state PRNG, even Smokestack falls.
+//
+//	go run ./examples/keyextract
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/attack"
+	"repro/internal/attack/corpus"
+	"repro/internal/layout"
+	"repro/internal/rng"
+)
+
+func main() {
+	scenario := attack.ProftpdScenario()
+	fmt.Println("ProFTPD CVE-2006-5815 key-extraction chain (MOV + 7xLOAD + SEND),")
+	fmt.Println("re-corrupting the command loop's 'pending' counter on every step:")
+	fmt.Println()
+	for _, engName := range []string{"fixed", "staticrand", "baserand", "smokestack+aes-10"} {
+		eng, err := layout.NewByName(engName, scenario.Program.Prog, 21, rng.SeededTRNG(21))
+		if err != nil {
+			log.Fatal(err)
+		}
+		d := &attack.Deployment{Program: scenario.Program, Engine: eng, TRNG: rng.SeededTRNG(22)}
+		fmt.Println(scenario.Run(d, 10))
+	}
+
+	fmt.Println()
+	fmt.Println("Ablation: why the permutation RNG must resist memory disclosure.")
+	fmt.Println("With the xorshift 'pseudo' source, the attacker reads the generator")
+	fmt.Println("state from memory, replays the stream, and predicts the exact layout")
+	fmt.Println("(and guard encoding) of the next invocation:")
+	fmt.Println()
+	p := corpus.Listing1()
+	for _, scheme := range []string{"pseudo", "aes-10"} {
+		src, err := rng.NewByName(scheme, 31, rng.SeededTRNG(31))
+		if err != nil {
+			log.Fatal(err)
+		}
+		eng := layout.NewSmokestack(p.Prog, src, nil)
+		d := &attack.Deployment{Program: p, Engine: eng, TRNG: rng.SeededTRNG(32)}
+		r := attack.PredictionScenario(eng).Run(d, 30)
+		r.Scenario = "rng-predict/" + scheme
+		fmt.Println(r)
+	}
+}

@@ -1,0 +1,45 @@
+// librelp reproduces the paper's §II-C case study: the CVE-2018-1000140
+// snprintf misuse gives an attacker a write-at-chosen-offset primitive that
+// reaches the caller's frame, de-randomizing and bypassing every
+// compile-time stack defense — and only per-invocation randomization stops
+// it.
+//
+//	go run ./examples/librelp
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/attack"
+	"repro/internal/layout"
+	"repro/internal/rng"
+)
+
+func main() {
+	scenario := attack.LibrelpScenario()
+	fmt.Println("CVE-2018-1000140 model: relpTcpChkPeerName accumulates snprintf's")
+	fmt.Println("*would-be* length; once the offset passes the buffer, the size_t")
+	fmt.Println("underflow turns every record into a raw write at allNames+offset.")
+	fmt.Println("The exploit pumps the offset with truncated (harmless) records, then")
+	fmt.Println("bridges into the caller lstnInit's frame and forges authLevel=7,")
+	fmt.Println("lsnFlags=9 to trigger the private-key leak.")
+	fmt.Println()
+
+	for _, engName := range []string{"fixed", "staticrand", "padding", "baserand", "smokestack+aes-10"} {
+		eng, err := layout.NewByName(engName, scenario.Program.Prog, 11, rng.SeededTRNG(11))
+		if err != nil {
+			log.Fatal(err)
+		}
+		d := &attack.Deployment{Program: scenario.Program, Engine: eng, TRNG: rng.SeededTRNG(12)}
+		r := scenario.Run(d, 10)
+		fmt.Println(r)
+	}
+
+	fmt.Println()
+	fmt.Println("Static permutation and padding fall because the binary (or one probe)")
+	fmt.Println("reveals their layout once and for all; base randomization falls because")
+	fmt.Println("only relative distances matter. Smokestack re-draws both the callee's")
+	fmt.Println("and the caller's layouts, so the bridge corrupts unpredictable state —")
+	fmt.Println("usually including the encoded function identifier (detected).")
+}

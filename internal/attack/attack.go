@@ -1,0 +1,379 @@
+// Package attack implements the DOP attack framework used for the paper's
+// security evaluation (§II-C, §V-C): the attacker model, the
+// memory-disclosure probe, payload construction, and outcome
+// classification.
+//
+// # Attacker model (paper §III-B)
+//
+// The attacker has the program's source/binary (so the *set* of stack
+// objects and, for compile-time schemes, their exact layout is known), can
+// probe the running service and disclose all of data memory, and commits
+// each malicious record *before* the invocation that consumes it draws its
+// stack layout — the offline-payload setting every one of the paper's
+// real-world exploits operates in (malicious certificate, trace file,
+// command stream). Live disclosure of program *data* (e.g. a leaked stack
+// pointer parked in a global) is permitted; reading the layout engine's
+// internals or future RNG outputs is not. The separate prediction ablation
+// (see predict.go) shows what happens when the RNG state itself is
+// memory-resident and disclosable.
+package attack
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/attack/corpus"
+	"repro/internal/ir"
+	"repro/internal/layout"
+	"repro/internal/rng"
+	"repro/internal/vm"
+)
+
+// Outcome classifies one attack attempt.
+type Outcome int
+
+// Attempt outcomes.
+const (
+	// Failed: the run completed but the attack goal was not reached.
+	Failed Outcome = iota
+	// Success: the goal was reached without detection.
+	Success
+	// Detected: the Smokestack function-identifier check fired.
+	Detected
+	// Crashed: the corrupted state caused a fault (segfault, abort,
+	// division by zero, stack overflow) — the service died and restarts.
+	Crashed
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Success:
+		return "SUCCESS"
+	case Detected:
+		return "DETECTED"
+	case Crashed:
+		return "CRASHED"
+	default:
+		return "FAILED"
+	}
+}
+
+// Goal decides whether the attack achieved its objective on a finished run.
+type Goal func(m *vm.Machine, env *vm.Env) bool
+
+// GoalOutputContains succeeds when the program emitted the given bytes
+// (e.g. an exfiltrated key).
+func GoalOutputContains(s string) Goal {
+	return func(_ *vm.Machine, env *vm.Env) bool {
+		return bytes.Contains(env.Output, []byte(s))
+	}
+}
+
+// GoalGlobalEquals succeeds when a global variable holds the wanted value.
+func GoalGlobalEquals(name string, want int64) Goal {
+	return func(m *vm.Machine, _ *vm.Env) bool {
+		addr, ok := m.GlobalAddrByName(name)
+		if !ok {
+			return false
+		}
+		v, err := m.Mem.ReadU(addr, 8)
+		if err != nil {
+			return false
+		}
+		return int64(v) == want
+	}
+}
+
+// Deployment couples one compiled program with one layout engine: a
+// "service" the attacker probes and attacks. Restarting the service creates
+// a fresh Machine over the same engine (compile-time randomization
+// persists; per-run randomization redraws).
+type Deployment struct {
+	Program *corpus.Program
+	Engine  layout.Engine
+	// TRNG seeds per-run machine state (guard keys); defaults to a host
+	// CSPRNG. Tests inject deterministic streams.
+	TRNG rng.TRNG
+	// StepLimit bounds each run (default 50M instructions).
+	StepLimit uint64
+}
+
+// NewMachine starts one service instance.
+func (d *Deployment) NewMachine(env *vm.Env) *vm.Machine {
+	trng := d.TRNG
+	if trng == nil {
+		trng = rng.HostTRNG
+	}
+	limit := d.StepLimit
+	if limit == 0 {
+		limit = 50_000_000
+	}
+	return vm.New(d.Program.Prog, d.Engine, env, &vm.Options{TRNG: trng, StepLimit: limit})
+}
+
+// ---------------------------------------------------------------------------
+// Beliefs and probing
+
+// FrameBelief is the attacker's model of one function's frame: offsets by
+// variable name plus the frame size (which fixes the distance to the
+// caller's frame, since bases are 16-aligned and sizes 16-aligned).
+type FrameBelief struct {
+	Fn      *ir.Function
+	Offsets map[string]int64
+	Size    int64
+}
+
+// Belief is the attacker's model of the live call stack's layout, gathered
+// from binary analysis (static schemes) or a prior-probe disclosure
+// (Smokestack — where it will be stale by the time it is used).
+type Belief struct {
+	Frames map[string]FrameBelief
+}
+
+// Off returns the believed offset of variable v in function fn; ok=false if
+// unknown.
+func (b *Belief) Off(fn, v string) (int64, bool) {
+	fb, ok := b.Frames[fn]
+	if !ok {
+		return 0, false
+	}
+	off, ok := fb.Offsets[v]
+	return off, ok
+}
+
+// MustOff is Off for exploit scripts over known-good programs.
+func (b *Belief) MustOff(fn, v string) int64 {
+	off, ok := b.Off(fn, v)
+	if !ok {
+		panic(fmt.Sprintf("attack: no believed offset for %s.%s", fn, v))
+	}
+	return off
+}
+
+// Size returns the believed frame size of fn.
+func (b *Belief) Size(fn string) int64 { return b.Frames[fn].Size }
+
+// beliefFromFrames converts live frames (disclosed during a probe) to a
+// Belief.
+func beliefFromFrames(frames []vm.ActiveFrame) *Belief {
+	b := &Belief{Frames: make(map[string]FrameBelief)}
+	for _, fr := range frames {
+		fb := FrameBelief{Fn: fr.Fn, Offsets: make(map[string]int64), Size: fr.Layout.Size}
+		for i, a := range fr.Fn.Allocas {
+			fb.Offsets[a.Name] = fr.Layout.Offsets[i]
+		}
+		b.Frames[fr.Fn.Name] = fb
+	}
+	return b
+}
+
+// errProbeDone aborts the probe run once the frame is captured.
+var errProbeDone = errors.New("probe complete")
+
+// Probe runs the service with benign input and discloses the call-stack
+// layout at the moment the vulnerable function first asks for input. For
+// compile-time schemes this equals the binary-analysis ground truth; for
+// Smokestack it is one past invocation's layout — stale by construction.
+func Probe(d *Deployment, vulnFunc string) (*Belief, error) {
+	env := &vm.Env{}
+	m := d.NewMachine(env)
+	var captured *Belief
+	capture := func() {
+		if captured != nil {
+			return
+		}
+		frames := m.ActiveFrames()
+		if len(frames) == 0 || frames[len(frames)-1].Fn.Name != vulnFunc {
+			return
+		}
+		captured = beliefFromFrames(frames)
+	}
+	env.Input = func(int64) []byte { capture(); return nil }
+	env.Ints = func() int64 { capture(); return 0 }
+	if _, err := m.Run(); err != nil {
+		return nil, fmt.Errorf("attack: probe run failed: %w", err)
+	}
+	if captured == nil {
+		return nil, fmt.Errorf("attack: probe never reached %s", vulnFunc)
+	}
+	return captured, nil
+}
+
+// ---------------------------------------------------------------------------
+// Payload construction
+
+// Payload is a byte image the attacker assembles relative to the overflowed
+// buffer's start. Unset bytes default to zero (C memory the attacker
+// chooses not to care about).
+type Payload struct {
+	buf         []byte
+	unreachable bool
+}
+
+// grow extends the image to cover [0, n).
+func (p *Payload) grow(n int64) {
+	for int64(len(p.buf)) < n {
+		p.buf = append(p.buf, 0)
+	}
+}
+
+// Put8 writes a little-endian 8-byte value at off (relative to the buffer).
+// A negative offset marks the payload unreachable: a forward overflow
+// cannot reach below the buffer.
+func (p *Payload) Put8(off int64, v uint64) {
+	if off < 0 {
+		p.unreachable = true
+		return
+	}
+	p.grow(off + 8)
+	binary.LittleEndian.PutUint64(p.buf[off:], v)
+}
+
+// PutBytes writes raw bytes at off.
+func (p *Payload) PutBytes(off int64, b []byte) {
+	if off < 0 {
+		p.unreachable = true
+		return
+	}
+	p.grow(off + int64(len(b)))
+	copy(p.buf[off:], b)
+}
+
+// Unreachable reports whether any write fell below the buffer.
+func (p *Payload) Unreachable() bool { return p.unreachable }
+
+// Bytes returns the assembled image.
+func (p *Payload) Bytes() []byte { return p.buf }
+
+// Len returns the image length.
+func (p *Payload) Len() int64 { return int64(len(p.buf)) }
+
+// ---------------------------------------------------------------------------
+// Scenarios and the attempt runner
+
+// Scenario is one end-to-end exploit: a vulnerable program, a goal, and a
+// builder that arms the attacking environment for a single service run.
+type Scenario struct {
+	Name    string
+	Program *corpus.Program
+	Goal    Goal
+	// Build arms env for the attack run. belief is the attacker's layout
+	// model (from Probe); m is the running service — Build's closures may
+	// read program data from m.Mem (live data disclosure) but must not
+	// consult m's engine.
+	Build func(belief *Belief, m *vm.Machine, env *vm.Env)
+	// ProbeFunc overrides the probed function (defaults to
+	// Program.VulnFunc).
+	ProbeFunc string
+}
+
+// Result aggregates a multi-attempt attack campaign.
+type Result struct {
+	Scenario  string
+	Engine    string
+	Attempts  int
+	Successes int
+	Detected  int
+	Crashed   int
+	Failed    int
+	// FirstSuccess is the 1-based attempt index of the first success (0 if
+	// none).
+	FirstSuccess int
+	// Err records an infrastructure error (probe failure etc.).
+	Err error
+}
+
+// Succeeded reports whether any attempt reached the goal.
+func (r Result) Succeeded() bool { return r.Successes > 0 }
+
+// String renders one result row.
+func (r Result) String() string {
+	if r.Err != nil {
+		return fmt.Sprintf("%-14s %-22s ERROR: %v", r.Scenario, r.Engine, r.Err)
+	}
+	verdict := "stopped"
+	if r.Succeeded() {
+		verdict = fmt.Sprintf("BYPASSED (attempt %d)", r.FirstSuccess)
+	}
+	return fmt.Sprintf("%-14s %-22s %-22s success=%d detected=%d crashed=%d failed=%d of %d",
+		r.Scenario, r.Engine, verdict, r.Successes, r.Detected, r.Crashed, r.Failed, r.Attempts)
+}
+
+// Attempt runs one probe + one attack run and classifies the outcome.
+func (s *Scenario) Attempt(d *Deployment) (Outcome, error) {
+	probeFn := s.ProbeFunc
+	if probeFn == "" {
+		probeFn = s.Program.VulnFunc
+	}
+	belief, err := Probe(d, probeFn)
+	if err != nil {
+		return Failed, err
+	}
+	env := &vm.Env{}
+	m := d.NewMachine(env)
+	s.Build(belief, m, env)
+	_, runErr := m.Run()
+	return Classify(m, env, runErr, s.Goal), nil
+}
+
+// Classify turns a finished run into an Outcome.
+func Classify(m *vm.Machine, env *vm.Env, runErr error, goal Goal) Outcome {
+	var gv *vm.GuardViolation
+	if errors.As(runErr, &gv) {
+		// The guard may fire after the goal was already reached (e.g. a
+		// leak emitted before the corrupted frame returned); the paper
+		// counts any detection as a stop only when it precedes the damage,
+		// so check the goal first.
+		if goal(m, env) {
+			return Success
+		}
+		return Detected
+	}
+	if runErr != nil {
+		return Crashed
+	}
+	if goal(m, env) {
+		return Success
+	}
+	return Failed
+}
+
+// Run executes up to budget attempts (service restarts between attempts)
+// and aggregates outcomes. It stops early on the first success: the
+// attacker is done.
+func (s *Scenario) Run(d *Deployment, budget int) Result {
+	res := Result{Scenario: s.Name, Engine: d.Engine.Name()}
+	for i := 1; i <= budget; i++ {
+		res.Attempts = i
+		out, err := s.Attempt(d)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		switch out {
+		case Success:
+			res.Successes++
+			res.FirstSuccess = i
+			return res
+		case Detected:
+			res.Detected++
+		case Crashed:
+			res.Crashed++
+		default:
+			res.Failed++
+		}
+	}
+	return res
+}
+
+// AllocaIndex returns the index of the named alloca in fn, or -1.
+func AllocaIndex(fn *ir.Function, name string) int {
+	for i, a := range fn.Allocas {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,178 @@
+package attack
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/attack/corpus"
+	"repro/internal/layout"
+	"repro/internal/rng"
+	"repro/internal/vm"
+)
+
+func TestPayloadAssembly(t *testing.T) {
+	var p Payload
+	p.Put8(8, 0x1122334455667788)
+	p.PutBytes(0, []byte{0xaa})
+	if p.Len() != 16 {
+		t.Fatalf("len %d", p.Len())
+	}
+	want := []byte{0xaa, 0, 0, 0, 0, 0, 0, 0, 0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11}
+	if !bytes.Equal(p.Bytes(), want) {
+		t.Fatalf("bytes %x", p.Bytes())
+	}
+	if p.Unreachable() {
+		t.Fatal("payload wrongly unreachable")
+	}
+}
+
+func TestPayloadUnreachable(t *testing.T) {
+	var p Payload
+	p.Put8(0, 1)
+	p.Put8(-8, 2) // below the buffer: a forward overflow cannot reach it
+	if !p.Unreachable() {
+		t.Fatal("negative offsets must mark the payload unreachable")
+	}
+	var q Payload
+	q.PutBytes(-1, []byte{1})
+	if !q.Unreachable() {
+		t.Fatal("PutBytes below buffer must mark unreachable")
+	}
+}
+
+func TestPayloadOverlappingWrites(t *testing.T) {
+	var p Payload
+	p.Put8(0, 0xffffffffffffffff)
+	p.Put8(4, 0) // partially overwrites the previous value
+	want := []byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 0, 0, 0, 0}
+	if !bytes.Equal(p.Bytes(), want) {
+		t.Fatalf("bytes %x", p.Bytes())
+	}
+}
+
+func TestGoalHelpers(t *testing.T) {
+	p := corpus.Listing1()
+	env := &vm.Env{}
+	m := vm.New(p.Prog, layout.NewFixed(), env, &vm.Options{TRNG: rng.SeededTRNG(1)})
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !GoalGlobalEquals("result", 0)(m, env) {
+		t.Error("benign run leaves result==0")
+	}
+	if GoalGlobalEquals("result", 4011)(m, env) {
+		t.Error("goal met without an attack")
+	}
+	if GoalGlobalEquals("ghost", 0)(m, env) {
+		t.Error("missing global must not satisfy a goal")
+	}
+	env.Output = append(env.Output, []byte("the-needle")...)
+	if !GoalOutputContains("needle")(m, env) {
+		t.Error("output goal")
+	}
+	if GoalOutputContains("haystack")(m, env) {
+		t.Error("phantom output goal")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	p := corpus.Listing1()
+	env := &vm.Env{}
+	m := vm.New(p.Prog, layout.NewFixed(), env, &vm.Options{TRNG: rng.SeededTRNG(1)})
+	yes := func(*vm.Machine, *vm.Env) bool { return true }
+	no := func(*vm.Machine, *vm.Env) bool { return false }
+	if got := Classify(m, env, nil, yes); got != Success {
+		t.Errorf("nil err + goal: %v", got)
+	}
+	if got := Classify(m, env, nil, no); got != Failed {
+		t.Errorf("nil err no goal: %v", got)
+	}
+	if got := Classify(m, env, &vm.GuardViolation{Func: "f"}, no); got != Detected {
+		t.Errorf("guard: %v", got)
+	}
+	// A leak that lands before the guard fires still counts as a success.
+	if got := Classify(m, env, &vm.GuardViolation{Func: "f"}, yes); got != Success {
+		t.Errorf("guard after leak: %v", got)
+	}
+	if got := Classify(m, env, &vm.Aborted{}, no); got != Crashed {
+		t.Errorf("abort: %v", got)
+	}
+	if got := Classify(m, env, errors.New("segv"), no); got != Crashed {
+		t.Errorf("generic: %v", got)
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	if Success.String() != "SUCCESS" || Detected.String() != "DETECTED" ||
+		Crashed.String() != "CRASHED" || Failed.String() != "FAILED" {
+		t.Error("outcome strings")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{Scenario: "s", Engine: "e", Attempts: 3, Successes: 1, FirstSuccess: 3}
+	if s := r.String(); !bytes.Contains([]byte(s), []byte("BYPASSED (attempt 3)")) {
+		t.Errorf("result string %q", s)
+	}
+	r2 := Result{Scenario: "s", Engine: "e", Attempts: 5, Failed: 5}
+	if s := r2.String(); !bytes.Contains([]byte(s), []byte("stopped")) {
+		t.Errorf("result string %q", s)
+	}
+	r3 := Result{Scenario: "s", Engine: "e", Err: errors.New("boom")}
+	if s := r3.String(); !bytes.Contains([]byte(s), []byte("ERROR")) {
+		t.Errorf("result string %q", s)
+	}
+}
+
+func TestBeliefAccessors(t *testing.T) {
+	b := &Belief{Frames: map[string]FrameBelief{
+		"f": {Offsets: map[string]int64{"x": 24}, Size: 64},
+	}}
+	if off, ok := b.Off("f", "x"); !ok || off != 24 {
+		t.Errorf("Off: %d %v", off, ok)
+	}
+	if _, ok := b.Off("f", "y"); ok {
+		t.Error("phantom var")
+	}
+	if _, ok := b.Off("g", "x"); ok {
+		t.Error("phantom frame")
+	}
+	if b.Size("f") != 64 {
+		t.Error("Size")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustOff must panic for unknown vars")
+		}
+	}()
+	b.MustOff("f", "nope")
+}
+
+func TestAllocaIndex(t *testing.T) {
+	p := corpus.Listing1()
+	fn, _ := p.Prog.FuncByName("dispatch")
+	if i := AllocaIndex(fn, "buf"); i != 0 {
+		t.Errorf("buf index %d", i)
+	}
+	if i := AllocaIndex(fn, "nonesuch"); i != -1 {
+		t.Errorf("missing alloca index %d", i)
+	}
+}
+
+func TestProbeFailsGracefully(t *testing.T) {
+	p := corpus.Listing1()
+	d := &Deployment{Program: p, Engine: layout.NewFixed(), TRNG: rng.SeededTRNG(1)}
+	if _, err := Probe(d, "no-such-function"); err == nil {
+		t.Fatal("probe of unknown function must error")
+	}
+}
+
+func TestDeploymentDefaults(t *testing.T) {
+	p := corpus.Listing1()
+	d := &Deployment{Program: p, Engine: layout.NewFixed()}
+	m := d.NewMachine(&vm.Env{})
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("deployment with default TRNG: %v", err)
+	}
+}

@@ -1,0 +1,39 @@
+// Package compile ties the MiniC front end together: source text in, IR
+// program out. It is the equivalent of the paper's clang → LLVM IR step.
+package compile
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/minic/irgen"
+	"repro/internal/minic/parser"
+	"repro/internal/minic/sema"
+)
+
+// Compile parses, checks and lowers one MiniC translation unit.
+func Compile(name, src string) (*ir.Program, error) {
+	file, err := parser.Parse(name, src)
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", name, err)
+	}
+	info, err := sema.Check(file)
+	if err != nil {
+		return nil, fmt.Errorf("check %s: %w", name, err)
+	}
+	prog, err := irgen.Generate(info)
+	if err != nil {
+		return nil, fmt.Errorf("lower %s: %w", name, err)
+	}
+	prog.Name = name
+	return prog, nil
+}
+
+// MustCompile compiles known-good embedded sources, panicking on error.
+func MustCompile(name, src string) *ir.Program {
+	p, err := Compile(name, src)
+	if err != nil {
+		panic(fmt.Sprintf("compile.MustCompile(%s): %v", name, err))
+	}
+	return p
+}

@@ -1,0 +1,259 @@
+package compile_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/layout"
+	"repro/internal/rng"
+	"repro/internal/vm"
+)
+
+// run compiles src and executes main under the fixed baseline engine,
+// returning the exit value and collected output.
+func run(t *testing.T, src string) (int64, string) {
+	t.Helper()
+	prog, err := compile.Compile("test.c", src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	env := &vm.Env{}
+	m := vm.New(prog, layout.NewFixed(), env, &vm.Options{TRNG: rng.SeededTRNG(1)})
+	v, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return v, string(env.Output)
+}
+
+func TestArithmetic(t *testing.T) {
+	v, _ := run(t, `
+long main() {
+	long a = 7;
+	long b = 3;
+	return a*b + a/b - a%b + (a<<2) - (b>>1) + (a&b) + (a|b) + (a^b);
+}`)
+	// 21 + 2 - 1 + 28 - 1 + 3 + 7 + 4 = 63
+	if v != 63 {
+		t.Fatalf("got %d, want 63", v)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	v, _ := run(t, `
+long main() {
+	long s = 0;
+	for (long i = 0; i < 10; i++) {
+		if (i % 2 == 0) { continue; }
+		if (i == 9) { break; }
+		s += i;
+	}
+	long j = 0;
+	while (j < 5) { j++; }
+	do { j++; } while (j < 8);
+	return s * 100 + j;
+}`)
+	// s = 1+3+5+7 = 16; j = 8
+	if v != 1608 {
+		t.Fatalf("got %d, want 1608", v)
+	}
+}
+
+func TestPointersAndArrays(t *testing.T) {
+	v, _ := run(t, `
+long main() {
+	long a[8];
+	for (long i = 0; i < 8; i++) { a[i] = i * i; }
+	long *p = a;
+	long s = 0;
+	for (long i = 0; i < 8; i++) { s += *(p + i); }
+	long *q = &a[5];
+	return s + *q + (q - p);
+}`)
+	// s = 140; a[5]=25; q-p=5
+	if v != 170 {
+		t.Fatalf("got %d, want 170", v)
+	}
+}
+
+func TestStructs(t *testing.T) {
+	v, _ := run(t, `
+struct point { long x; long y; int tag; };
+long dist2(struct point *p) { return p->x * p->x + p->y * p->y; }
+long main() {
+	struct point pt;
+	pt.x = 3;
+	pt.y = 4;
+	pt.tag = 7;
+	return dist2(&pt) + pt.tag;
+}`)
+	if v != 32 {
+		t.Fatalf("got %d, want 32", v)
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	v, _ := run(t, `
+long fib(long n) {
+	if (n < 2) { return n; }
+	return fib(n-1) + fib(n-2);
+}
+long main() { return fib(15); }`)
+	if v != 610 {
+		t.Fatalf("got %d, want 610", v)
+	}
+}
+
+func TestStringsAndGlobals(t *testing.T) {
+	v, out := run(t, `
+long counter = 40;
+char msg[32];
+long main() {
+	strcpy(msg, "hi there");
+	prints(msg);
+	counter += strlen(msg);
+	return counter;
+}`)
+	if v != 48 {
+		t.Fatalf("got %d, want 48", v)
+	}
+	if out != "hi there" {
+		t.Fatalf("output %q", out)
+	}
+}
+
+func TestCharSemantics(t *testing.T) {
+	v, _ := run(t, `
+long main() {
+	char c = 250;
+	c = c + 10;      // wraps to 4 on store
+	char buf[4];
+	buf[0] = 'A';
+	buf[1] = 0;
+	return c * 1000 + buf[0];
+}`)
+	if v != 4065 {
+		t.Fatalf("got %d, want 4065", v)
+	}
+}
+
+func TestIntTruncation(t *testing.T) {
+	v, _ := run(t, `
+long main() {
+	int x = 0x7fffffff;
+	x = x + 1;        // stored as int: wraps negative
+	long y = x;
+	if (y < 0) { return 1; }
+	return 0;
+}`)
+	if v != 1 {
+		t.Fatalf("int wraparound not modeled: got %d, want 1", v)
+	}
+}
+
+func TestTernaryAndLogical(t *testing.T) {
+	v, _ := run(t, `
+long side;
+long touch(long v) { side = side + 1; return v; }
+long main() {
+	side = 0;
+	long a = 1 && 2;
+	long b = 0 || 3;
+	long c = (0 && touch(1)) + (1 || touch(1)); // both short-circuit
+	long d = a > 0 ? 10 : 20;
+	return a + b + c + d + side * 100;
+}`)
+	// a=1 b=1 c=0+1=1 d=10 side=0
+	if v != 13 {
+		t.Fatalf("got %d, want 13", v)
+	}
+}
+
+func TestSizeof(t *testing.T) {
+	v, _ := run(t, `
+struct big { char buf[100]; long x; };
+long main() {
+	long a = sizeof(long) + sizeof(int) + sizeof(char) + sizeof(char*);
+	char arr[10];
+	return a * 1000 + sizeof(arr) + sizeof(struct big);
+}`)
+	// a = 8+4+1+8 = 21; sizeof(arr)=10; struct big = 112
+	if v != 21122 {
+		t.Fatalf("got %d, want 21122", v)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"undefined", `long main() { return x; }`, "undefined"},
+		{"redeclared", `long main() { long a; long a; return 0; }`, "redeclared"},
+		{"no-main", `long f() { return 1; }`, "no main"},
+		{"bad-call", `long main() { return f(1); }`, "undefined function"},
+		{"arity", `long f(long a) { return a; } long main() { return f(); }`, "expects 1 arguments"},
+		{"non-lvalue", `long main() { 3 = 4; return 0; }`, "lvalue"},
+		{"deref-int", `long main() { long x; return *x; }`, "dereference"},
+		{"break", `long main() { break; return 0; }`, "break outside loop"},
+		{"void-param", `long f(void v) { return 0; } long main() { return 0; }`, "non-scalar"},
+		{"struct-return", `struct s { long a; }; struct s f() { } long main() { return 0; }`, "non-scalar"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := compile.Compile("e.c", tc.src)
+			if err == nil {
+				t.Fatalf("expected error containing %q, got none", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestInputBuiltin(t *testing.T) {
+	prog, err := compile.Compile("t.c", `
+long main() {
+	char buf[16];
+	long n = input(buf, 16);
+	return n * 1000 + buf[0];
+}`)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	env := vm.Queue([]byte("Zyx"))
+	m := vm.New(prog, layout.NewFixed(), env, &vm.Options{TRNG: rng.SeededTRNG(1)})
+	v, err := m.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if v != 3*1000+'Z' {
+		t.Fatalf("got %d", v)
+	}
+}
+
+func TestExitBuiltin(t *testing.T) {
+	v, _ := run(t, `
+void helper() { exit(42); }
+long main() { helper(); return 1; }`)
+	if v != 42 {
+		t.Fatalf("exit code %d, want 42", v)
+	}
+}
+
+func TestMallocAndVLA(t *testing.T) {
+	v, _ := run(t, `
+long main() {
+	char *h = malloc(64);
+	h[0] = 5;
+	h[63] = 7;
+	char *v = stackbuf(128);
+	v[0] = 11;
+	v[127] = 13;
+	return h[0] + h[63] + v[0] + v[127];
+}`)
+	if v != 36 {
+		t.Fatalf("got %d, want 36", v)
+	}
+}

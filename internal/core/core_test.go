@@ -1,0 +1,150 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/vm"
+)
+
+// vmQueue wraps vm.Queue for input-driving tests.
+func vmQueue(chunks ...string) *vm.Env {
+	bs := make([][]byte, len(chunks))
+	for i, c := range chunks {
+		bs[i] = []byte(c)
+	}
+	return vm.Queue(bs...)
+}
+
+const demo = `
+long tally(long n) {
+	char pad[16];
+	long acc;
+	acc = 0;
+	pad[0] = 1;
+	for (long i = 1; i <= n; i++) { acc += i; }
+	return acc + pad[0] - 1;
+}
+long main() {
+	long t = tally(10);
+	print(t);
+	return t;
+}
+`
+
+func TestBuildAndRun(t *testing.T) {
+	prog, err := core.Build("demo.c", demo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range core.Schemes() {
+		res, err := prog.Run(core.RunConfig{Scheme: scheme, Seed: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if res.Exit != 55 {
+			t.Errorf("%s: exit %d, want 55", scheme, res.Exit)
+		}
+		if !strings.Contains(res.Output, "55") {
+			t.Errorf("%s: output %q", scheme, res.Output)
+		}
+		if res.Stats.Cycles <= 0 || res.Resident <= 0 {
+			t.Errorf("%s: counters missing", scheme)
+		}
+		if res.Engine == "" {
+			t.Errorf("%s: engine name missing", scheme)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := core.Build("bad.c", "long main() { return x; }"); err == nil {
+		t.Fatal("expected semantic error")
+	}
+	if _, err := core.Build("bad.c", "long main( {"); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild must panic on bad source")
+		}
+	}()
+	core.MustBuild("bad.c", "@@@")
+}
+
+func TestRunUnknownScheme(t *testing.T) {
+	prog := core.MustBuild("demo.c", demo)
+	if _, err := prog.Run(core.RunConfig{Scheme: "warp-drive"}); err == nil {
+		t.Fatal("unknown scheme must error")
+	}
+}
+
+func TestOverheadOrdering(t *testing.T) {
+	prog := core.MustBuild("demo.c", demo)
+	cheap, err := prog.Overhead("smokestack+pseudo", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pricey, err := prog.Overhead("smokestack+rdrand", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pricey <= cheap {
+		t.Fatalf("rdrand (%f%%) should cost more than pseudo (%f%%)", pricey, cheap)
+	}
+}
+
+func TestFrameLayouts(t *testing.T) {
+	prog := core.MustBuild("demo.c", demo)
+	// Smokestack: layouts vary across invocations.
+	ls, err := prog.FrameLayouts("smokestack+aes-10", "tally", 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fl := range ls {
+		if fl.GuardOffset < 0 {
+			t.Fatal("guard missing")
+		}
+	}
+	seen := map[int64]bool{}
+	for _, fl := range ls {
+		seen[fl.Offsets[0]] = true
+	}
+	if len(seen) < 2 {
+		t.Error("smokestack layouts show no variation over 16 invocations")
+	}
+	// Fixed: all identical.
+	fixed, err := prog.FrameLayouts("fixed", "tally", 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(fixed); i++ {
+		if fixed[i].Offsets[0] != fixed[0].Offsets[0] {
+			t.Fatal("fixed layouts must not vary")
+		}
+	}
+	if _, err := prog.FrameLayouts("fixed", "ghost", 1, 1); err == nil {
+		t.Fatal("unknown function must error")
+	}
+}
+
+func TestEnvWiring(t *testing.T) {
+	prog := core.MustBuild("io.c", `
+long main() {
+	char buf[8];
+	long n = input(buf, 8);
+	return n;
+}`)
+	env := vmQueue("abc")
+	res, err := prog.Run(core.RunConfig{Scheme: "fixed", Seed: 2, Env: env})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exit != 3 {
+		t.Fatalf("exit %d, want 3", res.Exit)
+	}
+}

@@ -1,0 +1,110 @@
+// Experiment E8: ablation of the P-BOX optimizations of §III-E — memory
+// footprint and prologue cost with each optimization toggled.
+
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+	"repro/internal/pbox"
+	"repro/internal/rng"
+	"repro/internal/workload"
+)
+
+// PBoxAblationRow describes one configuration's P-BOX cost over one
+// workload's program.
+type PBoxAblationRow struct {
+	Workload string
+	Variant  string
+	Bytes    int64
+	Tables   int
+	Shared   int
+	// PrologueOverheadPct is the Fig3-style AES-10 overhead under this
+	// P-BOX configuration.
+	PrologueOverheadPct float64
+}
+
+// pboxVariants enumerates the ablation grid.
+func pboxVariants() []struct {
+	Name string
+	Cfg  pbox.Config
+} {
+	full := pbox.DefaultConfig()
+	noPow2 := full
+	noPow2.PowerOfTwoRows = false
+	noShare := full
+	noShare.ShareTables = false
+	noShare.RoundUpAllocations = false
+	noRound := full
+	noRound.RoundUpAllocations = false
+	return []struct {
+		Name string
+		Cfg  pbox.Config
+	}{
+		{"full", full},
+		{"-pow2rows", noPow2},
+		{"-sharing", noShare},
+		{"-roundup", noRound},
+	}
+}
+
+// PBoxAblation measures each variant over the given workloads.
+func PBoxAblation(cfg Config, workloads []*workload.Workload) ([]PBoxAblationRow, error) {
+	var rows []PBoxAblationRow
+	for _, w := range workloads {
+		base, err := runOnce(w, layout.NewFixed(), hashSeed(cfg.Seed, w.Name, "ab-base"), 0)
+		if err != nil {
+			return nil, err
+		}
+		baseCycles := base.Stats().Cycles
+		for _, v := range pboxVariants() {
+			seed := hashSeed(cfg.Seed, w.Name, "ab", v.Name)
+			src, err := rng.NewByName("aes-10", seed, rng.SeededTRNG(seed))
+			if err != nil {
+				return nil, err
+			}
+			eng := layout.NewSmokestack(w.Prog(), src, &layout.SmokestackOptions{
+				PBox: v.Cfg, Guard: true, MaxVLAPad: 256,
+			})
+			m, err := runOnce(w, eng, seed+1, 0)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, PBoxAblationRow{
+				Workload:            w.Name,
+				Variant:             v.Name,
+				Bytes:               eng.Box().TotalBytes(),
+				Tables:              eng.Box().TableCount(),
+				Shared:              eng.Box().SharedCount(),
+				PrologueOverheadPct: (m.Stats().Cycles - baseCycles) / baseCycles * 100,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// PrintPBoxAblation runs the ablation over a representative workload
+// subset.
+func PrintPBoxAblation(cfg Config) error {
+	subset := []*workload.Workload{}
+	for _, name := range []string{"perlbench", "h264ref", "xalancbmk", "gobmk"} {
+		if w, ok := workload.ByName(name); ok {
+			subset = append(subset, w)
+		}
+	}
+	rows, err := PBoxAblation(cfg, subset)
+	if err != nil {
+		return err
+	}
+	w := cfg.out()
+	fmt.Fprintln(w, "Ablation: P-BOX optimizations (paper §III-E)")
+	fmt.Fprintln(w, "pow2 rows trade memory for a mask instead of a modulo; table sharing and")
+	fmt.Fprintln(w, "allocation round-up shrink the P-BOX.")
+	fmt.Fprintf(w, "%-12s %-10s %10s %7s %7s %10s\n", "benchmark", "variant", "P-BOX", "tables", "shared", "AES-10 ovh")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %-10s %9dB %7d %7d %9.1f%%\n",
+			r.Workload, r.Variant, r.Bytes, r.Tables, r.Shared, r.PrologueOverheadPct)
+	}
+	return nil
+}

@@ -1,0 +1,93 @@
+// Experiment E1: Fig 3 — percentage performance overhead of Smokestack on
+// the SPEC-shaped workloads and the I/O-bound applications, for the four
+// random number generation schemes.
+
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/layout"
+	"repro/internal/workload"
+)
+
+// Fig3Row is the overhead of every scheme on one workload.
+type Fig3Row struct {
+	Workload  string
+	Kind      workload.Kind
+	Baseline  float64 // modeled cycles under fixed
+	Overheads map[string]float64
+}
+
+// Fig3 runs the performance-overhead experiment and returns one row per
+// workload plus the CPU-suite averages keyed by scheme.
+func Fig3(cfg Config) ([]Fig3Row, map[string]float64, error) {
+	var rows []Fig3Row
+	sums := make(map[string]float64)
+	cpuCount := 0
+	for _, w := range workload.All() {
+		base, err := runOnce(w, layout.NewFixed(), hashSeed(cfg.Seed, w.Name, "base"), 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		row := Fig3Row{
+			Workload:  w.Name,
+			Kind:      w.Kind,
+			Baseline:  base.Stats().Cycles,
+			Overheads: make(map[string]float64),
+		}
+		for _, scheme := range Schemes {
+			eng, err := smokestackEngine(scheme, w.Prog(), hashSeed(cfg.Seed, w.Name, scheme))
+			if err != nil {
+				return nil, nil, err
+			}
+			amp := 0.0
+			if cfg.Jitter {
+				amp = 0.026
+			}
+			m, err := runOnce(w, eng, hashSeed(cfg.Seed, w.Name, scheme, "run"), amp)
+			if err != nil {
+				return nil, nil, err
+			}
+			ovh := (m.Stats().Cycles - row.Baseline) / row.Baseline * 100
+			row.Overheads[scheme] = ovh
+		}
+		if w.Kind == workload.CPU {
+			cpuCount++
+			for _, s := range Schemes {
+				sums[s] += row.Overheads[s]
+			}
+		}
+		rows = append(rows, row)
+	}
+	avgs := make(map[string]float64)
+	for _, s := range Schemes {
+		avgs[s] = sums[s] / float64(cpuCount)
+	}
+	return rows, avgs, nil
+}
+
+// PrintFig3 runs and renders the experiment.
+func PrintFig3(cfg Config) error {
+	rows, avgs, err := Fig3(cfg)
+	if err != nil {
+		return err
+	}
+	w := cfg.out()
+	fmt.Fprintln(w, "Fig 3: Percentage performance overhead of Smokestack")
+	fmt.Fprintln(w, "(modeled cycles vs. fixed-layout baseline; per RNG scheme)")
+	fmt.Fprintf(w, "%-12s %10s %10s %10s %10s\n", "benchmark", "pseudo", "AES-1", "AES-10", "RDRAND")
+	for _, r := range rows {
+		tag := ""
+		if r.Kind == workload.IO {
+			tag = " (I/O)"
+		}
+		fmt.Fprintf(w, "%-12s %9.1f%% %9.1f%% %9.1f%% %9.1f%%%s\n",
+			r.Workload, r.Overheads["pseudo"], r.Overheads["aes-1"],
+			r.Overheads["aes-10"], r.Overheads["rdrand"], tag)
+	}
+	fmt.Fprintf(w, "%-12s %9.1f%% %9.1f%% %9.1f%% %9.1f%%\n",
+		"SPEC mean", avgs["pseudo"], avgs["aes-1"], avgs["aes-10"], avgs["rdrand"])
+	fmt.Fprintln(w, "paper:            0.9%       3.3%      10.3%      ~22%  (SPEC2006 averages)")
+	return nil
+}

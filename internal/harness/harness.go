@@ -1,0 +1,81 @@
+// Package harness runs the paper's experiments end-to-end and prints
+// paper-style tables: Fig 3 (performance overhead), Fig 4 (memory
+// overhead), Table I (randomness source rates), the synthetic penetration
+// tests and real-vulnerability attacks of §V-C, plus the ablations called
+// out in DESIGN.md (RNG disclosure resistance, P-BOX optimizations).
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/ir"
+	"repro/internal/layout"
+	"repro/internal/rng"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+// Config parameterizes an experiment run.
+type Config struct {
+	// Seed drives every deterministic random stream so runs reproduce.
+	Seed uint64
+	// Jitter enables the instruction-scheduling perturbation model for the
+	// Fig 3 run (the paper's observed register-pressure speedups/slowdowns).
+	Jitter bool
+	// Out receives the printed tables (defaults to io.Discard if nil; the
+	// CLI passes os.Stdout).
+	Out io.Writer
+}
+
+func (c Config) out() io.Writer {
+	if c.Out == nil {
+		return io.Discard
+	}
+	return c.Out
+}
+
+// Schemes lists the four Smokestack RNG variants in Fig 3 order.
+var Schemes = []string{"pseudo", "aes-1", "aes-10", "rdrand"}
+
+// hashSeed derives a per-(workload, scheme) seed.
+func hashSeed(base uint64, parts ...string) uint64 {
+	h := base ^ 0xcbf29ce484222325
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			h ^= uint64(p[i])
+			h *= 0x100000001b3
+		}
+	}
+	return h
+}
+
+// runOnce executes one workload under one engine and returns the machine
+// (for stats) after verifying the checksum.
+func runOnce(w *workload.Workload, eng layout.Engine, seed uint64, jitterAmp float64) (*vm.Machine, error) {
+	opts := &vm.Options{
+		TRNG:       rng.SeededTRNG(seed),
+		JitterAmp:  jitterAmp,
+		JitterSeed: seed ^ 0xabcdef,
+		StepLimit:  2_000_000_000,
+	}
+	m := vm.New(w.Prog(), eng, &vm.Env{}, opts)
+	v, err := m.Run()
+	if err != nil {
+		return nil, fmt.Errorf("%s under %s: %w", w.Name, eng.Name(), err)
+	}
+	if w.Want != 0 && v != w.Want {
+		return nil, fmt.Errorf("%s under %s: checksum %d, want %d (instrumentation corrupted results)",
+			w.Name, eng.Name(), v, w.Want)
+	}
+	return m, nil
+}
+
+// smokestackEngine builds the Smokestack engine for a scheme name over prog.
+func smokestackEngine(scheme string, prog *ir.Program, seed uint64) (*layout.Smokestack, error) {
+	src, err := rng.NewByName(scheme, seed, rng.SeededTRNG(seed^0x5eed))
+	if err != nil {
+		return nil, err
+	}
+	return layout.NewSmokestack(prog, src, nil), nil
+}

@@ -1,0 +1,207 @@
+package harness_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/workload"
+)
+
+var cfg = harness.Config{Seed: 42, Jitter: true}
+
+// TestFig3ReproducesPaperShape asserts the headline performance claims: the
+// scheme ordering pseudo < AES-1 < AES-10 < RDRAND on average, suite
+// averages in the paper's neighbourhood, near-zero overhead for the
+// loop-dominated benchmarks, and diluted overhead for the I/O apps.
+func TestFig3ReproducesPaperShape(t *testing.T) {
+	rows, avgs, err := harness.Fig3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 20 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	if !(avgs["pseudo"] < avgs["aes-1"] && avgs["aes-1"] < avgs["aes-10"] && avgs["aes-10"] < avgs["rdrand"]) {
+		t.Fatalf("scheme ordering broken: %v", avgs)
+	}
+	// Paper: pseudo 0.9%, AES-1 3.3%, AES-10 10.3%, RDRAND ~22%.
+	checks := []struct {
+		scheme string
+		lo, hi float64
+	}{
+		{"pseudo", -1, 4},
+		{"aes-1", 1, 7},
+		{"aes-10", 6, 15},
+		{"rdrand", 15, 30},
+	}
+	for _, c := range checks {
+		if avgs[c.scheme] < c.lo || avgs[c.scheme] > c.hi {
+			t.Errorf("%s average %.1f%% outside [%v, %v] (paper neighbourhood)",
+				c.scheme, avgs[c.scheme], c.lo, c.hi)
+		}
+	}
+	byName := map[string]harness.Fig3Row{}
+	for _, r := range rows {
+		byName[r.Workload] = r
+	}
+	// Loop-dominated kernels barely notice the prologue.
+	for _, name := range []string{"lbm", "libquantum"} {
+		if o := byName[name].Overheads["aes-10"]; o > 4 {
+			t.Errorf("%s AES-10 overhead %.1f%%, want near zero", name, o)
+		}
+	}
+	// I/O-bound apps: worst case in the paper is 6%.
+	for _, name := range []string{"proftpd", "wireshark"} {
+		for _, s := range harness.Schemes {
+			if o := byName[name].Overheads[s]; o > 7 {
+				t.Errorf("%s %s overhead %.1f%%, paper bound ~6%%", name, s, o)
+			}
+		}
+	}
+	// gobmk (85KB frames, hot) must be among the worst AES-10 rows.
+	worst := ""
+	worstV := -1e9
+	for _, r := range rows {
+		if r.Kind == workload.CPU && r.Overheads["aes-10"] > worstV {
+			worstV = r.Overheads["aes-10"]
+			worst = r.Workload
+		}
+	}
+	if byName["gobmk"].Overheads["aes-10"] < worstV*0.6 {
+		t.Errorf("gobmk should be near the worst AES-10 case (worst is %s at %.1f%%, gobmk %.1f%%)",
+			worst, worstV, byName["gobmk"].Overheads["aes-10"])
+	}
+	// The jitter model must allow some negative pseudo overheads (the
+	// paper's observed speedups) across the suite.
+	negatives := 0
+	for _, r := range rows {
+		if r.Overheads["pseudo"] < 0 {
+			negatives++
+		}
+	}
+	if negatives == 0 {
+		t.Error("expected at least one pseudo speedup with the jitter model on")
+	}
+}
+
+func TestFig4Composition(t *testing.T) {
+	rows, err := harness.Fig4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 18 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.SmokestackResident < r.BaselineResident {
+			t.Errorf("%s: instrumented resident shrank", r.Workload)
+		}
+		if r.PBoxBytes < 0 || r.OverheadPct < 0 {
+			t.Errorf("%s: negative overhead", r.Workload)
+		}
+		if r.Tables == 0 {
+			t.Errorf("%s: no tables built", r.Workload)
+		}
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	rows, err := harness.Table1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]struct {
+		cycles float64
+		sec    string
+	}{
+		"pseudo": {3.4, "None"}, "aes-1": {19.2, "Low"},
+		"aes-10": {92.8, "High"}, "rdrand": {265.6, "High"},
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	for _, r := range rows {
+		w := want[r.Source]
+		if r.ModelCycles != w.cycles {
+			t.Errorf("%s: %v cycles, want %v", r.Source, r.ModelCycles, w.cycles)
+		}
+		if r.Security != w.sec {
+			t.Errorf("%s: security %q, want %q", r.Source, r.Security, w.sec)
+		}
+		if r.HostNsPerOp <= 0 {
+			t.Errorf("%s: host rate not measured", r.Source)
+		}
+	}
+}
+
+func TestPBoxAblation(t *testing.T) {
+	w, _ := workload.ByName("xalancbmk")
+	rows, err := harness.PBoxAblation(cfg, []*workload.Workload{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byVariant := map[string]harness.PBoxAblationRow{}
+	for _, r := range rows {
+		byVariant[r.Variant] = r
+	}
+	full := byVariant["full"]
+	if noShare := byVariant["-sharing"]; noShare.Bytes < full.Bytes {
+		t.Errorf("disabling sharing should not shrink the P-BOX: %d vs %d", noShare.Bytes, full.Bytes)
+	}
+	if noPow2 := byVariant["-pow2rows"]; noPow2.Bytes > full.Bytes {
+		t.Errorf("power-of-two padding should cost memory: %d vs %d", noPow2.Bytes, full.Bytes)
+	}
+	if full.PrologueOverheadPct <= 0 {
+		t.Error("instrumentation should cost something")
+	}
+}
+
+// TestPrintersProduceTables smoke-tests every printed experiment against a
+// buffer (the CLI path), checking for the key headings.
+func TestPrintersProduceTables(t *testing.T) {
+	var buf bytes.Buffer
+	c := harness.Config{Seed: 42, Jitter: false, Out: &buf}
+	if err := harness.PrintTable1(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := harness.PrintFig4(c); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"Table I", "Fig 4", "pseudo", "P-BOX"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("output missing %q", frag)
+		}
+	}
+}
+
+// TestEntropyCurve asserts the E9 extension's headline: more frame objects
+// mean a (weakly) lower brute-force bypass rate.
+func TestEntropyCurve(t *testing.T) {
+	rows, err := harness.EntropyCurve(cfg, []int{0, 16}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	lo, hi := rows[0], rows[1]
+	if lo.Objects >= hi.Objects {
+		t.Fatalf("sweep ordering broken")
+	}
+	if hi.SuccessPct > lo.SuccessPct {
+		t.Errorf("bypass rate should not grow with entropy: %v%% at %d objects vs %v%% at %d",
+			hi.SuccessPct, hi.Objects, lo.SuccessPct, lo.Objects)
+	}
+	if lo.SuccessPct > 15 {
+		t.Errorf("even the smallest frame should mostly stop the attack: %v%%", lo.SuccessPct)
+	}
+	// Every attempt must be accounted for.
+	for _, r := range rows {
+		if r.Successes+r.Detected+r.Crashed > r.Attempts {
+			t.Errorf("outcome accounting broken: %+v", r)
+		}
+	}
+}

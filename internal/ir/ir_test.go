@@ -1,0 +1,119 @@
+package ir_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+)
+
+// minimalProg builds a tiny valid program by hand.
+func minimalProg() *ir.Program {
+	f := &ir.Function{
+		Name:    "main",
+		ID:      0,
+		NumRegs: 2,
+		Allocas: []ir.Alloca{{Name: "x", Size: 8, Align: 8}},
+		Code: []ir.Instr{
+			{Op: ir.OpConst, Dst: 0, Imm: 7, A: ir.NoReg, B: ir.NoReg},
+			{Op: ir.OpAddrLocal, Dst: 1, Sym: 0, A: ir.NoReg, B: ir.NoReg},
+			{Op: ir.OpStore, A: 1, B: 0, Dst: ir.NoReg, Width: 8},
+			{Op: ir.OpRet, A: 0, Dst: ir.NoReg, B: ir.NoReg},
+		},
+		ReturnsValue: true,
+	}
+	return &ir.Program{
+		Name:    "t",
+		Funcs:   []*ir.Function{f},
+		FuncIdx: map[string]int{"main": 0},
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := minimalProg().Validate(); err != nil {
+		t.Fatalf("valid program rejected: %v", err)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	cases := []struct {
+		mutate func(*ir.Program)
+		want   string
+	}{
+		{func(p *ir.Program) { p.Funcs[0].Code[0].Dst = 99 }, "register"},
+		{func(p *ir.Program) { p.Funcs[0].Code[1].Sym = 5 }, "alloca index"},
+		{func(p *ir.Program) { p.Funcs[0].Code[2].Width = 3 }, "width"},
+		{func(p *ir.Program) {
+			p.Funcs[0].Code[3] = ir.Instr{Op: ir.OpJmp, Target0: 100}
+		}, "target"},
+		{func(p *ir.Program) { p.Funcs[0].Allocas[0].Size = 0 }, "size"},
+		{func(p *ir.Program) { p.Funcs[0].Allocas[0].Align = 3 }, "alignment"},
+		{func(p *ir.Program) { p.Funcs[0].Code = p.Funcs[0].Code[:3] }, "ret"},
+		{func(p *ir.Program) { p.Funcs[0].Code = nil }, "empty"},
+		{func(p *ir.Program) { p.Funcs[0].NumParams = 4 }, "NumParams"},
+		{func(p *ir.Program) {
+			p.Funcs[0].Code[0] = ir.Instr{Op: ir.OpCall, Sym: 9, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg}
+		}, "callee"},
+	}
+	for i, c := range cases {
+		p := minimalProg()
+		c.mutate(p)
+		err := p.Validate()
+		if err == nil {
+			t.Errorf("case %d: corruption not caught", i)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("case %d: error %q does not mention %q", i, err, c.want)
+		}
+	}
+}
+
+func TestPrinterRoundTrip(t *testing.T) {
+	p := minimalProg()
+	s := p.String()
+	for _, frag := range []string{"func main", "alloca 0 local x", "const 7", "store.8", "ret r0"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("printer output missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	if ir.OpAdd.String() != "add" || ir.OpCallHost.String() != "call.host" {
+		t.Error("op mnemonics wrong")
+	}
+	if !strings.Contains(ir.Op(200).String(), "200") {
+		t.Error("unknown op should show its number")
+	}
+}
+
+func TestFuncLookupAndTotals(t *testing.T) {
+	p := minimalProg()
+	if _, ok := p.FuncByName("main"); !ok {
+		t.Fatal("FuncByName main")
+	}
+	if _, ok := p.FuncByName("ghost"); ok {
+		t.Fatal("phantom function")
+	}
+	if p.Funcs[0].TotalAllocaBytes() != 8 {
+		t.Fatalf("TotalAllocaBytes %d", p.Funcs[0].TotalAllocaBytes())
+	}
+}
+
+func TestInstrStringForms(t *testing.T) {
+	cases := []struct {
+		in   ir.Instr
+		want string
+	}{
+		{ir.Instr{Op: ir.OpLoad, Dst: 1, A: 0, Width: 4, Unsigned: true}, "loadu.4"},
+		{ir.Instr{Op: ir.OpBr, A: 2, Target0: 5, Target1: 9}, "br r2 ? 5 : 9"},
+		{ir.Instr{Op: ir.OpCall, Dst: ir.NoReg, Sym: 1, Args: []ir.Reg{0, 1}, Comment: "f"}, "; f"},
+		{ir.Instr{Op: ir.OpRet, A: ir.NoReg}, "ret _"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); !strings.Contains(got, c.want) {
+			t.Errorf("instr %q missing %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+// Optimization: a conservative constant-propagation and folding pass.
+//
+// The pass works on straight-line regions: any instruction that is the
+// target of a jump or branch invalidates all tracked constants (a join
+// point may bring other values), as does a call (the callee shares no
+// registers, but keeping the rule uniform makes the pass obviously
+// correct for future opcode additions). Within a region it:
+//
+//   - tracks registers holding known constants (OpConst, OpMov of a
+//     constant, folded results);
+//   - rewrites binary/unary operations whose operands are all known into
+//     OpConst;
+//   - rewrites OpMov of a known constant into OpConst.
+//
+// The pass is shape-preserving: it never inserts or removes instructions,
+// so jump targets stay valid and Validate-clean programs stay
+// Validate-clean. It exists to demonstrate toolchain completeness and is
+// off by default — the Fig 3 cost calibration measures unoptimized code,
+// like the paper's -O2 baseline measures its own fixed pipeline.
+package ir
+
+// Optimize applies constant folding to every function and returns the
+// number of instructions rewritten.
+func (p *Program) Optimize() int {
+	total := 0
+	for _, f := range p.Funcs {
+		total += optimizeFunc(f)
+	}
+	return total
+}
+
+// optimizeFunc runs the straight-line constant folder over one function.
+func optimizeFunc(f *Function) int {
+	// Mark join points: instruction indices that can be reached by a jump
+	// or branch (their incoming state is unknown).
+	join := make([]bool, len(f.Code))
+	for _, in := range f.Code {
+		switch in.Op {
+		case OpJmp:
+			join[in.Target0] = true
+		case OpBr:
+			join[in.Target0] = true
+			join[in.Target1] = true
+		}
+	}
+
+	known := make([]bool, f.NumRegs)
+	val := make([]int64, f.NumRegs)
+	reset := func() {
+		for i := range known {
+			known[i] = false
+		}
+	}
+	get := func(r Reg) (int64, bool) {
+		if r == NoReg || int(r) >= len(known) || !known[r] {
+			return 0, false
+		}
+		return val[r], true
+	}
+	set := func(r Reg, v int64) {
+		if r != NoReg && int(r) < len(known) {
+			known[r] = true
+			val[r] = v
+		}
+	}
+	kill := func(r Reg) {
+		if r != NoReg && int(r) < len(known) {
+			known[r] = false
+		}
+	}
+
+	rewrites := 0
+	for i := range f.Code {
+		if join[i] {
+			reset()
+		}
+		in := &f.Code[i]
+		switch in.Op {
+		case OpConst:
+			set(in.Dst, in.Imm)
+		case OpMov:
+			if v, ok := get(in.A); ok {
+				*in = Instr{Op: OpConst, Dst: in.Dst, Imm: v, A: NoReg, B: NoReg}
+				set(in.Dst, v)
+				rewrites++
+			} else {
+				kill(in.Dst)
+			}
+		case OpNeg, OpNot, OpSetZ:
+			if a, ok := get(in.A); ok {
+				v := foldUnary(in.Op, a)
+				*in = Instr{Op: OpConst, Dst: in.Dst, Imm: v, A: NoReg, B: NoReg}
+				set(in.Dst, v)
+				rewrites++
+			} else {
+				kill(in.Dst)
+			}
+		case OpAdd, OpSub, OpMul, OpAnd, OpOr, OpXor, OpShl, OpShr,
+			OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+			a, aok := get(in.A)
+			b, bok := get(in.B)
+			if aok && bok {
+				v := foldBinaryOp(in.Op, a, b)
+				*in = Instr{Op: OpConst, Dst: in.Dst, Imm: v, A: NoReg, B: NoReg}
+				set(in.Dst, v)
+				rewrites++
+			} else {
+				kill(in.Dst)
+			}
+		case OpDiv, OpMod:
+			// Fold only when the divisor is a known non-zero constant; a
+			// zero divisor must keep faulting at run time.
+			a, aok := get(in.A)
+			b, bok := get(in.B)
+			if aok && bok && b != 0 {
+				v := foldBinaryOp(in.Op, a, b)
+				*in = Instr{Op: OpConst, Dst: in.Dst, Imm: v, A: NoReg, B: NoReg}
+				set(in.Dst, v)
+				rewrites++
+			} else {
+				kill(in.Dst)
+			}
+		case OpLoad, OpAddrLocal, OpAddrGlobal, OpAddrData:
+			// Addresses depend on the (randomized!) layout and loads on
+			// memory: never constants here.
+			kill(in.Dst)
+		case OpCall, OpCallHost:
+			// Conservative: drop everything across calls.
+			reset()
+		case OpStore, OpRet, OpNop:
+			// No register results.
+		case OpJmp, OpBr:
+			// Control transfer: the fall-through path of a branch keeps its
+			// state only if the next instruction is not a join point, which
+			// the loop handles at the top.
+		}
+	}
+	return rewrites
+}
+
+func foldUnary(op Op, a int64) int64 {
+	switch op {
+	case OpNeg:
+		return -a
+	case OpNot:
+		return ^a
+	case OpSetZ:
+		if a == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+func foldBinaryOp(op Op, a, b int64) int64 {
+	b2i := func(c bool) int64 {
+		if c {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case OpAdd:
+		return a + b
+	case OpSub:
+		return a - b
+	case OpMul:
+		return a * b
+	case OpDiv:
+		return a / b
+	case OpMod:
+		return a % b
+	case OpAnd:
+		return a & b
+	case OpOr:
+		return a | b
+	case OpXor:
+		return a ^ b
+	case OpShl:
+		return a << (uint64(b) & 63)
+	case OpShr:
+		return a >> (uint64(b) & 63)
+	case OpEq:
+		return b2i(a == b)
+	case OpNe:
+		return b2i(a != b)
+	case OpLt:
+		return b2i(a < b)
+	case OpLe:
+		return b2i(a <= b)
+	case OpGt:
+		return b2i(a > b)
+	case OpGe:
+		return b2i(a >= b)
+	}
+	return 0
+}

@@ -1,0 +1,178 @@
+package ir_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/compile"
+	"repro/internal/ir"
+	"repro/internal/layout"
+	"repro/internal/rng"
+	"repro/internal/vm"
+)
+
+// runBoth executes src optimized and unoptimized and checks both the
+// results and the Validate invariants.
+func runBoth(t *testing.T, src string) (plain, opt int64, rewrites int) {
+	t.Helper()
+	p1 := compile.MustCompile("o.c", src)
+	m1 := vm.New(p1, layout.NewFixed(), &vm.Env{}, &vm.Options{TRNG: rng.SeededTRNG(1)})
+	v1, err := m1.Run()
+	if err != nil {
+		t.Fatalf("plain: %v", err)
+	}
+	p2 := compile.MustCompile("o.c", src)
+	n := p2.Optimize()
+	if err := p2.Validate(); err != nil {
+		t.Fatalf("optimized program invalid: %v", err)
+	}
+	m2 := vm.New(p2, layout.NewFixed(), &vm.Env{}, &vm.Options{TRNG: rng.SeededTRNG(1)})
+	v2, err := m2.Run()
+	if err != nil {
+		t.Fatalf("optimized: %v", err)
+	}
+	return v1, v2, n
+}
+
+func TestFoldStraightLine(t *testing.T) {
+	plain, opt, n := runBoth(t, `
+long main() {
+	long a = 6 * 7;
+	long b = a + 1;       // a is known: folds
+	long c = (b << 2) - b;
+	return c;
+}`)
+	if plain != opt {
+		t.Fatalf("results diverge: %d vs %d", plain, opt)
+	}
+	if n == 0 {
+		t.Fatal("expected rewrites in straight-line constant code")
+	}
+}
+
+func TestFoldRespectsJoins(t *testing.T) {
+	// x differs on the two branch arms; the join must not fold x+1.
+	plain, opt, _ := runBoth(t, `
+long f(long c) {
+	long x = 1;
+	if (c) { x = 2; }
+	return x + 1;
+}
+long main() { return f(0) * 10 + f(1); }`)
+	if plain != opt || plain != 2*10+3 {
+		t.Fatalf("join folding broke semantics: %d vs %d", plain, opt)
+	}
+}
+
+func TestFoldKeepsDivideByZeroFault(t *testing.T) {
+	p := compile.MustCompile("o.c", `
+long main() { long a = 4; long b = 0; return a / b; }`)
+	p.Optimize()
+	m := vm.New(p, layout.NewFixed(), &vm.Env{}, &vm.Options{TRNG: rng.SeededTRNG(1)})
+	if _, err := m.Run(); err == nil {
+		t.Fatal("optimizer must not fold away a divide-by-zero fault")
+	}
+}
+
+func TestFoldAcrossCallsIsConservative(t *testing.T) {
+	plain, opt, _ := runBoth(t, `
+long g;
+long bump() { g = g + 5; return g; }
+long main() {
+	g = 0;
+	long a = 2;
+	bump();
+	return a + bump();   // a survives in a register; g must re-load
+}`)
+	if plain != opt || plain != 12 {
+		t.Fatalf("call handling broke semantics: %d vs %d (want 12)", plain, opt)
+	}
+}
+
+func TestFoldLoops(t *testing.T) {
+	plain, opt, _ := runBoth(t, `
+long main() {
+	long s = 0;
+	for (long i = 0; i < 10; i++) {
+		s += i * 2 + (3 * 4);   // 3*4 folds; i*2 does not
+	}
+	return s;
+}`)
+	if plain != opt || plain != 210 {
+		t.Fatalf("loop folding broke semantics: %d vs %d", plain, opt)
+	}
+}
+
+// TestOptimizeWholeCorpus: the optimizer must preserve semantics on every
+// vulnerable program and reduce no correctness property — run each benign
+// and compare.
+func TestOptimizeWholeCorpus(t *testing.T) {
+	srcs := []string{`
+struct pair { long a; long b; };
+long sum(struct pair *p) { return p->a + p->b; }
+long main() {
+	struct pair q;
+	q.a = 3 * 3;
+	q.b = 100 / 4;
+	char buf[16];
+	strcpy(buf, "xy");
+	return sum(&q) + strlen(buf);
+}`, `
+long fib(long n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }
+long main() { return fib(12); }`, `
+long main() {
+	long acc = 0;
+	long i = 0;
+	do {
+		acc += i % 3 == 0 ? 7 : 1;
+		i++;
+	} while (i < 20);
+	return acc;
+}`}
+	for i, src := range srcs {
+		plain, opt, _ := runBoth(t, src)
+		if plain != opt {
+			t.Errorf("program %d: %d vs %d", i, plain, opt)
+		}
+	}
+}
+
+// TestQuickFoldBinary checks the folder against the interpreter's own
+// arithmetic for random operand pairs.
+func TestQuickFoldBinary(t *testing.T) {
+	ops := []ir.Op{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor,
+		ir.OpShl, ir.OpShr, ir.OpEq, ir.OpNe, ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe}
+	prop := func(a, b int64, opIdx uint8) bool {
+		op := ops[int(opIdx)%len(ops)]
+		// Build: r0=a; r1=b; r2=op(r0,r1); ret r2 — optimized vs not.
+		mk := func() *ir.Program {
+			f := &ir.Function{
+				Name: "main", NumRegs: 3, ReturnsValue: true,
+				Allocas: []ir.Alloca{{Name: "d", Size: 8, Align: 8}},
+				Code: []ir.Instr{
+					{Op: ir.OpConst, Dst: 0, Imm: a, A: ir.NoReg, B: ir.NoReg},
+					{Op: ir.OpConst, Dst: 1, Imm: b, A: ir.NoReg, B: ir.NoReg},
+					{Op: op, Dst: 2, A: 0, B: 1},
+					{Op: ir.OpRet, A: 2, Dst: ir.NoReg, B: ir.NoReg},
+				},
+			}
+			return &ir.Program{Name: "q", Funcs: []*ir.Function{f}, FuncIdx: map[string]int{"main": 0}}
+		}
+		p1, p2 := mk(), mk()
+		if n := p2.Optimize(); n == 0 {
+			return false // must fold
+		}
+		run := func(p *ir.Program) int64 {
+			m := vm.New(p, layout.NewFixed(), &vm.Env{}, &vm.Options{TRNG: rng.SeededTRNG(1)})
+			v, err := m.Run()
+			if err != nil {
+				panic(err)
+			}
+			return v
+		}
+		return run(p1) == run(p2)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

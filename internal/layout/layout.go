@@ -1,0 +1,521 @@
+// Package layout defines the stack frame layout engines the VM consults on
+// every function call. Five engines reproduce the defense landscape the
+// paper evaluates (§II-B, §III):
+//
+//   - Fixed: declaration-order frames — the deterministic clang -O2
+//     baseline every attack is calibrated against.
+//   - StaticRand: compile-time permutation of allocations (Giuffrida et
+//     al.): randomized once, identical for every invocation and every run.
+//   - Padding: Forrest et al.'s compile-time random padding (one of 8, 16,
+//     …, 64 bytes) before frames larger than 16 bytes.
+//   - BaseRand: stack base address randomization (ASLR-style), one random
+//     bias per program run.
+//   - Smokestack: the paper's contribution — a fresh P-BOX permutation per
+//     invocation, a guard (function-identifier) slot participating in the
+//     permutation, and randomized padding before VLA allocations.
+//
+// Engines also price their instrumentation for the VM's cycle model and
+// report the read-only data they add (the Fig 4 memory overhead).
+package layout
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/pbox"
+	"repro/internal/rng"
+)
+
+// FrameLayout describes the stack frame organization for one invocation.
+type FrameLayout struct {
+	// Offsets holds each alloca's offset from the frame base (low address),
+	// indexed like ir.Function.Allocas.
+	Offsets []int64
+	// GuardOffset is the offset of the encoded function-identifier slot, or
+	// -1 when the engine places no guard.
+	GuardOffset int64
+	// Size is the total frame extent (16-byte aligned).
+	Size int64
+}
+
+// Engine decides frame layouts and prices its instrumentation.
+type Engine interface {
+	// Name identifies the scheme.
+	Name() string
+	// NewRun is called once per program execution (process start); engines
+	// with per-run randomness (stack base) re-draw here.
+	NewRun()
+	// Layout computes the frame for one invocation of fn.
+	Layout(fn *ir.Function) FrameLayout
+	// PrologueCycles is the extra entry cost vs. the uninstrumented
+	// baseline.
+	PrologueCycles(fn *ir.Function) float64
+	// EpilogueCycles is the extra return cost (guard check).
+	EpilogueCycles(fn *ir.Function) float64
+	// AddrLocalExtraCycles is the extra cost per local-address formation
+	// (the GEP rebase the instrumentation introduces).
+	AddrLocalExtraCycles() float64
+	// VLAPad returns the dummy padding to place before a VLA allocation
+	// (0 for engines that do not randomize VLAs).
+	VLAPad() int64
+	// StackBias returns the current run's stack base bias in bytes
+	// (16-byte aligned; 0 for engines without base randomization).
+	StackBias() uint64
+	// RodataBytes is the read-only data the scheme adds (P-BOX size).
+	RodataBytes() int64
+}
+
+// fixedOffsets computes declaration-order offsets with alignment padding;
+// the shared baseline layout. Returns the offsets and the 16-byte aligned
+// frame size.
+func fixedOffsets(fn *ir.Function) ([]int64, int64) {
+	offsets := make([]int64, len(fn.Allocas))
+	var ind int64
+	for i, a := range fn.Allocas {
+		ind = alignUp(ind, a.Align)
+		offsets[i] = ind
+		ind += a.Size
+	}
+	return offsets, alignUp(ind, 16)
+}
+
+func alignUp(n, a int64) int64 {
+	if a <= 1 {
+		return n
+	}
+	if rem := n % a; rem != 0 {
+		return n + a - rem
+	}
+	return n
+}
+
+// splitmix is the deterministic stream used for compile-time randomness.
+type splitmix struct{ s uint64 }
+
+func (r *splitmix) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------------------
+// Fixed
+
+// Fixed is the uninstrumented baseline.
+type Fixed struct{}
+
+// NewFixed returns the baseline engine.
+func NewFixed() *Fixed { return &Fixed{} }
+
+// Name implements Engine.
+func (*Fixed) Name() string { return "fixed" }
+
+// NewRun implements Engine.
+func (*Fixed) NewRun() {}
+
+// Layout implements Engine.
+func (*Fixed) Layout(fn *ir.Function) FrameLayout {
+	off, size := fixedOffsets(fn)
+	return FrameLayout{Offsets: off, GuardOffset: -1, Size: size}
+}
+
+// PrologueCycles implements Engine.
+func (*Fixed) PrologueCycles(*ir.Function) float64 { return 0 }
+
+// EpilogueCycles implements Engine.
+func (*Fixed) EpilogueCycles(*ir.Function) float64 { return 0 }
+
+// AddrLocalExtraCycles implements Engine.
+func (*Fixed) AddrLocalExtraCycles() float64 { return 0 }
+
+// VLAPad implements Engine.
+func (*Fixed) VLAPad() int64 { return 0 }
+
+// StackBias implements Engine.
+func (*Fixed) StackBias() uint64 { return 0 }
+
+// RodataBytes implements Engine.
+func (*Fixed) RodataBytes() int64 { return 0 }
+
+// ---------------------------------------------------------------------------
+// StaticRand
+
+// StaticRand permutes each function's allocations once, at "compile time";
+// the permutation never changes afterwards, so a single disclosure
+// de-randomizes it (§II-C).
+type StaticRand struct {
+	seed  uint64
+	cache map[int]FrameLayout
+}
+
+// NewStaticRand builds a compile-time permutation engine from a seed (the
+// "compilation"); recompiling with a new seed yields a new static layout.
+func NewStaticRand(seed uint64) *StaticRand {
+	return &StaticRand{seed: seed, cache: make(map[int]FrameLayout)}
+}
+
+// Name implements Engine.
+func (*StaticRand) Name() string { return "staticrand" }
+
+// NewRun implements Engine: the permutation is compile-time, so process
+// restarts change nothing — exactly the weakness the paper exploits.
+func (*StaticRand) NewRun() {}
+
+// Layout implements Engine.
+func (s *StaticRand) Layout(fn *ir.Function) FrameLayout {
+	if fl, ok := s.cache[fn.ID]; ok {
+		return fl
+	}
+	n := len(fn.Allocas)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	r := &splitmix{s: s.seed ^ (uint64(fn.ID)+1)*0xff51afd7ed558ccd}
+	for i := n - 1; i > 0; i-- {
+		j := int(r.next() % uint64(i+1))
+		order[i], order[j] = order[j], order[i]
+	}
+	offsets := make([]int64, n)
+	var ind int64
+	for _, ai := range order {
+		ind = alignUp(ind, fn.Allocas[ai].Align)
+		offsets[ai] = ind
+		ind += fn.Allocas[ai].Size
+	}
+	fl := FrameLayout{Offsets: offsets, GuardOffset: -1, Size: alignUp(ind, 16)}
+	s.cache[fn.ID] = fl
+	return fl
+}
+
+// PrologueCycles implements Engine (compile-time: free at run time).
+func (*StaticRand) PrologueCycles(*ir.Function) float64 { return 0 }
+
+// EpilogueCycles implements Engine.
+func (*StaticRand) EpilogueCycles(*ir.Function) float64 { return 0 }
+
+// AddrLocalExtraCycles implements Engine.
+func (*StaticRand) AddrLocalExtraCycles() float64 { return 0 }
+
+// VLAPad implements Engine.
+func (*StaticRand) VLAPad() int64 { return 0 }
+
+// StackBias implements Engine.
+func (*StaticRand) StackBias() uint64 { return 0 }
+
+// RodataBytes implements Engine.
+func (*StaticRand) RodataBytes() int64 { return 0 }
+
+// ---------------------------------------------------------------------------
+// Padding
+
+// Padding adds a compile-time random pad (8..64 bytes, multiples of 8)
+// before frames whose allocations exceed 16 bytes, following Forrest et al.
+type Padding struct {
+	seed  uint64
+	cache map[int]FrameLayout
+}
+
+// NewPadding builds the compile-time padding engine from a seed.
+func NewPadding(seed uint64) *Padding {
+	return &Padding{seed: seed, cache: make(map[int]FrameLayout)}
+}
+
+// Name implements Engine.
+func (*Padding) Name() string { return "padding" }
+
+// NewRun implements Engine.
+func (*Padding) NewRun() {}
+
+// Layout implements Engine.
+func (p *Padding) Layout(fn *ir.Function) FrameLayout {
+	if fl, ok := p.cache[fn.ID]; ok {
+		return fl
+	}
+	off, size := fixedOffsets(fn)
+	var total int64
+	for _, a := range fn.Allocas {
+		total += a.Size
+	}
+	if total > 16 {
+		r := &splitmix{s: p.seed ^ (uint64(fn.ID)+1)*0xc6a4a7935bd1e995}
+		pad := int64(1+r.next()%8) * 8 // one of 8, 16, ..., 64
+		for i := range off {
+			off[i] += pad
+		}
+		size = alignUp(size+pad, 16)
+	}
+	fl := FrameLayout{Offsets: off, GuardOffset: -1, Size: size}
+	p.cache[fn.ID] = fl
+	return fl
+}
+
+// PrologueCycles implements Engine.
+func (*Padding) PrologueCycles(*ir.Function) float64 { return 0 }
+
+// EpilogueCycles implements Engine.
+func (*Padding) EpilogueCycles(*ir.Function) float64 { return 0 }
+
+// AddrLocalExtraCycles implements Engine.
+func (*Padding) AddrLocalExtraCycles() float64 { return 0 }
+
+// VLAPad implements Engine.
+func (*Padding) VLAPad() int64 { return 0 }
+
+// StackBias implements Engine.
+func (*Padding) StackBias() uint64 { return 0 }
+
+// RodataBytes implements Engine.
+func (*Padding) RodataBytes() int64 { return 0 }
+
+// ---------------------------------------------------------------------------
+// BaseRand
+
+// BaseRand randomizes the stack base once per run (load-time ASLR for the
+// stack), leaving relative layout deterministic.
+type BaseRand struct {
+	trng rng.TRNG
+	bias uint64
+}
+
+// BaseRandWindow is the randomization window (64 KiB, 16-byte granules).
+const BaseRandWindow = 64 << 10
+
+// NewBaseRand builds the engine over a true-random source.
+func NewBaseRand(trng rng.TRNG) *BaseRand {
+	b := &BaseRand{trng: trng}
+	b.NewRun()
+	return b
+}
+
+// Name implements Engine.
+func (*BaseRand) Name() string { return "baserand" }
+
+// NewRun implements Engine: draw a fresh base bias.
+func (b *BaseRand) NewRun() {
+	b.bias = (b.trng() % (BaseRandWindow / 16)) * 16
+}
+
+// Layout implements Engine.
+func (*BaseRand) Layout(fn *ir.Function) FrameLayout {
+	off, size := fixedOffsets(fn)
+	return FrameLayout{Offsets: off, GuardOffset: -1, Size: size}
+}
+
+// PrologueCycles implements Engine.
+func (*BaseRand) PrologueCycles(*ir.Function) float64 { return 0 }
+
+// EpilogueCycles implements Engine.
+func (*BaseRand) EpilogueCycles(*ir.Function) float64 { return 0 }
+
+// AddrLocalExtraCycles implements Engine.
+func (*BaseRand) AddrLocalExtraCycles() float64 { return 0 }
+
+// VLAPad implements Engine.
+func (*BaseRand) VLAPad() int64 { return 0 }
+
+// StackBias implements Engine.
+func (b *BaseRand) StackBias() uint64 { return b.bias }
+
+// RodataBytes implements Engine.
+func (*BaseRand) RodataBytes() int64 { return 0 }
+
+// ---------------------------------------------------------------------------
+// Smokestack
+
+// Instrumentation cycle prices for the Smokestack prologue/epilogue beyond
+// the RNG itself. Mask-based table indexing replaces a modulo (§III-E).
+const (
+	lookupCyclesMasked = 2.0
+	lookupCyclesModulo = 8.0
+	// runtimeDecodeBase/PerAlloca price the on-the-fly Fisher–Yates for
+	// functions too large for a table.
+	runtimeDecodeBase      = 12.0
+	runtimeDecodePerAlloca = 2.5
+	guardWriteCycles       = 2.0
+	guardCheckCycles       = 3.0
+	// gepExtraCycles is the per-address-formation residual. The permuted
+	// GEP folds into x86 addressing modes after register allocation, so the
+	// measured residual is effectively zero (matching the paper, whose
+	// overhead is dominated by the prologue RNG).
+	gepExtraCycles = 0.0
+	// frameSpreadCyclesPerKiB models the cache-locality penalty of a
+	// permuted frame: objects scatter across the frame differently on every
+	// invocation, defeating next-line prefetch. Calibrated against the
+	// paper's observation that frame size has a significant impact
+	// (gobmk's 85 KB frames are its worst case, §V-A).
+	frameSpreadCyclesPerKiB = 0.12
+)
+
+// SmokestackOptions configure the full scheme.
+type SmokestackOptions struct {
+	// PBox selects table generation parameters; zero value means
+	// pbox.DefaultConfig.
+	PBox pbox.Config
+	// Guard enables the XOR'd function-identifier slot (§III-D2). On by
+	// default in NewSmokestack.
+	Guard bool
+	// MaxVLAPad bounds the random dummy padding before VLA allocations
+	// (rounded to 16; default 256).
+	MaxVLAPad int64
+}
+
+// Smokestack is the paper's engine: per-invocation P-BOX permutations.
+type Smokestack struct {
+	source   rng.Source
+	opts     SmokestackOptions
+	box      *pbox.Box
+	entries  []*pbox.Entry // indexed by fn.ID
+	frameKiB []float64     // max frame size per function, in KiB
+	prog     *ir.Program
+}
+
+// NewSmokestack compiles the P-BOX for prog and returns the engine drawing
+// permutation indexes from source.
+func NewSmokestack(prog *ir.Program, source rng.Source, opts *SmokestackOptions) *Smokestack {
+	o := SmokestackOptions{PBox: pbox.DefaultConfig(), Guard: true, MaxVLAPad: 256}
+	if opts != nil {
+		o = *opts
+		if o.PBox.MaxTableAllocas == 0 {
+			o.PBox = pbox.DefaultConfig()
+		}
+		if o.MaxVLAPad <= 0 {
+			o.MaxVLAPad = 256
+		}
+	}
+	s := &Smokestack{source: source, opts: o, box: pbox.New(o.PBox), prog: prog}
+	for _, fn := range prog.Funcs {
+		allocs := make([]pbox.Alloc, 0, len(fn.Allocas)+1)
+		for _, a := range fn.Allocas {
+			allocs = append(allocs, pbox.Alloc{Size: a.Size, Align: a.Align})
+		}
+		if o.Guard {
+			// The encoded function identifier participates in the
+			// permutation like any other 8-byte object.
+			allocs = append(allocs, pbox.Alloc{Size: 8, Align: 8})
+		}
+		e := s.box.Register(allocs)
+		s.entries = append(s.entries, e)
+		s.frameKiB = append(s.frameKiB, float64(e.MaxFrameSize())/1024)
+	}
+	return s
+}
+
+// Name implements Engine.
+func (s *Smokestack) Name() string { return "smokestack+" + s.source.Name() }
+
+// NewRun implements Engine.
+func (*Smokestack) NewRun() {}
+
+// Box exposes the built P-BOX for inspection (memory accounting, ablation).
+func (s *Smokestack) Box() *pbox.Box { return s.box }
+
+// Source exposes the permutation RNG (used by the RNG-prediction ablation).
+func (s *Smokestack) Source() rng.Source { return s.source }
+
+// Layout implements Engine: draw one random number, index the P-BOX.
+func (s *Smokestack) Layout(fn *ir.Function) FrameLayout {
+	return s.LayoutForValue(fn, s.source.Next())
+}
+
+// LayoutForValue computes the frame layout the engine produces for random
+// value r — a pure function of r. The RNG-prediction ablation (experiment
+// E7) uses it to model an attacker who has disclosed a memory-resident
+// PRNG's state and replays the stream: the P-BOX itself is public (it ships
+// in the binary's read-only data), so knowing r is knowing the layout.
+func (s *Smokestack) LayoutForValue(fn *ir.Function, r uint64) FrameLayout {
+	e := s.entries[fn.ID]
+	n := len(fn.Allocas)
+	total := n
+	if s.opts.Guard {
+		total++
+	}
+	out := make([]int64, total)
+	size := e.Layout(r, out)
+	fl := FrameLayout{Offsets: out[:n], GuardOffset: -1, Size: size}
+	if s.opts.Guard {
+		fl.GuardOffset = out[n]
+	}
+	return fl
+}
+
+// PrologueCycles implements Engine.
+func (s *Smokestack) PrologueCycles(fn *ir.Function) float64 {
+	e := s.entries[fn.ID]
+	c := s.source.Cost()
+	switch {
+	case e.Runtime:
+		c += runtimeDecodeBase + runtimeDecodePerAlloca*float64(e.NumAllocs())
+	case s.opts.PBox.PowerOfTwoRows:
+		c += lookupCyclesMasked
+	default:
+		c += lookupCyclesModulo
+	}
+	if s.opts.Guard {
+		c += guardWriteCycles
+	}
+	c += frameSpreadCyclesPerKiB * s.frameKiB[fn.ID]
+	return c
+}
+
+// EpilogueCycles implements Engine.
+func (s *Smokestack) EpilogueCycles(*ir.Function) float64 {
+	if s.opts.Guard {
+		return guardCheckCycles
+	}
+	return 0
+}
+
+// AddrLocalExtraCycles implements Engine.
+func (*Smokestack) AddrLocalExtraCycles() float64 { return gepExtraCycles }
+
+// VLAPad implements Engine: a fresh random pad (16-byte granules) before
+// every VLA allocation (§III-D1).
+func (s *Smokestack) VLAPad() int64 {
+	granules := uint64(s.opts.MaxVLAPad / 16)
+	if granules == 0 {
+		return 0
+	}
+	return int64(s.source.Next()%granules+1) * 16
+}
+
+// StackBias implements Engine.
+func (*Smokestack) StackBias() uint64 { return 0 }
+
+// RodataBytes implements Engine: the P-BOX lives in read-only data.
+func (s *Smokestack) RodataBytes() int64 { return s.box.TotalBytes() }
+
+// ---------------------------------------------------------------------------
+
+// NewByName constructs an engine by scheme name. For "smokestack" the rng
+// scheme is appended after a plus sign, e.g. "smokestack+aes-10".
+func NewByName(name string, prog *ir.Program, seed uint64, trng rng.TRNG) (Engine, error) {
+	switch name {
+	case "fixed":
+		return NewFixed(), nil
+	case "staticrand":
+		return NewStaticRand(seed), nil
+	case "padding":
+		return NewPadding(seed), nil
+	case "baserand":
+		return NewBaseRand(trng), nil
+	}
+	const prefix = "smokestack+"
+	if len(name) > len(prefix) && name[:len(prefix)] == prefix {
+		src, err := rng.NewByName(name[len(prefix):], seed, trng)
+		if err != nil {
+			return nil, err
+		}
+		return NewSmokestack(prog, src, nil), nil
+	}
+	if name == "smokestack" {
+		src, err := rng.NewByName("aes-10", seed, trng)
+		if err != nil {
+			return nil, err
+		}
+		return NewSmokestack(prog, src, nil), nil
+	}
+	return nil, fmt.Errorf("layout: unknown engine %q", name)
+}

@@ -1,0 +1,223 @@
+// Package mem implements the simulated byte-addressed memory the VM runs
+// against. Memory is divided into segments (read-only data, globals, heap,
+// stack). Addresses are flat 64-bit values; accesses that leave every
+// segment fault (the simulated SIGSEGV), while accesses *within* a segment
+// succeed unconditionally — an out-of-bounds array write that stays inside
+// the stack segment silently corrupts neighbouring data, exactly the C
+// behaviour DOP attacks rely on.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Default segment geometry. The bases are far apart so stray pointer
+// arithmetic faults instead of silently landing in another segment.
+const (
+	RodataBase = 0x0001_0000
+	GlobalBase = 0x0010_0000
+	HeapBase   = 0x2000_0000
+	StackTop   = 0x7fff_0000 // stack occupies [StackTop-StackSize, StackTop)
+	StackSize  = 8 << 20     // 8 MiB
+)
+
+// AccessKind distinguishes read and write faults.
+type AccessKind int
+
+// Access kinds.
+const (
+	Read AccessKind = iota
+	Write
+)
+
+func (k AccessKind) String() string {
+	if k == Write {
+		return "write"
+	}
+	return "read"
+}
+
+// Fault is a memory access violation: the simulated segmentation fault.
+type Fault struct {
+	Addr uint64
+	Size int
+	Kind AccessKind
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("segmentation fault: %s of %d bytes at 0x%x", f.Kind, f.Size, f.Addr)
+}
+
+// Segment is one contiguous address range.
+type Segment struct {
+	Name     string
+	Base     uint64
+	Writable bool
+	data     []byte
+}
+
+// Size returns the segment length in bytes.
+func (s *Segment) Size() uint64 { return uint64(len(s.data)) }
+
+// End returns one past the last valid address.
+func (s *Segment) End() uint64 { return s.Base + s.Size() }
+
+// contains reports whether [addr, addr+n) lies inside the segment.
+func (s *Segment) contains(addr uint64, n int) bool {
+	return addr >= s.Base && addr+uint64(n) <= s.End() && addr+uint64(n) >= addr
+}
+
+// Bytes exposes the raw backing store (for snapshotting and the attacker's
+// disclosure oracle).
+func (s *Segment) Bytes() []byte { return s.data }
+
+// Memory is a set of segments.
+type Memory struct {
+	segs []*Segment
+}
+
+// New creates an empty memory.
+func New() *Memory { return &Memory{} }
+
+// AddSegment creates a segment and returns it. Overlapping segments are a
+// programming error and panic.
+func (m *Memory) AddSegment(name string, base, size uint64, writable bool) *Segment {
+	for _, s := range m.segs {
+		if base < s.End() && base+size > s.Base {
+			panic(fmt.Sprintf("mem: segment %s [0x%x,0x%x) overlaps %s [0x%x,0x%x)",
+				name, base, base+size, s.Name, s.Base, s.End()))
+		}
+	}
+	seg := &Segment{Name: name, Base: base, Writable: writable, data: make([]byte, size)}
+	m.segs = append(m.segs, seg)
+	return seg
+}
+
+// Segments returns all segments.
+func (m *Memory) Segments() []*Segment { return m.segs }
+
+// FindSegment returns the segment containing [addr, addr+n), or nil.
+func (m *Memory) FindSegment(addr uint64, n int) *Segment {
+	for _, s := range m.segs {
+		if s.contains(addr, n) {
+			return s
+		}
+	}
+	return nil
+}
+
+// view returns the backing slice for [addr, addr+n), faulting if the range
+// is not fully within one segment or (for writes) the segment is read-only.
+func (m *Memory) view(addr uint64, n int, kind AccessKind) ([]byte, error) {
+	s := m.FindSegment(addr, n)
+	if s == nil {
+		return nil, &Fault{Addr: addr, Size: n, Kind: kind}
+	}
+	if kind == Write && !s.Writable {
+		return nil, &Fault{Addr: addr, Size: n, Kind: kind}
+	}
+	off := addr - s.Base
+	return s.data[off : off+uint64(n)], nil
+}
+
+// ReadBytes copies n bytes starting at addr.
+func (m *Memory) ReadBytes(addr uint64, n int) ([]byte, error) {
+	v, err := m.view(addr, n, Read)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	copy(out, v)
+	return out, nil
+}
+
+// WriteBytes stores b at addr.
+func (m *Memory) WriteBytes(addr uint64, b []byte) error {
+	v, err := m.view(addr, len(b), Write)
+	if err != nil {
+		return err
+	}
+	copy(v, b)
+	return nil
+}
+
+// ReadU reads an n-byte little-endian unsigned value (n ∈ {1,4,8}).
+func (m *Memory) ReadU(addr uint64, n int) (uint64, error) {
+	v, err := m.view(addr, n, Read)
+	if err != nil {
+		return 0, err
+	}
+	switch n {
+	case 1:
+		return uint64(v[0]), nil
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(v)), nil
+	case 8:
+		return binary.LittleEndian.Uint64(v), nil
+	}
+	return 0, fmt.Errorf("mem: unsupported access width %d", n)
+}
+
+// WriteU stores the low n bytes of val at addr, little-endian.
+func (m *Memory) WriteU(addr uint64, n int, val uint64) error {
+	v, err := m.view(addr, n, Write)
+	if err != nil {
+		return err
+	}
+	switch n {
+	case 1:
+		v[0] = byte(val)
+	case 4:
+		binary.LittleEndian.PutUint32(v, uint32(val))
+	case 8:
+		binary.LittleEndian.PutUint64(v, val)
+	default:
+		return fmt.Errorf("mem: unsupported access width %d", n)
+	}
+	return nil
+}
+
+// ReadCString reads a NUL-terminated string starting at addr, up to max
+// bytes (a fault is returned if the terminator is not found within bounds).
+func (m *Memory) ReadCString(addr uint64, max int) (string, error) {
+	s := m.FindSegment(addr, 1)
+	if s == nil {
+		return "", &Fault{Addr: addr, Size: 1, Kind: Read}
+	}
+	off := addr - s.Base
+	buf := s.data[off:]
+	limit := len(buf)
+	if max > 0 && max < limit {
+		limit = max
+	}
+	for i := 0; i < limit; i++ {
+		if buf[i] == 0 {
+			return string(buf[:i]), nil
+		}
+	}
+	return "", &Fault{Addr: addr + uint64(limit), Size: 1, Kind: Read}
+}
+
+// Zero clears n bytes at addr.
+func (m *Memory) Zero(addr uint64, n int) error {
+	v, err := m.view(addr, n, Write)
+	if err != nil {
+		return err
+	}
+	for i := range v {
+		v[i] = 0
+	}
+	return nil
+}
+
+// Snapshot copies every segment's contents, keyed by segment name. Used by
+// the attacker's full-memory disclosure oracle and by deterministic replay
+// in tests.
+func (m *Memory) Snapshot() map[string][]byte {
+	out := make(map[string][]byte, len(m.segs))
+	for _, s := range m.segs {
+		out[s.Name] = append([]byte(nil), s.data...)
+	}
+	return out
+}

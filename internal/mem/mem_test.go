@@ -1,0 +1,165 @@
+package mem_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func twoSeg(t *testing.T) *mem.Memory {
+	t.Helper()
+	m := mem.New()
+	m.AddSegment("data", 0x1000, 0x100, true)
+	m.AddSegment("ro", 0x4000, 0x40, false)
+	return m
+}
+
+func TestReadWriteWidths(t *testing.T) {
+	m := twoSeg(t)
+	if err := m.WriteU(0x1000, 8, 0x1122334455667788); err != nil {
+		t.Fatal(err)
+	}
+	// Little-endian byte order.
+	b, err := m.ReadBytes(0x1000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, []byte{0x88, 0x77, 0x66, 0x55, 0x44, 0x33, 0x22, 0x11}) {
+		t.Fatalf("bytes %x", b)
+	}
+	v4, _ := m.ReadU(0x1000, 4)
+	if v4 != 0x55667788 {
+		t.Fatalf("u32 %x", v4)
+	}
+	v1, _ := m.ReadU(0x1007, 1)
+	if v1 != 0x11 {
+		t.Fatalf("u8 %x", v1)
+	}
+	if err := m.WriteU(0x1004, 4, 0xdeadbeef); err != nil {
+		t.Fatal(err)
+	}
+	v8, _ := m.ReadU(0x1000, 8)
+	if v8 != 0xdeadbeef55667788 {
+		t.Fatalf("mixed %x", v8)
+	}
+}
+
+func TestFaults(t *testing.T) {
+	m := twoSeg(t)
+	cases := []struct {
+		addr uint64
+		n    int
+		wr   bool
+	}{
+		{0x0, 8, false},           // unmapped
+		{0x10fc, 8, false},        // straddles segment end
+		{0x10ff, 2, true},         // straddles end by one
+		{0x2000, 1, true},         // gap between segments
+		{0x4000, 1, true},         // read-only segment write
+		{^uint64(0) - 3, 8, true}, // address wraparound
+	}
+	for _, c := range cases {
+		var err error
+		if c.wr {
+			err = m.WriteU(c.addr, c.n, 1)
+		} else {
+			_, err = m.ReadU(c.addr, c.n)
+		}
+		var f *mem.Fault
+		if !errors.As(err, &f) {
+			t.Errorf("addr 0x%x n=%d wr=%v: expected Fault, got %v", c.addr, c.n, c.wr, err)
+		}
+	}
+	// Read-only segments still read fine.
+	if _, err := m.ReadU(0x4000, 8); err != nil {
+		t.Errorf("read of ro segment: %v", err)
+	}
+}
+
+func TestInSegmentOverflowSilentlyCorrupts(t *testing.T) {
+	// The DOP substrate property: a big write inside one segment succeeds
+	// and clobbers neighbours without any fault.
+	m := mem.New()
+	m.AddSegment("stack", 0x1000, 0x100, true)
+	if err := m.WriteU(0x1010, 8, 0x4242424242424242); err != nil {
+		t.Fatal(err)
+	}
+	over := make([]byte, 0x40) // "overflow" spanning many slots
+	for i := range over {
+		over[i] = 0xee
+	}
+	if err := m.WriteBytes(0x1008, over); err != nil {
+		t.Fatalf("in-segment overflow must not fault: %v", err)
+	}
+	v, _ := m.ReadU(0x1010, 8)
+	if v != 0xeeeeeeeeeeeeeeee {
+		t.Fatalf("neighbour not corrupted: %x", v)
+	}
+}
+
+func TestCString(t *testing.T) {
+	m := twoSeg(t)
+	if err := m.WriteBytes(0x1000, append([]byte("hello"), 0)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.ReadCString(0x1000, 100)
+	if err != nil || s != "hello" {
+		t.Fatalf("got %q err %v", s, err)
+	}
+	// Max shorter than terminator distance faults.
+	if _, err := m.ReadCString(0x1000, 3); err == nil {
+		t.Fatal("expected fault for missing NUL within max")
+	}
+	// Unmapped base faults.
+	if _, err := m.ReadCString(0x9000, 8); err == nil {
+		t.Fatal("expected fault for unmapped string")
+	}
+}
+
+func TestZeroAndSnapshot(t *testing.T) {
+	m := twoSeg(t)
+	if err := m.WriteU(0x1000, 8, ^uint64(0)); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if snap["data"][0] != 0xff {
+		t.Fatal("snapshot misses data")
+	}
+	if err := m.Zero(0x1000, 8); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := m.ReadU(0x1000, 8)
+	if v != 0 {
+		t.Fatalf("zero failed: %x", v)
+	}
+	// Snapshot is a copy: mutating memory must not change it.
+	if snap["data"][0] != 0xff {
+		t.Fatal("snapshot aliases live memory")
+	}
+}
+
+func TestOverlapPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overlapping segments must panic")
+		}
+	}()
+	m := mem.New()
+	m.AddSegment("a", 0x1000, 0x100, true)
+	m.AddSegment("b", 0x10ff, 0x10, true)
+}
+
+func TestFindSegment(t *testing.T) {
+	m := twoSeg(t)
+	if s := m.FindSegment(0x1080, 8); s == nil || s.Name != "data" {
+		t.Fatal("FindSegment data")
+	}
+	if s := m.FindSegment(0x10f9, 8); s != nil {
+		t.Fatal("range crossing the end must not match")
+	}
+	if s := m.FindSegment(0x3000, 1); s != nil {
+		t.Fatal("gap must not match")
+	}
+}

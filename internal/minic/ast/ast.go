@@ -1,0 +1,459 @@
+// Package ast defines the abstract syntax tree for MiniC. Nodes carry
+// source positions for diagnostics; expression nodes gain a resolved type
+// during semantic analysis (see package sema).
+package ast
+
+import (
+	"repro/internal/minic/token"
+	"repro/internal/minic/types"
+)
+
+// Node is the interface satisfied by every AST node.
+type Node interface {
+	Pos() token.Pos
+}
+
+// ---------------------------------------------------------------------------
+// Type expressions (syntactic; resolved to types.Type by sema)
+
+// TypeExpr is a syntactic type.
+type TypeExpr interface {
+	Node
+	typeExpr()
+}
+
+// NamedType is a scalar keyword type: char, int, long, void.
+type NamedType struct {
+	Kind    token.Kind // KwChar, KwInt, KwLong, KwVoid
+	NamePos token.Pos
+}
+
+func (t *NamedType) Pos() token.Pos { return t.NamePos }
+func (t *NamedType) typeExpr()      {}
+
+// StructTypeRef refers to a previously declared struct by name.
+type StructTypeRef struct {
+	Name    string
+	NamePos token.Pos
+}
+
+func (t *StructTypeRef) Pos() token.Pos { return t.NamePos }
+func (t *StructTypeRef) typeExpr()      {}
+
+// PointerType is a pointer to Elem.
+type PointerType struct {
+	Elem    TypeExpr
+	StarPos token.Pos
+}
+
+func (t *PointerType) Pos() token.Pos { return t.StarPos }
+func (t *PointerType) typeExpr()      {}
+
+// ArrayType is a fixed-size array of Elem.
+type ArrayType struct {
+	Elem TypeExpr
+	Len  int64
+}
+
+func (t *ArrayType) Pos() token.Pos { return t.Elem.Pos() }
+func (t *ArrayType) typeExpr()      {}
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+// File is one parsed translation unit.
+type File struct {
+	Name  string
+	Decls []Decl
+}
+
+// Pos returns the position of the first declaration.
+func (f *File) Pos() token.Pos {
+	if len(f.Decls) > 0 {
+		return f.Decls[0].Pos()
+	}
+	return token.Pos{File: f.Name, Line: 1, Col: 1}
+}
+
+// Decl is a top-level or local declaration.
+type Decl interface {
+	Node
+	decl()
+}
+
+// StructDecl declares a struct type.
+type StructDecl struct {
+	Name      string
+	Fields    []*FieldDecl
+	StructPos token.Pos
+}
+
+func (d *StructDecl) Pos() token.Pos { return d.StructPos }
+func (d *StructDecl) decl()          {}
+
+// FieldDecl is one struct member.
+type FieldDecl struct {
+	Name    string
+	Type    TypeExpr
+	NamePos token.Pos
+}
+
+func (d *FieldDecl) Pos() token.Pos { return d.NamePos }
+
+// VarDecl declares one or more variables of a common base type.
+type VarDecl struct {
+	Specs []*VarSpec
+}
+
+func (d *VarDecl) Pos() token.Pos {
+	if len(d.Specs) > 0 {
+		return d.Specs[0].NamePos
+	}
+	return token.Pos{}
+}
+func (d *VarDecl) decl() {}
+
+// VarSpec is a single declarator: its full syntactic type (with pointer and
+// array derivations applied) and optional initializer.
+type VarSpec struct {
+	Name    string
+	Type    TypeExpr
+	Init    Expr // may be nil
+	NamePos token.Pos
+
+	// Resolved by sema:
+	Sym *Symbol
+}
+
+func (s *VarSpec) Pos() token.Pos { return s.NamePos }
+
+// Param is one function parameter.
+type Param struct {
+	Name    string
+	Type    TypeExpr
+	NamePos token.Pos
+
+	Sym *Symbol // resolved by sema
+}
+
+func (p *Param) Pos() token.Pos { return p.NamePos }
+
+// FuncDecl declares (and defines) a function. MiniC has no separate
+// prototypes; every declared function has a body.
+type FuncDecl struct {
+	Name    string
+	Params  []*Param
+	Result  TypeExpr
+	Body    *Block
+	NamePos token.Pos
+
+	Type *types.Func // resolved by sema
+}
+
+func (d *FuncDecl) Pos() token.Pos { return d.NamePos }
+func (d *FuncDecl) decl()          {}
+
+// ---------------------------------------------------------------------------
+// Symbols
+
+// SymbolKind distinguishes storage classes.
+type SymbolKind int
+
+// Symbol kinds.
+const (
+	SymLocal SymbolKind = iota
+	SymParam
+	SymGlobal
+	SymFunc
+)
+
+// Symbol is a resolved name: one variable, parameter or function. Local and
+// parameter symbols become stack allocations in the IR; the Smokestack
+// passes permute exactly these objects.
+type Symbol struct {
+	Name string
+	Kind SymbolKind
+	Type types.Type
+	Pos  token.Pos
+
+	// Index is the symbol's slot in its container: the alloca index for
+	// locals/params, the global index for globals. Filled by irgen.
+	Index int
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+// Stmt is a statement.
+type Stmt interface {
+	Node
+	stmt()
+}
+
+// Block is a brace-delimited statement list with its own scope.
+type Block struct {
+	Stmts    []Stmt
+	BracePos token.Pos
+}
+
+func (s *Block) Pos() token.Pos { return s.BracePos }
+func (s *Block) stmt()          {}
+
+// DeclStmt is a local variable declaration used as a statement.
+type DeclStmt struct {
+	Decl *VarDecl
+}
+
+func (s *DeclStmt) Pos() token.Pos { return s.Decl.Pos() }
+func (s *DeclStmt) stmt()          {}
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct {
+	X Expr
+}
+
+func (s *ExprStmt) Pos() token.Pos { return s.X.Pos() }
+func (s *ExprStmt) stmt()          {}
+
+// EmptyStmt is a lone semicolon.
+type EmptyStmt struct {
+	SemiPos token.Pos
+}
+
+func (s *EmptyStmt) Pos() token.Pos { return s.SemiPos }
+func (s *EmptyStmt) stmt()          {}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Cond  Expr
+	Then  Stmt
+	Else  Stmt // may be nil
+	IfPos token.Pos
+}
+
+func (s *IfStmt) Pos() token.Pos { return s.IfPos }
+func (s *IfStmt) stmt()          {}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond     Expr
+	Body     Stmt
+	WhilePos token.Pos
+}
+
+func (s *WhileStmt) Pos() token.Pos { return s.WhilePos }
+func (s *WhileStmt) stmt()          {}
+
+// DoWhileStmt is a do { } while (cond); loop.
+type DoWhileStmt struct {
+	Body  Stmt
+	Cond  Expr
+	DoPos token.Pos
+}
+
+func (s *DoWhileStmt) Pos() token.Pos { return s.DoPos }
+func (s *DoWhileStmt) stmt()          {}
+
+// ForStmt is a C for loop. Init may be a DeclStmt or ExprStmt or nil;
+// Cond and Post may be nil.
+type ForStmt struct {
+	Init   Stmt
+	Cond   Expr
+	Post   Expr
+	Body   Stmt
+	ForPos token.Pos
+}
+
+func (s *ForStmt) Pos() token.Pos { return s.ForPos }
+func (s *ForStmt) stmt()          {}
+
+// ReturnStmt returns from the enclosing function.
+type ReturnStmt struct {
+	Value  Expr // may be nil
+	RetPos token.Pos
+}
+
+func (s *ReturnStmt) Pos() token.Pos { return s.RetPos }
+func (s *ReturnStmt) stmt()          {}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct {
+	KwPos token.Pos
+}
+
+func (s *BreakStmt) Pos() token.Pos { return s.KwPos }
+func (s *BreakStmt) stmt()          {}
+
+// ContinueStmt continues the innermost loop.
+type ContinueStmt struct {
+	KwPos token.Pos
+}
+
+func (s *ContinueStmt) Pos() token.Pos { return s.KwPos }
+func (s *ContinueStmt) stmt()          {}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Expr is an expression. After sema, Type() reports the resolved type.
+type Expr interface {
+	Node
+	Type() types.Type
+	expr()
+}
+
+// typed is embedded in every expression node to hold the resolved type.
+type typed struct {
+	T types.Type
+}
+
+// Type returns the type resolved by semantic analysis (nil before sema).
+func (t *typed) Type() types.Type { return t.T }
+
+// SetType records the resolved type; called by sema.
+func (t *typed) SetType(ty types.Type) { t.T = ty }
+
+// Ident is a name reference.
+type Ident struct {
+	typed
+	Name    string
+	NamePos token.Pos
+
+	Sym *Symbol // resolved by sema
+}
+
+func (e *Ident) Pos() token.Pos { return e.NamePos }
+func (e *Ident) expr()          {}
+
+// IntLit is an integer or character literal.
+type IntLit struct {
+	typed
+	Value  int64
+	LitPos token.Pos
+}
+
+func (e *IntLit) Pos() token.Pos { return e.LitPos }
+func (e *IntLit) expr()          {}
+
+// StringLit is a string literal; it denotes a char* into read-only data.
+type StringLit struct {
+	typed
+	Value  string
+	LitPos token.Pos
+
+	// DataIndex is the interned string's index, filled by irgen.
+	DataIndex int
+}
+
+func (e *StringLit) Pos() token.Pos { return e.LitPos }
+func (e *StringLit) expr()          {}
+
+// BinaryExpr is a binary operation (arithmetic, comparison, logical,
+// bitwise).
+type BinaryExpr struct {
+	typed
+	Op   token.Kind
+	X, Y Expr
+}
+
+func (e *BinaryExpr) Pos() token.Pos { return e.X.Pos() }
+func (e *BinaryExpr) expr()          {}
+
+// UnaryExpr is a prefix operation: - ! ~ * & ++ --.
+type UnaryExpr struct {
+	typed
+	Op    token.Kind
+	X     Expr
+	OpPos token.Pos
+}
+
+func (e *UnaryExpr) Pos() token.Pos { return e.OpPos }
+func (e *UnaryExpr) expr()          {}
+
+// PostfixExpr is x++ or x--.
+type PostfixExpr struct {
+	typed
+	Op token.Kind // Inc or Dec
+	X  Expr
+}
+
+func (e *PostfixExpr) Pos() token.Pos { return e.X.Pos() }
+func (e *PostfixExpr) expr()          {}
+
+// AssignExpr is an assignment or compound assignment.
+type AssignExpr struct {
+	typed
+	Op  token.Kind // Assign, AddEq, SubEq, MulEq, DivEq, ModEq
+	LHS Expr
+	RHS Expr
+}
+
+func (e *AssignExpr) Pos() token.Pos { return e.LHS.Pos() }
+func (e *AssignExpr) expr()          {}
+
+// IndexExpr is x[i].
+type IndexExpr struct {
+	typed
+	X     Expr
+	Index Expr
+}
+
+func (e *IndexExpr) Pos() token.Pos { return e.X.Pos() }
+func (e *IndexExpr) expr()          {}
+
+// CallExpr is a function call. Host (built-in) functions are resolved by
+// name during irgen.
+type CallExpr struct {
+	typed
+	Fun  *Ident
+	Args []Expr
+}
+
+func (e *CallExpr) Pos() token.Pos { return e.Fun.Pos() }
+func (e *CallExpr) expr()          {}
+
+// MemberExpr is x.f (Arrow=false) or x->f (Arrow=true).
+type MemberExpr struct {
+	typed
+	X     Expr
+	Name  string
+	Arrow bool
+
+	Field types.Field // resolved by sema
+}
+
+func (e *MemberExpr) Pos() token.Pos { return e.X.Pos() }
+func (e *MemberExpr) expr()          {}
+
+// SizeofExpr is sizeof(type) or sizeof(expr).
+type SizeofExpr struct {
+	typed
+	TypeArg TypeExpr // exactly one of TypeArg/ExprArg is set
+	ExprArg Expr
+	KwPos   token.Pos
+}
+
+func (e *SizeofExpr) Pos() token.Pos { return e.KwPos }
+func (e *SizeofExpr) expr()          {}
+
+// CondExpr is the ternary operator c ? a : b.
+type CondExpr struct {
+	typed
+	Cond Expr
+	Then Expr
+	Else Expr
+}
+
+func (e *CondExpr) Pos() token.Pos { return e.Cond.Pos() }
+func (e *CondExpr) expr()          {}
+
+// CastExpr is (type)expr.
+type CastExpr struct {
+	typed
+	To       TypeExpr
+	X        Expr
+	ParenPos token.Pos
+}
+
+func (e *CastExpr) Pos() token.Pos { return e.ParenPos }
+func (e *CastExpr) expr()          {}

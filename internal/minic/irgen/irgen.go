@@ -1,0 +1,937 @@
+// Package irgen lowers a type-checked MiniC AST to the register-machine IR.
+// It performs the paper's "Discovering Stack Allocations" analysis as a side
+// effect: every local variable and parameter becomes an ir.Alloca carrying
+// the size and alignment metadata the P-BOX generator consumes (§III-D).
+package irgen
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/minic/ast"
+	"repro/internal/minic/sema"
+	"repro/internal/minic/token"
+	"repro/internal/minic/types"
+)
+
+// Error is a code-generation error at a source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Generate lowers the checked file to an IR program.
+func Generate(info *sema.Info) (*ir.Program, error) {
+	g := &generator{
+		info: info,
+		prog: &ir.Program{
+			Name:    info.File.Name,
+			FuncIdx: make(map[string]int),
+		},
+		dataIdx:   make(map[string]int),
+		globalIdx: make(map[*ast.Symbol]int),
+		hostIdx:   make(map[string]int),
+	}
+	for i, b := range sema.Builtins {
+		g.hostIdx[b.Name] = i
+	}
+	var err error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if ge, ok := r.(*Error); ok {
+					err = ge
+					return
+				}
+				panic(r)
+			}
+		}()
+		g.run()
+	}()
+	if err != nil {
+		return nil, err
+	}
+	if verr := g.prog.Validate(); verr != nil {
+		return nil, fmt.Errorf("irgen produced invalid IR: %w", verr)
+	}
+	return g.prog, nil
+}
+
+type generator struct {
+	info      *sema.Info
+	prog      *ir.Program
+	dataIdx   map[string]int
+	globalIdx map[*ast.Symbol]int
+	hostIdx   map[string]int
+}
+
+func (g *generator) fail(pos token.Pos, format string, args ...any) {
+	panic(&Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (g *generator) run() {
+	// Globals first so AddrGlobal indices are stable.
+	for _, d := range g.info.File.Decls {
+		vd, ok := d.(*ast.VarDecl)
+		if !ok {
+			continue
+		}
+		for _, spec := range vd.Specs {
+			sym := spec.Sym
+			gl := ir.Global{Name: sym.Name, Size: sym.Type.Size(), Align: sym.Type.Align()}
+			if gl.Size == 0 {
+				g.fail(spec.NamePos, "global %s has zero size", sym.Name)
+			}
+			if spec.Init != nil {
+				v, ok := g.constEval(spec.Init)
+				if !ok {
+					g.fail(spec.Init.Pos(), "global initializer for %s is not a constant expression", sym.Name)
+				}
+				var buf [8]byte
+				binary.LittleEndian.PutUint64(buf[:], uint64(v))
+				w := scalarWidth(sym.Type)
+				if w == 0 {
+					g.fail(spec.Init.Pos(), "cannot initialize aggregate global %s with a scalar", sym.Name)
+				}
+				gl.Init = append([]byte(nil), buf[:w]...)
+			}
+			g.globalIdx[sym] = len(g.prog.Globals)
+			sym.Index = len(g.prog.Globals)
+			g.prog.Globals = append(g.prog.Globals, gl)
+		}
+	}
+	// Assign function IDs before generating bodies so calls resolve.
+	for _, d := range g.info.File.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		f := &ir.Function{Name: fd.Name, ID: len(g.prog.Funcs)}
+		g.prog.FuncIdx[fd.Name] = f.ID
+		g.prog.Funcs = append(g.prog.Funcs, f)
+	}
+	for _, d := range g.info.File.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			g.genFunc(fd)
+		}
+	}
+	if _, ok := g.prog.FuncIdx["main"]; !ok {
+		g.fail(g.info.File.Pos(), "program has no main function")
+	}
+}
+
+// internData interns a NUL-terminated string literal and returns its index.
+func (g *generator) internData(s string) int {
+	if i, ok := g.dataIdx[s]; ok {
+		return i
+	}
+	i := len(g.prog.Data)
+	g.dataIdx[s] = i
+	g.prog.Data = append(g.prog.Data, append([]byte(s), 0))
+	return i
+}
+
+// constEval folds a constant expression, returning (value, true) on success.
+func (g *generator) constEval(e ast.Expr) (int64, bool) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return e.Value, true
+	case *ast.SizeofExpr:
+		if e.TypeArg != nil {
+			// Type already resolved by sema via checkExpr; recompute size
+			// from the expression's recorded type path: sizeof yields long,
+			// so resolve the argument here.
+			return g.sizeofType(e), true
+		}
+		if e.ExprArg != nil && e.ExprArg.Type() != nil {
+			return e.ExprArg.Type().Size(), true
+		}
+		return 0, false
+	case *ast.UnaryExpr:
+		v, ok := g.constEval(e.X)
+		if !ok {
+			return 0, false
+		}
+		switch e.Op {
+		case token.Minus:
+			return -v, true
+		case token.Tilde:
+			return ^v, true
+		case token.Not:
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		}
+		return 0, false
+	case *ast.BinaryExpr:
+		x, ok := g.constEval(e.X)
+		if !ok {
+			return 0, false
+		}
+		y, ok := g.constEval(e.Y)
+		if !ok {
+			return 0, false
+		}
+		return foldBinary(e.Op, x, y)
+	case *ast.CastExpr:
+		v, ok := g.constEval(e.X)
+		if !ok {
+			return 0, false
+		}
+		return truncateTo(v, e.Type()), true
+	}
+	return 0, false
+}
+
+func foldBinary(op token.Kind, x, y int64) (int64, bool) {
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case token.Plus:
+		return x + y, true
+	case token.Minus:
+		return x - y, true
+	case token.Star:
+		return x * y, true
+	case token.Slash:
+		if y == 0 {
+			return 0, false
+		}
+		return x / y, true
+	case token.Percent:
+		if y == 0 {
+			return 0, false
+		}
+		return x % y, true
+	case token.Amp:
+		return x & y, true
+	case token.Pipe:
+		return x | y, true
+	case token.Caret:
+		return x ^ y, true
+	case token.Shl:
+		return x << (uint64(y) & 63), true
+	case token.Shr:
+		return x >> (uint64(y) & 63), true
+	case token.Eq:
+		return b2i(x == y), true
+	case token.Ne:
+		return b2i(x != y), true
+	case token.Lt:
+		return b2i(x < y), true
+	case token.Le:
+		return b2i(x <= y), true
+	case token.Gt:
+		return b2i(x > y), true
+	case token.Ge:
+		return b2i(x >= y), true
+	case token.AndAnd:
+		return b2i(x != 0 && y != 0), true
+	case token.OrOr:
+		return b2i(x != 0 || y != 0), true
+	}
+	return 0, false
+}
+
+// sizeofType computes sizeof for a syntactic type argument by re-resolving
+// scalar/pointer syntax (struct refs were resolved during sema and their
+// sizes are reachable through the struct registry).
+func (g *generator) sizeofType(e *ast.SizeofExpr) int64 {
+	return g.resolve(e.TypeArg).Size()
+}
+
+func (g *generator) resolve(te ast.TypeExpr) types.Type {
+	switch te := te.(type) {
+	case *ast.NamedType:
+		switch te.Kind {
+		case token.KwChar:
+			return types.CharType
+		case token.KwInt:
+			return types.IntType
+		case token.KwLong:
+			return types.LongType
+		default:
+			return types.VoidType
+		}
+	case *ast.StructTypeRef:
+		if st, ok := g.info.Structs[te.Name]; ok {
+			return st
+		}
+	case *ast.PointerType:
+		return &types.Pointer{Elem: g.resolve(te.Elem)}
+	case *ast.ArrayType:
+		return &types.Array{Elem: g.resolve(te.Elem), Len: te.Len}
+	}
+	return types.LongType
+}
+
+// scalarWidth returns the memory width of a scalar type (0 for aggregates).
+func scalarWidth(t types.Type) uint8 {
+	switch t := t.(type) {
+	case *types.Basic:
+		switch t.Kind {
+		case types.Char:
+			return 1
+		case types.Int:
+			return 4
+		case types.Long:
+			return 8
+		}
+	case *types.Pointer:
+		return 8
+	}
+	return 0
+}
+
+func isUnsignedLoad(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind == types.Char // char is unsigned in MiniC
+}
+
+// truncateTo models C narrowing conversions for explicit casts.
+func truncateTo(v int64, t types.Type) int64 {
+	switch scalarWidth(t) {
+	case 1:
+		return int64(uint8(v))
+	case 4:
+		return int64(int32(v))
+	default:
+		return v
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Function generation
+
+type loopCtx struct {
+	breaks    []int // instruction indices with unresolved Target0
+	continues []int
+}
+
+type fnGen struct {
+	g        *generator
+	fn       *ir.Function
+	allocaOf map[*ast.Symbol]int
+	loops    []*loopCtx
+}
+
+func (g *generator) genFunc(fd *ast.FuncDecl) {
+	f := g.prog.Funcs[g.prog.FuncIdx[fd.Name]]
+	f.ReturnsValue = !types.IsVoid(fd.Type.Result)
+	fg := &fnGen{g: g, fn: f, allocaOf: make(map[*ast.Symbol]int)}
+	// Params become allocas, in order.
+	for _, p := range fd.Params {
+		fg.addAlloca(p.Sym, true)
+	}
+	f.NumParams = len(fd.Params)
+	fg.genBlock(fd.Body)
+	// Implicit return: void functions fall off the end; non-void return 0.
+	if f.ReturnsValue {
+		z := fg.newReg()
+		fg.emit(ir.Instr{Op: ir.OpConst, Dst: z, Imm: 0})
+		fg.emit(ir.Instr{Op: ir.OpRet, A: z, Dst: ir.NoReg, B: ir.NoReg})
+	} else {
+		fg.emit(ir.Instr{Op: ir.OpRet, A: ir.NoReg, Dst: ir.NoReg, B: ir.NoReg})
+	}
+}
+
+func (fg *fnGen) addAlloca(sym *ast.Symbol, isParam bool) int {
+	idx := len(fg.fn.Allocas)
+	fg.fn.Allocas = append(fg.fn.Allocas, ir.Alloca{
+		Name:    sym.Name,
+		Size:    sym.Type.Size(),
+		Align:   sym.Type.Align(),
+		IsParam: isParam,
+	})
+	fg.allocaOf[sym] = idx
+	sym.Index = idx
+	return idx
+}
+
+func (fg *fnGen) newReg() ir.Reg {
+	r := ir.Reg(fg.fn.NumRegs)
+	fg.fn.NumRegs++
+	return r
+}
+
+// emit appends an instruction, normalizing absent register operands, and
+// returns its index for jump patching.
+func (fg *fnGen) emit(in ir.Instr) int {
+	// Zero-valued Reg fields mean register 0, which is a real register; the
+	// constructors below always set the fields they use, and the ones they
+	// don't use are harmless for non-memory, non-branch ops. Keep as is.
+	fg.fn.Code = append(fg.fn.Code, in)
+	return len(fg.fn.Code) - 1
+}
+
+func (fg *fnGen) here() int32 { return int32(len(fg.fn.Code)) }
+
+func (fg *fnGen) patch(at int, target int32) {
+	in := &fg.fn.Code[at]
+	in.Target0 = target
+}
+
+func (fg *fnGen) patchElse(at int, target int32) {
+	in := &fg.fn.Code[at]
+	in.Target1 = target
+}
+
+func (fg *fnGen) fail(pos token.Pos, format string, args ...any) {
+	fg.g.fail(pos, format, args...)
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (fg *fnGen) genBlock(b *ast.Block) {
+	for _, s := range b.Stmts {
+		fg.genStmt(s)
+	}
+}
+
+func (fg *fnGen) genStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.Block:
+		fg.genBlock(s)
+	case *ast.EmptyStmt:
+	case *ast.DeclStmt:
+		for _, spec := range s.Decl.Specs {
+			idx := fg.addAlloca(spec.Sym, false)
+			if spec.Init != nil {
+				v := fg.rvalue(spec.Init)
+				addr := fg.newReg()
+				fg.emit(ir.Instr{Op: ir.OpAddrLocal, Dst: addr, A: ir.NoReg, B: ir.NoReg, Sym: int32(idx), Comment: spec.Sym.Name})
+				w := scalarWidth(spec.Sym.Type)
+				if w == 0 {
+					fg.fail(spec.Init.Pos(), "cannot initialize aggregate %s with scalar expression", spec.Sym.Name)
+				}
+				fg.emit(ir.Instr{Op: ir.OpStore, A: addr, B: v, Dst: ir.NoReg, Width: w})
+			}
+		}
+	case *ast.ExprStmt:
+		fg.rvalueOrVoid(s.X)
+	case *ast.IfStmt:
+		cond := fg.rvalue(s.Cond)
+		br := fg.emit(ir.Instr{Op: ir.OpBr, A: cond, Dst: ir.NoReg, B: ir.NoReg})
+		fg.patch(br, fg.here())
+		fg.genStmt(s.Then)
+		if s.Else == nil {
+			fg.patchElse(br, fg.here())
+			return
+		}
+		jmp := fg.emit(ir.Instr{Op: ir.OpJmp, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg})
+		fg.patchElse(br, fg.here())
+		fg.genStmt(s.Else)
+		fg.patch(jmp, fg.here())
+	case *ast.WhileStmt:
+		top := fg.here()
+		cond := fg.rvalue(s.Cond)
+		br := fg.emit(ir.Instr{Op: ir.OpBr, A: cond, Dst: ir.NoReg, B: ir.NoReg})
+		fg.patch(br, fg.here())
+		fg.pushLoop()
+		fg.genStmt(s.Body)
+		lc := fg.popLoop()
+		fg.emit(ir.Instr{Op: ir.OpJmp, Target0: top, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg})
+		end := fg.here()
+		fg.patchElse(br, end)
+		fg.resolveLoop(lc, end, top)
+	case *ast.DoWhileStmt:
+		top := fg.here()
+		fg.pushLoop()
+		fg.genStmt(s.Body)
+		lc := fg.popLoop()
+		condPos := fg.here()
+		cond := fg.rvalue(s.Cond)
+		br := fg.emit(ir.Instr{Op: ir.OpBr, A: cond, Target0: top, Dst: ir.NoReg, B: ir.NoReg})
+		end := fg.here()
+		fg.patchElse(br, end)
+		fg.resolveLoop(lc, end, condPos)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			fg.genStmt(s.Init)
+		}
+		top := fg.here()
+		var br int = -1
+		if s.Cond != nil {
+			cond := fg.rvalue(s.Cond)
+			br = fg.emit(ir.Instr{Op: ir.OpBr, A: cond, Dst: ir.NoReg, B: ir.NoReg})
+			fg.patch(br, fg.here())
+		}
+		fg.pushLoop()
+		fg.genStmt(s.Body)
+		lc := fg.popLoop()
+		postPos := fg.here()
+		if s.Post != nil {
+			fg.rvalueOrVoid(s.Post)
+		}
+		fg.emit(ir.Instr{Op: ir.OpJmp, Target0: top, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg})
+		end := fg.here()
+		if br >= 0 {
+			fg.patchElse(br, end)
+		}
+		fg.resolveLoop(lc, end, postPos)
+	case *ast.ReturnStmt:
+		if s.Value == nil {
+			fg.emit(ir.Instr{Op: ir.OpRet, A: ir.NoReg, Dst: ir.NoReg, B: ir.NoReg})
+			return
+		}
+		v := fg.rvalue(s.Value)
+		fg.emit(ir.Instr{Op: ir.OpRet, A: v, Dst: ir.NoReg, B: ir.NoReg})
+	case *ast.BreakStmt:
+		at := fg.emit(ir.Instr{Op: ir.OpJmp, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg})
+		lc := fg.loops[len(fg.loops)-1]
+		lc.breaks = append(lc.breaks, at)
+	case *ast.ContinueStmt:
+		at := fg.emit(ir.Instr{Op: ir.OpJmp, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg})
+		lc := fg.loops[len(fg.loops)-1]
+		lc.continues = append(lc.continues, at)
+	}
+}
+
+func (fg *fnGen) pushLoop() { fg.loops = append(fg.loops, &loopCtx{}) }
+func (fg *fnGen) popLoop() *loopCtx {
+	lc := fg.loops[len(fg.loops)-1]
+	fg.loops = fg.loops[:len(fg.loops)-1]
+	return lc
+}
+func (fg *fnGen) resolveLoop(lc *loopCtx, brk, cont int32) {
+	for _, at := range lc.breaks {
+		fg.patch(at, brk)
+	}
+	for _, at := range lc.continues {
+		fg.patch(at, cont)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// rvalueOrVoid evaluates an expression whose value may be discarded (void
+// calls included).
+func (fg *fnGen) rvalueOrVoid(e ast.Expr) {
+	if call, ok := e.(*ast.CallExpr); ok && types.IsVoid(call.Type()) {
+		fg.genCall(call, false)
+		return
+	}
+	fg.rvalue(e)
+}
+
+// rvalue evaluates e and returns the register holding its value. Array and
+// struct valued expressions yield their address (decay).
+func (fg *fnGen) rvalue(e ast.Expr) ir.Reg {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		r := fg.newReg()
+		fg.emit(ir.Instr{Op: ir.OpConst, Dst: r, Imm: e.Value, A: ir.NoReg, B: ir.NoReg})
+		return r
+	case *ast.StringLit:
+		idx := fg.g.internData(e.Value)
+		e.DataIndex = idx
+		r := fg.newReg()
+		fg.emit(ir.Instr{Op: ir.OpAddrData, Dst: r, Sym: int32(idx), A: ir.NoReg, B: ir.NoReg})
+		return r
+	case *ast.Ident:
+		addr := fg.lvalueAddr(e)
+		return fg.loadFrom(addr, e.Type(), e.Pos())
+	case *ast.IndexExpr:
+		addr := fg.lvalueAddr(e)
+		return fg.loadFrom(addr, e.Type(), e.Pos())
+	case *ast.MemberExpr:
+		addr := fg.lvalueAddr(e)
+		return fg.loadFrom(addr, e.Type(), e.Pos())
+	case *ast.UnaryExpr:
+		return fg.genUnary(e)
+	case *ast.PostfixExpr:
+		return fg.genIncDec(e.X, e.Op, false)
+	case *ast.BinaryExpr:
+		return fg.genBinary(e)
+	case *ast.AssignExpr:
+		return fg.genAssign(e)
+	case *ast.CallExpr:
+		r, _ := fg.genCall(e, true)
+		return r
+	case *ast.SizeofExpr:
+		var size int64
+		if e.TypeArg != nil {
+			size = fg.g.resolve(e.TypeArg).Size()
+		} else {
+			size = e.ExprArg.Type().Size()
+		}
+		r := fg.newReg()
+		fg.emit(ir.Instr{Op: ir.OpConst, Dst: r, Imm: size, A: ir.NoReg, B: ir.NoReg})
+		return r
+	case *ast.CondExpr:
+		dst := fg.newReg()
+		cond := fg.rvalue(e.Cond)
+		br := fg.emit(ir.Instr{Op: ir.OpBr, A: cond, Dst: ir.NoReg, B: ir.NoReg})
+		fg.patch(br, fg.here())
+		tv := fg.rvalue(e.Then)
+		fg.emit(ir.Instr{Op: ir.OpMov, Dst: dst, A: tv, B: ir.NoReg})
+		jmp := fg.emit(ir.Instr{Op: ir.OpJmp, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg})
+		fg.patchElse(br, fg.here())
+		ev := fg.rvalue(e.Else)
+		fg.emit(ir.Instr{Op: ir.OpMov, Dst: dst, A: ev, B: ir.NoReg})
+		fg.patch(jmp, fg.here())
+		return dst
+	case *ast.CastExpr:
+		v := fg.rvalue(e.X)
+		return fg.truncate(v, e.Type())
+	}
+	fg.fail(e.Pos(), "internal: cannot generate rvalue for %T", e)
+	return 0
+}
+
+// truncate narrows a register value per explicit cast semantics.
+func (fg *fnGen) truncate(v ir.Reg, t types.Type) ir.Reg {
+	w := scalarWidth(t)
+	switch w {
+	case 1:
+		mask := fg.newReg()
+		fg.emit(ir.Instr{Op: ir.OpConst, Dst: mask, Imm: 0xff, A: ir.NoReg, B: ir.NoReg})
+		dst := fg.newReg()
+		fg.emit(ir.Instr{Op: ir.OpAnd, Dst: dst, A: v, B: mask})
+		return dst
+	case 4:
+		sh := fg.newReg()
+		fg.emit(ir.Instr{Op: ir.OpConst, Dst: sh, Imm: 32, A: ir.NoReg, B: ir.NoReg})
+		t1 := fg.newReg()
+		fg.emit(ir.Instr{Op: ir.OpShl, Dst: t1, A: v, B: sh})
+		t2 := fg.newReg()
+		fg.emit(ir.Instr{Op: ir.OpShr, Dst: t2, A: t1, B: sh})
+		return t2
+	default:
+		return v
+	}
+}
+
+// loadFrom loads a value of type t from the address register, or returns the
+// address itself for aggregates (decay).
+func (fg *fnGen) loadFrom(addr ir.Reg, t types.Type, pos token.Pos) ir.Reg {
+	w := scalarWidth(t)
+	if w == 0 {
+		// Array or struct: the value is its address.
+		return addr
+	}
+	dst := fg.newReg()
+	fg.emit(ir.Instr{Op: ir.OpLoad, Dst: dst, A: addr, B: ir.NoReg, Width: w, Unsigned: isUnsignedLoad(t)})
+	return dst
+}
+
+// lvalueAddr returns a register holding the address of the storage e
+// designates.
+func (fg *fnGen) lvalueAddr(e ast.Expr) ir.Reg {
+	switch e := e.(type) {
+	case *ast.Ident:
+		sym := e.Sym
+		r := fg.newReg()
+		switch sym.Kind {
+		case ast.SymLocal, ast.SymParam:
+			idx, ok := fg.allocaOf[sym]
+			if !ok {
+				fg.fail(e.Pos(), "internal: local %s has no alloca", sym.Name)
+			}
+			fg.emit(ir.Instr{Op: ir.OpAddrLocal, Dst: r, Sym: int32(idx), A: ir.NoReg, B: ir.NoReg, Comment: sym.Name})
+		case ast.SymGlobal:
+			fg.emit(ir.Instr{Op: ir.OpAddrGlobal, Dst: r, Sym: int32(fg.g.globalIdx[sym]), A: ir.NoReg, B: ir.NoReg, Comment: sym.Name})
+		default:
+			fg.fail(e.Pos(), "cannot take address of function %s", sym.Name)
+		}
+		return r
+	case *ast.IndexExpr:
+		base := fg.rvalue(e.X) // decayed pointer or loaded pointer value
+		idx := fg.rvalue(e.Index)
+		elem := e.Type()
+		scaled := fg.scale(idx, elem.Size())
+		dst := fg.newReg()
+		fg.emit(ir.Instr{Op: ir.OpAdd, Dst: dst, A: base, B: scaled})
+		return dst
+	case *ast.MemberExpr:
+		var base ir.Reg
+		if e.Arrow {
+			base = fg.rvalue(e.X)
+		} else {
+			base = fg.lvalueAddr(e.X)
+		}
+		if e.Field.Offset == 0 {
+			return base
+		}
+		off := fg.newReg()
+		fg.emit(ir.Instr{Op: ir.OpConst, Dst: off, Imm: e.Field.Offset, A: ir.NoReg, B: ir.NoReg})
+		dst := fg.newReg()
+		fg.emit(ir.Instr{Op: ir.OpAdd, Dst: dst, A: base, B: off})
+		return dst
+	case *ast.UnaryExpr:
+		if e.Op == token.Star {
+			return fg.rvalue(e.X)
+		}
+	}
+	fg.fail(e.Pos(), "expression is not an lvalue")
+	return 0
+}
+
+// scale multiplies idx by size (emitting nothing for size 1).
+func (fg *fnGen) scale(idx ir.Reg, size int64) ir.Reg {
+	if size == 1 {
+		return idx
+	}
+	s := fg.newReg()
+	fg.emit(ir.Instr{Op: ir.OpConst, Dst: s, Imm: size, A: ir.NoReg, B: ir.NoReg})
+	dst := fg.newReg()
+	fg.emit(ir.Instr{Op: ir.OpMul, Dst: dst, A: idx, B: s})
+	return dst
+}
+
+func (fg *fnGen) genUnary(e *ast.UnaryExpr) ir.Reg {
+	switch e.Op {
+	case token.Minus:
+		v := fg.rvalue(e.X)
+		dst := fg.newReg()
+		fg.emit(ir.Instr{Op: ir.OpNeg, Dst: dst, A: v, B: ir.NoReg})
+		return dst
+	case token.Tilde:
+		v := fg.rvalue(e.X)
+		dst := fg.newReg()
+		fg.emit(ir.Instr{Op: ir.OpNot, Dst: dst, A: v, B: ir.NoReg})
+		return dst
+	case token.Not:
+		v := fg.rvalue(e.X)
+		dst := fg.newReg()
+		fg.emit(ir.Instr{Op: ir.OpSetZ, Dst: dst, A: v, B: ir.NoReg})
+		return dst
+	case token.Star:
+		addr := fg.rvalue(e.X)
+		return fg.loadFrom(addr, e.Type(), e.Pos())
+	case token.Amp:
+		return fg.lvalueAddr(e.X)
+	case token.Inc, token.Dec:
+		return fg.genIncDec(e.X, e.Op, true)
+	}
+	fg.fail(e.Pos(), "internal: unary %s", e.Op)
+	return 0
+}
+
+// genIncDec emits x++/x--/++x/--x; prefix selects which value is returned.
+func (fg *fnGen) genIncDec(x ast.Expr, op token.Kind, prefix bool) ir.Reg {
+	addr := fg.lvalueAddr(x)
+	t := x.Type()
+	w := scalarWidth(t)
+	old := fg.newReg()
+	fg.emit(ir.Instr{Op: ir.OpLoad, Dst: old, A: addr, B: ir.NoReg, Width: w, Unsigned: isUnsignedLoad(t)})
+	delta := int64(1)
+	if p, ok := types.Decay(t).(*types.Pointer); ok {
+		delta = p.Elem.Size()
+	}
+	d := fg.newReg()
+	fg.emit(ir.Instr{Op: ir.OpConst, Dst: d, Imm: delta, A: ir.NoReg, B: ir.NoReg})
+	nw := fg.newReg()
+	binOp := ir.OpAdd
+	if op == token.Dec {
+		binOp = ir.OpSub
+	}
+	fg.emit(ir.Instr{Op: binOp, Dst: nw, A: old, B: d})
+	fg.emit(ir.Instr{Op: ir.OpStore, A: addr, B: nw, Dst: ir.NoReg, Width: w})
+	if prefix {
+		return nw
+	}
+	return old
+}
+
+func (fg *fnGen) genBinary(e *ast.BinaryExpr) ir.Reg {
+	switch e.Op {
+	case token.AndAnd, token.OrOr:
+		return fg.genLogical(e)
+	}
+	x := fg.rvalue(e.X)
+	// Pointer arithmetic scaling.
+	xt := types.Decay(e.X.Type())
+	yt := types.Decay(e.Y.Type())
+	switch e.Op {
+	case token.Plus:
+		if p, ok := xt.(*types.Pointer); ok && types.IsInteger(yt) {
+			y := fg.rvalue(e.Y)
+			sy := fg.scale(y, p.Elem.Size())
+			dst := fg.newReg()
+			fg.emit(ir.Instr{Op: ir.OpAdd, Dst: dst, A: x, B: sy})
+			return dst
+		}
+		if p, ok := yt.(*types.Pointer); ok && types.IsInteger(xt) {
+			y := fg.rvalue(e.Y)
+			sx := fg.scale(x, p.Elem.Size())
+			dst := fg.newReg()
+			fg.emit(ir.Instr{Op: ir.OpAdd, Dst: dst, A: sx, B: y})
+			return dst
+		}
+	case token.Minus:
+		if p, ok := xt.(*types.Pointer); ok {
+			if types.IsInteger(yt) {
+				y := fg.rvalue(e.Y)
+				sy := fg.scale(y, p.Elem.Size())
+				dst := fg.newReg()
+				fg.emit(ir.Instr{Op: ir.OpSub, Dst: dst, A: x, B: sy})
+				return dst
+			}
+			if _, ok := yt.(*types.Pointer); ok {
+				y := fg.rvalue(e.Y)
+				diff := fg.newReg()
+				fg.emit(ir.Instr{Op: ir.OpSub, Dst: diff, A: x, B: y})
+				if sz := p.Elem.Size(); sz > 1 {
+					szr := fg.newReg()
+					fg.emit(ir.Instr{Op: ir.OpConst, Dst: szr, Imm: sz, A: ir.NoReg, B: ir.NoReg})
+					q := fg.newReg()
+					fg.emit(ir.Instr{Op: ir.OpDiv, Dst: q, A: diff, B: szr})
+					return q
+				}
+				return diff
+			}
+		}
+	}
+	y := fg.rvalue(e.Y)
+	dst := fg.newReg()
+	fg.emit(ir.Instr{Op: binOpFor(e.Op), Dst: dst, A: x, B: y})
+	return dst
+}
+
+func binOpFor(k token.Kind) ir.Op {
+	switch k {
+	case token.Plus:
+		return ir.OpAdd
+	case token.Minus:
+		return ir.OpSub
+	case token.Star:
+		return ir.OpMul
+	case token.Slash:
+		return ir.OpDiv
+	case token.Percent:
+		return ir.OpMod
+	case token.Amp:
+		return ir.OpAnd
+	case token.Pipe:
+		return ir.OpOr
+	case token.Caret:
+		return ir.OpXor
+	case token.Shl:
+		return ir.OpShl
+	case token.Shr:
+		return ir.OpShr
+	case token.Eq:
+		return ir.OpEq
+	case token.Ne:
+		return ir.OpNe
+	case token.Lt:
+		return ir.OpLt
+	case token.Le:
+		return ir.OpLe
+	case token.Gt:
+		return ir.OpGt
+	case token.Ge:
+		return ir.OpGe
+	}
+	return ir.OpNop
+}
+
+// genLogical emits short-circuit && / || producing 0 or 1.
+func (fg *fnGen) genLogical(e *ast.BinaryExpr) ir.Reg {
+	dst := fg.newReg()
+	x := fg.rvalue(e.X)
+	xb := fg.newReg()
+	// normalize to 0/1: xb = (x != 0)
+	z := fg.newReg()
+	fg.emit(ir.Instr{Op: ir.OpConst, Dst: z, Imm: 0, A: ir.NoReg, B: ir.NoReg})
+	fg.emit(ir.Instr{Op: ir.OpNe, Dst: xb, A: x, B: z})
+	fg.emit(ir.Instr{Op: ir.OpMov, Dst: dst, A: xb, B: ir.NoReg})
+	var br int
+	if e.Op == token.AndAnd {
+		// if x false, skip y
+		br = fg.emit(ir.Instr{Op: ir.OpBr, A: xb, Dst: ir.NoReg, B: ir.NoReg})
+		fg.patch(br, fg.here()) // true → evaluate y
+	} else {
+		// if x true, skip y
+		br = fg.emit(ir.Instr{Op: ir.OpBr, A: xb, Dst: ir.NoReg, B: ir.NoReg})
+		fg.patchElse(br, fg.here()) // false → evaluate y
+	}
+	y := fg.rvalue(e.Y)
+	yb := fg.newReg()
+	z2 := fg.newReg()
+	fg.emit(ir.Instr{Op: ir.OpConst, Dst: z2, Imm: 0, A: ir.NoReg, B: ir.NoReg})
+	fg.emit(ir.Instr{Op: ir.OpNe, Dst: yb, A: y, B: z2})
+	fg.emit(ir.Instr{Op: ir.OpMov, Dst: dst, A: yb, B: ir.NoReg})
+	end := fg.here()
+	if e.Op == token.AndAnd {
+		fg.patchElse(br, end)
+	} else {
+		fg.patch(br, end)
+	}
+	return dst
+}
+
+func (fg *fnGen) genAssign(e *ast.AssignExpr) ir.Reg {
+	addr := fg.lvalueAddr(e.LHS)
+	t := e.LHS.Type()
+	w := scalarWidth(t)
+	if w == 0 {
+		fg.fail(e.Pos(), "cannot assign to aggregate of type %s", t)
+	}
+	if e.Op == token.Assign {
+		v := fg.rvalue(e.RHS)
+		fg.emit(ir.Instr{Op: ir.OpStore, A: addr, B: v, Dst: ir.NoReg, Width: w})
+		return v
+	}
+	old := fg.newReg()
+	fg.emit(ir.Instr{Op: ir.OpLoad, Dst: old, A: addr, B: ir.NoReg, Width: w, Unsigned: isUnsignedLoad(t)})
+	rhs := fg.rvalue(e.RHS)
+	// Pointer compound arithmetic scales the RHS.
+	if p, ok := types.Decay(t).(*types.Pointer); ok && (e.Op == token.AddEq || e.Op == token.SubEq) {
+		rhs = fg.scale(rhs, p.Elem.Size())
+	}
+	var op ir.Op
+	switch e.Op {
+	case token.AddEq:
+		op = ir.OpAdd
+	case token.SubEq:
+		op = ir.OpSub
+	case token.MulEq:
+		op = ir.OpMul
+	case token.DivEq:
+		op = ir.OpDiv
+	case token.ModEq:
+		op = ir.OpMod
+	default:
+		fg.fail(e.Pos(), "internal: compound op %s", e.Op)
+	}
+	nv := fg.newReg()
+	fg.emit(ir.Instr{Op: op, Dst: nv, A: old, B: rhs})
+	fg.emit(ir.Instr{Op: ir.OpStore, A: addr, B: nv, Dst: ir.NoReg, Width: w})
+	return nv
+}
+
+// genCall emits a call; wantValue selects whether a result register is
+// allocated. Returns the result register (NoReg for void) and whether the
+// callee was a host builtin.
+func (fg *fnGen) genCall(e *ast.CallExpr, wantValue bool) (ir.Reg, bool) {
+	args := make([]ir.Reg, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = fg.rvalue(a)
+	}
+	dst := ir.NoReg
+	if wantValue && !types.IsVoid(e.Type()) {
+		dst = fg.newReg()
+	}
+	if hi, ok := fg.g.hostIdx[e.Fun.Name]; ok {
+		fg.emit(ir.Instr{Op: ir.OpCallHost, Dst: dst, Sym: int32(hi), Args: args, A: ir.NoReg, B: ir.NoReg, Comment: e.Fun.Name})
+		return dst, true
+	}
+	fi, ok := fg.g.prog.FuncIdx[e.Fun.Name]
+	if !ok {
+		fg.fail(e.Fun.NamePos, "internal: call to unknown function %s", e.Fun.Name)
+	}
+	fg.emit(ir.Instr{Op: ir.OpCall, Dst: dst, Sym: int32(fi), Args: args, A: ir.NoReg, B: ir.NoReg, Comment: e.Fun.Name})
+	return dst, false
+}

@@ -1,0 +1,300 @@
+package irgen_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/minic/irgen"
+	"repro/internal/minic/parser"
+	"repro/internal/minic/sema"
+)
+
+func gen(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	f, err := parser.Parse("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info, err := sema.Check(f)
+	if err != nil {
+		t.Fatalf("sema: %v", err)
+	}
+	p, err := irgen.Generate(info)
+	if err != nil {
+		t.Fatalf("irgen: %v", err)
+	}
+	return p
+}
+
+func fn(t *testing.T, p *ir.Program, name string) *ir.Function {
+	t.Helper()
+	f, ok := p.FuncByName(name)
+	if !ok {
+		t.Fatalf("no function %s", name)
+	}
+	return f
+}
+
+func count(f *ir.Function, op ir.Op) int {
+	n := 0
+	for _, in := range f.Code {
+		if in.Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+// TestAllocaDiscovery checks the paper's §III-D analysis output: every
+// param and local becomes an alloca with correct size/alignment metadata,
+// in declaration order, params first.
+func TestAllocaDiscovery(t *testing.T) {
+	p := gen(t, `
+struct pt { long x; int y; };
+long f(long a, char *s) {
+	char buf[100];
+	struct pt p;
+	int small;
+	small = 0;
+	p.x = a;
+	buf[0] = *s;
+	return p.x + small + buf[0];
+}
+long main() { char c[4]; c[0] = 1; return f(1, c); }
+`)
+	f := fn(t, p, "f")
+	if f.NumParams != 2 {
+		t.Fatalf("NumParams %d", f.NumParams)
+	}
+	want := []struct {
+		name        string
+		size, align int64
+		param       bool
+	}{
+		{"a", 8, 8, true},
+		{"s", 8, 8, true},
+		{"buf", 100, 1, false},
+		{"p", 16, 8, false},
+		{"small", 4, 4, false},
+	}
+	if len(f.Allocas) != len(want) {
+		t.Fatalf("allocas %d, want %d: %+v", len(f.Allocas), len(want), f.Allocas)
+	}
+	for i, w := range want {
+		a := f.Allocas[i]
+		if a.Name != w.name || a.Size != w.size || a.Align != w.align || a.IsParam != w.param {
+			t.Errorf("alloca %d: %+v, want %+v", i, a, w)
+		}
+	}
+	if f.TotalAllocaBytes() != 8+8+100+16+4 {
+		t.Errorf("TotalAllocaBytes %d", f.TotalAllocaBytes())
+	}
+}
+
+func TestLoopLocalAllocatedOnce(t *testing.T) {
+	p := gen(t, `
+long main() {
+	long s = 0;
+	for (long i = 0; i < 4; i++) {
+		long tmp = i * 2;   // one alloca, not one per iteration
+		s += tmp;
+	}
+	return s;
+}`)
+	m := fn(t, p, "main")
+	names := map[string]int{}
+	for _, a := range m.Allocas {
+		names[a.Name]++
+	}
+	if names["tmp"] != 1 || names["i"] != 1 {
+		t.Fatalf("loop locals duplicated: %v", names)
+	}
+}
+
+func TestShortCircuitBranches(t *testing.T) {
+	p := gen(t, `
+long g(long x) { return x; }
+long main() { return g(1) && g(2) || g(3); }`)
+	m := fn(t, p, "main")
+	if count(m, ir.OpBr) < 2 {
+		t.Fatalf("&&/|| must lower to branches, got %d", count(m, ir.OpBr))
+	}
+}
+
+func TestPointerArithmeticScaling(t *testing.T) {
+	// p + i over long* must multiply the index by 8 somewhere.
+	p := gen(t, `
+long main() {
+	long a[4];
+	long *p = a;
+	long i = 2;
+	return *(p + i);
+}`)
+	m := fn(t, p, "main")
+	foundScale := false
+	for _, in := range m.Code {
+		if in.Op == ir.OpConst && in.Imm == 8 {
+			foundScale = true
+		}
+	}
+	if !foundScale {
+		t.Fatal("no 8-byte scale constant emitted for long* arithmetic")
+	}
+}
+
+func TestCharLoadsAreUnsigned(t *testing.T) {
+	p := gen(t, `
+long main() { char c = 200; return c; }`)
+	m := fn(t, p, "main")
+	sawUnsigned := false
+	for _, in := range m.Code {
+		if in.Op == ir.OpLoad && in.Width == 1 {
+			if !in.Unsigned {
+				t.Fatal("char load must zero-extend")
+			}
+			sawUnsigned = true
+		}
+	}
+	if !sawUnsigned {
+		t.Fatal("no char load emitted")
+	}
+}
+
+func TestIntLoadsAreSigned(t *testing.T) {
+	p := gen(t, `long main() { int x = -5; return x; }`)
+	m := fn(t, p, "main")
+	for _, in := range m.Code {
+		if in.Op == ir.OpLoad && in.Width == 4 && in.Unsigned {
+			t.Fatal("int load must sign-extend")
+		}
+	}
+}
+
+func TestStringInterning(t *testing.T) {
+	p := gen(t, `
+long main() {
+	prints("dup");
+	prints("dup");
+	prints("other");
+	return 0;
+}`)
+	if len(p.Data) != 2 {
+		t.Fatalf("interning failed: %d data entries", len(p.Data))
+	}
+	for _, d := range p.Data {
+		if d[len(d)-1] != 0 {
+			t.Fatal("string data must be NUL-terminated")
+		}
+	}
+}
+
+func TestGlobalConstInit(t *testing.T) {
+	p := gen(t, `
+long a = 40 + 2;
+int b = -7;
+char c = 'x';
+long d = sizeof(long) * 8;
+long main() { return a; }`)
+	byName := map[string]ir.Global{}
+	for _, g := range p.Globals {
+		byName[g.Name] = g
+	}
+	if got := byName["a"].Init; len(got) != 8 || got[0] != 42 {
+		t.Errorf("a init %v", got)
+	}
+	if got := byName["b"].Init; len(got) != 4 || got[0] != 0xf9 {
+		t.Errorf("b init %v", got)
+	}
+	if got := byName["c"].Init; len(got) != 1 || got[0] != 'x' {
+		t.Errorf("c init %v", got)
+	}
+	if got := byName["d"].Init; len(got) != 8 || got[0] != 64 {
+		t.Errorf("d init %v", got)
+	}
+}
+
+func TestNonConstGlobalInitRejected(t *testing.T) {
+	f, err := parser.Parse("t.c", `
+long helper() { return 1; }
+long g = helper();
+long main() { return g; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := sema.Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := irgen.Generate(info); err == nil ||
+		!strings.Contains(err.Error(), "not a constant") {
+		t.Fatalf("expected non-constant initializer error, got %v", err)
+	}
+}
+
+func TestHostVsLocalCalls(t *testing.T) {
+	p := gen(t, `
+long helper(long x) { return x; }
+long main() { print(helper(1)); return 0; }`)
+	m := fn(t, p, "main")
+	if count(m, ir.OpCall) != 1 {
+		t.Errorf("local calls %d", count(m, ir.OpCall))
+	}
+	if count(m, ir.OpCallHost) != 1 {
+		t.Errorf("host calls %d", count(m, ir.OpCallHost))
+	}
+}
+
+func TestImplicitReturns(t *testing.T) {
+	p := gen(t, `
+void v() { }
+long f() { if (0) { return 1; } }
+long main() { v(); return f(); }`)
+	for _, name := range []string{"v", "f", "main"} {
+		f := fn(t, p, name)
+		last := f.Code[len(f.Code)-1]
+		if last.Op != ir.OpRet {
+			t.Errorf("%s: last op %v", name, last.Op)
+		}
+	}
+	// Non-void fallthrough returns a register (value 0).
+	f := fn(t, p, "f")
+	if f.Code[len(f.Code)-1].A == ir.NoReg {
+		t.Error("non-void fallthrough must return a value")
+	}
+	v := fn(t, p, "v")
+	if v.Code[len(v.Code)-1].A != ir.NoReg {
+		t.Error("void return must carry no register")
+	}
+}
+
+func TestValidatorAcceptsEverything(t *testing.T) {
+	// Broad structural check across a program exercising most node kinds.
+	p := gen(t, `
+struct node { long v; struct node *next; };
+long g;
+long visit(struct node *n, long depth) {
+	if (n == 0 || depth > 8) { return 0; }
+	long acc = n->v;
+	acc += visit(n->next, depth + 1);
+	return acc;
+}
+long main() {
+	struct node a;
+	struct node b;
+	a.v = 1;
+	a.next = &b;
+	b.v = 2;
+	b.next = 0;
+	g = visit(&a, 0);
+	long x = g > 0 ? g : -g;
+	x += sizeof(struct node);
+	char s[8];
+	s[0] = 'a';
+	s[1] = 0;
+	return x + strlen(s);
+}`)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

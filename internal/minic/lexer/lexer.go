@@ -1,0 +1,373 @@
+// Package lexer converts MiniC source text into a token stream.
+package lexer
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/minic/token"
+)
+
+// Error is a lexical error with its source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Lexer scans MiniC source.
+type Lexer struct {
+	file   string
+	src    string
+	off    int // byte offset of next unread byte
+	line   int
+	col    int
+	errors []*Error
+}
+
+// New returns a Lexer over src. The file name is used only in positions.
+func New(file, src string) *Lexer {
+	return &Lexer{file: file, src: src, line: 1, col: 1}
+}
+
+// Errors returns the lexical errors encountered so far.
+func (l *Lexer) Errors() []*Error { return l.errors }
+
+func (l *Lexer) errorf(pos token.Pos, format string, args ...any) {
+	l.errors = append(l.errors, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (l *Lexer) pos() token.Pos {
+	return token.Pos{File: l.file, Line: l.line, Col: l.col}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peek2() byte {
+	if l.off+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+1]
+}
+
+func (l *Lexer) advance() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// match consumes the next byte if it equals want.
+func (l *Lexer) match(want byte) bool {
+	if l.peek() == want {
+		l.advance()
+		return true
+	}
+	return false
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isIdentCont(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+// skipSpace consumes whitespace and comments.
+func (l *Lexer) skipSpace() {
+	for {
+		switch c := l.peek(); {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '/' && l.peek2() == '/':
+			for l.peek() != '\n' && l.peek() != 0 {
+				l.advance()
+			}
+		case c == '/' && l.peek2() == '*':
+			start := l.pos()
+			l.advance()
+			l.advance()
+			closed := false
+			for l.peek() != 0 {
+				if l.peek() == '*' && l.peek2() == '/' {
+					l.advance()
+					l.advance()
+					closed = true
+					break
+				}
+				l.advance()
+			}
+			if !closed {
+				l.errorf(start, "unterminated block comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token. At end of input it returns an EOF token
+// forever.
+func (l *Lexer) Next() token.Token {
+	l.skipSpace()
+	pos := l.pos()
+	c := l.peek()
+	switch {
+	case c == 0:
+		return token.Token{Kind: token.EOF, Pos: pos}
+	case isIdentStart(c):
+		return l.scanIdent(pos)
+	case isDigit(c):
+		return l.scanNumber(pos)
+	case c == '\'':
+		return l.scanChar(pos)
+	case c == '"':
+		return l.scanString(pos)
+	}
+	l.advance()
+	mk := func(k token.Kind) token.Token { return token.Token{Kind: k, Pos: pos} }
+	switch c {
+	case '+':
+		if l.match('+') {
+			return mk(token.Inc)
+		}
+		if l.match('=') {
+			return mk(token.AddEq)
+		}
+		return mk(token.Plus)
+	case '-':
+		if l.match('-') {
+			return mk(token.Dec)
+		}
+		if l.match('=') {
+			return mk(token.SubEq)
+		}
+		if l.match('>') {
+			return mk(token.Arrow)
+		}
+		return mk(token.Minus)
+	case '*':
+		if l.match('=') {
+			return mk(token.MulEq)
+		}
+		return mk(token.Star)
+	case '/':
+		if l.match('=') {
+			return mk(token.DivEq)
+		}
+		return mk(token.Slash)
+	case '%':
+		if l.match('=') {
+			return mk(token.ModEq)
+		}
+		return mk(token.Percent)
+	case '&':
+		if l.match('&') {
+			return mk(token.AndAnd)
+		}
+		return mk(token.Amp)
+	case '|':
+		if l.match('|') {
+			return mk(token.OrOr)
+		}
+		return mk(token.Pipe)
+	case '^':
+		return mk(token.Caret)
+	case '~':
+		return mk(token.Tilde)
+	case '!':
+		if l.match('=') {
+			return mk(token.Ne)
+		}
+		return mk(token.Not)
+	case '=':
+		if l.match('=') {
+			return mk(token.Eq)
+		}
+		return mk(token.Assign)
+	case '<':
+		if l.match('<') {
+			return mk(token.Shl)
+		}
+		if l.match('=') {
+			return mk(token.Le)
+		}
+		return mk(token.Lt)
+	case '>':
+		if l.match('>') {
+			return mk(token.Shr)
+		}
+		if l.match('=') {
+			return mk(token.Ge)
+		}
+		return mk(token.Gt)
+	case '.':
+		return mk(token.Dot)
+	case ',':
+		return mk(token.Comma)
+	case ';':
+		return mk(token.Semi)
+	case ':':
+		return mk(token.Colon)
+	case '?':
+		return mk(token.Question)
+	case '(':
+		return mk(token.LParen)
+	case ')':
+		return mk(token.RParen)
+	case '{':
+		return mk(token.LBrace)
+	case '}':
+		return mk(token.RBrace)
+	case '[':
+		return mk(token.LBrack)
+	case ']':
+		return mk(token.RBrack)
+	}
+	l.errorf(pos, "unexpected character %q", c)
+	return token.Token{Kind: token.Illegal, Text: string(c), Pos: pos}
+}
+
+func (l *Lexer) scanIdent(pos token.Pos) token.Token {
+	start := l.off
+	for isIdentCont(l.peek()) {
+		l.advance()
+	}
+	text := l.src[start:l.off]
+	return token.Token{Kind: token.Lookup(text), Text: text, Pos: pos}
+}
+
+func (l *Lexer) scanNumber(pos token.Pos) token.Token {
+	start := l.off
+	var val int64
+	if l.peek() == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		l.advance()
+		l.advance()
+		if !isHexDigit(l.peek()) {
+			l.errorf(pos, "malformed hex literal")
+		}
+		for isHexDigit(l.peek()) {
+			c := l.advance()
+			val = val*16 + int64(hexVal(c))
+		}
+	} else {
+		for isDigit(l.peek()) {
+			c := l.advance()
+			val = val*10 + int64(c-'0')
+		}
+	}
+	text := l.src[start:l.off]
+	return token.Token{Kind: token.Int, Text: text, Value: val, Pos: pos}
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	default:
+		return int(c-'A') + 10
+	}
+}
+
+// unescape decodes one escape sequence after a backslash has been consumed.
+func (l *Lexer) unescape(pos token.Pos) byte {
+	c := l.advance()
+	switch c {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	case '0':
+		return 0
+	case '\\':
+		return '\\'
+	case '\'':
+		return '\''
+	case '"':
+		return '"'
+	case 'x':
+		var v int
+		n := 0
+		for isHexDigit(l.peek()) && n < 2 {
+			v = v*16 + hexVal(l.advance())
+			n++
+		}
+		if n == 0 {
+			l.errorf(pos, "malformed \\x escape")
+		}
+		return byte(v)
+	}
+	l.errorf(pos, "unknown escape sequence \\%c", c)
+	return c
+}
+
+func (l *Lexer) scanChar(pos token.Pos) token.Token {
+	l.advance() // opening quote
+	var v byte
+	switch c := l.peek(); c {
+	case 0, '\n':
+		l.errorf(pos, "unterminated character literal")
+		return token.Token{Kind: token.Illegal, Pos: pos}
+	case '\\':
+		l.advance()
+		v = l.unescape(pos)
+	default:
+		v = l.advance()
+	}
+	if !l.match('\'') {
+		l.errorf(pos, "unterminated character literal")
+	}
+	return token.Token{Kind: token.Char, Text: string(v), Value: int64(v), Pos: pos}
+}
+
+func (l *Lexer) scanString(pos token.Pos) token.Token {
+	l.advance() // opening quote
+	var sb strings.Builder
+	for {
+		switch c := l.peek(); c {
+		case 0, '\n':
+			l.errorf(pos, "unterminated string literal")
+			return token.Token{Kind: token.Illegal, Pos: pos}
+		case '"':
+			l.advance()
+			return token.Token{Kind: token.String, Text: sb.String(), Pos: pos}
+		case '\\':
+			l.advance()
+			sb.WriteByte(l.unescape(pos))
+		default:
+			sb.WriteByte(l.advance())
+		}
+	}
+}
+
+// All scans the entire input, returning every token up to and including EOF.
+func (l *Lexer) All() []token.Token {
+	var toks []token.Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks
+		}
+	}
+}

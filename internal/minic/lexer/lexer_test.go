@@ -1,0 +1,173 @@
+package lexer_test
+
+import (
+	"testing"
+
+	"repro/internal/minic/lexer"
+	"repro/internal/minic/token"
+)
+
+func kinds(src string) []token.Kind {
+	lx := lexer.New("t.c", src)
+	var out []token.Kind
+	for _, t := range lx.All() {
+		out = append(out, t.Kind)
+	}
+	return out
+}
+
+func TestOperators(t *testing.T) {
+	src := "+ - * / % & | ^ ~ << >> ! && || == != < > <= >= = += -= *= /= %= ++ -- -> . , ; : ? ( ) { } [ ]"
+	want := []token.Kind{
+		token.Plus, token.Minus, token.Star, token.Slash, token.Percent,
+		token.Amp, token.Pipe, token.Caret, token.Tilde, token.Shl, token.Shr,
+		token.Not, token.AndAnd, token.OrOr, token.Eq, token.Ne,
+		token.Lt, token.Gt, token.Le, token.Ge,
+		token.Assign, token.AddEq, token.SubEq, token.MulEq, token.DivEq, token.ModEq,
+		token.Inc, token.Dec, token.Arrow, token.Dot, token.Comma, token.Semi,
+		token.Colon, token.Question, token.LParen, token.RParen,
+		token.LBrace, token.RBrace, token.LBrack, token.RBrack, token.EOF,
+	}
+	got := kinds(src)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	lx := lexer.New("t.c", "int intx while whiley struct _under x9")
+	toks := lx.All()
+	want := []struct {
+		kind token.Kind
+		text string
+	}{
+		{token.KwInt, "int"}, {token.Ident, "intx"},
+		{token.KwWhile, "while"}, {token.Ident, "whiley"},
+		{token.KwStruct, "struct"}, {token.Ident, "_under"}, {token.Ident, "x9"},
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("token %d: got %v %q, want %v %q", i, toks[i].Kind, toks[i].Text, w.kind, w.text)
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{"0", 0}, {"42", 42}, {"123456789", 123456789},
+		{"0x0", 0}, {"0xff", 255}, {"0X7fffFFFF", 0x7fffffff},
+		{"0x7fffffffffffffff", 0x7fffffffffffffff},
+	}
+	for _, c := range cases {
+		lx := lexer.New("t.c", c.src)
+		tok := lx.Next()
+		if tok.Kind != token.Int || tok.Value != c.want {
+			t.Errorf("%q: got %v value %d, want Int %d", c.src, tok.Kind, tok.Value, c.want)
+		}
+	}
+}
+
+func TestCharLiterals(t *testing.T) {
+	cases := []struct {
+		src  string
+		want int64
+	}{
+		{`'a'`, 'a'}, {`'0'`, '0'}, {`'\n'`, '\n'}, {`'\t'`, '\t'},
+		{`'\0'`, 0}, {`'\\'`, '\\'}, {`'\''`, '\''}, {`'\x41'`, 'A'},
+		{`'\xff'`, 255},
+	}
+	for _, c := range cases {
+		lx := lexer.New("t.c", c.src)
+		tok := lx.Next()
+		if tok.Kind != token.Char || tok.Value != c.want {
+			t.Errorf("%s: got %v value %d, want Char %d", c.src, tok.Kind, tok.Value, c.want)
+		}
+		if len(lx.Errors()) != 0 {
+			t.Errorf("%s: unexpected errors %v", c.src, lx.Errors())
+		}
+	}
+}
+
+func TestStringLiterals(t *testing.T) {
+	lx := lexer.New("t.c", `"hello\n" "a\x00b" ""`)
+	t1 := lx.Next()
+	if t1.Kind != token.String || t1.Text != "hello\n" {
+		t.Errorf("got %v %q", t1.Kind, t1.Text)
+	}
+	t2 := lx.Next()
+	if t2.Text != "a\x00b" {
+		t.Errorf("hex escape: got %q", t2.Text)
+	}
+	t3 := lx.Next()
+	if t3.Kind != token.String || t3.Text != "" {
+		t.Errorf("empty string: got %v %q", t3.Kind, t3.Text)
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `
+// line comment with * and /* inside
+a /* block
+   spanning lines */ b
+/* adjacent */// mixed
+c`
+	got := kinds(src)
+	want := []token.Kind{token.Ident, token.Ident, token.Ident, token.EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	lx := lexer.New("f.c", "a\n  bb\n\tc")
+	a := lx.Next()
+	if a.Pos.Line != 1 || a.Pos.Col != 1 {
+		t.Errorf("a at %v", a.Pos)
+	}
+	bb := lx.Next()
+	if bb.Pos.Line != 2 || bb.Pos.Col != 3 {
+		t.Errorf("bb at %v", bb.Pos)
+	}
+	c := lx.Next()
+	if c.Pos.Line != 3 || c.Pos.Col != 2 {
+		t.Errorf("c at %v", c.Pos)
+	}
+	if got := a.Pos.String(); got != "f.c:1:1" {
+		t.Errorf("pos string %q", got)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []string{
+		"@",             // unknown char
+		`"unterminated`, // string
+		"'",             // char
+		"/* unclosed",   // comment
+		`'\q'`,          // bad escape
+	}
+	for _, src := range cases {
+		lx := lexer.New("t.c", src)
+		lx.All()
+		if len(lx.Errors()) == 0 {
+			t.Errorf("%q: expected a lexical error", src)
+		}
+	}
+}
+
+func TestEOFIsSticky(t *testing.T) {
+	lx := lexer.New("t.c", "x")
+	lx.Next()
+	for i := 0; i < 3; i++ {
+		if k := lx.Next().Kind; k != token.EOF {
+			t.Fatalf("after end: got %v, want EOF", k)
+		}
+	}
+}

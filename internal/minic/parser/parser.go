@@ -1,0 +1,632 @@
+// Package parser builds a MiniC AST from source text. It is a hand-written
+// recursive-descent parser with precedence climbing for binary operators,
+// mirroring the C expression grammar for the subset MiniC supports.
+package parser
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/minic/ast"
+	"repro/internal/minic/lexer"
+	"repro/internal/minic/token"
+)
+
+// Error is a syntax error at a source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// ErrorList aggregates parse errors.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	if len(l) == 0 {
+		return "no errors"
+	}
+	parts := make([]string, 0, len(l))
+	for _, e := range l {
+		parts = append(parts, e.Error())
+	}
+	return strings.Join(parts, "\n")
+}
+
+// maxErrors bounds error recovery so a badly corrupted input terminates.
+const maxErrors = 20
+
+// bailout is panicked when maxErrors is reached.
+var bailout = errors.New("too many errors")
+
+type parser struct {
+	toks   []token.Token
+	i      int
+	errs   ErrorList
+	inLoop int
+}
+
+// Parse parses a complete MiniC translation unit. On failure it returns the
+// partial AST and an ErrorList.
+func Parse(filename, src string) (*ast.File, error) {
+	lx := lexer.New(filename, src)
+	toks := lx.All()
+	p := &parser{toks: toks}
+	for _, le := range lx.Errors() {
+		p.errs = append(p.errs, &Error{Pos: le.Pos, Msg: le.Msg})
+	}
+	file := &ast.File{Name: filename}
+	func() {
+		defer func() {
+			if r := recover(); r != nil && r != bailout { //nolint:errorlint // sentinel identity
+				panic(r)
+			}
+		}()
+		for p.peek().Kind != token.EOF {
+			d := p.parseDecl()
+			if d != nil {
+				file.Decls = append(file.Decls, d)
+			}
+		}
+	}()
+	if len(p.errs) > 0 {
+		return file, p.errs
+	}
+	return file, nil
+}
+
+// MustParse parses src and panics on error; intended for tests and embedded
+// workload programs that are known-good.
+func MustParse(filename, src string) *ast.File {
+	f, err := Parse(filename, src)
+	if err != nil {
+		panic(fmt.Sprintf("parser.MustParse(%s): %v", filename, err))
+	}
+	return f
+}
+
+func (p *parser) peek() token.Token { return p.toks[p.i] }
+
+func (p *parser) peekN(n int) token.Token {
+	if p.i+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1] // EOF
+	}
+	return p.toks[p.i+n]
+}
+
+func (p *parser) next() token.Token {
+	t := p.toks[p.i]
+	if t.Kind != token.EOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) at(k token.Kind) bool { return p.peek().Kind == k }
+
+func (p *parser) accept(k token.Kind) (token.Token, bool) {
+	if p.at(k) {
+		return p.next(), true
+	}
+	return token.Token{}, false
+}
+
+func (p *parser) expect(k token.Kind) token.Token {
+	if p.at(k) {
+		return p.next()
+	}
+	p.errorf(p.peek().Pos, "expected %s, found %s", k, p.peek())
+	return token.Token{Kind: k, Pos: p.peek().Pos}
+}
+
+func (p *parser) errorf(pos token.Pos, format string, args ...any) {
+	p.errs = append(p.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+	if len(p.errs) >= maxErrors {
+		panic(bailout)
+	}
+}
+
+// sync skips tokens until a likely statement/declaration boundary.
+func (p *parser) sync() {
+	depth := 0
+	for {
+		switch p.peek().Kind {
+		case token.EOF:
+			return
+		case token.Semi:
+			if depth == 0 {
+				p.next()
+				return
+			}
+			p.next()
+		case token.LBrace:
+			depth++
+			p.next()
+		case token.RBrace:
+			if depth == 0 {
+				return
+			}
+			depth--
+			p.next()
+		default:
+			p.next()
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Types
+
+// atTypeStart reports whether the current token begins a type.
+func (p *parser) atTypeStart() bool {
+	switch p.peek().Kind {
+	case token.KwChar, token.KwInt, token.KwLong, token.KwVoid, token.KwStruct,
+		token.KwConst, token.KwStatic:
+		return true
+	}
+	return false
+}
+
+// parseBaseType parses a base type: optional const/static qualifiers
+// (accepted and ignored, for source compatibility), then a scalar keyword or
+// struct reference.
+func (p *parser) parseBaseType() ast.TypeExpr {
+	for p.at(token.KwConst) || p.at(token.KwStatic) {
+		p.next()
+	}
+	t := p.peek()
+	switch t.Kind {
+	case token.KwChar, token.KwInt, token.KwLong, token.KwVoid:
+		p.next()
+		return &ast.NamedType{Kind: t.Kind, NamePos: t.Pos}
+	case token.KwStruct:
+		p.next()
+		name := p.expect(token.Ident)
+		return &ast.StructTypeRef{Name: name.Text, NamePos: t.Pos}
+	}
+	p.errorf(t.Pos, "expected type, found %s", t)
+	p.next()
+	return &ast.NamedType{Kind: token.KwInt, NamePos: t.Pos}
+}
+
+// parsePointers wraps base in one PointerType per leading '*'.
+func (p *parser) parsePointers(base ast.TypeExpr) ast.TypeExpr {
+	for {
+		star, ok := p.accept(token.Star)
+		if !ok {
+			return base
+		}
+		base = &ast.PointerType{Elem: base, StarPos: star.Pos}
+	}
+}
+
+// parseArraySuffix applies trailing [N] dimensions to elem. C declares
+// multi-dimensional arrays outer-first, so dimensions are applied from the
+// innermost out.
+func (p *parser) parseArraySuffix(elem ast.TypeExpr) ast.TypeExpr {
+	var dims []int64
+	for {
+		if _, ok := p.accept(token.LBrack); !ok {
+			break
+		}
+		n := p.expect(token.Int)
+		p.expect(token.RBrack)
+		dims = append(dims, n.Value)
+	}
+	for i := len(dims) - 1; i >= 0; i-- {
+		elem = &ast.ArrayType{Elem: elem, Len: dims[i]}
+	}
+	return elem
+}
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+func (p *parser) parseDecl() ast.Decl {
+	if p.at(token.KwStruct) && p.peekN(2).Kind == token.LBrace {
+		return p.parseStructDecl()
+	}
+	if !p.atTypeStart() {
+		p.errorf(p.peek().Pos, "expected declaration, found %s", p.peek())
+		p.sync()
+		return nil
+	}
+	base := p.parseBaseType()
+	full := p.parsePointers(base)
+	name := p.expect(token.Ident)
+	if p.at(token.LParen) {
+		return p.parseFuncDecl(full, name)
+	}
+	return p.parseVarDeclRest(base, full, name)
+}
+
+func (p *parser) parseStructDecl() *ast.StructDecl {
+	kw := p.expect(token.KwStruct)
+	name := p.expect(token.Ident)
+	p.expect(token.LBrace)
+	d := &ast.StructDecl{Name: name.Text, StructPos: kw.Pos}
+	for !p.at(token.RBrace) && !p.at(token.EOF) {
+		base := p.parseBaseType()
+		for {
+			ft := p.parsePointers(base)
+			fname := p.expect(token.Ident)
+			ft = p.parseArraySuffix(ft)
+			d.Fields = append(d.Fields, &ast.FieldDecl{Name: fname.Text, Type: ft, NamePos: fname.Pos})
+			if _, ok := p.accept(token.Comma); !ok {
+				break
+			}
+		}
+		p.expect(token.Semi)
+	}
+	p.expect(token.RBrace)
+	p.expect(token.Semi)
+	return d
+}
+
+func (p *parser) parseFuncDecl(result ast.TypeExpr, name token.Token) *ast.FuncDecl {
+	p.expect(token.LParen)
+	fd := &ast.FuncDecl{Name: name.Text, Result: result, NamePos: name.Pos}
+	if p.at(token.KwVoid) && p.peekN(1).Kind == token.RParen {
+		p.next() // f(void)
+	}
+	for !p.at(token.RParen) && !p.at(token.EOF) {
+		base := p.parseBaseType()
+		pt := p.parsePointers(base)
+		pname := p.expect(token.Ident)
+		pt = p.parseArraySuffix(pt)
+		// Array parameters decay to pointers, as in C.
+		if at, ok := pt.(*ast.ArrayType); ok {
+			pt = &ast.PointerType{Elem: at.Elem, StarPos: pname.Pos}
+		}
+		fd.Params = append(fd.Params, &ast.Param{Name: pname.Text, Type: pt, NamePos: pname.Pos})
+		if _, ok := p.accept(token.Comma); !ok {
+			break
+		}
+	}
+	p.expect(token.RParen)
+	fd.Body = p.parseBlock()
+	return fd
+}
+
+// parseVarDeclRest parses the remainder of a variable declaration after the
+// base type, first pointer run and first name are consumed.
+func (p *parser) parseVarDeclRest(base, firstType ast.TypeExpr, firstName token.Token) *ast.VarDecl {
+	d := &ast.VarDecl{}
+	ty := p.parseArraySuffix(firstType)
+	spec := &ast.VarSpec{Name: firstName.Text, Type: ty, NamePos: firstName.Pos}
+	if _, ok := p.accept(token.Assign); ok {
+		spec.Init = p.parseAssignExpr()
+	}
+	d.Specs = append(d.Specs, spec)
+	for {
+		if _, ok := p.accept(token.Comma); !ok {
+			break
+		}
+		t := p.parsePointers(base)
+		name := p.expect(token.Ident)
+		t = p.parseArraySuffix(t)
+		s := &ast.VarSpec{Name: name.Text, Type: t, NamePos: name.Pos}
+		if _, ok := p.accept(token.Assign); ok {
+			s.Init = p.parseAssignExpr()
+		}
+		d.Specs = append(d.Specs, s)
+	}
+	p.expect(token.Semi)
+	return d
+}
+
+// parseVarDecl parses a full local declaration statement.
+func (p *parser) parseVarDecl() *ast.VarDecl {
+	base := p.parseBaseType()
+	full := p.parsePointers(base)
+	name := p.expect(token.Ident)
+	return p.parseVarDeclRest(base, full, name)
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (p *parser) parseBlock() *ast.Block {
+	lb := p.expect(token.LBrace)
+	b := &ast.Block{BracePos: lb.Pos}
+	for !p.at(token.RBrace) && !p.at(token.EOF) {
+		before := p.i
+		b.Stmts = append(b.Stmts, p.parseStmt())
+		if p.i == before { // no progress: recover
+			p.errorf(p.peek().Pos, "unexpected %s", p.peek())
+			p.sync()
+		}
+	}
+	p.expect(token.RBrace)
+	return b
+}
+
+func (p *parser) parseStmt() ast.Stmt {
+	switch p.peek().Kind {
+	case token.LBrace:
+		return p.parseBlock()
+	case token.KwIf:
+		return p.parseIf()
+	case token.KwWhile:
+		return p.parseWhile()
+	case token.KwDo:
+		return p.parseDoWhile()
+	case token.KwFor:
+		return p.parseFor()
+	case token.KwReturn:
+		kw := p.next()
+		s := &ast.ReturnStmt{RetPos: kw.Pos}
+		if !p.at(token.Semi) {
+			s.Value = p.parseExpr()
+		}
+		p.expect(token.Semi)
+		return s
+	case token.KwBreak:
+		kw := p.next()
+		if p.inLoop == 0 {
+			p.errorf(kw.Pos, "break outside loop")
+		}
+		p.expect(token.Semi)
+		return &ast.BreakStmt{KwPos: kw.Pos}
+	case token.KwContinue:
+		kw := p.next()
+		if p.inLoop == 0 {
+			p.errorf(kw.Pos, "continue outside loop")
+		}
+		p.expect(token.Semi)
+		return &ast.ContinueStmt{KwPos: kw.Pos}
+	case token.Semi:
+		t := p.next()
+		return &ast.EmptyStmt{SemiPos: t.Pos}
+	}
+	if p.atTypeStart() {
+		return &ast.DeclStmt{Decl: p.parseVarDecl()}
+	}
+	x := p.parseExpr()
+	p.expect(token.Semi)
+	return &ast.ExprStmt{X: x}
+}
+
+func (p *parser) parseIf() ast.Stmt {
+	kw := p.next()
+	p.expect(token.LParen)
+	cond := p.parseExpr()
+	p.expect(token.RParen)
+	s := &ast.IfStmt{Cond: cond, IfPos: kw.Pos}
+	s.Then = p.parseStmt()
+	if _, ok := p.accept(token.KwElse); ok {
+		s.Else = p.parseStmt()
+	}
+	return s
+}
+
+func (p *parser) parseWhile() ast.Stmt {
+	kw := p.next()
+	p.expect(token.LParen)
+	cond := p.parseExpr()
+	p.expect(token.RParen)
+	p.inLoop++
+	body := p.parseStmt()
+	p.inLoop--
+	return &ast.WhileStmt{Cond: cond, Body: body, WhilePos: kw.Pos}
+}
+
+func (p *parser) parseDoWhile() ast.Stmt {
+	kw := p.next()
+	p.inLoop++
+	body := p.parseStmt()
+	p.inLoop--
+	p.expect(token.KwWhile)
+	p.expect(token.LParen)
+	cond := p.parseExpr()
+	p.expect(token.RParen)
+	p.expect(token.Semi)
+	return &ast.DoWhileStmt{Body: body, Cond: cond, DoPos: kw.Pos}
+}
+
+func (p *parser) parseFor() ast.Stmt {
+	kw := p.next()
+	p.expect(token.LParen)
+	s := &ast.ForStmt{ForPos: kw.Pos}
+	if !p.at(token.Semi) {
+		if p.atTypeStart() {
+			s.Init = &ast.DeclStmt{Decl: p.parseVarDecl()} // consumes ';'
+		} else {
+			x := p.parseExpr()
+			p.expect(token.Semi)
+			s.Init = &ast.ExprStmt{X: x}
+		}
+	} else {
+		p.next()
+	}
+	if !p.at(token.Semi) {
+		s.Cond = p.parseExpr()
+	}
+	p.expect(token.Semi)
+	if !p.at(token.RParen) {
+		s.Post = p.parseExpr()
+	}
+	p.expect(token.RParen)
+	p.inLoop++
+	s.Body = p.parseStmt()
+	p.inLoop--
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// parseExpr parses a full expression (assignment level; MiniC has no comma
+// operator).
+func (p *parser) parseExpr() ast.Expr { return p.parseAssignExpr() }
+
+func (p *parser) parseAssignExpr() ast.Expr {
+	lhs := p.parseCondExpr()
+	switch p.peek().Kind {
+	case token.Assign, token.AddEq, token.SubEq, token.MulEq, token.DivEq, token.ModEq:
+		op := p.next()
+		rhs := p.parseAssignExpr() // right-associative
+		return &ast.AssignExpr{Op: op.Kind, LHS: lhs, RHS: rhs}
+	}
+	return lhs
+}
+
+func (p *parser) parseCondExpr() ast.Expr {
+	cond := p.parseBinaryExpr(1)
+	if _, ok := p.accept(token.Question); !ok {
+		return cond
+	}
+	then := p.parseAssignExpr()
+	p.expect(token.Colon)
+	els := p.parseCondExpr()
+	return &ast.CondExpr{Cond: cond, Then: then, Else: els}
+}
+
+// binaryPrec returns the precedence of a binary operator, 0 if not binary.
+// Higher binds tighter, following C.
+func binaryPrec(k token.Kind) int {
+	switch k {
+	case token.OrOr:
+		return 1
+	case token.AndAnd:
+		return 2
+	case token.Pipe:
+		return 3
+	case token.Caret:
+		return 4
+	case token.Amp:
+		return 5
+	case token.Eq, token.Ne:
+		return 6
+	case token.Lt, token.Gt, token.Le, token.Ge:
+		return 7
+	case token.Shl, token.Shr:
+		return 8
+	case token.Plus, token.Minus:
+		return 9
+	case token.Star, token.Slash, token.Percent:
+		return 10
+	}
+	return 0
+}
+
+func (p *parser) parseBinaryExpr(minPrec int) ast.Expr {
+	x := p.parseUnaryExpr()
+	for {
+		prec := binaryPrec(p.peek().Kind)
+		if prec < minPrec || prec == 0 {
+			return x
+		}
+		op := p.next()
+		y := p.parseBinaryExpr(prec + 1)
+		x = &ast.BinaryExpr{Op: op.Kind, X: x, Y: y}
+	}
+}
+
+func (p *parser) parseUnaryExpr() ast.Expr {
+	t := p.peek()
+	switch t.Kind {
+	case token.Minus, token.Not, token.Tilde, token.Star, token.Amp, token.Inc, token.Dec:
+		p.next()
+		x := p.parseUnaryExpr()
+		return &ast.UnaryExpr{Op: t.Kind, X: x, OpPos: t.Pos}
+	case token.Plus: // unary plus is a no-op
+		p.next()
+		return p.parseUnaryExpr()
+	case token.KwSizeof:
+		p.next()
+		p.expect(token.LParen)
+		e := &ast.SizeofExpr{KwPos: t.Pos}
+		if p.atTypeStart() {
+			base := p.parseBaseType()
+			ty := p.parsePointers(base)
+			e.TypeArg = ty
+		} else {
+			e.ExprArg = p.parseExpr()
+		}
+		p.expect(token.RParen)
+		return e
+	case token.LParen:
+		// Cast if the parenthesis opens a type.
+		if p.peekN(1).Kind == token.KwChar || p.peekN(1).Kind == token.KwInt ||
+			p.peekN(1).Kind == token.KwLong || p.peekN(1).Kind == token.KwVoid ||
+			p.peekN(1).Kind == token.KwStruct {
+			lp := p.next()
+			base := p.parseBaseType()
+			ty := p.parsePointers(base)
+			p.expect(token.RParen)
+			x := p.parseUnaryExpr()
+			return &ast.CastExpr{To: ty, X: x, ParenPos: lp.Pos}
+		}
+	}
+	return p.parsePostfixExpr()
+}
+
+func (p *parser) parsePostfixExpr() ast.Expr {
+	x := p.parsePrimaryExpr()
+	for {
+		switch p.peek().Kind {
+		case token.LBrack:
+			p.next()
+			idx := p.parseExpr()
+			p.expect(token.RBrack)
+			x = &ast.IndexExpr{X: x, Index: idx}
+		case token.Dot:
+			p.next()
+			name := p.expect(token.Ident)
+			x = &ast.MemberExpr{X: x, Name: name.Text}
+		case token.Arrow:
+			p.next()
+			name := p.expect(token.Ident)
+			x = &ast.MemberExpr{X: x, Name: name.Text, Arrow: true}
+		case token.Inc, token.Dec:
+			op := p.next()
+			x = &ast.PostfixExpr{Op: op.Kind, X: x}
+		case token.LParen:
+			id, ok := x.(*ast.Ident)
+			if !ok {
+				p.errorf(p.peek().Pos, "called object is not a function name")
+				p.next()
+				p.sync()
+				return x
+			}
+			p.next()
+			call := &ast.CallExpr{Fun: id}
+			for !p.at(token.RParen) && !p.at(token.EOF) {
+				call.Args = append(call.Args, p.parseAssignExpr())
+				if _, ok := p.accept(token.Comma); !ok {
+					break
+				}
+			}
+			p.expect(token.RParen)
+			x = call
+		default:
+			return x
+		}
+	}
+}
+
+func (p *parser) parsePrimaryExpr() ast.Expr {
+	t := p.peek()
+	switch t.Kind {
+	case token.Ident:
+		p.next()
+		return &ast.Ident{Name: t.Text, NamePos: t.Pos}
+	case token.Int, token.Char:
+		p.next()
+		return &ast.IntLit{Value: t.Value, LitPos: t.Pos}
+	case token.String:
+		p.next()
+		return &ast.StringLit{Value: t.Text, LitPos: t.Pos}
+	case token.LParen:
+		p.next()
+		x := p.parseExpr()
+		p.expect(token.RParen)
+		return x
+	}
+	p.errorf(t.Pos, "expected expression, found %s", t)
+	p.next()
+	return &ast.IntLit{Value: 0, LitPos: t.Pos}
+}

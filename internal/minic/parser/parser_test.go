@@ -1,0 +1,261 @@
+package parser_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/minic/ast"
+	"repro/internal/minic/parser"
+	"repro/internal/minic/token"
+)
+
+func parseOne(t *testing.T, src string) *ast.File {
+	t.Helper()
+	f, err := parser.Parse("t.c", src)
+	if err != nil {
+		t.Fatalf("parse error: %v", err)
+	}
+	return f
+}
+
+// exprOf extracts the expression of "long main() { return <expr>; }".
+func exprOf(t *testing.T, expr string) ast.Expr {
+	t.Helper()
+	f := parseOne(t, "long main() { return "+expr+"; }")
+	fd := f.Decls[0].(*ast.FuncDecl)
+	ret := fd.Body.Stmts[0].(*ast.ReturnStmt)
+	return ret.Value
+}
+
+func TestPrecedence(t *testing.T) {
+	// a + b * c parses as a + (b*c)
+	e := exprOf(t, "a + b * c").(*ast.BinaryExpr)
+	if e.Op != token.Plus {
+		t.Fatalf("root op %v", e.Op)
+	}
+	rhs, ok := e.Y.(*ast.BinaryExpr)
+	if !ok || rhs.Op != token.Star {
+		t.Fatalf("rhs %T", e.Y)
+	}
+	// a << b + c parses as a << (b+c) (C precedence: + binds tighter)
+	e2 := exprOf(t, "a << b + c").(*ast.BinaryExpr)
+	if e2.Op != token.Shl {
+		t.Fatalf("root %v", e2.Op)
+	}
+	if _, ok := e2.Y.(*ast.BinaryExpr); !ok {
+		t.Fatalf("shift rhs should be binary")
+	}
+	// a == b && c != d parses as (a==b) && (c!=d)
+	e3 := exprOf(t, "a == b && c != d").(*ast.BinaryExpr)
+	if e3.Op != token.AndAnd {
+		t.Fatalf("root %v", e3.Op)
+	}
+	// a | b ^ c & d parses as a | (b ^ (c & d))
+	e4 := exprOf(t, "a | b ^ c & d").(*ast.BinaryExpr)
+	if e4.Op != token.Pipe {
+		t.Fatalf("root %v", e4.Op)
+	}
+}
+
+func TestAssociativity(t *testing.T) {
+	// a - b - c parses as (a-b) - c
+	e := exprOf(t, "a - b - c").(*ast.BinaryExpr)
+	if _, ok := e.X.(*ast.BinaryExpr); !ok {
+		t.Fatalf("subtraction should be left-associative")
+	}
+	// a = b = c parses as a = (b = c)
+	e2 := exprOf(t, "a = b = c").(*ast.AssignExpr)
+	if _, ok := e2.RHS.(*ast.AssignExpr); !ok {
+		t.Fatalf("assignment should be right-associative")
+	}
+}
+
+func TestUnaryAndPostfix(t *testing.T) {
+	e := exprOf(t, "-x[1]").(*ast.UnaryExpr)
+	if e.Op != token.Minus {
+		t.Fatalf("got %v", e.Op)
+	}
+	if _, ok := e.X.(*ast.IndexExpr); !ok {
+		t.Fatalf("unary applies to postfix expr, got %T", e.X)
+	}
+	if _, ok := exprOf(t, "*p++").(*ast.UnaryExpr); !ok {
+		t.Fatalf("*p++ should be deref of postfix")
+	}
+	if _, ok := exprOf(t, "&a.b").(*ast.UnaryExpr); !ok {
+		t.Fatalf("&a.b")
+	}
+	if _, ok := exprOf(t, "p->next->next").(*ast.MemberExpr); !ok {
+		t.Fatalf("chained arrow")
+	}
+}
+
+func TestCastVsParen(t *testing.T) {
+	if _, ok := exprOf(t, "(long)x").(*ast.CastExpr); !ok {
+		t.Fatalf("(long)x should be a cast")
+	}
+	if _, ok := exprOf(t, "(long*)x").(*ast.CastExpr); !ok {
+		t.Fatalf("(long*)x should be a cast")
+	}
+	if _, ok := exprOf(t, "(x)").(*ast.Ident); !ok {
+		t.Fatalf("(x) should be a parenthesized ident")
+	}
+	if _, ok := exprOf(t, "(struct s*)p").(*ast.CastExpr); !ok {
+		t.Fatalf("struct pointer cast")
+	}
+}
+
+func TestTernary(t *testing.T) {
+	e := exprOf(t, "a ? b : c ? d : e").(*ast.CondExpr)
+	if _, ok := e.Else.(*ast.CondExpr); !ok {
+		t.Fatalf("ternary should nest right")
+	}
+}
+
+func TestSizeof(t *testing.T) {
+	se := exprOf(t, "sizeof(long)").(*ast.SizeofExpr)
+	if se.TypeArg == nil {
+		t.Fatalf("sizeof(type) should fill TypeArg")
+	}
+	se2 := exprOf(t, "sizeof(x)").(*ast.SizeofExpr)
+	if se2.ExprArg == nil {
+		t.Fatalf("sizeof(expr) should fill ExprArg")
+	}
+}
+
+func TestDeclarations(t *testing.T) {
+	f := parseOne(t, `
+long g = 10, *p, arr[4];
+struct node { long v; struct node *next; char tag[8]; };
+int helper(long a, char *s, int m[4]) { return a; }
+void empty() { }
+`)
+	if len(f.Decls) != 4 {
+		t.Fatalf("got %d decls", len(f.Decls))
+	}
+	vd := f.Decls[0].(*ast.VarDecl)
+	if len(vd.Specs) != 3 {
+		t.Fatalf("got %d specs", len(vd.Specs))
+	}
+	if _, ok := vd.Specs[1].Type.(*ast.PointerType); !ok {
+		t.Errorf("*p should be pointer typed")
+	}
+	if at, ok := vd.Specs[2].Type.(*ast.ArrayType); !ok || at.Len != 4 {
+		t.Errorf("arr should be [4]")
+	}
+	sd := f.Decls[1].(*ast.StructDecl)
+	if len(sd.Fields) != 3 {
+		t.Errorf("struct fields %d", len(sd.Fields))
+	}
+	fd := f.Decls[2].(*ast.FuncDecl)
+	if len(fd.Params) != 3 {
+		t.Fatalf("params %d", len(fd.Params))
+	}
+	// Array parameter decays to pointer.
+	if _, ok := fd.Params[2].Type.(*ast.PointerType); !ok {
+		t.Errorf("array param should decay to pointer, got %T", fd.Params[2].Type)
+	}
+}
+
+func TestMultiDimArray(t *testing.T) {
+	f := parseOne(t, "long m[3][4];")
+	vd := f.Decls[0].(*ast.VarDecl)
+	outer := vd.Specs[0].Type.(*ast.ArrayType)
+	if outer.Len != 3 {
+		t.Fatalf("outer dim %d", outer.Len)
+	}
+	inner := outer.Elem.(*ast.ArrayType)
+	if inner.Len != 4 {
+		t.Fatalf("inner dim %d", inner.Len)
+	}
+}
+
+func TestControlFlowForms(t *testing.T) {
+	f := parseOne(t, `
+void f() {
+	if (1) { } else if (2) { } else { }
+	while (1) { break; }
+	do { continue; } while (0);
+	for (;;) { break; }
+	for (long i = 0; i < 3; i++) { }
+	;
+}
+`)
+	fd := f.Decls[0].(*ast.FuncDecl)
+	if len(fd.Body.Stmts) != 6 {
+		t.Fatalf("stmt count %d", len(fd.Body.Stmts))
+	}
+	fs := fd.Body.Stmts[4].(*ast.ForStmt)
+	if fs.Init == nil || fs.Cond == nil || fs.Post == nil {
+		t.Errorf("for clauses missing")
+	}
+	inf := fd.Body.Stmts[3].(*ast.ForStmt)
+	if inf.Init != nil || inf.Cond != nil || inf.Post != nil {
+		t.Errorf("for(;;) should have nil clauses")
+	}
+}
+
+func TestVoidParamList(t *testing.T) {
+	f := parseOne(t, "long f(void) { return 0; } long main() { return f(); }")
+	fd := f.Decls[0].(*ast.FuncDecl)
+	if len(fd.Params) != 0 {
+		t.Fatalf("f(void) should have no params, got %d", len(fd.Params))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"long main() { return 1 }", "expected ;"},
+		{"long main() { if 1 { } return 0; }", "expected ("},
+		{"long main() { break; }", "break outside loop"},
+		{"long main() { continue; }", "continue outside loop"},
+		{"123;", "expected declaration"},
+		{"long main() { long a[0]; return 0; }", ""}, // caught by sema, parse OK
+		{"long main() { return (1 + ; }", "expected expression"},
+		{"struct s { long }; long main() { return 0; }", "expected identifier"},
+	}
+	for _, c := range cases {
+		_, err := parser.Parse("t.c", c.src)
+		if c.want == "" {
+			continue
+		}
+		if err == nil {
+			t.Errorf("%q: expected error %q", c.src, c.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%q: error %q does not mention %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestErrorRecoveryKeepsGoing(t *testing.T) {
+	// Two separate errors should both be reported.
+	_, err := parser.Parse("t.c", `
+long f() { return 1 }
+long g() { return 2 }
+long main() { return 0; }
+`)
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+	if n := strings.Count(err.Error(), "expected ;"); n < 2 {
+		t.Errorf("expected at least 2 recovered errors, got: %v", err)
+	}
+}
+
+func TestTooManyErrorsBails(t *testing.T) {
+	src := strings.Repeat("@ ", 100)
+	_, err := parser.Parse("t.c", src)
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse should panic on bad input")
+		}
+	}()
+	parser.MustParse("t.c", "long main( {")
+}

@@ -1,0 +1,647 @@
+// Package sema performs semantic analysis on a MiniC AST: it resolves
+// struct types, builds scopes, binds identifiers to symbols, type-checks
+// every expression and records resolved types on the AST for IR generation.
+package sema
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/minic/ast"
+	"repro/internal/minic/token"
+	"repro/internal/minic/types"
+)
+
+// Error is a semantic error at a source position.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// ErrorList aggregates semantic errors.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	parts := make([]string, 0, len(l))
+	for _, e := range l {
+		parts = append(parts, e.Error())
+	}
+	return strings.Join(parts, "\n")
+}
+
+// Builtin describes one host-provided function visible to MiniC programs.
+type Builtin struct {
+	Name   string
+	Params []types.Type
+	Result types.Type
+}
+
+// charPtr is the pervasive char* type.
+var charPtr = &types.Pointer{Elem: types.CharType}
+
+// Builtins is the host function table shared by sema (signatures) and the VM
+// (implementations). The set models the libc-ish surface the paper's
+// vulnerable programs rely on: I/O, string routines with C overflow
+// semantics, a bounded snprintf-style append that returns the would-be
+// length (the librelp bug pattern), heap allocation, and a stack VLA
+// allocator that exercises Smokestack's dummy-alloca randomization.
+var Builtins = []Builtin{
+	{"print", []types.Type{types.LongType}, types.VoidType},
+	{"prints", []types.Type{charPtr}, types.VoidType},
+	{"printc", []types.Type{types.LongType}, types.VoidType},
+	{"input", []types.Type{charPtr, types.LongType}, types.LongType},
+	{"readint", nil, types.LongType},
+	{"memcpy", []types.Type{charPtr, charPtr, types.LongType}, charPtr},
+	{"memset", []types.Type{charPtr, types.LongType, types.LongType}, charPtr},
+	{"strlen", []types.Type{charPtr}, types.LongType},
+	{"strcpy", []types.Type{charPtr, charPtr}, charPtr},
+	{"strcmp", []types.Type{charPtr, charPtr}, types.LongType},
+	// sncat(dst, cap, off, src, n): append n bytes of src at dst+off but —
+	// while off < cap — never write at or past dst+cap; always returns
+	// off+n, exactly the snprintf return-value contract CVE-2018-1000140
+	// misused. Once off exceeds cap the size argument underflows (size_t)
+	// and the write is unbounded.
+	{"sncat", []types.Type{charPtr, types.LongType, types.LongType, charPtr, types.LongType}, types.LongType},
+	{"malloc", []types.Type{types.LongType}, charPtr},
+	{"free", []types.Type{charPtr}, types.VoidType},
+	{"stackbuf", []types.Type{types.LongType}, charPtr},
+	{"exit", []types.Type{types.LongType}, types.VoidType},
+	{"abort", nil, types.VoidType},
+	{"outbyte", []types.Type{types.LongType}, types.VoidType},
+	{"iodelay", []types.Type{types.LongType}, types.VoidType},
+	{"sendout", []types.Type{charPtr, types.LongType}, types.VoidType},
+}
+
+// BuiltinByName returns the builtin with the given name, if any.
+func BuiltinByName(name string) (Builtin, bool) {
+	for _, b := range Builtins {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Builtin{}, false
+}
+
+// Info is the result of analysis.
+type Info struct {
+	File    *ast.File
+	Structs map[string]*types.Struct
+	Globals []*ast.Symbol
+	Funcs   map[string]*ast.FuncDecl
+}
+
+type scope struct {
+	parent *scope
+	syms   map[string]*ast.Symbol
+}
+
+func (s *scope) lookup(name string) *ast.Symbol {
+	for sc := s; sc != nil; sc = sc.parent {
+		if sym, ok := sc.syms[name]; ok {
+			return sym
+		}
+	}
+	return nil
+}
+
+type checker struct {
+	info   *Info
+	errs   ErrorList
+	scope  *scope
+	fn     *ast.FuncDecl // current function
+	locals *[]*ast.Symbol
+}
+
+// Check analyzes file and returns binding/type information. The AST is
+// annotated in place.
+func Check(file *ast.File) (*Info, error) {
+	c := &checker{
+		info: &Info{
+			File:    file,
+			Structs: make(map[string]*types.Struct),
+			Funcs:   make(map[string]*ast.FuncDecl),
+		},
+		scope: &scope{syms: make(map[string]*ast.Symbol)},
+	}
+	// Pass 1: struct types (in order; structs may reference earlier structs).
+	for _, d := range file.Decls {
+		if sd, ok := d.(*ast.StructDecl); ok {
+			c.declareStruct(sd)
+		}
+	}
+	// Pass 2: globals and function signatures (so forward calls resolve).
+	for _, d := range file.Decls {
+		switch d := d.(type) {
+		case *ast.VarDecl:
+			for _, spec := range d.Specs {
+				ty := c.resolveType(spec.Type)
+				sym := &ast.Symbol{Name: spec.Name, Kind: ast.SymGlobal, Type: ty, Pos: spec.NamePos}
+				c.declare(sym)
+				spec.Sym = sym
+				c.info.Globals = append(c.info.Globals, sym)
+				if spec.Init != nil {
+					t := c.checkExpr(spec.Init)
+					c.checkAssignable(ty, t, spec.Init.Pos(), "initializer")
+				}
+			}
+		case *ast.FuncDecl:
+			if _, dup := c.info.Funcs[d.Name]; dup {
+				c.errorf(d.NamePos, "function %s redeclared", d.Name)
+			}
+			if _, isBuiltin := BuiltinByName(d.Name); isBuiltin {
+				c.errorf(d.NamePos, "function %s shadows a builtin", d.Name)
+			}
+			ft := &types.Func{Result: c.resolveType(d.Result)}
+			for _, p := range d.Params {
+				ft.Params = append(ft.Params, c.resolveType(p.Type))
+			}
+			d.Type = ft
+			c.info.Funcs[d.Name] = d
+			sym := &ast.Symbol{Name: d.Name, Kind: ast.SymFunc, Type: ft, Pos: d.NamePos}
+			c.declare(sym)
+		}
+	}
+	// Pass 3: function bodies.
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			c.checkFunc(fd)
+		}
+	}
+	if len(c.errs) > 0 {
+		return c.info, c.errs
+	}
+	return c.info, nil
+}
+
+func (c *checker) errorf(pos token.Pos, format string, args ...any) {
+	c.errs = append(c.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (c *checker) declare(sym *ast.Symbol) {
+	if _, exists := c.scope.syms[sym.Name]; exists {
+		c.errorf(sym.Pos, "%s redeclared in this scope", sym.Name)
+		return
+	}
+	c.scope.syms[sym.Name] = sym
+}
+
+func (c *checker) pushScope() { c.scope = &scope{parent: c.scope, syms: make(map[string]*ast.Symbol)} }
+func (c *checker) popScope()  { c.scope = c.scope.parent }
+
+func (c *checker) declareStruct(d *ast.StructDecl) {
+	if _, dup := c.info.Structs[d.Name]; dup {
+		c.errorf(d.StructPos, "struct %s redeclared", d.Name)
+		return
+	}
+	// Register the name first so fields may point to the struct itself
+	// (linked-list style self references).
+	st := types.NewNamed(d.Name)
+	c.info.Structs[d.Name] = st
+	var fields []types.Field
+	seen := make(map[string]bool)
+	for _, f := range d.Fields {
+		if seen[f.Name] {
+			c.errorf(f.NamePos, "duplicate field %s in struct %s", f.Name, d.Name)
+			continue
+		}
+		seen[f.Name] = true
+		ft := c.resolveType(f.Type)
+		if ft == st {
+			c.errorf(f.NamePos, "struct %s recursively contains itself by value", d.Name)
+			continue
+		}
+		fields = append(fields, types.Field{Name: f.Name, Type: ft})
+	}
+	st.SetFields(fields)
+}
+
+func (c *checker) resolveType(te ast.TypeExpr) types.Type {
+	switch te := te.(type) {
+	case *ast.NamedType:
+		switch te.Kind {
+		case token.KwChar:
+			return types.CharType
+		case token.KwInt:
+			return types.IntType
+		case token.KwLong:
+			return types.LongType
+		default:
+			return types.VoidType
+		}
+	case *ast.StructTypeRef:
+		if st, ok := c.info.Structs[te.Name]; ok {
+			return st
+		}
+		c.errorf(te.NamePos, "undefined struct %s", te.Name)
+		return types.IntType
+	case *ast.PointerType:
+		return &types.Pointer{Elem: c.resolveType(te.Elem)}
+	case *ast.ArrayType:
+		if te.Len <= 0 {
+			c.errorf(te.Pos(), "array length must be positive, got %d", te.Len)
+			return &types.Array{Elem: c.resolveType(te.Elem), Len: 1}
+		}
+		return &types.Array{Elem: c.resolveType(te.Elem), Len: te.Len}
+	}
+	return types.IntType
+}
+
+func (c *checker) checkFunc(fd *ast.FuncDecl) {
+	c.fn = fd
+	var locals []*ast.Symbol
+	c.locals = &locals
+	c.pushScope()
+	if r := fd.Type.Result; !types.IsVoid(r) && !types.IsScalar(r) {
+		c.errorf(fd.NamePos, "function %s returns non-scalar type %s (MiniC functions return scalars or void)", fd.Name, r)
+	}
+	for i, p := range fd.Params {
+		ty := fd.Type.Params[i]
+		if !types.IsScalar(ty) {
+			c.errorf(p.NamePos, "parameter %s has non-scalar type %s (MiniC passes scalars and pointers only)", p.Name, ty)
+			ty = types.LongType
+		}
+		sym := &ast.Symbol{Name: p.Name, Kind: ast.SymParam, Type: ty, Pos: p.NamePos}
+		c.declare(sym)
+		p.Sym = sym
+	}
+	c.checkBlock(fd.Body)
+	c.popScope()
+	c.fn = nil
+	c.locals = nil
+}
+
+func (c *checker) checkBlock(b *ast.Block) {
+	c.pushScope()
+	for _, s := range b.Stmts {
+		c.checkStmt(s)
+	}
+	c.popScope()
+}
+
+func (c *checker) checkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.Block:
+		c.checkBlock(s)
+	case *ast.EmptyStmt:
+	case *ast.DeclStmt:
+		for _, spec := range s.Decl.Specs {
+			ty := c.resolveType(spec.Type)
+			if types.IsVoid(ty) {
+				c.errorf(spec.NamePos, "variable %s has void type", spec.Name)
+				ty = types.LongType
+			}
+			sym := &ast.Symbol{Name: spec.Name, Kind: ast.SymLocal, Type: ty, Pos: spec.NamePos}
+			c.declare(sym)
+			spec.Sym = sym
+			if c.locals != nil {
+				*c.locals = append(*c.locals, sym)
+			}
+			if spec.Init != nil {
+				t := c.checkExpr(spec.Init)
+				c.checkAssignable(ty, t, spec.Init.Pos(), "initializer")
+			}
+		}
+	case *ast.ExprStmt:
+		c.checkExpr(s.X)
+	case *ast.IfStmt:
+		c.checkCond(s.Cond)
+		c.checkStmt(s.Then)
+		if s.Else != nil {
+			c.checkStmt(s.Else)
+		}
+	case *ast.WhileStmt:
+		c.checkCond(s.Cond)
+		c.checkStmt(s.Body)
+	case *ast.DoWhileStmt:
+		c.checkStmt(s.Body)
+		c.checkCond(s.Cond)
+	case *ast.ForStmt:
+		c.pushScope()
+		if s.Init != nil {
+			c.checkStmt(s.Init)
+		}
+		if s.Cond != nil {
+			c.checkCond(s.Cond)
+		}
+		if s.Post != nil {
+			c.checkExpr(s.Post)
+		}
+		c.checkStmt(s.Body)
+		c.popScope()
+	case *ast.ReturnStmt:
+		result := c.fn.Type.Result
+		if s.Value == nil {
+			if !types.IsVoid(result) {
+				c.errorf(s.RetPos, "missing return value in %s (returns %s)", c.fn.Name, result)
+			}
+			return
+		}
+		if types.IsVoid(result) {
+			c.errorf(s.RetPos, "return with value in void function %s", c.fn.Name)
+			c.checkExpr(s.Value)
+			return
+		}
+		t := c.checkExpr(s.Value)
+		c.checkAssignable(result, t, s.Value.Pos(), "return value")
+	case *ast.BreakStmt, *ast.ContinueStmt:
+		// loop nesting validated by the parser
+	}
+}
+
+func (c *checker) checkCond(e ast.Expr) {
+	t := c.checkExpr(e)
+	if t != nil && !types.IsScalar(types.Decay(t)) {
+		c.errorf(e.Pos(), "condition has non-scalar type %s", t)
+	}
+}
+
+// checkAssignable validates an assignment of a value of type 'from' into a
+// location of type 'to'. MiniC follows permissive C rules: integers
+// interconvert implicitly; any pointer converts to any pointer (C would
+// warn); integers convert to pointers only via the literal 0 rule, which we
+// relax to any integer expression to keep attack harness code concise (as
+// real-world C does with casts).
+func (c *checker) checkAssignable(to, from types.Type, pos token.Pos, what string) {
+	if to == nil || from == nil {
+		return
+	}
+	from = types.Decay(from)
+	switch {
+	case types.IsInteger(to) && types.IsInteger(from):
+	case types.IsPointer(to) && types.IsPointer(from):
+	case types.IsPointer(to) && types.IsInteger(from):
+	case types.IsInteger(to) && types.IsPointer(from):
+	case types.Identical(to, from):
+	default:
+		c.errorf(pos, "cannot use %s as %s in %s", from, to, what)
+	}
+}
+
+// isLvalue reports whether e designates a storage location.
+func isLvalue(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Sym != nil && e.Sym.Kind != ast.SymFunc
+	case *ast.IndexExpr, *ast.MemberExpr:
+		return true
+	case *ast.UnaryExpr:
+		return e.Op == token.Star
+	}
+	return false
+}
+
+func (c *checker) checkExpr(e ast.Expr) types.Type {
+	t := c.checkExprInner(e)
+	if setter, ok := e.(interface{ SetType(types.Type) }); ok {
+		setter.SetType(t)
+	}
+	return t
+}
+
+func (c *checker) checkExprInner(e ast.Expr) types.Type {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return types.LongType
+	case *ast.StringLit:
+		return charPtr
+	case *ast.Ident:
+		sym := c.scope.lookup(e.Name)
+		if sym == nil {
+			c.errorf(e.NamePos, "undefined: %s", e.Name)
+			return types.LongType
+		}
+		e.Sym = sym
+		return sym.Type
+	case *ast.BinaryExpr:
+		return c.checkBinary(e)
+	case *ast.UnaryExpr:
+		return c.checkUnary(e)
+	case *ast.PostfixExpr:
+		t := c.checkExpr(e.X)
+		if !isLvalue(e.X) {
+			c.errorf(e.Pos(), "%s requires an lvalue", e.Op)
+		}
+		if !types.IsScalar(types.Decay(t)) {
+			c.errorf(e.Pos(), "%s requires scalar operand, got %s", e.Op, t)
+		}
+		return t
+	case *ast.AssignExpr:
+		rt := c.checkExpr(e.RHS)
+		lt := c.checkExpr(e.LHS)
+		if !isLvalue(e.LHS) {
+			c.errorf(e.LHS.Pos(), "assignment target is not an lvalue")
+		}
+		if types.IsArray(lt) {
+			c.errorf(e.LHS.Pos(), "cannot assign to array")
+		}
+		if e.Op == token.Assign {
+			c.checkAssignable(lt, rt, e.Pos(), "assignment")
+		} else {
+			// Compound: pointer += int is allowed; otherwise integers.
+			dlt, drt := types.Decay(lt), types.Decay(rt)
+			ptrOK := types.IsPointer(dlt) && types.IsInteger(drt) &&
+				(e.Op == token.AddEq || e.Op == token.SubEq)
+			if !ptrOK && !(types.IsInteger(dlt) && types.IsInteger(drt)) {
+				c.errorf(e.Pos(), "invalid compound assignment %s on %s and %s", e.Op, lt, rt)
+			}
+		}
+		return lt
+	case *ast.IndexExpr:
+		bt := types.Decay(c.checkExpr(e.X))
+		it := c.checkExpr(e.Index)
+		if !types.IsInteger(types.Decay(it)) {
+			c.errorf(e.Index.Pos(), "array index must be an integer, got %s", it)
+		}
+		p, ok := bt.(*types.Pointer)
+		if !ok {
+			c.errorf(e.X.Pos(), "indexed object is not an array or pointer (type %s)", bt)
+			return types.LongType
+		}
+		return p.Elem
+	case *ast.MemberExpr:
+		return c.checkMember(e)
+	case *ast.CallExpr:
+		return c.checkCall(e)
+	case *ast.SizeofExpr:
+		if e.TypeArg != nil {
+			c.resolveType(e.TypeArg)
+		} else {
+			c.checkExpr(e.ExprArg)
+		}
+		return types.LongType
+	case *ast.CondExpr:
+		c.checkCond(e.Cond)
+		tt := c.checkExpr(e.Then)
+		et := c.checkExpr(e.Else)
+		dt, de := types.Decay(tt), types.Decay(et)
+		if types.IsPointer(dt) {
+			return dt
+		}
+		if types.IsPointer(de) {
+			return de
+		}
+		return types.LongType
+	case *ast.CastExpr:
+		c.checkExpr(e.X)
+		to := c.resolveType(e.To)
+		if !types.IsScalar(to) && !types.IsVoid(to) {
+			c.errorf(e.Pos(), "cast to non-scalar type %s", to)
+		}
+		return to
+	}
+	return types.LongType
+}
+
+func (c *checker) checkBinary(e *ast.BinaryExpr) types.Type {
+	xt := types.Decay(c.checkExpr(e.X))
+	yt := types.Decay(c.checkExpr(e.Y))
+	switch e.Op {
+	case token.Plus:
+		if p, ok := xt.(*types.Pointer); ok && types.IsInteger(yt) {
+			return p
+		}
+		if p, ok := yt.(*types.Pointer); ok && types.IsInteger(xt) {
+			return p
+		}
+	case token.Minus:
+		if p, ok := xt.(*types.Pointer); ok {
+			if types.IsInteger(yt) {
+				return p
+			}
+			if _, ok := yt.(*types.Pointer); ok {
+				return types.LongType // pointer difference
+			}
+		}
+	case token.Eq, token.Ne, token.Lt, token.Gt, token.Le, token.Ge:
+		okPair := (types.IsInteger(xt) && types.IsInteger(yt)) ||
+			(types.IsPointer(xt) && types.IsPointer(yt)) ||
+			(types.IsPointer(xt) && types.IsInteger(yt)) ||
+			(types.IsInteger(xt) && types.IsPointer(yt))
+		if !okPair {
+			c.errorf(e.Pos(), "invalid comparison between %s and %s", xt, yt)
+		}
+		return types.LongType
+	case token.AndAnd, token.OrOr:
+		if !types.IsScalar(xt) || !types.IsScalar(yt) {
+			c.errorf(e.Pos(), "logical operator requires scalar operands")
+		}
+		return types.LongType
+	}
+	if !types.IsInteger(xt) || !types.IsInteger(yt) {
+		c.errorf(e.Pos(), "invalid operands to %s: %s and %s", e.Op, xt, yt)
+		return types.LongType
+	}
+	return types.LongType
+}
+
+func (c *checker) checkUnary(e *ast.UnaryExpr) types.Type {
+	switch e.Op {
+	case token.Minus, token.Tilde:
+		t := types.Decay(c.checkExpr(e.X))
+		if !types.IsInteger(t) {
+			c.errorf(e.Pos(), "operator %s requires integer operand, got %s", e.Op, t)
+		}
+		return types.LongType
+	case token.Not:
+		t := types.Decay(c.checkExpr(e.X))
+		if !types.IsScalar(t) {
+			c.errorf(e.Pos(), "operator ! requires scalar operand, got %s", t)
+		}
+		return types.LongType
+	case token.Star:
+		t := types.Decay(c.checkExpr(e.X))
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			c.errorf(e.Pos(), "cannot dereference non-pointer type %s", t)
+			return types.LongType
+		}
+		if types.IsVoid(p.Elem) {
+			c.errorf(e.Pos(), "cannot dereference void pointer")
+			return types.LongType
+		}
+		return p.Elem
+	case token.Amp:
+		t := c.checkExpr(e.X)
+		if !isLvalue(e.X) {
+			c.errorf(e.Pos(), "cannot take address of non-lvalue")
+		}
+		return &types.Pointer{Elem: t}
+	case token.Inc, token.Dec:
+		t := c.checkExpr(e.X)
+		if !isLvalue(e.X) {
+			c.errorf(e.Pos(), "%s requires an lvalue", e.Op)
+		}
+		if !types.IsScalar(types.Decay(t)) {
+			c.errorf(e.Pos(), "%s requires scalar operand, got %s", e.Op, t)
+		}
+		return t
+	}
+	return types.LongType
+}
+
+func (c *checker) checkMember(e *ast.MemberExpr) types.Type {
+	t := c.checkExpr(e.X)
+	var st *types.Struct
+	if e.Arrow {
+		p, ok := types.Decay(t).(*types.Pointer)
+		if !ok {
+			c.errorf(e.Pos(), "-> on non-pointer type %s", t)
+			return types.LongType
+		}
+		st, ok = p.Elem.(*types.Struct)
+		if !ok {
+			c.errorf(e.Pos(), "-> on pointer to non-struct type %s", p.Elem)
+			return types.LongType
+		}
+	} else {
+		var ok bool
+		st, ok = t.(*types.Struct)
+		if !ok {
+			c.errorf(e.Pos(), ". on non-struct type %s", t)
+			return types.LongType
+		}
+	}
+	f, ok := st.FieldByName(e.Name)
+	if !ok {
+		c.errorf(e.Pos(), "struct %s has no field %s", st.Name, e.Name)
+		return types.LongType
+	}
+	e.Field = f
+	return f.Type
+}
+
+func (c *checker) checkCall(e *ast.CallExpr) types.Type {
+	// Builtin?
+	if b, ok := BuiltinByName(e.Fun.Name); ok {
+		if len(e.Args) != len(b.Params) {
+			c.errorf(e.Pos(), "%s expects %d arguments, got %d", b.Name, len(b.Params), len(e.Args))
+		}
+		for i, a := range e.Args {
+			at := c.checkExpr(a)
+			if i < len(b.Params) {
+				c.checkAssignable(b.Params[i], at, a.Pos(), fmt.Sprintf("argument %d to %s", i+1, b.Name))
+			}
+		}
+		return b.Result
+	}
+	fd, ok := c.info.Funcs[e.Fun.Name]
+	if !ok {
+		c.errorf(e.Fun.NamePos, "call to undefined function %s", e.Fun.Name)
+		for _, a := range e.Args {
+			c.checkExpr(a)
+		}
+		return types.LongType
+	}
+	if len(e.Args) != len(fd.Type.Params) {
+		c.errorf(e.Pos(), "%s expects %d arguments, got %d", fd.Name, len(fd.Type.Params), len(e.Args))
+	}
+	for i, a := range e.Args {
+		at := c.checkExpr(a)
+		if i < len(fd.Type.Params) {
+			c.checkAssignable(fd.Type.Params[i], at, a.Pos(), fmt.Sprintf("argument %d to %s", i+1, fd.Name))
+		}
+	}
+	return fd.Type.Result
+}

@@ -1,0 +1,176 @@
+package sema_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/minic/ast"
+	"repro/internal/minic/parser"
+	"repro/internal/minic/sema"
+)
+
+func check(t *testing.T, src string) (*sema.Info, error) {
+	t.Helper()
+	f, err := parser.Parse("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return sema.Check(f)
+}
+
+func mustCheck(t *testing.T, src string) *sema.Info {
+	t.Helper()
+	info, err := check(t, src)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return info
+}
+
+func wantError(t *testing.T, src, frag string) {
+	t.Helper()
+	_, err := check(t, src)
+	if err == nil {
+		t.Fatalf("expected error containing %q", frag)
+	}
+	if !strings.Contains(err.Error(), frag) {
+		t.Fatalf("error %q does not contain %q", err, frag)
+	}
+}
+
+func TestScopes(t *testing.T) {
+	// Inner scopes shadow outer; siblings do not collide.
+	mustCheck(t, `
+long x;
+long main() {
+	long x = 1;
+	{ long x = 2; x++; }
+	{ long x = 3; x++; }
+	return x;
+}`)
+	wantError(t, `long main() { long a; { long b; } return b; }`, "undefined: b")
+	wantError(t, `long x; long x; long main() { return 0; }`, "redeclared")
+}
+
+func TestForScope(t *testing.T) {
+	// The for-init declaration is scoped to the loop.
+	wantError(t, `
+long main() {
+	for (long i = 0; i < 3; i++) { }
+	return i;
+}`, "undefined: i")
+}
+
+func TestStructResolution(t *testing.T) {
+	info := mustCheck(t, `
+struct inner { long a; };
+struct outer { struct inner in; char tag; struct outer *next; };
+long main() {
+	struct outer o;
+	o.in.a = 5;
+	o.next = &o;
+	return o.next->in.a + o.tag;
+}`)
+	st := info.Structs["outer"]
+	if st == nil {
+		t.Fatal("outer not registered")
+	}
+	f, _ := st.FieldByName("next")
+	if f.Offset != 16 {
+		t.Errorf("next at %d, want 16", f.Offset)
+	}
+	wantError(t, `long main() { struct ghost g; return 0; }`, "undefined struct")
+	wantError(t, `struct s { long a; long a; }; long main() { return 0; }`, "duplicate field")
+	wantError(t, `struct s { long a; }; long main() { struct s v; return v.b; }`, "no field b")
+	wantError(t, `struct s { long a; }; long main() { long x; return x.a; }`, ". on non-struct")
+	wantError(t, `struct s { long a; }; long main() { long x; return x->a; }`, "-> on non-pointer")
+}
+
+func TestBuiltins(t *testing.T) {
+	mustCheck(t, `
+long main() {
+	char buf[8];
+	long n = input(buf, 8);
+	memcpy(buf, buf, 4);
+	return n + strlen(buf);
+}`)
+	wantError(t, `long main() { print(); return 0; }`, "expects 1 arguments")
+	// MiniC follows permissive C rules: integers convert to pointers
+	// implicitly (real-world attack code relies on it), so prints(42) is
+	// legal and faults at run time instead.
+	mustCheck(t, `long main() { prints(0); return 0; }`)
+	wantError(t, `void print(long x) { } long main() { return 0; }`, "shadows a builtin")
+}
+
+func TestBuiltinTable(t *testing.T) {
+	if _, ok := sema.BuiltinByName("sncat"); !ok {
+		t.Error("sncat missing")
+	}
+	if _, ok := sema.BuiltinByName("nonesuch"); ok {
+		t.Error("phantom builtin")
+	}
+	seen := map[string]bool{}
+	for _, b := range sema.Builtins {
+		if seen[b.Name] {
+			t.Errorf("duplicate builtin %s", b.Name)
+		}
+		seen[b.Name] = true
+	}
+}
+
+func TestTypeRules(t *testing.T) {
+	wantError(t, `long main() { long a[3]; long b[3]; a = b; return 0; }`, "cannot assign to array")
+	wantError(t, `struct s { long a; }; long main() { struct s v; v++; return 0; }`, "requires scalar operand")
+	wantError(t, `long main() { char *p; return p * 2; }`, "invalid operands")
+	wantError(t, `long main() { long x; return x[0]; }`, "not an array or pointer")
+	wantError(t, `long main() { char *p; long q; return p && *p ? 1 : q["s"]; }`, "")
+	wantError(t, `void f() { } long main() { long x = f(); return x; }`, "cannot use void")
+	wantError(t, `long main() { return; }`, "missing return value")
+	wantError(t, `void f() { return 1; } long main() { return 0; }`, "return with value in void function")
+}
+
+func TestPointerRules(t *testing.T) {
+	mustCheck(t, `
+long main() {
+	long a[4];
+	long *p = a;
+	char *c = (char*)p;     // explicit cast between pointer types
+	p = &a[2];
+	long d = p - a;          // pointer difference
+	if (p > a && c != 0) { d++; }
+	return d + *(p - 1);
+}`)
+	wantError(t, `long main() { void *v; return *v; }`, "")
+}
+
+func TestSymbolBinding(t *testing.T) {
+	info := mustCheck(t, `
+long g;
+long add(long a, long b) { return a + b; }
+long main() { return add(g, 2); }
+`)
+	fd := info.Funcs["add"]
+	if fd == nil || len(fd.Params) != 2 {
+		t.Fatal("add not registered")
+	}
+	if fd.Params[0].Sym == nil || fd.Params[0].Sym.Kind != ast.SymParam {
+		t.Error("param symbol not bound")
+	}
+	if len(info.Globals) != 1 || info.Globals[0].Kind != ast.SymGlobal {
+		t.Error("global symbol not collected")
+	}
+}
+
+func TestRecursiveAndForwardCalls(t *testing.T) {
+	// g is declared after f but calls resolve (two-pass).
+	mustCheck(t, `
+long f(long n) { if (n <= 0) { return 0; } return g(n - 1) + 1; }
+long g(long n) { if (n <= 0) { return 0; } return f(n - 1) + 1; }
+long main() { return f(10); }
+`)
+}
+
+func TestGlobalInitTypeCheck(t *testing.T) {
+	mustCheck(t, `long g = 5; long main() { return g; }`)
+	wantError(t, `struct s { long a; }; struct s g = 5; long main() { return 0; }`, "cannot use")
+}

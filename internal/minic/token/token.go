@@ -1,0 +1,214 @@
+// Package token defines the lexical tokens of the MiniC language, the
+// C-subset front end used as the compilation substrate for Smokestack.
+package token
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. Keep the keyword block contiguous: the lexer classifies
+// identifiers against [keywordBegin, keywordEnd].
+const (
+	EOF Kind = iota
+	Illegal
+
+	Ident  // main
+	Int    // 123, 0x7f
+	Char   // 'a'
+	String // "abc"
+
+	// Operators and punctuation.
+	Plus     // +
+	Minus    // -
+	Star     // *
+	Slash    // /
+	Percent  // %
+	Amp      // &
+	Pipe     // |
+	Caret    // ^
+	Tilde    // ~
+	Shl      // <<
+	Shr      // >>
+	Not      // !
+	AndAnd   // &&
+	OrOr     // ||
+	Eq       // ==
+	Ne       // !=
+	Lt       // <
+	Gt       // >
+	Le       // <=
+	Ge       // >=
+	Assign   // =
+	AddEq    // +=
+	SubEq    // -=
+	MulEq    // *=
+	DivEq    // /=
+	ModEq    // %=
+	Inc      // ++
+	Dec      // --
+	Arrow    // ->
+	Dot      // .
+	Comma    // ,
+	Semi     // ;
+	Colon    // :
+	Question // ?
+	LParen   // (
+	RParen   // )
+	LBrace   // {
+	RBrace   // }
+	LBrack   // [
+	RBrack   // ]
+
+	keywordBegin
+	KwChar     // char
+	KwInt      // int
+	KwLong     // long
+	KwVoid     // void
+	KwStruct   // struct
+	KwIf       // if
+	KwElse     // else
+	KwWhile    // while
+	KwFor      // for
+	KwDo       // do
+	KwReturn   // return
+	KwBreak    // break
+	KwContinue // continue
+	KwSizeof   // sizeof
+	KwConst    // const
+	KwStatic   // static
+	keywordEnd
+)
+
+var kindNames = map[Kind]string{
+	EOF:        "EOF",
+	Illegal:    "ILLEGAL",
+	Ident:      "identifier",
+	Int:        "integer literal",
+	Char:       "character literal",
+	String:     "string literal",
+	Plus:       "+",
+	Minus:      "-",
+	Star:       "*",
+	Slash:      "/",
+	Percent:    "%",
+	Amp:        "&",
+	Pipe:       "|",
+	Caret:      "^",
+	Tilde:      "~",
+	Shl:        "<<",
+	Shr:        ">>",
+	Not:        "!",
+	AndAnd:     "&&",
+	OrOr:       "||",
+	Eq:         "==",
+	Ne:         "!=",
+	Lt:         "<",
+	Gt:         ">",
+	Le:         "<=",
+	Ge:         ">=",
+	Assign:     "=",
+	AddEq:      "+=",
+	SubEq:      "-=",
+	MulEq:      "*=",
+	DivEq:      "/=",
+	ModEq:      "%=",
+	Inc:        "++",
+	Dec:        "--",
+	Arrow:      "->",
+	Dot:        ".",
+	Comma:      ",",
+	Semi:       ";",
+	Colon:      ":",
+	Question:   "?",
+	LParen:     "(",
+	RParen:     ")",
+	LBrace:     "{",
+	RBrace:     "}",
+	LBrack:     "[",
+	RBrack:     "]",
+	KwChar:     "char",
+	KwInt:      "int",
+	KwLong:     "long",
+	KwVoid:     "void",
+	KwStruct:   "struct",
+	KwIf:       "if",
+	KwElse:     "else",
+	KwWhile:    "while",
+	KwFor:      "for",
+	KwDo:       "do",
+	KwReturn:   "return",
+	KwBreak:    "break",
+	KwContinue: "continue",
+	KwSizeof:   "sizeof",
+	KwConst:    "const",
+	KwStatic:   "static",
+}
+
+// String returns the human-readable spelling of the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// IsKeyword reports whether k is a reserved word.
+func (k Kind) IsKeyword() bool { return k > keywordBegin && k < keywordEnd }
+
+// keywords maps spellings to keyword kinds.
+var keywords = func() map[string]Kind {
+	m := make(map[string]Kind)
+	for k := keywordBegin + 1; k < keywordEnd; k++ {
+		m[kindNames[k]] = k
+	}
+	return m
+}()
+
+// Lookup classifies an identifier spelling, returning the keyword kind if it
+// is reserved and Ident otherwise.
+func Lookup(ident string) Kind {
+	if k, ok := keywords[ident]; ok {
+		return k
+	}
+	return Ident
+}
+
+// Pos is a source position: 1-based line and column within a named file.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+// String formats the position as file:line:col.
+func (p Pos) String() string {
+	name := p.File
+	if name == "" {
+		name = "<input>"
+	}
+	return fmt.Sprintf("%s:%d:%d", name, p.Line, p.Col)
+}
+
+// IsValid reports whether the position carries real line information.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Token is one lexical token with its spelling and position. For Int and
+// Char tokens Value holds the decoded numeric value; for String tokens Text
+// holds the decoded (unquoted, unescaped) contents.
+type Token struct {
+	Kind  Kind
+	Text  string
+	Value int64
+	Pos   Pos
+}
+
+// String renders the token for diagnostics.
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident, Int, Char, String:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

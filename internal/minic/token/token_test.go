@@ -1,0 +1,70 @@
+package token_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/minic/token"
+)
+
+func TestLookup(t *testing.T) {
+	cases := map[string]token.Kind{
+		"int": token.KwInt, "char": token.KwChar, "long": token.KwLong,
+		"void": token.KwVoid, "struct": token.KwStruct, "if": token.KwIf,
+		"else": token.KwElse, "while": token.KwWhile, "for": token.KwFor,
+		"do": token.KwDo, "return": token.KwReturn, "break": token.KwBreak,
+		"continue": token.KwContinue, "sizeof": token.KwSizeof,
+		"const": token.KwConst, "static": token.KwStatic,
+		"main": token.Ident, "INT": token.Ident, "_": token.Ident,
+	}
+	for text, want := range cases {
+		if got := token.Lookup(text); got != want {
+			t.Errorf("Lookup(%q) = %v, want %v", text, got, want)
+		}
+	}
+}
+
+func TestIsKeyword(t *testing.T) {
+	if !token.KwIf.IsKeyword() || !token.KwStatic.IsKeyword() {
+		t.Error("keywords misclassified")
+	}
+	for _, k := range []token.Kind{token.Ident, token.Int, token.Plus, token.EOF} {
+		if k.IsKeyword() {
+			t.Errorf("%v wrongly classified as keyword", k)
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if token.Shl.String() != "<<" || token.Arrow.String() != "->" ||
+		token.KwWhile.String() != "while" {
+		t.Error("kind spellings wrong")
+	}
+	if !strings.Contains(token.Kind(999).String(), "999") {
+		t.Error("unknown kind should include the number")
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	tok := token.Token{Kind: token.Ident, Text: "x"}
+	if got := tok.String(); !strings.Contains(got, `"x"`) {
+		t.Errorf("token string %q", got)
+	}
+	if got := (token.Token{Kind: token.Plus}).String(); got != "+" {
+		t.Errorf("operator token string %q", got)
+	}
+}
+
+func TestPos(t *testing.T) {
+	p := token.Pos{File: "a.c", Line: 3, Col: 9}
+	if p.String() != "a.c:3:9" || !p.IsValid() {
+		t.Errorf("pos %v", p)
+	}
+	var zero token.Pos
+	if zero.IsValid() {
+		t.Error("zero pos should be invalid")
+	}
+	if !strings.Contains(zero.String(), "<input>") {
+		t.Errorf("anonymous pos %q", zero.String())
+	}
+}

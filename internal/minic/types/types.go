@@ -1,0 +1,283 @@
+// Package types defines the MiniC type system: sizes, alignments and
+// composition rules used both by semantic analysis and by the Smokestack
+// permutation machinery (which permutes stack objects subject to their
+// alignment requirements, paper §III-D).
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type is the interface implemented by all MiniC types.
+type Type interface {
+	// Size returns the storage size in bytes.
+	Size() int64
+	// Align returns the required alignment in bytes (a power of two).
+	Align() int64
+	// String renders the type in C-like syntax.
+	String() string
+}
+
+// BasicKind enumerates the scalar types.
+type BasicKind int
+
+// Scalar kinds.
+const (
+	Void BasicKind = iota
+	Char           // 1 byte
+	Int            // 4 bytes
+	Long           // 8 bytes
+)
+
+// Basic is a scalar type.
+type Basic struct{ Kind BasicKind }
+
+// Predeclared singletons for the scalar types.
+var (
+	VoidType = &Basic{Void}
+	CharType = &Basic{Char}
+	IntType  = &Basic{Int}
+	LongType = &Basic{Long}
+)
+
+// Size implements Type.
+func (b *Basic) Size() int64 {
+	switch b.Kind {
+	case Char:
+		return 1
+	case Int:
+		return 4
+	case Long:
+		return 8
+	default:
+		return 0
+	}
+}
+
+// Align implements Type. Scalars are aligned to their size.
+func (b *Basic) Align() int64 {
+	if s := b.Size(); s > 0 {
+		return s
+	}
+	return 1
+}
+
+func (b *Basic) String() string {
+	switch b.Kind {
+	case Void:
+		return "void"
+	case Char:
+		return "char"
+	case Int:
+		return "int"
+	default:
+		return "long"
+	}
+}
+
+// Pointer is a pointer to Elem. All pointers are 8 bytes.
+type Pointer struct{ Elem Type }
+
+// Size implements Type.
+func (p *Pointer) Size() int64 { return 8 }
+
+// Align implements Type.
+func (p *Pointer) Align() int64 { return 8 }
+
+func (p *Pointer) String() string { return p.Elem.String() + "*" }
+
+// Array is a fixed-length array of Elem.
+type Array struct {
+	Elem Type
+	Len  int64
+}
+
+// Size implements Type.
+func (a *Array) Size() int64 { return a.Elem.Size() * a.Len }
+
+// Align implements Type. Arrays align like their element.
+func (a *Array) Align() int64 { return a.Elem.Align() }
+
+func (a *Array) String() string { return fmt.Sprintf("%s[%d]", a.Elem, a.Len) }
+
+// Field is one member of a struct, with its byte offset within the struct.
+type Field struct {
+	Name   string
+	Type   Type
+	Offset int64
+}
+
+// Struct is a user-defined aggregate. Layout follows the usual C rules:
+// each field at the next offset satisfying its alignment; the aggregate's
+// alignment is the maximum member alignment (paper §IV-A).
+type Struct struct {
+	Name   string
+	Fields []Field
+	size   int64
+	align  int64
+}
+
+// NewNamed creates an empty named struct so that field resolution can see
+// the type before its layout is known (self-referential structs via
+// pointers). Call SetFields to finish it.
+func NewNamed(name string) *Struct {
+	return &Struct{Name: name, align: 1, size: 1}
+}
+
+// NewStruct lays out the given fields and returns the finished struct type.
+// The Offset of each provided field is overwritten.
+func NewStruct(name string, fields []Field) *Struct {
+	s := NewNamed(name)
+	s.SetFields(fields)
+	return s
+}
+
+// SetFields lays out fields in place, replacing any previous layout.
+func (s *Struct) SetFields(fields []Field) {
+	s.Fields = nil
+	s.align = 1
+	var off int64
+	for _, f := range fields {
+		a := f.Type.Align()
+		if a > s.align {
+			s.align = a
+		}
+		off = AlignUp(off, a)
+		f.Offset = off
+		off += f.Type.Size()
+		s.Fields = append(s.Fields, f)
+	}
+	s.size = AlignUp(off, s.align)
+	if s.size == 0 {
+		s.size = 1 // empty structs still occupy storage
+	}
+}
+
+// Size implements Type.
+func (s *Struct) Size() int64 { return s.size }
+
+// Align implements Type.
+func (s *Struct) Align() int64 { return s.align }
+
+func (s *Struct) String() string { return "struct " + s.Name }
+
+// Describe renders the full struct layout, for diagnostics.
+func (s *Struct) Describe() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "struct %s { // size=%d align=%d\n", s.Name, s.size, s.align)
+	for _, f := range s.Fields {
+		fmt.Fprintf(&sb, "  %s %s; // offset=%d\n", f.Type, f.Name, f.Offset)
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+// FieldByName returns the field with the given name, if any.
+func (s *Struct) FieldByName(name string) (Field, bool) {
+	for _, f := range s.Fields {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Field{}, false
+}
+
+// Func is a function type.
+type Func struct {
+	Params []Type
+	Result Type
+}
+
+// Size implements Type. Function types are not storable.
+func (f *Func) Size() int64 { return 0 }
+
+// Align implements Type.
+func (f *Func) Align() int64 { return 1 }
+
+func (f *Func) String() string {
+	parts := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		parts[i] = p.String()
+	}
+	return fmt.Sprintf("%s(%s)", f.Result, strings.Join(parts, ", "))
+}
+
+// AlignUp rounds n up to the next multiple of align (align must be ≥ 1).
+// This is the ALIGN procedure from Algorithm 1 in the paper.
+func AlignUp(n, align int64) int64 {
+	if align <= 1 {
+		return n
+	}
+	if rem := n % align; rem != 0 {
+		return n + align - rem
+	}
+	return n
+}
+
+// IsVoid reports whether t is the void type.
+func IsVoid(t Type) bool {
+	b, ok := t.(*Basic)
+	return ok && b.Kind == Void
+}
+
+// IsInteger reports whether t is char, int or long.
+func IsInteger(t Type) bool {
+	b, ok := t.(*Basic)
+	return ok && b.Kind != Void
+}
+
+// IsPointer reports whether t is a pointer type.
+func IsPointer(t Type) bool {
+	_, ok := t.(*Pointer)
+	return ok
+}
+
+// IsArray reports whether t is an array type.
+func IsArray(t Type) bool {
+	_, ok := t.(*Array)
+	return ok
+}
+
+// IsScalar reports whether t is an integer or pointer (i.e., fits a machine
+// word and supports arithmetic/comparison).
+func IsScalar(t Type) bool { return IsInteger(t) || IsPointer(t) }
+
+// Identical reports structural type equality. Struct types are compared by
+// identity (one definition per name per program).
+func Identical(a, b Type) bool {
+	switch at := a.(type) {
+	case *Basic:
+		bt, ok := b.(*Basic)
+		return ok && at.Kind == bt.Kind
+	case *Pointer:
+		bt, ok := b.(*Pointer)
+		return ok && Identical(at.Elem, bt.Elem)
+	case *Array:
+		bt, ok := b.(*Array)
+		return ok && at.Len == bt.Len && Identical(at.Elem, bt.Elem)
+	case *Struct:
+		return a == b
+	case *Func:
+		bt, ok := b.(*Func)
+		if !ok || len(at.Params) != len(bt.Params) || !Identical(at.Result, bt.Result) {
+			return false
+		}
+		for i := range at.Params {
+			if !Identical(at.Params[i], bt.Params[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Decay converts array types to pointers to their element, per C expression
+// semantics; other types pass through.
+func Decay(t Type) Type {
+	if a, ok := t.(*Array); ok {
+		return &Pointer{Elem: a.Elem}
+	}
+	return t
+}

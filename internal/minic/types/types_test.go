@@ -1,0 +1,182 @@
+package types_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/minic/types"
+)
+
+func TestScalarSizes(t *testing.T) {
+	cases := []struct {
+		ty          types.Type
+		size, align int64
+	}{
+		{types.CharType, 1, 1},
+		{types.IntType, 4, 4},
+		{types.LongType, 8, 8},
+		{types.VoidType, 0, 1},
+		{&types.Pointer{Elem: types.CharType}, 8, 8},
+		{&types.Array{Elem: types.IntType, Len: 10}, 40, 4},
+		{&types.Array{Elem: &types.Array{Elem: types.CharType, Len: 3}, Len: 5}, 15, 1},
+	}
+	for _, c := range cases {
+		if c.ty.Size() != c.size {
+			t.Errorf("%s: size %d, want %d", c.ty, c.ty.Size(), c.size)
+		}
+		if c.ty.Align() != c.align {
+			t.Errorf("%s: align %d, want %d", c.ty, c.ty.Align(), c.align)
+		}
+	}
+}
+
+func TestStructLayout(t *testing.T) {
+	// struct { char c; long l; int i; } → c@0, l@8, i@16, size 24, align 8
+	st := types.NewStruct("s", []types.Field{
+		{Name: "c", Type: types.CharType},
+		{Name: "l", Type: types.LongType},
+		{Name: "i", Type: types.IntType},
+	})
+	if st.Size() != 24 || st.Align() != 8 {
+		t.Fatalf("size=%d align=%d", st.Size(), st.Align())
+	}
+	wantOffsets := map[string]int64{"c": 0, "l": 8, "i": 16}
+	for name, off := range wantOffsets {
+		f, ok := st.FieldByName(name)
+		if !ok || f.Offset != off {
+			t.Errorf("%s at %d, want %d", name, f.Offset, off)
+		}
+	}
+	if _, ok := st.FieldByName("nope"); ok {
+		t.Error("FieldByName found a ghost field")
+	}
+}
+
+func TestStructTailPadding(t *testing.T) {
+	// struct { long l; char c; } → size must round to 16 (align 8)
+	st := types.NewStruct("s", []types.Field{
+		{Name: "l", Type: types.LongType},
+		{Name: "c", Type: types.CharType},
+	})
+	if st.Size() != 16 {
+		t.Fatalf("tail padding: size %d, want 16", st.Size())
+	}
+}
+
+func TestEmptyStruct(t *testing.T) {
+	st := types.NewStruct("e", nil)
+	if st.Size() < 1 {
+		t.Fatalf("empty struct must occupy storage, got %d", st.Size())
+	}
+}
+
+func TestNestedStructAlignment(t *testing.T) {
+	inner := types.NewStruct("inner", []types.Field{
+		{Name: "x", Type: types.LongType},
+	})
+	outer := types.NewStruct("outer", []types.Field{
+		{Name: "tag", Type: types.CharType},
+		{Name: "in", Type: inner},
+	})
+	f, _ := outer.FieldByName("in")
+	if f.Offset != 8 {
+		t.Fatalf("nested struct should align to 8, offset %d", f.Offset)
+	}
+	if outer.Align() != 8 {
+		t.Fatalf("outer align %d", outer.Align())
+	}
+}
+
+func TestAlignUp(t *testing.T) {
+	cases := []struct{ n, a, want int64 }{
+		{0, 8, 0}, {1, 8, 8}, {8, 8, 8}, {9, 8, 16},
+		{5, 1, 5}, {5, 0, 5}, {17, 16, 32}, {100, 4, 100},
+	}
+	for _, c := range cases {
+		if got := types.AlignUp(c.n, c.a); got != c.want {
+			t.Errorf("AlignUp(%d,%d)=%d, want %d", c.n, c.a, got, c.want)
+		}
+	}
+	// Property: result ≥ n, result % a == 0, result - n < a.
+	prop := func(n uint16, shift uint8) bool {
+		a := int64(1) << (shift % 7)
+		got := types.AlignUp(int64(n), a)
+		return got >= int64(n) && got%a == 0 && got-int64(n) < a
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIdentical(t *testing.T) {
+	p1 := &types.Pointer{Elem: types.CharType}
+	p2 := &types.Pointer{Elem: types.CharType}
+	if !types.Identical(p1, p2) {
+		t.Error("identical pointers")
+	}
+	if types.Identical(p1, &types.Pointer{Elem: types.IntType}) {
+		t.Error("different pointees")
+	}
+	a1 := &types.Array{Elem: types.LongType, Len: 3}
+	a2 := &types.Array{Elem: types.LongType, Len: 3}
+	if !types.Identical(a1, a2) {
+		t.Error("identical arrays")
+	}
+	if types.Identical(a1, &types.Array{Elem: types.LongType, Len: 4}) {
+		t.Error("different lengths")
+	}
+	s1 := types.NewStruct("s", nil)
+	s2 := types.NewStruct("s", nil)
+	if types.Identical(s1, s2) {
+		t.Error("structs compare by identity")
+	}
+	if !types.Identical(s1, s1) {
+		t.Error("struct self-identity")
+	}
+	f1 := &types.Func{Params: []types.Type{types.LongType}, Result: types.VoidType}
+	f2 := &types.Func{Params: []types.Type{types.LongType}, Result: types.VoidType}
+	if !types.Identical(f1, f2) {
+		t.Error("identical func types")
+	}
+	if types.Identical(f1, &types.Func{Result: types.VoidType}) {
+		t.Error("different arities")
+	}
+}
+
+func TestDecayAndPredicates(t *testing.T) {
+	arr := &types.Array{Elem: types.IntType, Len: 2}
+	d := types.Decay(arr)
+	p, ok := d.(*types.Pointer)
+	if !ok || !types.Identical(p.Elem, types.IntType) {
+		t.Fatalf("decay: got %v", d)
+	}
+	if types.Decay(types.LongType) != types.LongType {
+		t.Error("scalars pass through decay")
+	}
+	if !types.IsInteger(types.CharType) || types.IsInteger(types.VoidType) {
+		t.Error("IsInteger")
+	}
+	if !types.IsScalar(p) || types.IsScalar(arr) {
+		t.Error("IsScalar")
+	}
+	if !types.IsVoid(types.VoidType) || types.IsVoid(types.IntType) {
+		t.Error("IsVoid")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	cases := []struct {
+		ty   types.Type
+		want string
+	}{
+		{types.LongType, "long"},
+		{&types.Pointer{Elem: types.CharType}, "char*"},
+		{&types.Array{Elem: types.IntType, Len: 7}, "int[7]"},
+		{types.NewStruct("pt", nil), "struct pt"},
+	}
+	for _, c := range cases {
+		if got := c.ty.String(); got != c.want {
+			t.Errorf("got %q, want %q", got, c.want)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// DevRandom models the blocking /dev/random device. The paper considered
+// it as a true-random source and rejected it because "it stalls when the
+// system's internal entropy pool is exhausted" (§III-D1); this model makes
+// that trade-off measurable: a finite entropy pool drains 64 bits per
+// draw, trickles back between draws, and a draw against an empty pool
+// pays a stall of millions of cycles (a blocking read). It is available
+// as scheme "devrandom" for experimentation but excluded from the paper's
+// figures, exactly as the prototype excluded it.
+
+package rng
+
+// Cycle-cost parameters of the model.
+const (
+	// devRandomDrawCycles is the cost of a successful pool read (a syscall
+	// plus pool accounting — far slower than RDRAND).
+	devRandomDrawCycles = 900.0
+	// devRandomStallCycles prices a blocking read while the pool refills;
+	// interrupt-driven entropy arrives on millisecond scales.
+	devRandomStallCycles = 2_000_000.0
+)
+
+// DevRandom is the blocking true-random source.
+type DevRandom struct {
+	trng TRNG
+	// PoolBits is the pool capacity (Linux's input pool held 4096 bits).
+	PoolBits float64
+	// RefillBits is the entropy credited between consecutive draws
+	// (interrupt timing noise); the default models a mostly-idle server.
+	RefillBits float64
+
+	bits      float64
+	lastStall bool
+}
+
+// NewDevRandom builds the model over trng with Linux-flavoured defaults.
+func NewDevRandom(trng TRNG) *DevRandom {
+	return &DevRandom{
+		trng:       trng,
+		PoolBits:   4096,
+		RefillBits: 2,
+		bits:       4096,
+	}
+}
+
+// Next implements Source: drain 64 bits, stalling when the pool is dry.
+func (d *DevRandom) Next() uint64 {
+	d.bits += d.RefillBits
+	if d.bits > d.PoolBits {
+		d.bits = d.PoolBits
+	}
+	if d.bits < 64 {
+		// Blocking read: wait for the pool to accumulate a full word.
+		d.lastStall = true
+		d.bits = 0
+	} else {
+		d.lastStall = false
+		d.bits -= 64
+	}
+	return d.trng()
+}
+
+// Cost implements Source: the price of the draw Next just performed. Under
+// sustained demand the pool empties after PoolBits/64 draws and every
+// subsequent call stalls — which is why the paper's prototype used RDRAND
+// and AES-NI instead.
+func (d *DevRandom) Cost() float64 {
+	if d.lastStall {
+		return devRandomStallCycles
+	}
+	return devRandomDrawCycles
+}
+
+// Name implements Source.
+func (d *DevRandom) Name() string { return "devrandom" }
+
+// PoolRemaining reports the current pool level in bits (for tests and
+// diagnostics).
+func (d *DevRandom) PoolRemaining() float64 { return d.bits }

@@ -1,0 +1,257 @@
+// Package rng provides the per-invocation random number sources Smokestack
+// chooses stack permutations with (paper §III-D1 "Random Number
+// Generation"), together with the cycle cost model measured in the paper's
+// Table I. Four sources are provided:
+//
+//   - Pseudo: a memory-state xorshift generator. Fast but, per the threat
+//     model, completely unsafe: its state lives in attacker-readable memory,
+//     and the package deliberately exposes the disclosure/prediction hooks
+//     the attack framework uses to demonstrate that (experiment E7).
+//   - AES-1 / AES-10: AES-128 in counter mode, seeded (key + nonce) from a
+//     true-random source, re-keyed every ReseedInterval invocations via a
+//     universal call counter. State lives outside simulated memory
+//     ("registers"), so it is not disclosable.
+//   - RDRand: a fresh true-random value per invocation, modeling the Intel
+//     RDRAND instruction's rate.
+package rng
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+)
+
+// Cycle costs per invocation, from Table I of the paper (measured on a Xeon
+// D-1541). These drive the VM's performance model.
+const (
+	CostPseudo = 3.4
+	CostAES1   = 19.2
+	CostAES10  = 92.8
+	CostRDRand = 265.6
+)
+
+// Source generates one random value per function invocation.
+type Source interface {
+	// Next returns the next random value.
+	Next() uint64
+	// Cost returns the modeled cycles consumed per Next call.
+	Cost() float64
+	// Name identifies the scheme (pseudo, aes-1, aes-10, rdrand).
+	Name() string
+}
+
+// Disclosable is implemented by sources whose internal state resides in
+// (attacker-readable) memory. The attack framework uses it to model the
+// memory-disclosure + PRNG-prediction attack of Kelsey et al. that the
+// paper's threat model assumes (§III-D1).
+type Disclosable interface {
+	// DiscloseState returns a copy of the generator's in-memory state.
+	DiscloseState() []byte
+	// Predict returns a generator that will produce the same future stream
+	// as the real one, reconstructed from disclosed state.
+	Predict() Source
+}
+
+// TRNG yields true-random 64-bit values. The default implementation reads
+// the host CSPRNG; tests inject deterministic versions.
+type TRNG func() uint64
+
+// HostTRNG reads the host cryptographic RNG.
+func HostTRNG() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("rng: host entropy unavailable: %v", err))
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// FixedTRNG returns a deterministic TRNG cycling through the given values;
+// for tests and reproducible experiments.
+func FixedTRNG(vals ...uint64) TRNG {
+	if len(vals) == 0 {
+		vals = []uint64{0x9e3779b97f4a7c15}
+	}
+	i := 0
+	return func() uint64 {
+		v := vals[i%len(vals)]
+		i++
+		// Mix the index in so long runs do not repeat identically.
+		v ^= uint64(i) * 0x2545f4914f6cdd1d
+		return v
+	}
+}
+
+// SeededTRNG returns a deterministic TRNG derived from a seed via
+// splitmix64. Used for reproducible experiment runs.
+func SeededTRNG(seed uint64) TRNG {
+	s := seed
+	return func() uint64 {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Pseudo: memory-state xorshift64* generator.
+
+// Pseudo is a fast memory-based PRNG (xorshift64*). Its entire state is one
+// word that, in a real deployment, would live in writable memory — making
+// it readable and predictable by the paper's attacker.
+type Pseudo struct {
+	state uint64
+}
+
+// NewPseudo seeds a Pseudo generator.
+func NewPseudo(seed uint64) *Pseudo {
+	if seed == 0 {
+		seed = 0x853c49e6748fea9b
+	}
+	return &Pseudo{state: seed}
+}
+
+// Next implements Source.
+func (p *Pseudo) Next() uint64 {
+	x := p.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	p.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Cost implements Source.
+func (p *Pseudo) Cost() float64 { return CostPseudo }
+
+// Name implements Source.
+func (p *Pseudo) Name() string { return "pseudo" }
+
+// DiscloseState implements Disclosable.
+func (p *Pseudo) DiscloseState() []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], p.state)
+	return b[:]
+}
+
+// Predict implements Disclosable: a clone that emits the same future
+// stream.
+func (p *Pseudo) Predict() Source { return &Pseudo{state: p.state} }
+
+// ---------------------------------------------------------------------------
+// AES counter mode.
+
+// AESCtr is an AES-128-CTR pseudo-random source seeded from a TRNG. A
+// universal call counter triggers re-keying every ReseedInterval outputs, as
+// described in §III-D1. Rounds selects the 1-round (fast, low security) or
+// 10-round (standard) variant.
+type AESCtr struct {
+	rounds  int
+	trng    TRNG
+	blk     *block
+	nonce   uint64
+	counter uint64
+	calls   uint64
+	// ReseedInterval is the number of outputs between re-keying events.
+	ReseedInterval uint64
+}
+
+// DefaultReseedInterval matches a generous "counter reaches a certain
+// maximum value" policy.
+const DefaultReseedInterval = 1 << 16
+
+// NewAESCtr constructs an AES-CTR source with the given round count (1 or
+// 10) seeded from trng.
+func NewAESCtr(rounds int, trng TRNG) *AESCtr {
+	a := &AESCtr{rounds: rounds, trng: trng, ReseedInterval: DefaultReseedInterval}
+	a.reseed()
+	return a
+}
+
+func (a *AESCtr) reseed() {
+	var key [16]byte
+	binary.LittleEndian.PutUint64(key[0:8], a.trng())
+	binary.LittleEndian.PutUint64(key[8:16], a.trng())
+	a.blk = newBlock(key, a.rounds)
+	a.nonce = a.trng()
+	a.counter = 0
+}
+
+// Next implements Source.
+func (a *AESCtr) Next() uint64 {
+	if a.calls > 0 && a.calls%a.ReseedInterval == 0 {
+		a.reseed()
+	}
+	a.calls++
+	var in [16]byte
+	binary.LittleEndian.PutUint64(in[0:8], a.nonce)
+	binary.LittleEndian.PutUint64(in[8:16], a.counter)
+	a.counter++
+	out := a.blk.encrypt(in)
+	// Fold both halves of the block together: with a single round, the
+	// counter's diffusion reaches only one column group, which may lie
+	// entirely in either half; folding guarantees every output bit sees it.
+	return binary.LittleEndian.Uint64(out[:8]) ^ binary.LittleEndian.Uint64(out[8:])
+}
+
+// Cost implements Source.
+func (a *AESCtr) Cost() float64 {
+	if a.rounds <= 1 {
+		return CostAES1
+	}
+	return CostAES10
+}
+
+// Name implements Source.
+func (a *AESCtr) Name() string { return fmt.Sprintf("aes-%d", a.rounds) }
+
+// Rounds returns the configured round count.
+func (a *AESCtr) Rounds() int { return a.rounds }
+
+// ---------------------------------------------------------------------------
+// RDRand.
+
+// RDRand models the on-chip true random number generator: every invocation
+// draws fresh entropy, at the highest per-invocation cost.
+type RDRand struct {
+	trng TRNG
+}
+
+// NewRDRand constructs an RDRand source over trng.
+func NewRDRand(trng TRNG) *RDRand { return &RDRand{trng: trng} }
+
+// Next implements Source.
+func (r *RDRand) Next() uint64 { return r.trng() }
+
+// Cost implements Source.
+func (r *RDRand) Cost() float64 { return CostRDRand }
+
+// Name implements Source.
+func (r *RDRand) Name() string { return "rdrand" }
+
+// ---------------------------------------------------------------------------
+// Construction by name.
+
+// SchemeNames lists the four sources in the order the paper's figures use.
+var SchemeNames = []string{"pseudo", "aes-1", "aes-10", "rdrand"}
+
+// NewByName constructs a source by scheme name with the given TRNG (used
+// for seeding or direct generation). Seed seeds the pseudo generator.
+func NewByName(name string, seed uint64, trng TRNG) (Source, error) {
+	switch name {
+	case "pseudo":
+		return NewPseudo(seed), nil
+	case "aes-1":
+		return NewAESCtr(1, trng), nil
+	case "aes-10":
+		return NewAESCtr(10, trng), nil
+	case "rdrand":
+		return NewRDRand(trng), nil
+	case "devrandom":
+		// Modeled /dev/random: available for experiments, excluded from
+		// the paper's figures (it stalls; see devrandom.go).
+		return NewDevRandom(trng), nil
+	}
+	return nil, fmt.Errorf("rng: unknown scheme %q (want one of %v or devrandom)", name, SchemeNames)
+}

@@ -1,0 +1,285 @@
+package rng
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// TestAESKnownAnswer checks the 10-round path against the FIPS-197
+// Appendix B vector: key 2b7e151628aed2a6abf7158809cf4f3c,
+// plaintext 3243f6a8885a308d313198a2e0370734,
+// ciphertext 3925841d02dc09fbdc118597196a0b32.
+func TestAESKnownAnswer(t *testing.T) {
+	key := [16]byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+		0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
+	pt := [16]byte{0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d,
+		0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37, 0x07, 0x34}
+	want := [16]byte{0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb,
+		0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a, 0x0b, 0x32}
+	b := newBlock(key, 10)
+	got := b.encrypt(pt)
+	if got != want {
+		t.Fatalf("AES-128 mismatch:\n got %x\nwant %x", got, want)
+	}
+}
+
+// TestAESFIPSAppendixC checks the second standard vector (key 000102...0f,
+// plaintext 00112233445566778899aabbccddeeff).
+func TestAESFIPSAppendixC(t *testing.T) {
+	var key, pt [16]byte
+	for i := 0; i < 16; i++ {
+		key[i] = byte(i)
+		pt[i] = byte(i*0x11) & 0xff
+	}
+	want := [16]byte{0x69, 0xc4, 0xe0, 0xd8, 0x6a, 0x7b, 0x04, 0x30,
+		0xd8, 0xcd, 0xb7, 0x80, 0x70, 0xb4, 0xc5, 0x5a}
+	got := newBlock(key, 10).encrypt(pt)
+	if got != want {
+		t.Fatalf("AES-128 vector C:\n got %x\nwant %x", got, want)
+	}
+}
+
+func TestAESRoundClamping(t *testing.T) {
+	key := [16]byte{1}
+	if newBlock(key, 0).rounds != 1 {
+		t.Error("rounds < 1 must clamp to 1")
+	}
+	if newBlock(key, 99).rounds != 10 {
+		t.Error("rounds > 10 must clamp to 10")
+	}
+}
+
+func TestAES1DiffersFromAES10(t *testing.T) {
+	key := [16]byte{7, 7, 7}
+	pt := [16]byte{1, 2, 3}
+	if newBlock(key, 1).encrypt(pt) == newBlock(key, 10).encrypt(pt) {
+		t.Fatal("1-round and 10-round outputs should differ")
+	}
+}
+
+func TestAESCtrDeterministicPerSeed(t *testing.T) {
+	a := NewAESCtr(10, SeededTRNG(5))
+	b := NewAESCtr(10, SeededTRNG(5))
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("same-seed CTR streams diverged at %d", i)
+		}
+	}
+	c := NewAESCtr(10, SeededTRNG(6))
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different-seed streams coincide %d/100 times", same)
+	}
+}
+
+func TestAESCtrReseeds(t *testing.T) {
+	a := NewAESCtr(10, SeededTRNG(9))
+	a.ReseedInterval = 8
+	// Cross several reseed boundaries; outputs must keep flowing and not
+	// repeat the first block verbatim.
+	first := a.Next()
+	repeats := 0
+	for i := 0; i < 64; i++ {
+		if a.Next() == first {
+			repeats++
+		}
+	}
+	if repeats > 1 {
+		t.Fatalf("stream repeats first output %d times across reseeds", repeats)
+	}
+}
+
+func TestPseudoPredictability(t *testing.T) {
+	p := NewPseudo(0x1234)
+	p.Next()
+	p.Next()
+	// Disclose, then both must emit identical futures: the property the
+	// paper's threat model exploits.
+	clone := p.Predict()
+	for i := 0; i < 50; i++ {
+		if p.Next() != clone.Next() {
+			t.Fatalf("prediction diverged at step %d", i)
+		}
+	}
+	st := p.DiscloseState()
+	if len(st) != 8 {
+		t.Fatalf("state size %d", len(st))
+	}
+	if binary.LittleEndian.Uint64(st) == 0 {
+		t.Fatal("state should be nonzero")
+	}
+}
+
+func TestPseudoZeroSeed(t *testing.T) {
+	p := NewPseudo(0)
+	if p.Next() == 0 && p.Next() == 0 {
+		t.Fatal("zero seed must still produce output")
+	}
+}
+
+func TestCosts(t *testing.T) {
+	cases := []struct {
+		src  Source
+		want float64
+	}{
+		{NewPseudo(1), CostPseudo},
+		{NewAESCtr(1, SeededTRNG(1)), CostAES1},
+		{NewAESCtr(10, SeededTRNG(1)), CostAES10},
+		{NewRDRand(SeededTRNG(1)), CostRDRand},
+	}
+	for _, c := range cases {
+		if c.src.Cost() != c.want {
+			t.Errorf("%s: cost %v, want %v", c.src.Name(), c.src.Cost(), c.want)
+		}
+	}
+	if CostPseudo != 3.4 || CostAES1 != 19.2 || CostAES10 != 92.8 || CostRDRand != 265.6 {
+		t.Error("Table I constants drifted")
+	}
+}
+
+func TestNewByName(t *testing.T) {
+	for _, name := range SchemeNames {
+		src, err := NewByName(name, 1, SeededTRNG(1))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if src.Name() != name {
+			t.Errorf("name %q != %q", src.Name(), name)
+		}
+	}
+	if _, err := NewByName("bogus", 1, SeededTRNG(1)); err == nil {
+		t.Fatal("expected error for unknown scheme")
+	}
+}
+
+func TestRDRandUsesTRNG(t *testing.T) {
+	vals := []uint64{}
+	r := NewRDRand(func() uint64 { vals = append(vals, 1); return uint64(len(vals)) })
+	if r.Next() != 1 || r.Next() != 2 {
+		t.Fatal("RDRand must pass the TRNG stream through")
+	}
+}
+
+func TestDisclosableInterfaces(t *testing.T) {
+	var s Source = NewPseudo(1)
+	if _, ok := s.(Disclosable); !ok {
+		t.Error("pseudo must be disclosable")
+	}
+	s = NewAESCtr(10, SeededTRNG(1))
+	if _, ok := s.(Disclosable); ok {
+		t.Error("AES-CTR must NOT be disclosable (register state)")
+	}
+	s = NewRDRand(SeededTRNG(1))
+	if _, ok := s.(Disclosable); ok {
+		t.Error("RDRAND must NOT be disclosable")
+	}
+}
+
+// TestUniformity is a coarse chi-square-ish sanity check that the low bits
+// of each source look uniform (they index P-BOX rows).
+func TestUniformity(t *testing.T) {
+	srcs := []Source{
+		NewPseudo(0xfeed),
+		NewAESCtr(1, SeededTRNG(3)),
+		NewAESCtr(10, SeededTRNG(3)),
+	}
+	const buckets = 16
+	const n = 16000
+	for _, s := range srcs {
+		counts := make([]float64, buckets)
+		for i := 0; i < n; i++ {
+			counts[s.Next()%buckets]++
+		}
+		expected := float64(n) / buckets
+		chi2 := 0.0
+		for _, c := range counts {
+			d := c - expected
+			chi2 += d * d / expected
+		}
+		// 15 degrees of freedom; 99.9th percentile ≈ 37.7.
+		if chi2 > 40 || math.IsNaN(chi2) {
+			t.Errorf("%s: low bits look non-uniform (chi2=%.1f)", s.Name(), chi2)
+		}
+	}
+}
+
+func TestSeededTRNGDeterminism(t *testing.T) {
+	a, b := SeededTRNG(42), SeededTRNG(42)
+	for i := 0; i < 10; i++ {
+		if a() != b() {
+			t.Fatal("SeededTRNG not deterministic")
+		}
+	}
+	if SeededTRNG(1)() == SeededTRNG(2)() {
+		t.Fatal("different seeds collide immediately")
+	}
+}
+
+func TestHostTRNG(t *testing.T) {
+	a, b := HostTRNG(), HostTRNG()
+	if a == b {
+		t.Fatal("host entropy returned identical values (astronomically unlikely)")
+	}
+}
+
+func TestFixedTRNG(t *testing.T) {
+	f := FixedTRNG(10, 20)
+	x, y, z := f(), f(), f()
+	if x == y && y == z {
+		t.Fatal("FixedTRNG must mix the index")
+	}
+}
+
+func TestDevRandomStalls(t *testing.T) {
+	d := NewDevRandom(SeededTRNG(1))
+	// Fresh pool: 4096 bits fund 64 draws (refill slightly extends that).
+	cheap := 0
+	for i := 0; i < 66; i++ {
+		d.Next()
+		if d.Cost() < devRandomStallCycles {
+			cheap++
+		}
+	}
+	if cheap < 60 {
+		t.Fatalf("pool drained too early: only %d cheap draws", cheap)
+	}
+	// Sustained demand: the pool is dry and every draw stalls.
+	d.Next()
+	if d.Cost() != devRandomStallCycles {
+		t.Fatalf("expected a stall, cost %v", d.Cost())
+	}
+	if d.PoolRemaining() != 0 {
+		t.Fatalf("pool should be pinned at zero under sustained demand, got %v", d.PoolRemaining())
+	}
+	// Idle refill: crediting RefillBits per draw eventually funds a cheap
+	// draw again.
+	d.RefillBits = 80
+	d.Next()
+	if d.Cost() != devRandomDrawCycles {
+		t.Fatalf("refilled pool should serve cheaply, cost %v", d.Cost())
+	}
+}
+
+func TestDevRandomViaNewByName(t *testing.T) {
+	src, err := NewByName("devrandom", 1, SeededTRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Name() != "devrandom" {
+		t.Fatal("name")
+	}
+	if _, ok := src.(Disclosable); ok {
+		t.Fatal("devrandom must not be disclosable")
+	}
+	// And it must be usable as a Smokestack source end to end (covered in
+	// layout tests for the standard schemes; here just draw).
+	for i := 0; i < 10; i++ {
+		src.Next()
+	}
+}

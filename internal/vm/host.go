@@ -1,0 +1,212 @@
+// Host (builtin) function implementations: the libc-ish surface MiniC
+// programs call. String and memory routines have authentic C semantics —
+// they trust their arguments and will happily write past the caller's
+// buffer, which is exactly what the vulnerable programs in the attack
+// corpus do.
+
+package vm
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/ir"
+)
+
+// cstringMax bounds string scans so a missing NUL terminator inside a huge
+// segment still terminates.
+const cstringMax = 1 << 20
+
+func (m *Machine) hostCall(fn *ir.Function, pc int, host int, args []int64) (int64, error) {
+	if host < 0 || host >= len(hostNames) {
+		return 0, fmt.Errorf("vm: bad host index %d in %s", host, fn.Name)
+	}
+	name := hostNames[host]
+	m.stats.Cycles += m.costs.HostBase
+	memFault := func(err error) error {
+		return &MemFault{Func: fn.Name + " (" + name + ")", PC: pc, Err: err}
+	}
+	switch name {
+	case "print":
+		m.Env.Output = append(m.Env.Output, []byte(strconv.FormatInt(args[0], 10))...)
+		m.Env.Output = append(m.Env.Output, '\n')
+		return 0, nil
+	case "prints":
+		s, err := m.Mem.ReadCString(uint64(args[0]), cstringMax)
+		if err != nil {
+			return 0, memFault(err)
+		}
+		m.Env.Output = append(m.Env.Output, s...)
+		m.stats.Cycles += float64(len(s)) * m.costs.PerByte
+		return 0, nil
+	case "printc", "outbyte":
+		m.Env.Output = append(m.Env.Output, byte(args[0]))
+		return 0, nil
+	case "input":
+		maxN := args[1]
+		if maxN < 0 {
+			maxN = 0
+		}
+		var b []byte
+		if m.Env.Input != nil {
+			b = m.Env.Input(maxN)
+		}
+		if len(b) > 0 {
+			if err := m.Mem.WriteBytes(uint64(args[0]), b); err != nil {
+				return 0, memFault(err)
+			}
+		}
+		m.stats.Cycles += m.costs.InputBase + float64(len(b))*m.costs.PerByte
+		return int64(len(b)), nil
+	case "readint":
+		m.stats.Cycles += m.costs.InputBase
+		if m.Env.Ints != nil {
+			return m.Env.Ints(), nil
+		}
+		return 0, nil
+	case "memcpy":
+		n := args[2]
+		if n > 0 {
+			b, err := m.Mem.ReadBytes(uint64(args[1]), int(n))
+			if err != nil {
+				return 0, memFault(err)
+			}
+			if err := m.Mem.WriteBytes(uint64(args[0]), b); err != nil {
+				return 0, memFault(err)
+			}
+			m.stats.Cycles += float64(n) * m.costs.PerByte
+		}
+		return args[0], nil
+	case "memset":
+		n := args[2]
+		if n > 0 {
+			b := make([]byte, n)
+			for i := range b {
+				b[i] = byte(args[1])
+			}
+			if err := m.Mem.WriteBytes(uint64(args[0]), b); err != nil {
+				return 0, memFault(err)
+			}
+			m.stats.Cycles += float64(n) * m.costs.PerByte
+		}
+		return args[0], nil
+	case "strlen":
+		s, err := m.Mem.ReadCString(uint64(args[0]), cstringMax)
+		if err != nil {
+			return 0, memFault(err)
+		}
+		m.stats.Cycles += float64(len(s)) * m.costs.PerByte
+		return int64(len(s)), nil
+	case "strcpy":
+		s, err := m.Mem.ReadCString(uint64(args[1]), cstringMax)
+		if err != nil {
+			return 0, memFault(err)
+		}
+		if err := m.Mem.WriteBytes(uint64(args[0]), append([]byte(s), 0)); err != nil {
+			return 0, memFault(err)
+		}
+		m.stats.Cycles += float64(len(s)) * m.costs.PerByte
+		return args[0], nil
+	case "strcmp":
+		a, err := m.Mem.ReadCString(uint64(args[0]), cstringMax)
+		if err != nil {
+			return 0, memFault(err)
+		}
+		b, err := m.Mem.ReadCString(uint64(args[1]), cstringMax)
+		if err != nil {
+			return 0, memFault(err)
+		}
+		m.stats.Cycles += float64(min(len(a), len(b))) * m.costs.PerByte
+		switch {
+		case a < b:
+			return -1, nil
+		case a > b:
+			return 1, nil
+		}
+		return 0, nil
+	case "sncat":
+		return m.sncat(args, memFault)
+	case "malloc":
+		n := uint64(args[0])
+		if n == 0 {
+			n = 1
+		}
+		addr := alignU(m.heapNext, 16)
+		if addr+n > m.heap.End() {
+			return 0, nil // out of memory: NULL, as malloc does
+		}
+		m.heapNext = addr + n
+		return int64(addr), nil
+	case "free":
+		return 0, nil // bump allocator: free is a no-op
+	case "stackbuf":
+		n := uint64(args[0])
+		pad := uint64(m.Engine.VLAPad())
+		newSP := (m.sp - n - pad) &^ 15
+		if newSP < m.stackBase || newSP > m.sp {
+			return 0, &StackOverflow{Func: fn.Name}
+		}
+		m.sp = newSP
+		if peak := m.stackTop - newSP; peak > m.stats.StackPeak {
+			m.stats.StackPeak = peak
+		}
+		return int64(newSP), nil
+	case "exit":
+		return 0, &exitRequest{code: args[0]}
+	case "abort":
+		return 0, &Aborted{}
+	case "iodelay":
+		if args[0] > 0 {
+			m.stats.Cycles += float64(args[0]) * m.Env.IODelayScale
+		}
+		return 0, nil
+	case "sendout":
+		n := args[1]
+		if n > 0 {
+			b, err := m.Mem.ReadBytes(uint64(args[0]), int(n))
+			if err != nil {
+				return 0, memFault(err)
+			}
+			m.Env.Output = append(m.Env.Output, b...)
+			m.stats.Cycles += float64(n) * m.costs.PerByte
+		}
+		return 0, nil
+	}
+	return 0, fmt.Errorf("vm: unimplemented host function %s", name)
+}
+
+// sncat models snprintf(dst+off, cap-off, ...) over an n-byte record as
+// misused by CVE-2018-1000140: it returns off + n whether or not the write
+// was truncated, and — like the real bug — once off exceeds cap the size
+// argument (cap-off) underflows as a size_t, producing an *unbounded* write
+// at dst+off. An attacker who steers the accumulated off past the buffer
+// (truncated writes still inflate the return value) therefore gains a
+// write-chosen-bytes-at-chosen-offset primitive, the paper's §II-C exploit.
+func (m *Machine) sncat(args []int64, memFault func(error) error) (int64, error) {
+	dst, capN, off, n := uint64(args[0]), args[1], args[2], args[4]
+	if n < 0 {
+		n = 0
+	}
+	var src []byte
+	if n > 0 {
+		var err error
+		src, err = m.Mem.ReadBytes(uint64(args[3]), int(n))
+		if err != nil {
+			return 0, memFault(err)
+		}
+	}
+	m.stats.Cycles += float64(n) * m.costs.PerByte
+	avail := capN - off
+	w := src
+	if avail > 0 && int64(len(w)) > avail {
+		// Bounded path: truncate at the buffer's end...
+		w = w[:avail]
+	}
+	// ...but when avail <= 0 the size_t underflow makes the write unbounded.
+	if len(w) > 0 {
+		if err := m.Mem.WriteBytes(dst+uint64(off), w); err != nil {
+			return 0, memFault(err)
+		}
+	}
+	return off + n, nil
+}

@@ -1,0 +1,681 @@
+// Package vm executes compiled MiniC programs against the simulated memory,
+// consulting a layout.Engine on every call to place the stack frame — the
+// run-time half of the Smokestack system. The VM also maintains the cycle
+// cost model that backs the paper's performance figures: every IR operation
+// has a price, and each engine adds its instrumentation prices on top
+// (prologue RNG + P-BOX lookup, per-GEP rebase, guard write/check).
+//
+// Memory behaves like a real process image: the stack is a real
+// downward-growing region, locals are raw bytes at engine-chosen offsets,
+// and out-of-bounds writes that stay within the stack segment silently
+// corrupt neighbouring frames — the substrate DOP attacks require.
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/layout"
+	"repro/internal/mem"
+	"repro/internal/minic/sema"
+	"repro/internal/rng"
+)
+
+// Fault categories surfaced as errors from Run.
+type (
+	// MemFault wraps a segmentation fault with execution context.
+	MemFault struct {
+		Func string
+		PC   int
+		Err  error
+	}
+	// GuardViolation reports a corrupted function-identifier slot detected
+	// at epilogue — Smokestack's attack detection (§III-D2).
+	GuardViolation struct {
+		Func string
+	}
+	// StackOverflow reports frame allocation below the stack segment.
+	StackOverflow struct {
+		Func string
+	}
+	// DivideByZero reports integer division or modulo by zero.
+	DivideByZero struct {
+		Func string
+		PC   int
+	}
+	// Aborted reports a call to the abort() builtin.
+	Aborted struct{}
+	// StepLimit reports that execution exceeded the instruction budget.
+	StepLimit struct {
+		Limit uint64
+	}
+)
+
+func (e *MemFault) Error() string {
+	return fmt.Sprintf("%v in %s at pc=%d", e.Err, e.Func, e.PC)
+}
+func (e *MemFault) Unwrap() error { return e.Err }
+func (e *GuardViolation) Error() string {
+	return fmt.Sprintf("smokestack: function identifier check failed in %s (stack corruption detected)", e.Func)
+}
+func (e *StackOverflow) Error() string { return fmt.Sprintf("stack overflow in %s", e.Func) }
+func (e *DivideByZero) Error() string {
+	return fmt.Sprintf("division by zero in %s at pc=%d", e.Func, e.PC)
+}
+func (e *Aborted) Error() string   { return "program aborted" }
+func (e *StepLimit) Error() string { return fmt.Sprintf("instruction budget exceeded (%d)", e.Limit) }
+
+// exitRequest unwinds the interpreter when the program calls exit().
+type exitRequest struct{ code int64 }
+
+func (e *exitRequest) Error() string { return fmt.Sprintf("exit(%d)", e.code) }
+
+// Costs prices IR operations in modeled cycles. Values approximate a simple
+// in-order x86 pipeline; only *relative* magnitudes matter for the
+// reproduced figures.
+type Costs struct {
+	ALU       float64 // add/sub/logic/compare/mov/const
+	Mul       float64
+	Div       float64
+	Load      float64
+	Store     float64
+	Branch    float64
+	AddrCalc  float64 // address formation (lea)
+	CallBase  float64 // call+ret linkage, frame setup
+	HostBase  float64 // host call trap overhead
+	PerByte   float64 // bulk memory ops (memcpy etc.) per byte
+	InputBase float64 // per input() record
+}
+
+// DefaultCosts returns the standard cost model.
+func DefaultCosts() Costs {
+	return Costs{
+		ALU:       1,
+		Mul:       3,
+		Div:       20,
+		Load:      2,
+		Store:     2,
+		Branch:    1,
+		AddrCalc:  1,
+		CallBase:  6,
+		HostBase:  12,
+		PerByte:   0.25,
+		InputBase: 40,
+	}
+}
+
+// Options configure a Machine.
+type Options struct {
+	// Costs is the instruction cost model; zero value selects DefaultCosts.
+	Costs *Costs
+	// StepLimit bounds executed instructions (0 = default 500M).
+	StepLimit uint64
+	// MaxCallDepth bounds recursion (0 = default 4096).
+	MaxCallDepth int
+	// TRNG seeds the per-run guard key; defaults to rng.HostTRNG.
+	TRNG rng.TRNG
+	// JitterAmp enables the instruction-scheduling perturbation model: each
+	// function's body cost is scaled by a deterministic per-function factor
+	// in [1-JitterAmp, 1+JitterAmp] when running under a non-baseline
+	// engine. Models the register-pressure speedups/slowdowns the paper
+	// attributes to instrumentation-induced scheduling changes (§V-A).
+	// 0 disables.
+	JitterAmp float64
+	// JitterSeed seeds the per-function jitter factors.
+	JitterSeed uint64
+	// HeapSize overrides the heap segment size (default 64 MiB).
+	HeapSize uint64
+}
+
+// Env is the host environment: attacker/user input and program output.
+type Env struct {
+	// Input services the input(buf, n) builtin: return at most max bytes.
+	// nil yields zero bytes. The attack framework installs closures here —
+	// this is the network boundary the attacker talks through.
+	Input func(max int64) []byte
+	// Ints services readint(); nil yields 0.
+	Ints func() int64
+	// Output receives bytes from print/prints/printc/outbyte/sendout.
+	Output []byte
+	// IODelayScale scales iodelay(n) cycles (1.0 default).
+	IODelayScale float64
+}
+
+// Queue returns an Env whose Input pops successive records from the given
+// chunks.
+func Queue(chunks ...[]byte) *Env {
+	i := 0
+	e := &Env{}
+	e.Input = func(max int64) []byte {
+		if i >= len(chunks) {
+			return nil
+		}
+		c := chunks[i]
+		i++
+		if int64(len(c)) > max {
+			c = c[:max]
+		}
+		return c
+	}
+	return e
+}
+
+// Stats aggregates execution counters for the experiment harness.
+type Stats struct {
+	Cycles       float64
+	Instructions uint64
+	Calls        uint64
+	MaxDepth     int
+	MaxFrameSize int64
+	HeapUsed     uint64
+	StackPeak    uint64 // deepest stack extent in bytes
+}
+
+// frameRecord tracks one active invocation (used by attacks and
+// diagnostics).
+type frameRecord struct {
+	fn      *ir.Function
+	base    uint64
+	layout  layout.FrameLayout
+	savedSP uint64
+}
+
+// Machine executes one program run.
+type Machine struct {
+	Prog   *ir.Program
+	Mem    *mem.Memory
+	Engine layout.Engine
+	Env    *Env
+
+	costs     Costs
+	stepLimit uint64
+	maxDepth  int
+	steps     uint64
+	stats     Stats
+
+	rodata     *mem.Segment
+	globals    *mem.Segment
+	heap       *mem.Segment
+	stack      *mem.Segment
+	globalAddr []uint64
+	dataAddr   []uint64
+	heapNext   uint64
+
+	sp        uint64
+	stackBase uint64
+	stackTop  uint64
+
+	guardKey uint64
+	jitter   []float64 // per-function cost multiplier (nil when disabled)
+
+	frames []frameRecord
+}
+
+// New prepares a Machine for one run of prog under engine. The engine's
+// NewRun is invoked (drawing per-run randomness such as the stack bias).
+func New(prog *ir.Program, engine layout.Engine, env *Env, opts *Options) *Machine {
+	o := Options{}
+	if opts != nil {
+		o = *opts
+	}
+	costs := DefaultCosts()
+	if o.Costs != nil {
+		costs = *o.Costs
+	}
+	if o.StepLimit == 0 {
+		o.StepLimit = 500_000_000
+	}
+	if o.MaxCallDepth == 0 {
+		o.MaxCallDepth = 4096
+	}
+	if o.TRNG == nil {
+		o.TRNG = rng.HostTRNG
+	}
+	if o.HeapSize == 0 {
+		o.HeapSize = 64 << 20
+	}
+	if env == nil {
+		env = &Env{}
+	}
+	if env.IODelayScale == 0 {
+		env.IODelayScale = 1
+	}
+
+	m := &Machine{
+		Prog:      prog,
+		Mem:       mem.New(),
+		Engine:    engine,
+		Env:       env,
+		costs:     costs,
+		stepLimit: o.StepLimit,
+		maxDepth:  o.MaxCallDepth,
+	}
+
+	// Rodata: interned strings.
+	var dataSize uint64
+	for _, d := range prog.Data {
+		dataSize += uint64(len(d)) + 8
+	}
+	if dataSize < 16 {
+		dataSize = 16
+	}
+	m.rodata = m.Mem.AddSegment("rodata", mem.RodataBase, dataSize, false)
+	addr := uint64(mem.RodataBase)
+	for _, d := range prog.Data {
+		m.dataAddr = append(m.dataAddr, addr)
+		copy(m.rodata.Bytes()[addr-mem.RodataBase:], d)
+		addr += uint64(len(d))
+		addr = (addr + 7) &^ 7
+	}
+
+	// Globals.
+	var globSize uint64
+	for _, g := range prog.Globals {
+		globSize = alignU(globSize, uint64(g.Align)) + uint64(g.Size)
+	}
+	if globSize < 16 {
+		globSize = 16
+	}
+	m.globals = m.Mem.AddSegment("globals", mem.GlobalBase, globSize, true)
+	addr = mem.GlobalBase
+	for _, g := range prog.Globals {
+		addr = alignU(addr, uint64(g.Align))
+		m.globalAddr = append(m.globalAddr, addr)
+		copy(m.globals.Bytes()[addr-mem.GlobalBase:], g.Init)
+		addr += uint64(g.Size)
+	}
+
+	m.heap = m.Mem.AddSegment("heap", mem.HeapBase, o.HeapSize, true)
+	m.heapNext = mem.HeapBase
+
+	m.stack = m.Mem.AddSegment("stack", mem.StackTop-mem.StackSize, mem.StackSize, true)
+	m.stackBase = mem.StackTop - mem.StackSize
+
+	engine.NewRun()
+	m.stackTop = mem.StackTop - engine.StackBias()
+	m.sp = m.stackTop
+	m.stats.StackPeak = 0
+	m.guardKey = o.TRNG()
+
+	if o.JitterAmp > 0 && engine.Name() != "fixed" {
+		m.jitter = make([]float64, len(prog.Funcs))
+		s := o.JitterSeed
+		for i := range m.jitter {
+			s += 0x9e3779b97f4a7c15
+			z := s
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			z ^= z >> 31
+			// Uniform in [1-amp, 1+amp].
+			u := float64(z%100001)/100000*2 - 1
+			m.jitter[i] = 1 + u*o.JitterAmp
+		}
+	}
+	return m
+}
+
+func alignU(n, a uint64) uint64 {
+	if a <= 1 {
+		return n
+	}
+	if rem := n % a; rem != 0 {
+		return n + a - rem
+	}
+	return n
+}
+
+// Stats returns execution counters accumulated so far.
+func (m *Machine) Stats() Stats {
+	s := m.stats
+	s.Instructions = m.steps
+	s.HeapUsed = m.heapNext - mem.HeapBase
+	return s
+}
+
+// ResidentBytes models the process's maximum resident set: program image
+// (rodata + globals + scheme rodata such as the P-BOX) plus touched heap and
+// peak stack. This backs the Fig 4 memory overhead comparison.
+func (m *Machine) ResidentBytes() int64 {
+	return int64(m.rodata.Size()) + int64(m.globals.Size()) +
+		int64(m.heapNext-mem.HeapBase) + int64(m.stats.StackPeak) +
+		m.Engine.RodataBytes()
+}
+
+// GlobalAddr returns the address of global index i.
+func (m *Machine) GlobalAddr(i int) uint64 { return m.globalAddr[i] }
+
+// GlobalAddrByName resolves a global's address by name.
+func (m *Machine) GlobalAddrByName(name string) (uint64, bool) {
+	for i, g := range m.Prog.Globals {
+		if g.Name == name {
+			return m.globalAddr[i], true
+		}
+	}
+	return 0, false
+}
+
+// ActiveFrames returns the live call stack (innermost last). Attack code
+// uses this to model pointers an attacker has disclosed from memory.
+func (m *Machine) ActiveFrames() []ActiveFrame {
+	out := make([]ActiveFrame, len(m.frames))
+	for i, fr := range m.frames {
+		out[i] = ActiveFrame{Fn: fr.fn, Base: fr.base, Layout: fr.layout}
+	}
+	return out
+}
+
+// ActiveFrame is one live invocation.
+type ActiveFrame struct {
+	Fn     *ir.Function
+	Base   uint64
+	Layout layout.FrameLayout
+}
+
+// Run executes main and returns its value. Faults, guard violations and
+// aborts are returned as errors; exit(n) returns n with a nil error.
+func (m *Machine) Run() (int64, error) {
+	fn, ok := m.Prog.FuncByName("main")
+	if !ok {
+		return 0, fmt.Errorf("vm: program %s has no main", m.Prog.Name)
+	}
+	v, err := m.call(fn, nil)
+	if err != nil {
+		var exit *exitRequest
+		if e, ok := err.(*exitRequest); ok { //nolint:errorlint // internal sentinel, never wrapped
+			exit = e
+			return exit.code, nil
+		}
+		return 0, err
+	}
+	return v, nil
+}
+
+// CallByName invokes an arbitrary function (used by tests and harnesses).
+func (m *Machine) CallByName(name string, args ...int64) (int64, error) {
+	fn, ok := m.Prog.FuncByName(name)
+	if !ok {
+		return 0, fmt.Errorf("vm: no function %s", name)
+	}
+	v, err := m.call(fn, args)
+	if err != nil {
+		if e, ok := err.(*exitRequest); ok { //nolint:errorlint // internal sentinel
+			return e.code, nil
+		}
+		return 0, err
+	}
+	return v, nil
+}
+
+// call allocates a frame per the engine's layout and interprets fn.
+func (m *Machine) call(fn *ir.Function, args []int64) (int64, error) {
+	if len(m.frames) >= m.maxDepth {
+		return 0, &StackOverflow{Func: fn.Name}
+	}
+	fl := m.Engine.Layout(fn)
+	savedSP := m.sp
+	base := (m.sp - uint64(fl.Size)) &^ 15
+	if base < m.stackBase {
+		return 0, &StackOverflow{Func: fn.Name}
+	}
+	m.sp = base
+	if peak := m.stackTop - base; peak > m.stats.StackPeak {
+		m.stats.StackPeak = peak
+	}
+	m.stats.Calls++
+	if d := len(m.frames) + 1; d > m.stats.MaxDepth {
+		m.stats.MaxDepth = d
+	}
+	if fl.Size > m.stats.MaxFrameSize {
+		m.stats.MaxFrameSize = fl.Size
+	}
+	m.frames = append(m.frames, frameRecord{fn: fn, base: base, layout: fl, savedSP: savedSP})
+
+	// Spill arguments into their (permuted) allocas.
+	for i := 0; i < fn.NumParams && i < len(args); i++ {
+		w := int(fn.Allocas[i].Size)
+		if w > 8 {
+			w = 8
+		}
+		if err := m.Mem.WriteU(base+uint64(fl.Offsets[i]), w, uint64(args[i])); err != nil {
+			m.popFrame()
+			return 0, &MemFault{Func: fn.Name, PC: -1, Err: err}
+		}
+	}
+	// Write the encoded function identifier.
+	if fl.GuardOffset >= 0 {
+		if err := m.Mem.WriteU(base+uint64(fl.GuardOffset), 8, m.guardKey^uint64(fn.ID)); err != nil {
+			m.popFrame()
+			return 0, &MemFault{Func: fn.Name, PC: -1, Err: err}
+		}
+	}
+	m.stats.Cycles += m.costs.CallBase + m.Engine.PrologueCycles(fn)
+
+	ret, err := m.exec(fn, base, fl)
+	if err != nil {
+		m.popFrame()
+		return 0, err
+	}
+	// Epilogue guard check.
+	if fl.GuardOffset >= 0 {
+		v, merr := m.Mem.ReadU(base+uint64(fl.GuardOffset), 8)
+		if merr != nil {
+			m.popFrame()
+			return 0, &MemFault{Func: fn.Name, PC: -1, Err: merr}
+		}
+		if v != m.guardKey^uint64(fn.ID) {
+			m.popFrame()
+			return 0, &GuardViolation{Func: fn.Name}
+		}
+	}
+	m.stats.Cycles += m.Engine.EpilogueCycles(fn)
+	m.popFrame()
+	return ret, nil
+}
+
+func (m *Machine) popFrame() {
+	fr := m.frames[len(m.frames)-1]
+	m.sp = fr.savedSP
+	m.frames = m.frames[:len(m.frames)-1]
+}
+
+// exec interprets the function body.
+func (m *Machine) exec(fn *ir.Function, base uint64, fl layout.FrameLayout) (int64, error) {
+	regs := make([]int64, fn.NumRegs)
+	code := fn.Code
+	costMul := 1.0
+	if m.jitter != nil {
+		costMul = m.jitter[fn.ID]
+	}
+	addrExtra := m.Engine.AddrLocalExtraCycles()
+	cycles := 0.0
+	pc := 0
+	defer func() { m.stats.Cycles += cycles * costMul }()
+	for {
+		if m.steps >= m.stepLimit {
+			return 0, &StepLimit{Limit: m.stepLimit}
+		}
+		m.steps++
+		in := &code[pc]
+		switch in.Op {
+		case ir.OpNop:
+			cycles += m.costs.ALU
+		case ir.OpConst:
+			regs[in.Dst] = in.Imm
+			cycles += m.costs.ALU
+		case ir.OpMov:
+			regs[in.Dst] = regs[in.A]
+			cycles += m.costs.ALU
+		case ir.OpAdd:
+			regs[in.Dst] = regs[in.A] + regs[in.B]
+			cycles += m.costs.ALU
+		case ir.OpSub:
+			regs[in.Dst] = regs[in.A] - regs[in.B]
+			cycles += m.costs.ALU
+		case ir.OpMul:
+			regs[in.Dst] = regs[in.A] * regs[in.B]
+			cycles += m.costs.Mul
+		case ir.OpDiv:
+			if regs[in.B] == 0 {
+				return 0, &DivideByZero{Func: fn.Name, PC: pc}
+			}
+			regs[in.Dst] = regs[in.A] / regs[in.B]
+			cycles += m.costs.Div
+		case ir.OpMod:
+			if regs[in.B] == 0 {
+				return 0, &DivideByZero{Func: fn.Name, PC: pc}
+			}
+			regs[in.Dst] = regs[in.A] % regs[in.B]
+			cycles += m.costs.Div
+		case ir.OpAnd:
+			regs[in.Dst] = regs[in.A] & regs[in.B]
+			cycles += m.costs.ALU
+		case ir.OpOr:
+			regs[in.Dst] = regs[in.A] | regs[in.B]
+			cycles += m.costs.ALU
+		case ir.OpXor:
+			regs[in.Dst] = regs[in.A] ^ regs[in.B]
+			cycles += m.costs.ALU
+		case ir.OpShl:
+			regs[in.Dst] = regs[in.A] << (uint64(regs[in.B]) & 63)
+			cycles += m.costs.ALU
+		case ir.OpShr:
+			regs[in.Dst] = regs[in.A] >> (uint64(regs[in.B]) & 63)
+			cycles += m.costs.ALU
+		case ir.OpNeg:
+			regs[in.Dst] = -regs[in.A]
+			cycles += m.costs.ALU
+		case ir.OpNot:
+			regs[in.Dst] = ^regs[in.A]
+			cycles += m.costs.ALU
+		case ir.OpSetZ:
+			if regs[in.A] == 0 {
+				regs[in.Dst] = 1
+			} else {
+				regs[in.Dst] = 0
+			}
+			cycles += m.costs.ALU
+		case ir.OpEq:
+			regs[in.Dst] = b2i(regs[in.A] == regs[in.B])
+			cycles += m.costs.ALU
+		case ir.OpNe:
+			regs[in.Dst] = b2i(regs[in.A] != regs[in.B])
+			cycles += m.costs.ALU
+		case ir.OpLt:
+			regs[in.Dst] = b2i(regs[in.A] < regs[in.B])
+			cycles += m.costs.ALU
+		case ir.OpLe:
+			regs[in.Dst] = b2i(regs[in.A] <= regs[in.B])
+			cycles += m.costs.ALU
+		case ir.OpGt:
+			regs[in.Dst] = b2i(regs[in.A] > regs[in.B])
+			cycles += m.costs.ALU
+		case ir.OpGe:
+			regs[in.Dst] = b2i(regs[in.A] >= regs[in.B])
+			cycles += m.costs.ALU
+		case ir.OpLoad:
+			v, err := m.Mem.ReadU(uint64(regs[in.A]), int(in.Width))
+			if err != nil {
+				return 0, &MemFault{Func: fn.Name, PC: pc, Err: err}
+			}
+			regs[in.Dst] = extend(v, in.Width, in.Unsigned)
+			cycles += m.costs.Load
+		case ir.OpStore:
+			if err := m.Mem.WriteU(uint64(regs[in.A]), int(in.Width), uint64(regs[in.B])); err != nil {
+				return 0, &MemFault{Func: fn.Name, PC: pc, Err: err}
+			}
+			cycles += m.costs.Store
+		case ir.OpAddrLocal:
+			regs[in.Dst] = int64(base + uint64(fl.Offsets[in.Sym]))
+			cycles += m.costs.AddrCalc + addrExtra
+		case ir.OpAddrGlobal:
+			regs[in.Dst] = int64(m.globalAddr[in.Sym])
+			cycles += m.costs.AddrCalc
+		case ir.OpAddrData:
+			regs[in.Dst] = int64(m.dataAddr[in.Sym])
+			cycles += m.costs.AddrCalc
+		case ir.OpJmp:
+			pc = int(in.Target0)
+			cycles += m.costs.Branch
+			continue
+		case ir.OpBr:
+			if regs[in.A] != 0 {
+				pc = int(in.Target0)
+			} else {
+				pc = int(in.Target1)
+			}
+			cycles += m.costs.Branch
+			continue
+		case ir.OpCall:
+			args := make([]int64, len(in.Args))
+			for i, r := range in.Args {
+				args[i] = regs[r]
+			}
+			// Flush this frame's cycles before descending so recursive
+			// accounting stays ordered.
+			m.stats.Cycles += cycles * costMul
+			cycles = 0
+			v, err := m.call(m.Prog.Funcs[in.Sym], args)
+			if err != nil {
+				return 0, err
+			}
+			if in.Dst != ir.NoReg {
+				regs[in.Dst] = v
+			}
+		case ir.OpCallHost:
+			args := make([]int64, len(in.Args))
+			for i, r := range in.Args {
+				args[i] = regs[r]
+			}
+			v, err := m.hostCall(fn, pc, int(in.Sym), args)
+			if err != nil {
+				return 0, err
+			}
+			if in.Dst != ir.NoReg {
+				regs[in.Dst] = v
+			}
+		case ir.OpRet:
+			cycles += m.costs.Branch
+			if in.A == ir.NoReg {
+				return 0, nil
+			}
+			return regs[in.A], nil
+		default:
+			return 0, fmt.Errorf("vm: unknown opcode %v in %s at pc=%d", in.Op, fn.Name, pc)
+		}
+		pc++
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// extend sign- or zero-extends a loaded value.
+func extend(v uint64, width uint8, unsigned bool) int64 {
+	switch width {
+	case 1:
+		if unsigned {
+			return int64(uint8(v))
+		}
+		return int64(int8(v))
+	case 4:
+		if unsigned {
+			return int64(uint32(v))
+		}
+		return int64(int32(v))
+	default:
+		return int64(v)
+	}
+}
+
+// hostIndex resolves builtin names once.
+var hostNames = func() []string {
+	names := make([]string, len(sema.Builtins))
+	for i, b := range sema.Builtins {
+		names[i] = b.Name
+	}
+	return names
+}()

@@ -1,0 +1,337 @@
+package workload
+
+func init() {
+	register(&Workload{
+		Name: "namd",
+		Kind: CPU,
+		Description: "444.namd model: pairwise short-range force accumulation " +
+			"over a particle neighbourhood list (integerized); long inner loops, " +
+			"one call per particle pair-block.",
+		Source: srcNamd,
+		Want:   6224300,
+	})
+	register(&Workload{
+		Name: "soplex",
+		Kind: CPU,
+		Description: "450.soplex model: simplex tableau pivoting — ratio test, " +
+			"pivot selection and row elimination; medium call rate over dense rows.",
+		Source: srcSoplex,
+		Want:   11466,
+	})
+	register(&Workload{
+		Name: "povray",
+		Kind: CPU,
+		Description: "453.povray model: ray/sphere intersection and shading per " +
+			"pixel; a call-heavy render loop with small frames.",
+		Source: srcPovray,
+		Want:   2307317,
+	})
+	register(&Workload{
+		Name: "sphinx3",
+		Kind: CPU,
+		Description: "482.sphinx3 model: GMM acoustic scoring — per-frame, " +
+			"per-state senone evaluation over integerized features.",
+		Source: srcSphinx3,
+		Want:   19132,
+	})
+}
+
+const srcNamd = `
+// 444.namd model: short-range force evaluation over a neighbour list.
+// Fixed-point coordinates; the force kernel runs per 32-pair block.
+long posX[512];
+long posY[512];
+long posZ[512];
+long frcX[512];
+long frcY[512];
+long frcZ[512];
+long nbrA[4096];
+long nbrB[4096];
+long rngstate;
+
+void initParticles() {
+	long s = rngstate;
+	for (long i = 0; i < 512; i++) {
+		s = s * 6364136223846793005 + 1442695040888963407;
+		posX[i] = (s >> 33) & 1023;
+		posY[i] = (s >> 43) & 1023;
+		posZ[i] = (s >> 23) & 1023;
+		frcX[i] = 0;
+		frcY[i] = 0;
+		frcZ[i] = 0;
+	}
+	for (long e = 0; e < 4096; e++) {
+		s = s * 6364136223846793005 + 1442695040888963407;
+		nbrA[e] = (s >> 33) & 511;
+		nbrB[e] = (s >> 43) & 511;
+	}
+	rngstate = s;
+}
+
+// Force kernel over one block of 32 pairs (inlined distance math).
+long forceBlock(long start) {
+	long acc = 0;
+	for (long e = start; e < start + 32; e++) {
+		long a = nbrA[e];
+		long b = nbrB[e];
+		long dx = posX[a] - posX[b];
+		long dy = posY[a] - posY[b];
+		long dz = posZ[a] - posZ[b];
+		long r2 = dx * dx + dy * dy + dz * dz + 1;
+		if (r2 > 90000) { continue; }       // cutoff
+		long f = 100000 / r2;               // ~1/r^2 magnitude
+		frcX[a] += f * dx / 64;
+		frcY[a] += f * dy / 64;
+		frcZ[a] += f * dz / 64;
+		frcX[b] -= f * dx / 64;
+		frcY[b] -= f * dy / 64;
+		frcZ[b] -= f * dz / 64;
+		acc += f;
+	}
+	return acc;
+}
+
+void integrate() {
+	for (long i = 0; i < 512; i++) {
+		posX[i] = (posX[i] + frcX[i] / 256) & 1023;
+		posY[i] = (posY[i] + frcY[i] / 256) & 1023;
+		posZ[i] = (posZ[i] + frcZ[i] / 256) & 1023;
+		frcX[i] = 0;
+		frcY[i] = 0;
+		frcZ[i] = 0;
+	}
+}
+
+long main() {
+	rngstate = 606060;
+	initParticles();
+	long sum = 0;
+	for (long step = 0; step < 20; step++) {
+		for (long b = 0; b < 4096; b += 32) {
+			sum += forceBlock(b) & 0xffff;
+		}
+		integrate();
+	}
+	return sum & 0x7fffffff;
+}
+`
+
+const srcSoplex = `
+// 450.soplex model: dense simplex pivoting over a generated tableau.
+long tableau[4160];    // 32 rows x 130 cols (128 vars + rhs + slack tag)
+long basis[32];
+long rngstate;
+
+void genTableau() {
+	long s = rngstate;
+	for (long i = 0; i < 4160; i++) {
+		s = s * 6364136223846793005 + 1442695040888963407;
+		tableau[i] = ((s >> 33) & 127) - 32;
+	}
+	for (long r = 0; r < 32; r++) {
+		basis[r] = r;
+		// Keep the rhs column positive so ratio tests are meaningful.
+		long rhs = tableau[r * 130 + 128];
+		if (rhs < 0) { rhs = 0 - rhs; }
+		tableau[r * 130 + 128] = rhs + 1;
+	}
+	rngstate = s;
+}
+
+// Ratio test: pick the leaving row for an entering column.
+long ratioTest(long col) {
+	long bestRow = -1;
+	long bestNum = 0;
+	long bestDen = 1;
+	for (long r = 0; r < 32; r++) {
+		long a = tableau[r * 130 + col];
+		if (a <= 0) { continue; }
+		long rhs = tableau[r * 130 + 128];
+		// rhs/a < bestNum/bestDen  <=>  rhs*bestDen < bestNum*a
+		if (bestRow < 0 || rhs * bestDen < bestNum * a) {
+			bestRow = r;
+			bestNum = rhs;
+			bestDen = a;
+		}
+	}
+	return bestRow;
+}
+
+// Eliminate the pivot column from one row (soplex's updateRow).
+long elimRow(long r, long prow, long piv, long f) {
+	for (long c = 0; c < 130; c++) {
+		tableau[r * 130 + c] = (tableau[r * 130 + c] * piv - tableau[prow * 130 + c] * f) % 65521;
+	}
+	return 1;
+}
+
+// Gaussian elimination of the pivot column from the other rows.
+long eliminate(long prow, long col) {
+	long piv = tableau[prow * 130 + col];
+	if (piv == 0) { return 0; }
+	long touched = 0;
+	for (long r = 0; r < 32; r++) {
+		if (r == prow) { continue; }
+		long f = tableau[r * 130 + col];
+		if (f == 0) { continue; }
+		touched += elimRow(r, prow, piv, f);
+	}
+	return touched;
+}
+
+long main() {
+	rngstate = 515151;
+	long sum = 0;
+	for (long lp = 0; lp < 6; lp++) {
+		genTableau();
+		for (long iter = 0; iter < 24; iter++) {
+			long col = iter * 5 % 128;
+			long row = ratioTest(col);
+			if (row < 0) { continue; }
+			sum += eliminate(row, col);
+			basis[row] = col;
+		}
+		for (long r = 0; r < 32; r++) { sum += basis[r]; }
+	}
+	return sum & 0x7fffffff;
+}
+`
+
+const srcPovray = `
+// 453.povray model: render a sphere scene by per-pixel ray casting with a
+// small shading call chain (fixed-point, 8 spheres, one light).
+long sphX[8];
+long sphY[8];
+long sphZ[8];
+long sphR2[8];
+long rngstate;
+
+void genScene() {
+	long s = rngstate;
+	for (long i = 0; i < 8; i++) {
+		s = s * 6364136223846793005 + 1442695040888963407;
+		sphX[i] = ((s >> 33) & 255) - 128;
+		sphY[i] = ((s >> 43) & 255) - 128;
+		sphZ[i] = 300 + ((s >> 23) & 255);
+		sphR2[i] = 3600 + ((s >> 13) & 4095);
+	}
+	rngstate = s;
+}
+
+// Closest ray/sphere hit along +z through pixel (px,py); returns sphere
+// index or -1. Ray origin (px,py,0), direction (0,0,1): the math reduces
+// to a 2D distance test plus depth, as povray's bounding tests do.
+long intersect(long px, long py) {
+	long best = -1;
+	long bestZ = 1 << 30;
+	for (long i = 0; i < 8; i++) {
+		long dx = px - sphX[i];
+		long dy = py - sphY[i];
+		long d2 = dx * dx + dy * dy;
+		if (d2 > sphR2[i]) { continue; }
+		long z = sphZ[i] - (sphR2[i] - d2) / 64;
+		if (z < bestZ) { bestZ = z; best = i; }
+	}
+	return best;
+}
+
+long shade(long idx, long px, long py) {
+	long nx = px - sphX[idx];
+	long ny = py - sphY[idx];
+	// Lambert-ish: dot(normal, light) with light from (-1,-1).
+	long lum = 128 - (nx + ny) / 4;
+	// Specular highlight: a short fixed-point power iteration.
+	long spec = 64 - (nx * nx + ny * ny) / 512;
+	if (spec < 0) { spec = 0; }
+	for (long k = 0; k < 20; k++) {
+		spec = spec * (200 + (k & 3)) / 256;
+	}
+	lum += spec;
+	if (lum < 0) { lum = 0; }
+	if (lum > 255) { lum = 255; }
+	return lum;
+}
+
+long renderPixel(long px, long py) {
+	long hit = intersect(px, py);
+	if (hit < 0) { return 16; }    // background
+	return shade(hit, px, py);
+}
+
+long main() {
+	rngstate = 767676;
+	long sum = 0;
+	for (long frame = 0; frame < 2; frame++) {
+		genScene();
+		for (long y = -48; y < 48; y++) {
+			for (long x = -48; x < 48; x++) {
+				sum += renderPixel(x * 2, y * 2);
+			}
+		}
+	}
+	return sum & 0x7fffffff;
+}
+`
+
+const srcSphinx3 = `
+// 482.sphinx3 model: GMM senone scoring — for each audio frame, score a
+// bank of Gaussian mixtures against the feature vector (integer log-space,
+// diagonal covariance), keeping a running best path.
+long means[2048];      // 64 senones x 32-dim means
+long invvar[2048];
+long feat[32];
+long senScore[64];
+long rngstate;
+
+void initModels() {
+	long s = rngstate;
+	for (long i = 0; i < 2048; i++) {
+		s = s * 6364136223846793005 + 1442695040888963407;
+		means[i] = (s >> 33) & 255;
+		invvar[i] = 1 + ((s >> 43) & 7);
+	}
+	rngstate = s;
+}
+
+void genFrame() {
+	long s = rngstate;
+	for (long d = 0; d < 32; d++) {
+		s = s * 6364136223846793005 + 1442695040888963407;
+		feat[d] = (s >> 33) & 255;
+	}
+	rngstate = s;
+}
+
+// Score one senone: negative weighted squared distance (log domain).
+long scoreSenone(long sen) {
+	long acc = 0;
+	long base = sen * 32;
+	for (long d = 0; d < 32; d++) {
+		long diff = feat[d] - means[base + d];
+		acc += diff * diff * invvar[base + d];
+	}
+	return 0 - acc / 256;
+}
+
+long bestSenone() {
+	long best = -(1 << 30);
+	long bestI = 0;
+	for (long sen = 0; sen < 64; sen++) {
+		senScore[sen] = scoreSenone(sen);
+		if (senScore[sen] > best) { best = senScore[sen]; bestI = sen; }
+	}
+	return bestI;
+}
+
+long main() {
+	rngstate = 828282;
+	initModels();
+	long sum = 0;
+	for (long frame = 0; frame < 120; frame++) {
+		genFrame();
+		long b = bestSenone();
+		sum += b + (senScore[b] & 0xff);
+	}
+	return sum & 0x7fffffff;
+}
+`

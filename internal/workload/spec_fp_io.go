@@ -1,0 +1,273 @@
+package workload
+
+func init() {
+	register(&Workload{
+		Name: "milc",
+		Kind: CPU,
+		Description: "433.milc model: lattice field updates (integer-ized " +
+			"SU(3)-ish 3x3 matrix multiplies over a 4D lattice); loop-dominated.",
+		Source: srcMilc,
+		Want:   62914022,
+	})
+	register(&Workload{
+		Name: "lbm",
+		Kind: CPU,
+		Description: "470.lbm model: lattice-Boltzmann stencil sweep; almost " +
+			"no calls, the lowest instrumentation exposure in the suite.",
+		Source: srcLbm,
+		Want:   29268,
+	})
+	register(&Workload{
+		Name: "proftpd",
+		Kind: IO,
+		Description: "ProFTPD model: FTP command loop; cycles are dominated by " +
+			"modeled network/disk waits, so instrumentation overhead is diluted.",
+		Source: srcProftpdIO,
+		Want:   433640,
+	})
+	register(&Workload{
+		Name: "wireshark",
+		Kind: IO,
+		Description: "Wireshark model: capture-file dissection loop; I/O-bound " +
+			"like the paper's tshark runs.",
+		Source: srcWiresharkIO,
+		Want:   9873228,
+	})
+}
+
+const srcMilc = `
+// 433.milc model: repeated 3x3 integer matrix multiply-accumulate over a
+// small 4D lattice (the su3 link update pattern).
+long lattice[6144];    // 256 sites x 3x3 matrix (site-major, row-major)
+long staple[9];
+long rngstate;
+
+long xrand() {
+	rngstate = rngstate * 6364136223846793005 + 1442695040888963407;
+	return (rngstate >> 33) & 0x7fffffff;
+}
+
+void initLattice() {
+	for (long i = 0; i < 2304; i++) {
+		lattice[i] = (xrand() & 15) - 8;
+	}
+}
+
+// c = a * b for 3x3 matrices at the given offsets; result into staple.
+void mat3mul(long aoff, long boff) {
+	for (long r = 0; r < 3; r++) {
+		for (long c = 0; c < 3; c++) {
+			long acc = 0;
+			for (long k = 0; k < 3; k++) {
+				acc += lattice[aoff + r * 3 + k] * lattice[boff + k * 3 + c];
+			}
+			staple[r * 3 + c] = acc & 0xffff;
+		}
+	}
+}
+
+void siteUpdate(long site) {
+	long off = site * 9;
+	long nbr = ((site + 1) & 255) * 9;
+	mat3mul(off, nbr);
+	for (long i = 0; i < 9; i++) {
+		lattice[off + i] = (lattice[off + i] + staple[i]) & 0xfff;
+	}
+}
+
+long plaquette() {
+	long acc = 0;
+	for (long site = 0; site < 256; site++) {
+		acc += lattice[site * 9] + lattice[site * 9 + 4] + lattice[site * 9 + 8];
+	}
+	return acc;
+}
+
+long main() {
+	rngstate = 55443;
+	initLattice();
+	long sum = 0;
+	for (long sweep = 0; sweep < 40; sweep++) {
+		for (long site = 0; site < 256; site++) {
+			siteUpdate(site);
+		}
+		sum += plaquette();
+	}
+	return sum & 0x7fffffff;
+}
+`
+
+const srcLbm = `
+// 470.lbm model: two-grid lattice-Boltzmann-style stencil relaxation.
+// Everything happens in main's loops: essentially zero call overhead
+// surface for the instrumentation.
+long gridA[4356];   // 66 x 66 with halo
+long gridB[4356];
+long rngstate;
+
+long xrand() {
+	rngstate = rngstate * 6364136223846793005 + 1442695040888963407;
+	return (rngstate >> 33) & 0x7fffffff;
+}
+
+long main() {
+	rngstate = 10101;
+	for (long i = 0; i < 4356; i++) {
+		gridA[i] = xrand() & 1023;
+		gridB[i] = 0;
+	}
+	long sum = 0;
+	for (long step = 0; step < 60; step++) {
+		for (long r = 1; r < 65; r++) {
+			for (long c = 1; c < 65; c++) {
+				long p = r * 66 + c;
+				long v = gridA[p] * 4 + gridA[p-1] + gridA[p+1] + gridA[p-66] + gridA[p+66];
+				gridB[p] = v / 8;
+			}
+		}
+		for (long r = 1; r < 65; r++) {
+			for (long c = 1; c < 65; c++) {
+				long p = r * 66 + c;
+				long v = gridB[p] * 4 + gridB[p-1] + gridB[p+1] + gridB[p-66] + gridB[p+66];
+				gridA[p] = (v / 8) + ((step & 3) == 0);
+			}
+		}
+		sum += gridA[66 * 33 + 33];
+	}
+	return sum & 0x7fffffff;
+}
+`
+
+const srcProftpdIO = `
+// ProFTPD model (I/O-bound): parse and dispatch FTP-ish commands; each
+// command pays a large modeled network/disk wait (iodelay), so the
+// per-call instrumentation cost is a small fraction of total cycles.
+char cmdbuf[128];
+char cwd[128];
+long bytesSent;
+long rngstate;
+
+long xrand() {
+	rngstate = rngstate * 6364136223846793005 + 1442695040888963407;
+	return (rngstate >> 33) & 0x7fffffff;
+}
+
+void genCommand(long kind) {
+	if (kind == 0) { strcpy(cmdbuf, "LIST /pub/files"); }
+	if (kind == 1) { strcpy(cmdbuf, "RETR data.bin"); }
+	if (kind == 2) { strcpy(cmdbuf, "CWD /pub/files/archive"); }
+	if (kind == 3) { strcpy(cmdbuf, "STOR upload.tmp"); }
+}
+
+long handleList() {
+	iodelay(9000);          // directory scan
+	long entries = 20 + (xrand() & 31);
+	bytesSent += entries * 64;
+	return entries;
+}
+
+long handleRetr() {
+	long chunks = 4 + (xrand() & 7);
+	for (long i = 0; i < chunks; i++) {
+		iodelay(6000);      // disk read + socket write per chunk
+		bytesSent += 1024;
+	}
+	return chunks;
+}
+
+long handleCwd() {
+	iodelay(2500);          // stat
+	strcpy(cwd, cmdbuf + 4);
+	return strlen(cwd);
+}
+
+long handleStor() {
+	long chunks = 2 + (xrand() & 3);
+	for (long i = 0; i < chunks; i++) {
+		iodelay(7000);      // socket read + disk write
+	}
+	return chunks;
+}
+
+long main() {
+	rngstate = 2121;
+	bytesSent = 0;
+	long sum = 0;
+	for (long session = 0; session < 12; session++) {
+		iodelay(15000);     // TCP accept + auth round-trips
+		for (long c = 0; c < 20; c++) {
+			long kind = xrand() & 3;
+			genCommand(kind);
+			if (kind == 0) { sum += handleList(); }
+			if (kind == 1) { sum += handleRetr(); }
+			if (kind == 2) { sum += handleCwd(); }
+			if (kind == 3) { sum += handleStor(); }
+		}
+	}
+	return (sum + bytesSent) & 0x7fffffff;
+}
+`
+
+const srcWiresharkIO = `
+// Wireshark model (I/O-bound): read capture records (paying file I/O
+// waits) and run lightweight protocol dissection on each.
+char packet[512];
+long stats[8];
+long rngstate;
+
+long xrand() {
+	rngstate = rngstate * 6364136223846793005 + 1442695040888963407;
+	return (rngstate >> 33) & 0x7fffffff;
+}
+
+void genPacket(long len) {
+	long s = rngstate;
+	for (long i = 0; i < len; i++) {
+		s = s * 6364136223846793005 + 1442695040888963407;
+		packet[i] = (s >> 33) & 255;
+	}
+	rngstate = s;
+	packet[0] = (s >> 41) % 5;   // protocol tag
+}
+
+long dissectTCP(long len) {
+	long flags = packet[13] & 63;
+	long win = packet[14] + packet[15] * 256;
+	stats[1]++;
+	return flags + (win & 255);
+}
+
+long dissectUDP(long len) {
+	long plen = packet[4] + packet[5] * 256;
+	stats[2]++;
+	return plen & 511;
+}
+
+long dissectICMP(long len) {
+	stats[3]++;
+	return packet[1];
+}
+
+long checksum(long len) {
+	long acc = 0;
+	for (long i = 0; i < len; i++) { acc += packet[i]; }
+	return acc & 0xffff;
+}
+
+long main() {
+	rngstate = 8899;
+	long sum = 0;
+	for (long rec = 0; rec < 400; rec++) {
+		iodelay(9000);          // capture-file read per record
+		long len = 64 + (xrand() & 255);
+		genPacket(len);
+		long proto = packet[0];
+		if (proto == 0 || proto == 1) { sum += dissectTCP(len); }
+		if (proto == 2) { sum += dissectUDP(len); }
+		if (proto == 3) { sum += dissectICMP(len); }
+		sum += checksum(len);
+	}
+	for (long i = 0; i < 8; i++) { sum += stats[i] * i; }
+	return sum & 0x7fffffff;
+}
+`

@@ -1,0 +1,272 @@
+package workload
+
+func init() {
+	register(&Workload{
+		Name: "mcf",
+		Kind: CPU,
+		Description: "429.mcf model: Bellman-Ford relaxation over a sparse " +
+			"network; pointer-chasing loops dominate, few calls.",
+		Source: srcMcf,
+		Want:   712533,
+	})
+	register(&Workload{
+		Name: "gobmk",
+		Kind: CPU,
+		Description: "445.gobmk model: Go-board territory evaluation with an " +
+			"~85 KB scratch frame in the hot function, the paper's worst-case " +
+			"frame size.",
+		Source: srcGobmk,
+		Want:   2498292,
+	})
+	register(&Workload{
+		Name: "hmmer",
+		Kind: CPU,
+		Description: "456.hmmer model: Viterbi-style dynamic-programming " +
+			"matrix fill; long inner loops, almost no calls.",
+		Source: srcHmmer,
+		Want:   133706,
+	})
+	register(&Workload{
+		Name: "sjeng",
+		Kind: CPU,
+		Description: "458.sjeng model: alpha-beta game-tree search with move " +
+			"generation; deep recursion and a very high call rate.",
+		Source: srcSjeng,
+		Want:   28666,
+	})
+}
+
+const srcMcf = `
+// 429.mcf model: single-source shortest path by repeated edge relaxation
+// over a generated sparse graph. Relaxation runs in 128-edge blocks, the
+// arc-block structure mcf's pricing loops use.
+long edgeFrom[4096];
+long edgeTo[4096];
+long edgeCost[4096];
+long dist[1024];
+long rngstate;
+
+void genGraph(long nodes, long edges) {
+	long s = rngstate;
+	for (long e = 0; e < edges; e++) {
+		s = s * 6364136223846793005 + 1442695040888963407;
+		edgeFrom[e] = ((s >> 33) & 0x7fffffff) % nodes;
+		s = s * 6364136223846793005 + 1442695040888963407;
+		edgeTo[e] = ((s >> 33) & 0x7fffffff) % nodes;
+		s = s * 6364136223846793005 + 1442695040888963407;
+		edgeCost[e] = 1 + ((s >> 33) & 63);
+	}
+	rngstate = s;
+	for (long v = 0; v < nodes; v++) { dist[v] = 1 << 30; }
+	dist[0] = 0;
+}
+
+long relaxBlock(long start, long end) {
+	long changed = 0;
+	for (long e = start; e < end; e++) {
+		long df = dist[edgeFrom[e]];
+		if (df + edgeCost[e] < dist[edgeTo[e]]) {
+			dist[edgeTo[e]] = df + edgeCost[e];
+			changed++;
+		}
+	}
+	return changed;
+}
+
+long relaxAll(long edges) {
+	long changed = 0;
+	for (long b = 0; b < edges; b += 64) {
+		changed += relaxBlock(b, b + 64);
+	}
+	return changed;
+}
+
+long main() {
+	rngstate = 31337;
+	long sum = 0;
+	for (long round = 0; round < 6; round++) {
+		genGraph(1024, 4096);
+		long iter = 0;
+		while (iter < 40 && relaxAll(4096) > 0) { iter++; }
+		for (long v = 0; v < 1024; v++) {
+			if (dist[v] < (1 << 30)) { sum += dist[v]; }
+		}
+	}
+	return sum & 0x7fffffff;
+}
+`
+
+const srcGobmk = `
+// 445.gobmk model: move evaluation on a 19x19 board. Each candidate move
+// is scored by a helper whose frame holds an ~85 KB scratch area (working
+// copies, influence planes, move history) — the paper's worst-case frame —
+// and the helper is called at gobmk's high real-world rate.
+char board[400];
+long rngstate;
+
+void genBoard() {
+	long s = rngstate;
+	for (long i = 0; i < 361; i++) {
+		s = s * 6364136223846793005 + 1442695040888963407;
+		long r = ((s >> 33) & 0x7fffffff) % 10;
+		if (r < 3) { board[i] = 1; }
+		else {
+			if (r < 6) { board[i] = 2; }
+			else { board[i] = 0; }
+		}
+	}
+	rngstate = s;
+}
+
+// Hot evaluator: ~85 KB of scratch lives in this frame.
+long evalMove(long p, long color) {
+	char scratch[86400];    // working copies + influence planes
+	long score;
+	score = 0;
+	// Local neighborhood influence: copy a strip and score liberties.
+	long lo = p - 2;
+	if (lo < 0) { lo = 0; }
+	long hi = p + 2;
+	if (hi > 360) { hi = 360; }
+	for (long i = lo; i <= hi; i++) {
+		scratch[i] = board[i];
+		if (scratch[i] == 0) { score += 1; }
+		if (scratch[i] == color) { score += 2; }
+		if (scratch[i] == 3 - color) { score -= 1; }
+	}
+	score += (p & 3);
+	return score;
+}
+
+long main() {
+	rngstate = 777;
+	long sum = 0;
+	for (long game = 0; game < 250; game++) {
+		genBoard();
+		for (long mv = 0; mv < 361; mv++) {
+			if (board[mv] == 0) {
+				sum += evalMove(mv, 1 + (mv & 1)) + 64;
+			}
+		}
+	}
+	return sum & 0x7fffffff;
+}
+`
+
+const srcHmmer = `
+// 456.hmmer model: profile-HMM Viterbi fill over generated sequences, one
+// call per matrix row; inner recurrences are inlined as hmmer's are.
+long match[64][32];
+long insert[64][32];
+long del[64][32];
+long emitm[32];
+long emiti[32];
+long rngstate;
+
+long fillRow(long i, long sym, long states) {
+	match[i][0] = emitm[0] - sym;
+	insert[i][0] = emiti[0] - 1;
+	del[i][0] = -8;
+	long best = -100000;
+	for (long s = 1; s < states; s++) {
+		long m = match[i-1][s-1];
+		if (insert[i-1][s-1] > m) { m = insert[i-1][s-1]; }
+		if (del[i-1][s-1] > m) { m = del[i-1][s-1]; }
+		match[i][s] = m + emitm[s] - (sym & 7);
+		long ins = match[i-1][s];
+		if (insert[i-1][s] > ins) { ins = insert[i-1][s]; }
+		insert[i][s] = ins + emiti[s] - 2;
+		long dd = match[i][s-1];
+		if (del[i][s-1] > dd) { dd = del[i][s-1]; }
+		del[i][s] = dd - 3;
+		if (match[i][s] > best) { best = match[i][s]; }
+	}
+	return best;
+}
+
+long viterbiFill(long seqlen, long states) {
+	long s = rngstate;
+	for (long st = 0; st < states; st++) {
+		s = s * 6364136223846793005 + 1442695040888963407;
+		emitm[st] = (s >> 33) & 31;
+		emiti[st] = (s >> 40) & 15;
+	}
+	for (long st = 0; st < states; st++) {
+		match[0][st] = 0;
+		insert[0][st] = -4;
+		del[0][st] = -8;
+	}
+	long best = -100000;
+	for (long i = 1; i < seqlen; i++) {
+		s = s * 6364136223846793005 + 1442695040888963407;
+		long rowBest = fillRow(i, (s >> 33) & 31, states);
+		if (rowBest > best) { best = rowBest; }
+	}
+	rngstate = s;
+	return best;
+}
+
+long main() {
+	rngstate = 2468;
+	long sum = 0;
+	for (long seq = 0; seq < 70; seq++) {
+		sum += viterbiFill(64, 32) + 1024;
+	}
+	return sum & 0x7fffffff;
+}
+`
+
+const srcSjeng = `
+// 458.sjeng model: alpha-beta negamax over a synthetic zero-sum game.
+// Search recursion drives a high call rate; each node also makes/unmakes
+// its move on a small board (inlined, as sjeng does).
+long rngstate;
+long nodesVisited;
+long histTable[64];
+
+long xrand() {
+	rngstate = rngstate * 6364136223846793005 + 1442695040888963407;
+	return (rngstate >> 33) & 0x7fffffff;
+}
+
+long evalLeaf(long state) {
+	long h = state * 2654435761;
+	for (long j = 0; j < 18; j++) {
+		h = h * 31 + j;
+		h = h ^ (h >> 13);
+	}
+	return (h & 127) - 64;
+}
+
+long negamax(long state, long depth, long alpha, long beta) {
+	nodesVisited++;
+	// Make-move bookkeeping: update the history table (inlined loop).
+	long acc = 0;
+	for (long j = 0; j < 10; j++) {
+		long slot = (state + j) & 63;
+		histTable[slot] = (histTable[slot] * 5 + depth) & 0xffff;
+		acc += histTable[slot] & 7;
+	}
+	if (depth == 0) { return evalLeaf(state) + (acc & 3); }
+	long best = -100000;
+	for (long i = 0; i < 4; i++) {
+		long child = state * 6 + i * 2 + 1;
+		long v = 0 - negamax(child, depth - 1, 0 - beta, 0 - alpha);
+		if (v > best) { best = v; }
+		if (best > alpha) { alpha = best; }
+		if (alpha >= beta) { break; }
+	}
+	return best;
+}
+
+long main() {
+	rngstate = 5150;
+	nodesVisited = 0;
+	long sum = 0;
+	for (long pos = 0; pos < 6; pos++) {
+		long root = xrand() & 0xffff;
+		sum += negamax(root, 7, -100000, 100000) + 128;
+	}
+	return (sum + nodesVisited) & 0x7fffffff;
+}
+`

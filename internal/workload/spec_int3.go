@@ -1,0 +1,510 @@
+package workload
+
+func init() {
+	register(&Workload{
+		Name: "libquantum",
+		Kind: CPU,
+		Description: "462.libquantum model: quantum register gate simulation " +
+			"as bit manipulation over an amplitude table; tight loops, few calls.",
+		Source: srcLibquantum,
+		Want:   2103296,
+	})
+	register(&Workload{
+		Name: "h264ref",
+		Kind: CPU,
+		Description: "464.h264ref model: block-based video coding kernels (SAD " +
+			"search, integer transform, quantization) — many distinct functions " +
+			"with distinct frame shapes, driving P-BOX size.",
+		Source: srcH264ref,
+		Want:   300619,
+	})
+	register(&Workload{
+		Name: "omnetpp",
+		Kind: CPU,
+		Description: "471.omnetpp model: discrete-event simulation over a " +
+			"binary-heap future-event set; frequent small calls.",
+		Source: srcOmnetpp,
+		Want:   49001,
+	})
+	register(&Workload{
+		Name: "astar",
+		Kind: CPU,
+		Description: "473.astar model: grid path-finding with an open list; " +
+			"mixed loops and helper calls.",
+		Source: srcAstar,
+		Want:   3852,
+	})
+	register(&Workload{
+		Name: "xalancbmk",
+		Kind: CPU,
+		Description: "483.xalancbmk model: tree construction and recursive " +
+			"transformation passes; very call-heavy with small frames.",
+		Source: srcXalancbmk,
+		Want:   145779,
+	})
+}
+
+const srcLibquantum = `
+// 462.libquantum model: simulate X / controlled-NOT / phase-count gates
+// over a table of basis states.
+long states[2048];
+long phases[2048];
+long rngstate;
+
+long xrand() {
+	rngstate = rngstate * 6364136223846793005 + 1442695040888963407;
+	return (rngstate >> 33) & 0x7fffffff;
+}
+
+void initReg(long n) {
+	for (long i = 0; i < n; i++) {
+		states[i] = i;
+		phases[i] = 0;
+	}
+}
+
+void gateX(long n, long bit) {
+	long mask = 1 << bit;
+	for (long i = 0; i < n; i++) {
+		states[i] = states[i] ^ mask;
+	}
+}
+
+void gateCNOT(long n, long ctrl, long tgt) {
+	long cmask = 1 << ctrl;
+	long tmask = 1 << tgt;
+	for (long i = 0; i < n; i++) {
+		if (states[i] & cmask) { states[i] = states[i] ^ tmask; }
+	}
+}
+
+void gatePhase(long n, long bit) {
+	long mask = 1 << bit;
+	for (long i = 0; i < n; i++) {
+		if (states[i] & mask) { phases[i] = (phases[i] + 1) & 7; }
+	}
+}
+
+long measure(long n) {
+	long acc = 0;
+	for (long i = 0; i < n; i++) {
+		acc += (states[i] & 0xfff) + phases[i];
+	}
+	return acc;
+}
+
+long main() {
+	rngstate = 97531;
+	long sum = 0;
+	initReg(2048);
+	for (long step = 0; step < 260; step++) {
+		long g = xrand() % 3;
+		long b1 = xrand() % 11;
+		long b2 = xrand() % 11;
+		if (g == 0) { gateX(2048, b1); }
+		if (g == 1) { gateCNOT(2048, b1, b2); }
+		if (g == 2) { gatePhase(2048, b1); }
+	}
+	sum = measure(2048);
+	return sum & 0x7fffffff;
+}
+`
+
+const srcH264ref = `
+// 464.h264ref model: motion search + transform + quantization kernels.
+// Many distinct functions with different local shapes (drives the number
+// of distinct P-BOX tables, hence Fig 4's memory overhead).
+char refFrame[4096];
+char curFrame[4096];
+long coeffs[16];
+long rngstate;
+
+long xrand() {
+	rngstate = rngstate * 6364136223846793005 + 1442695040888963407;
+	return (rngstate >> 33) & 0x7fffffff;
+}
+
+void genFrames() {
+	long s = rngstate;
+	for (long i = 0; i < 4096; i++) {
+		s = s * 6364136223846793005 + 1442695040888963407;
+		refFrame[i] = (s >> 33) & 255;
+		curFrame[i] = (refFrame[i] + ((s >> 41) & 7)) & 255;
+	}
+	rngstate = s;
+}
+
+// 4x4 block SAD at a given offset pair (abs inlined, as x264-style SAD
+// kernels are).
+long sad4x4(long curOff, long refOff) {
+	long acc = 0;
+	for (long r = 0; r < 4; r++) {
+		for (long c = 0; c < 4; c++) {
+			long d = curFrame[curOff + r * 64 + c] - refFrame[refOff + r * 64 + c];
+			if (d < 0) { d = 0 - d; }
+			acc += d;
+		}
+	}
+	return acc;
+}
+
+// Diamond motion search around a block.
+long motionSearch(long blockOff) {
+	long bestSad = 1 << 30;
+	long bestD = 0;
+	long cand[5];
+	cand[0] = 0;
+	cand[1] = 1;
+	cand[2] = -1;
+	cand[3] = 64;
+	cand[4] = -64;
+	for (long k = 0; k < 5; k++) {
+		long refOff = blockOff + cand[k];
+		if (refOff < 0 || refOff > 3800) { continue; }
+		long s = sad4x4(blockOff, refOff);
+		if (s < bestSad) { bestSad = s; bestD = cand[k]; }
+	}
+	return bestSad + (bestD & 7);
+}
+
+// 4x4 integer transform (Hadamard-ish butterflies).
+void transform4x4(long off) {
+	long tmp[16];
+	for (long r = 0; r < 4; r++) {
+		long a = curFrame[off + r * 64];
+		long b = curFrame[off + r * 64 + 1];
+		long c = curFrame[off + r * 64 + 2];
+		long d = curFrame[off + r * 64 + 3];
+		tmp[r * 4] = a + b + c + d;
+		tmp[r * 4 + 1] = a - b + c - d;
+		tmp[r * 4 + 2] = a + b - c - d;
+		tmp[r * 4 + 3] = a - b - c + d;
+	}
+	for (long c = 0; c < 4; c++) {
+		long a = tmp[c];
+		long b = tmp[4 + c];
+		long cc = tmp[8 + c];
+		long d = tmp[12 + c];
+		coeffs[c] = a + b + cc + d;
+		coeffs[4 + c] = a - b + cc - d;
+		coeffs[8 + c] = a + b - cc - d;
+		coeffs[12 + c] = a - b - cc + d;
+	}
+}
+
+long quantize(long qp) {
+	long nz = 0;
+	for (long i = 0; i < 16; i++) {
+		coeffs[i] = coeffs[i] / (qp + 1);
+		if (coeffs[i] != 0) { nz++; }
+	}
+	return nz;
+}
+
+long entropyBits(long nz) {
+	long bits = nz * 3;
+	for (long i = 0; i < 16; i++) {
+		long v = coeffs[i];
+		if (v < 0) { v = 0 - v; }
+		while (v > 0) { bits++; v = v >> 1; }
+	}
+	return bits;
+}
+
+long encodeBlock(long off, long qp) {
+	long sad = motionSearch(off);
+	transform4x4(off);
+	long nz = quantize(qp);
+	return sad + entropyBits(nz);
+}
+
+long main() {
+	rngstate = 112233;
+	long sum = 0;
+	for (long f = 0; f < 6; f++) {
+		genFrames();
+		for (long by = 0; by < 14; by++) {
+			for (long bx = 0; bx < 14; bx++) {
+				sum += encodeBlock(by * 256 + bx * 4, 2 + (f & 3));
+			}
+		}
+	}
+	return sum & 0x7fffffff;
+}
+`
+
+const srcOmnetpp = `
+// 471.omnetpp model: discrete-event network simulation with a binary-heap
+// future event set; each event handler is a small call.
+long heapTime[1024];
+long heapKind[1024];
+long heapLen;
+long clockNow;
+long delivered;
+long dropped;
+long rngstate;
+
+long xrand() {
+	rngstate = rngstate * 6364136223846793005 + 1442695040888963407;
+	return (rngstate >> 33) & 0x7fffffff;
+}
+
+void heapPush(long t, long kind) {
+	if (heapLen >= 1023) { dropped++; return; }
+	long i = heapLen;
+	heapLen++;
+	heapTime[i] = t;
+	heapKind[i] = kind;
+	while (i > 0) {
+		long parent = (i - 1) / 2;
+		if (heapTime[parent] <= heapTime[i]) { break; }
+		long tt = heapTime[parent]; heapTime[parent] = heapTime[i]; heapTime[i] = tt;
+		long kk = heapKind[parent]; heapKind[parent] = heapKind[i]; heapKind[i] = kk;
+		i = parent;
+	}
+}
+
+long heapPop() {
+	long kind = heapKind[0];
+	clockNow = heapTime[0];
+	heapLen--;
+	heapTime[0] = heapTime[heapLen];
+	heapKind[0] = heapKind[heapLen];
+	long i = 0;
+	while (1) {
+		long l = i * 2 + 1;
+		long r = i * 2 + 2;
+		long smallest = i;
+		if (l < heapLen && heapTime[l] < heapTime[smallest]) { smallest = l; }
+		if (r < heapLen && heapTime[r] < heapTime[smallest]) { smallest = r; }
+		if (smallest == i) { break; }
+		long tt = heapTime[smallest]; heapTime[smallest] = heapTime[i]; heapTime[i] = tt;
+		long kk = heapKind[smallest]; heapKind[smallest] = heapKind[i]; heapKind[i] = kk;
+		i = smallest;
+	}
+	return kind;
+}
+
+long routeTable[64];
+
+void handlePacket(long kind) {
+	delivered++;
+	// Route lookup + per-hop bookkeeping, inlined as the simulator kernel
+	// would be.
+	long h = clockNow * 2654435761 + kind;
+	for (long j = 0; j < 40; j++) {
+		long slot = (h + j) & 63;
+		routeTable[slot] = (routeTable[slot] * 3 + j) & 0xffff;
+		h = h ^ (routeTable[slot] << 1);
+	}
+	heapPush(clockNow + 1 + (h & 31), (kind + 1) & 3);
+	if ((h & 255) < 40) {
+		heapPush(clockNow + 2 + (h & 15), (kind + 2) & 3);
+	}
+}
+
+void handleTimer() {
+	long h = clockNow * 40503 + 7;
+	for (long j = 0; j < 24; j++) {
+		h = h * 31 + j;
+		h = h ^ (h >> 9);
+	}
+	if ((h & 3) != 3) {
+		heapPush(clockNow + 5 + (h & 15), 1);   // re-inject traffic
+	}
+}
+
+long main() {
+	rngstate = 8086;
+	heapLen = 0;
+	clockNow = 0;
+	delivered = 0;
+	dropped = 0;
+	for (long i = 0; i < 120; i++) {
+		heapPush(xrand() & 255, xrand() & 3);
+	}
+	long events = 0;
+	while (heapLen > 0 && events < 8000) {
+		long kind = heapPop();
+		if (kind == 0) { handleTimer(); }
+		else { handlePacket(kind); }
+		events++;
+	}
+	return (delivered * 7 + dropped * 3 + clockNow + events) & 0x7fffffff;
+}
+`
+
+const srcAstar = `
+// 473.astar model: best-first grid path-finding with Manhattan heuristic.
+char grid[4096];
+long gScore[4096];
+long openList[2048];
+long openCount;
+long rngstate;
+
+long xrand() {
+	rngstate = rngstate * 6364136223846793005 + 1442695040888963407;
+	return (rngstate >> 33) & 0x7fffffff;
+}
+
+void genGrid() {
+	for (long i = 0; i < 4096; i++) {
+		if ((xrand() % 10) < 3) { grid[i] = 1; }
+		else { grid[i] = 0; }
+		gScore[i] = 1 << 30;
+	}
+	grid[0] = 0;
+	grid[4095] = 0;
+}
+
+long popBest() {
+	long bestI = 0;
+	long bestF = 1 << 30;
+	for (long i = 0; i < openCount; i++) {
+		long q = openList[i];
+		long f = gScore[q] + (63 - q / 64) + (63 - q % 64);
+		if (f < bestF) { bestF = f; bestI = i; }
+	}
+	long p = openList[bestI];
+	openCount--;
+	openList[bestI] = openList[openCount];
+	return p;
+}
+
+long searchOnce() {
+	openCount = 0;
+	gScore[0] = 0;
+	openList[0] = 0;
+	openCount = 1;
+	long expanded = 0;
+	while (openCount > 0 && expanded < 1200) {
+		long p = popBest();
+		expanded++;
+		if (p == 4095) { return gScore[p]; }
+		long r = p / 64;
+		long c = p % 64;
+		for (long d = 0; d < 4; d++) {
+			long np = p;
+			if (d == 0 && r > 0) { np = p - 64; }
+			if (d == 1 && r < 63) { np = p + 64; }
+			if (d == 2 && c > 0) { np = p - 1; }
+			if (d == 3 && c < 63) { np = p + 1; }
+			if (np == p || grid[np]) { continue; }
+			long ng = gScore[p] + 1;
+			if (ng < gScore[np]) {
+				gScore[np] = ng;
+				if (openCount < 2047) {
+					openList[openCount] = np;
+					openCount++;
+				}
+			}
+		}
+	}
+	return expanded;
+}
+
+long main() {
+	rngstate = 64222;
+	long sum = 0;
+	for (long map = 0; map < 5; map++) {
+		genGrid();
+		sum += searchOnce();
+	}
+	return sum & 0x7fffffff;
+}
+`
+
+const srcXalancbmk = `
+// 483.xalancbmk model: build an XML-ish element tree, then run recursive
+// transformation passes over it. Small functions, very high call rate.
+long nodeTag[8192];
+long nodeFirst[8192];
+long nodeNext[8192];
+long nodeValue[8192];
+long nodeCount;
+long rngstate;
+
+long xrand() {
+	rngstate = rngstate * 6364136223846793005 + 1442695040888963407;
+	return (rngstate >> 33) & 0x7fffffff;
+}
+
+long newNode(long tag, long value) {
+	long id = nodeCount;
+	nodeCount++;
+	nodeTag[id] = tag;
+	nodeValue[id] = value;
+	nodeFirst[id] = -1;
+	nodeNext[id] = -1;
+	return id;
+}
+
+void addChild(long parent, long child) {
+	nodeNext[child] = nodeFirst[parent];
+	nodeFirst[parent] = child;
+}
+
+long buildTree(long depth, long fanout) {
+	long id = newNode(xrand() & 15, xrand() & 255);
+	if (depth == 0) { return id; }
+	for (long i = 0; i < fanout; i++) {
+		if (nodeCount >= 8000) { break; }
+		addChild(id, buildTree(depth - 1, fanout));
+	}
+	return id;
+}
+
+long renameTag(long tag) { return (tag * 7 + 3) & 15; }
+
+long transform(long id) {
+	long acc = nodeValue[id];
+	nodeTag[id] = renameTag(nodeTag[id]);
+	// Attribute-string canonicalization per node (inlined hash loop).
+	long h = acc | 1;
+	for (long j = 0; j < 26; j++) {
+		h = h * 131 + j;
+		h = h ^ (h >> 11);
+	}
+	acc += h & 7;
+	long c = nodeFirst[id];
+	while (c >= 0) {
+		acc += transform(c);
+		c = nodeNext[c];
+	}
+	nodeValue[id] = acc & 0xffff;
+	return acc & 0xffff;
+}
+
+long countTag(long id, long tag) {
+	long n = 0;
+	if (nodeTag[id] == tag) { n = 1; }
+	long h = id * 2654435761 + tag;
+	for (long j = 0; j < 20; j++) {
+		h = h * 33 + j;
+		h = h ^ (h >> 7);
+	}
+	n += (h & 1) - (h & 1);
+	long c = nodeFirst[id];
+	while (c >= 0) {
+		n += countTag(c, tag);
+		c = nodeNext[c];
+	}
+	return n;
+}
+
+long main() {
+	rngstate = 3141592;
+	long sum = 0;
+	for (long doc = 0; doc < 2; doc++) {
+		nodeCount = 0;
+		long root = buildTree(6, 3);
+		for (long pass = 0; pass < 3; pass++) {
+			sum += transform(root);
+		}
+		for (long tag = 0; tag < 16; tag++) {
+			sum += countTag(root, tag) * tag;
+		}
+	}
+	return sum & 0x7fffffff;
+}
+`
