@@ -1,0 +1,27 @@
+# Build / verification entry points. `make ci` is the gate every change
+# must pass: compile, vet, and the full test suite under the race
+# detector (the parallel experiment pipeline makes -race load-bearing).
+GO ?= go
+
+# The workload and harness packages run whole experiment grids; under
+# -race they need far more than the 10-minute default.
+RACE_TIMEOUT ?= 3600s
+
+.PHONY: ci build vet test race bench
+
+ci: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -timeout $(RACE_TIMEOUT) ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run='^$$' .

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/attack"
+	"repro/internal/harness"
 	"repro/internal/layout"
 	"repro/internal/pbox"
 	"repro/internal/rng"
@@ -176,6 +177,46 @@ func BenchmarkLayoutDraw(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				_ = eng.Layout(fn)
+			}
+		})
+	}
+}
+
+// BenchmarkPlanBuild measures Smokestack's compile-time half — P-BOX +
+// entry construction for one program — cold versus through the shared
+// plan cache the experiment pipeline uses (a cached plan is a map lookup).
+func BenchmarkPlanBuild(b *testing.B) {
+	w, _ := workload.ByName("perlbench")
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = layout.NewSmokestackPlan(w.Prog(), nil)
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		planCache := layout.NewPlanCache()
+		opts := &layout.SmokestackOptions{TableCache: pbox.NewCache()}
+		for i := 0; i < b.N; i++ {
+			_ = planCache.Plan(w.Prog(), opts)
+		}
+	})
+}
+
+// BenchmarkFig4Pipeline runs the whole Fig 4 experiment through the
+// exp.Runner pipeline serially and at GOMAXPROCS — the speedup ratio is
+// the pipeline's payoff, while TestParallelMatchesSerial guarantees both
+// settings produce identical records.
+func BenchmarkFig4Pipeline(b *testing.B) {
+	for _, par := range []int{1, 0} {
+		name := "serial"
+		if par == 0 {
+			name = "gomaxprocs"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := harness.Config{Seed: 42, Parallel: par}
+			for i := 0; i < b.N; i++ {
+				if _, err := harness.Run(cfg, "fig4"); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

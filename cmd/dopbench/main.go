@@ -2,8 +2,13 @@
 //
 // Usage:
 //
-//	dopbench -exp fig3|fig4|table1|pentest|bypass|cve|ablation-rng|ablation-pbox|all
-//	         [-seed N] [-jitter]
+//	dopbench -exp fig3|fig4|table1|pentest|bypass|cve|ablation-rng|ablation-pbox|entropy|all
+//	         [-seed N] [-jitter] [-parallel N] [-json]
+//
+// All experiments run through one shared exp.Runner worker pool; -parallel
+// bounds the pool (0 = GOMAXPROCS, 1 = serial) and never changes results —
+// every cell derives its randomness from the run seed alone. -json swaps
+// the paper-style tables for one JSON record per experiment cell on stdout.
 package main
 
 import (
@@ -11,48 +16,65 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/exp"
 	"repro/internal/harness"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig3, fig4, table1, pentest, bypass, cve, ablation-rng, ablation-pbox, entropy, all")
+	expName := flag.String("exp", "all", "experiment: fig3, fig4, table1, pentest, bypass, cve, ablation-rng, ablation-pbox, entropy, all")
 	seed := flag.Uint64("seed", 42, "seed for all deterministic random streams")
 	jitter := flag.Bool("jitter", true, "enable the instruction-scheduling perturbation model in fig3")
+	parallel := flag.Int("parallel", 0, "worker pool size for experiment cells (0 = GOMAXPROCS, 1 = serial)")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON records (one per line) instead of tables")
 	flag.Parse()
 
-	cfg := harness.Config{Seed: *seed, Jitter: *jitter, Out: os.Stdout}
+	cfg := harness.Config{Seed: *seed, Jitter: *jitter, Out: os.Stdout, Parallel: *parallel}
 
-	exps := map[string]func(harness.Config) error{
-		"fig3":          harness.PrintFig3,
-		"fig4":          harness.PrintFig4,
-		"table1":        harness.PrintTable1,
-		"pentest":       harness.PrintPentest,
-		"bypass":        harness.PrintBypass,
-		"cve":           harness.PrintCVE,
-		"ablation-rng":  harness.PrintAblationRNG,
-		"ablation-pbox": harness.PrintPBoxAblation,
-		"entropy":       harness.PrintEntropyCurve,
-	}
-	order := []string{"table1", "fig3", "fig4", "pentest", "bypass", "cve", "ablation-rng", "ablation-pbox", "entropy"}
-
-	run := func(name string) {
-		fmt.Printf("================ %s ================\n", name)
-		if err := exps[name](cfg); err != nil {
-			fmt.Fprintf(os.Stderr, "dopbench: %s: %v\n", name, err)
-			os.Exit(1)
+	var names []string
+	if *expName != "all" {
+		if _, ok := harness.ExperimentByName(*expName); !ok {
+			var known []string
+			for _, e := range harness.Experiments() {
+				known = append(known, e.Name)
+			}
+			fmt.Fprintf(os.Stderr, "dopbench: unknown experiment %q (want one of %v or all)\n", *expName, known)
+			os.Exit(2)
 		}
-		fmt.Println()
+		names = []string{*expName}
 	}
 
-	if *exp == "all" {
-		for _, name := range order {
-			run(name)
-		}
-		return
-	}
-	if _, ok := exps[*exp]; !ok {
-		fmt.Fprintf(os.Stderr, "dopbench: unknown experiment %q (want one of %v or all)\n", *exp, order)
+	// One harness.Run call: whether it's a single figure or the whole
+	// suite, every cell goes through the same shared worker pool and the
+	// same build caches.
+	recs, err := harness.Run(cfg, names...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dopbench: %v\n", err)
 		os.Exit(2)
 	}
-	run(*exp)
+
+	if *asJSON {
+		if err := exp.WriteJSON(os.Stdout, recs); err != nil {
+			fmt.Fprintf(os.Stderr, "dopbench: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		exps := harness.Experiments()
+		if len(names) == 1 {
+			e, _ := harness.ExperimentByName(names[0])
+			exps = []harness.Experiment{e}
+		}
+		for _, e := range exps {
+			fmt.Printf("================ %s ================\n", e.Name)
+			e.Render(os.Stdout, recs)
+			fmt.Println()
+		}
+	}
+
+	// Per-cell failures are embedded in the records (and rendered with
+	// their cell identity above); surface them on stderr and the exit code
+	// without having aborted the healthy cells.
+	if err := exp.Errors(recs); err != nil {
+		fmt.Fprintf(os.Stderr, "dopbench: %v\n", err)
+		os.Exit(1)
+	}
 }

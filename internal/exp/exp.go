@@ -1,0 +1,176 @@
+// Package exp is the experiment execution pipeline: it separates what an
+// experiment computes from how the result is presented. Experiments are
+// decomposed into independent Cells — self-contained, deterministically
+// seeded units of work such as "one Fig 3 workload row" or "one
+// (scenario, engine) attack campaign" — and a Runner executes them on a
+// bounded worker pool. Cells communicate only through their seeds, so a
+// parallel run is byte-identical to a serial run: the Runner's one hard
+// invariant.
+//
+// Results are typed Records (identity labels + numeric values), never
+// printed tables; table renderers and the JSON encoder layer on top. This
+// is the machine-readable output path that lets tooling consume
+// experiment trajectories directly instead of scraping formatted text.
+package exp
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Record is one experiment result: the cell's identity plus its measured
+// quantities. Maps keep renderers generic; encoding/json sorts map keys,
+// so serialized records are deterministic.
+type Record struct {
+	// Experiment names the figure/table the record belongs to (fig3, ...).
+	Experiment string `json:"experiment"`
+	// Cell identifies the producing cell within the experiment, e.g.
+	// "perlbench" or "listing1/staticrand".
+	Cell string `json:"cell"`
+	// Labels carry the cell's categorical identity (workload, scheme,
+	// variant, ...).
+	Labels map[string]string `json:"labels,omitempty"`
+	// Values carry the measured numeric quantities.
+	Values map[string]float64 `json:"values,omitempty"`
+	// Err is the cell's failure, if any ("" = success). Failed cells
+	// surface here instead of aborting the whole experiment.
+	Err string `json:"err,omitempty"`
+}
+
+// Value returns the named value (0 when absent).
+func (r Record) Value(name string) float64 { return r.Values[name] }
+
+// Label returns the named label ("" when absent).
+func (r Record) Label(name string) string { return r.Labels[name] }
+
+// Cell is one independent unit of experiment work. Run must be
+// self-contained: any randomness must derive from seeds captured at cell
+// construction, never from shared mutable streams, so that execution
+// order cannot influence the result.
+type Cell struct {
+	// Experiment and Name identify the cell (and its error records).
+	Experiment string
+	Name       string
+	// Run computes the cell's records.
+	Run func() ([]Record, error)
+}
+
+// Runner executes cells on a bounded worker pool.
+type Runner struct {
+	// Workers bounds concurrent cells; <= 0 selects GOMAXPROCS, 1 is
+	// strictly serial.
+	Workers int
+}
+
+// workers resolves the effective pool size for n cells.
+func (r *Runner) workers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if r != nil && r.Workers > 0 {
+		w = r.Workers
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes every cell and returns the records flattened in cell
+// order — the order is a function of the input alone, never of
+// scheduling. A cell that returns an error (or panics) contributes a
+// single Record carrying its identity and the failure; the other cells
+// still run.
+func (r *Runner) Run(cells []Cell) []Record {
+	perCell := make([][]Record, len(cells))
+	w := r.workers(len(cells))
+	if w == 1 {
+		for i := range cells {
+			perCell[i] = runCell(cells[i])
+		}
+	} else {
+		var next atomic.Int64
+		next.Store(-1)
+		var wg sync.WaitGroup
+		for g := 0; g < w; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1))
+					if i >= len(cells) {
+						return
+					}
+					perCell[i] = runCell(cells[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	var out []Record
+	for _, recs := range perCell {
+		out = append(out, recs...)
+	}
+	return out
+}
+
+// runCell executes one cell, converting errors and panics into an error
+// record so one bad cell cannot take down the figure.
+func runCell(c Cell) (recs []Record) {
+	defer func() {
+		if p := recover(); p != nil {
+			recs = []Record{{Experiment: c.Experiment, Cell: c.Name, Err: fmt.Sprintf("panic: %v", p)}}
+		}
+	}()
+	recs, err := c.Run()
+	if err != nil {
+		return []Record{{Experiment: c.Experiment, Cell: c.Name, Err: err.Error()}}
+	}
+	return recs
+}
+
+// Filter returns the records belonging to one experiment, preserving
+// order.
+func Filter(recs []Record, experiment string) []Record {
+	var out []Record
+	for _, r := range recs {
+		if r.Experiment == experiment {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Errors joins every failed record into one error carrying the cell
+// identities, or nil when all cells succeeded.
+func Errors(recs []Record) error {
+	var errs []error
+	for _, r := range recs {
+		if r.Err != "" {
+			errs = append(errs, fmt.Errorf("%s/%s: %s", r.Experiment, r.Cell, r.Err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// WriteJSON emits records as JSON lines (one object per line), the
+// machine-readable form of every table and figure. Map keys serialize
+// sorted, so output bytes are deterministic for deterministic records.
+func WriteJSON(w io.Writer, recs []Record) error {
+	for _, r := range recs {
+		b, err := json.Marshal(r)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			return err
+		}
+	}
+	return nil
+}

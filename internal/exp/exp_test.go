@@ -1,0 +1,120 @@
+package exp_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+// numberedCells builds n cells each emitting one record tagged with its
+// index.
+func numberedCells(n int) []exp.Cell {
+	cells := make([]exp.Cell, n)
+	for i := range cells {
+		i := i
+		cells[i] = exp.Cell{
+			Experiment: "t",
+			Name:       fmt.Sprintf("c%03d", i),
+			Run: func() ([]exp.Record, error) {
+				return []exp.Record{{
+					Experiment: "t",
+					Cell:       fmt.Sprintf("c%03d", i),
+					Values:     map[string]float64{"i": float64(i)},
+				}}, nil
+			},
+		}
+	}
+	return cells
+}
+
+func TestRunnerPreservesCellOrder(t *testing.T) {
+	cells := numberedCells(64)
+	serial := (&exp.Runner{Workers: 1}).Run(cells)
+	parallel := (&exp.Runner{Workers: 8}).Run(cells)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel records differ from serial")
+	}
+	for i, r := range parallel {
+		if r.Value("i") != float64(i) {
+			t.Fatalf("record %d out of order: %+v", i, r)
+		}
+	}
+}
+
+func TestRunnerCapturesErrorsAndPanics(t *testing.T) {
+	cells := []exp.Cell{
+		numberedCells(1)[0],
+		{Experiment: "t", Name: "bad", Run: func() ([]exp.Record, error) {
+			return nil, errors.New("boom")
+		}},
+		{Experiment: "t", Name: "worse", Run: func() ([]exp.Record, error) {
+			panic("kaboom")
+		}},
+	}
+	recs := (&exp.Runner{Workers: 4}).Run(cells)
+	if len(recs) != 3 {
+		t.Fatalf("got %d records, want 3", len(recs))
+	}
+	if recs[1].Cell != "bad" || recs[1].Err != "boom" {
+		t.Errorf("error record wrong: %+v", recs[1])
+	}
+	if recs[2].Cell != "worse" || !strings.Contains(recs[2].Err, "kaboom") {
+		t.Errorf("panic record wrong: %+v", recs[2])
+	}
+	err := exp.Errors(recs)
+	if err == nil {
+		t.Fatal("Errors should aggregate failures")
+	}
+	for _, frag := range []string{"t/bad: boom", "t/worse: panic: kaboom"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("aggregate error missing %q: %v", frag, err)
+		}
+	}
+	if exp.Errors(recs[:1]) != nil {
+		t.Error("Errors should be nil for clean records")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	recs := []exp.Record{
+		{Experiment: "a", Cell: "1"},
+		{Experiment: "b", Cell: "2"},
+		{Experiment: "a", Cell: "3"},
+	}
+	got := exp.Filter(recs, "a")
+	if len(got) != 2 || got[0].Cell != "1" || got[1].Cell != "3" {
+		t.Fatalf("filter wrong: %+v", got)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	recs := []exp.Record{
+		{
+			Experiment: "fig3",
+			Cell:       "perlbench",
+			Labels:     map[string]string{"workload": "perlbench", "kind": "cpu"},
+			Values:     map[string]float64{"baseline_cycles": 100, "overhead_pct/aes-10": 10.5},
+		},
+		{Experiment: "fig3", Cell: "gobmk", Err: "step limit"},
+	}
+	var buf bytes.Buffer
+	if err := exp.WriteJSON(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	want0 := `{"experiment":"fig3","cell":"perlbench","labels":{"kind":"cpu","workload":"perlbench"},"values":{"baseline_cycles":100,"overhead_pct/aes-10":10.5}}`
+	if lines[0] != want0 {
+		t.Errorf("line 0:\n got %s\nwant %s", lines[0], want0)
+	}
+	if !strings.Contains(lines[1], `"err":"step limit"`) {
+		t.Errorf("line 1 missing err: %s", lines[1])
+	}
+}

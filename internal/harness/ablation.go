@@ -5,7 +5,9 @@ package harness
 
 import (
 	"fmt"
+	"io"
 
+	"repro/internal/exp"
 	"repro/internal/layout"
 	"repro/internal/pbox"
 	"repro/internal/rng"
@@ -49,62 +51,114 @@ func pboxVariants() []struct {
 	}
 }
 
-// PBoxAblation measures each variant over the given workloads.
-func PBoxAblation(cfg Config, workloads []*workload.Workload) ([]PBoxAblationRow, error) {
-	var rows []PBoxAblationRow
-	for _, w := range workloads {
-		base, err := runOnce(w, layout.NewFixed(), hashSeed(cfg.Seed, w.Name, "ab-base"), 0)
-		if err != nil {
-			return nil, err
-		}
-		baseCycles := base.Stats().Cycles
-		for _, v := range pboxVariants() {
-			seed := hashSeed(cfg.Seed, w.Name, "ab", v.Name)
-			src, err := rng.NewByName("aes-10", seed, rng.SeededTRNG(seed))
-			if err != nil {
-				return nil, err
-			}
-			eng := layout.NewSmokestack(w.Prog(), src, &layout.SmokestackOptions{
-				PBox: v.Cfg, Guard: true, MaxVLAPad: 256,
-			})
-			m, err := runOnce(w, eng, seed+1, 0)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, PBoxAblationRow{
-				Workload:            w.Name,
-				Variant:             v.Name,
-				Bytes:               eng.Box().TotalBytes(),
-				Tables:              eng.Box().TableCount(),
-				Shared:              eng.Box().SharedCount(),
-				PrologueOverheadPct: (m.Stats().Cycles - baseCycles) / baseCycles * 100,
-			})
-		}
-	}
-	return rows, nil
-}
+// ablationSubset is the representative workload subset the registry runs.
+var ablationSubset = []string{"perlbench", "h264ref", "xalancbmk", "gobmk"}
 
-// PrintPBoxAblation runs the ablation over a representative workload
-// subset.
-func PrintPBoxAblation(cfg Config) error {
-	subset := []*workload.Workload{}
-	for _, name := range []string{"perlbench", "h264ref", "xalancbmk", "gobmk"} {
+// ablationPBoxCells builds the registry cells over the default subset.
+func ablationPBoxCells(cfg Config) []exp.Cell {
+	var subset []*workload.Workload
+	for _, name := range ablationSubset {
 		if w, ok := workload.ByName(name); ok {
 			subset = append(subset, w)
 		}
 	}
-	rows, err := PBoxAblation(cfg, subset)
-	if err != nil {
-		return err
+	return pboxAblationCellsFor(cfg, subset)
+}
+
+// pboxAblationCellsFor produces one cell per workload; each cell runs the
+// fixed baseline plus every P-BOX variant.
+func pboxAblationCellsFor(cfg Config, workloads []*workload.Workload) []exp.Cell {
+	var cells []exp.Cell
+	for _, w := range workloads {
+		w := w
+		cells = append(cells, exp.Cell{
+			Experiment: "ablation-pbox",
+			Name:       w.Name,
+			Run:        func() ([]exp.Record, error) { return pboxAblationCell(cfg, w) },
+		})
 	}
-	w := cfg.out()
+	return cells
+}
+
+// pboxAblationCell measures all variants over one workload.
+func pboxAblationCell(cfg Config, w *workload.Workload) ([]exp.Record, error) {
+	base, err := runOnce(w, layout.NewFixed(), hashSeed(cfg.Seed, w.Name, "ab-base"), 0)
+	if err != nil {
+		return nil, err
+	}
+	baseCycles := base.Stats().Cycles
+	var recs []exp.Record
+	for _, v := range pboxVariants() {
+		seed := hashSeed(cfg.Seed, w.Name, "ab", v.Name)
+		src, err := rng.NewByName("aes-10", seed, rng.SeededTRNG(seed))
+		if err != nil {
+			return nil, fmt.Errorf("variant %s: %w", v.Name, err)
+		}
+		eng := smokestackPlan(w.Prog(), &layout.SmokestackOptions{
+			PBox: v.Cfg, Guard: true, MaxVLAPad: 256,
+		}).NewEngine(src)
+		m, err := runOnce(w, eng, seed+1, 0)
+		if err != nil {
+			return nil, fmt.Errorf("variant %s: %w", v.Name, err)
+		}
+		recs = append(recs, exp.Record{
+			Experiment: "ablation-pbox",
+			Cell:       w.Name + "/" + v.Name,
+			Labels:     map[string]string{"workload": w.Name, "variant": v.Name},
+			Values: map[string]float64{
+				"pbox_bytes":            float64(eng.Box().TotalBytes()),
+				"tables":                float64(eng.Box().TableCount()),
+				"shared_entries":        float64(eng.Box().SharedCount()),
+				"prologue_overhead_pct": (m.Stats().Cycles - baseCycles) / baseCycles * 100,
+			},
+		})
+	}
+	return recs, nil
+}
+
+// pboxAblationRows rebuilds typed rows from records.
+func pboxAblationRows(recs []exp.Record) []PBoxAblationRow {
+	var rows []PBoxAblationRow
+	for _, r := range exp.Filter(recs, "ablation-pbox") {
+		if r.Err != "" {
+			continue
+		}
+		rows = append(rows, PBoxAblationRow{
+			Workload:            r.Label("workload"),
+			Variant:             r.Label("variant"),
+			Bytes:               int64(r.Value("pbox_bytes")),
+			Tables:              int(r.Value("tables")),
+			Shared:              int(r.Value("shared_entries")),
+			PrologueOverheadPct: r.Value("prologue_overhead_pct"),
+		})
+	}
+	return rows
+}
+
+// PBoxAblation measures each variant over the given workloads.
+func PBoxAblation(cfg Config, workloads []*workload.Workload) ([]PBoxAblationRow, error) {
+	recs := cfg.runner().Run(pboxAblationCellsFor(cfg, workloads))
+	return pboxAblationRows(recs), exp.Errors(recs)
+}
+
+// RenderPBoxAblation writes the E8 table.
+func RenderPBoxAblation(w io.Writer, recs []exp.Record) {
+	recs = exp.Filter(recs, "ablation-pbox")
 	fmt.Fprintln(w, "Ablation: P-BOX optimizations (paper §III-E)")
 	fmt.Fprintln(w, "pow2 rows trade memory for a mask instead of a modulo; table sharing and")
 	fmt.Fprintln(w, "allocation round-up shrink the P-BOX.")
 	fmt.Fprintf(w, "%-12s %-10s %10s %7s %7s %10s\n", "benchmark", "variant", "P-BOX", "tables", "shared", "AES-10 ovh")
-	for _, r := range rows {
+	for _, r := range pboxAblationRows(recs) {
 		fmt.Fprintf(w, "%-12s %-10s %9dB %7d %7d %9.1f%%\n",
 			r.Workload, r.Variant, r.Bytes, r.Tables, r.Shared, r.PrologueOverheadPct)
 	}
-	return nil
+	for _, r := range recs {
+		if r.Err != "" {
+			fmt.Fprintf(w, "%-12s ERROR: %s\n", r.Cell, r.Err)
+		}
+	}
 }
+
+// PrintPBoxAblation runs the ablation over a representative workload
+// subset and renders it.
+func PrintPBoxAblation(cfg Config) error { return printOne(cfg, "ablation-pbox") }

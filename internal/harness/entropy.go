@@ -9,10 +9,11 @@ package harness
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/attack"
 	"repro/internal/attack/corpus"
-	"repro/internal/layout"
+	"repro/internal/exp"
 	"repro/internal/rng"
 )
 
@@ -32,58 +33,120 @@ type EntropyRow struct {
 	SuccessPct float64
 }
 
-// EntropyCurve measures the exploit's success rate at each sweep point.
-// Unlike Scenario.Run it does not stop at the first success: the quantity
-// of interest is the rate.
-func EntropyCurve(cfg Config, spills []int, attempts int) ([]EntropyRow, error) {
-	var rows []EntropyRow
+// defaultEntropyGrid is the sweep the registry (and CLI) runs.
+var (
+	defaultEntropySpills   = []int{0, 1, 2, 4, 8, 16}
+	defaultEntropyAttempts = 300
+)
+
+// entropyCells builds the registry cells over the default grid.
+func entropyCells(cfg Config) []exp.Cell {
+	return entropyCellsFor(cfg, defaultEntropySpills, defaultEntropyAttempts)
+}
+
+// entropyCellsFor produces one cell per sweep point. Unlike Scenario.Run
+// a cell does not stop at the first success: the quantity of interest is
+// the rate.
+func entropyCellsFor(cfg Config, spills []int, attempts int) []exp.Cell {
+	var cells []exp.Cell
 	for _, k := range spills {
-		p := corpus.Listing1WithSpills(k)
-		s := attack.DirectStackScenario(p)
-		seed := hashSeed(cfg.Seed, "entropy", fmt.Sprint(k))
-		src, err := rng.NewByName("aes-10", seed, rng.SeededTRNG(seed))
+		k := k
+		cells = append(cells, exp.Cell{
+			Experiment: "entropy",
+			Name:       fmt.Sprintf("spills=%d", k),
+			Run:        func() ([]exp.Record, error) { return entropyCell(cfg, k, attempts) },
+		})
+	}
+	return cells
+}
+
+// entropyCell measures one sweep point.
+func entropyCell(cfg Config, k, attempts int) ([]exp.Record, error) {
+	p := corpus.Listing1WithSpills(k)
+	s := attack.DirectStackScenario(p)
+	seed := hashSeed(cfg.Seed, "entropy", fmt.Sprint(k))
+	src, err := rng.NewByName("aes-10", seed, rng.SeededTRNG(seed))
+	if err != nil {
+		return nil, err
+	}
+	eng := smokestackPlan(p.Prog, nil).NewEngine(src)
+	d := &attack.Deployment{Program: p, Engine: eng, TRNG: rng.SeededTRNG(seed + 1)}
+	var successes, detected, crashed int
+	for i := 0; i < attempts; i++ {
+		out, err := s.Attempt(d)
 		if err != nil {
 			return nil, err
 		}
-		eng := layout.NewSmokestack(p.Prog, src, nil)
-		d := &attack.Deployment{Program: p, Engine: eng, TRNG: rng.SeededTRNG(seed + 1)}
-		row := EntropyRow{Spills: k, Objects: 5 + k + 1, Attempts: attempts}
-		for i := 0; i < attempts; i++ {
-			out, err := s.Attempt(d)
-			if err != nil {
-				return nil, err
-			}
-			switch out {
-			case attack.Success:
-				row.Successes++
-			case attack.Detected:
-				row.Detected++
-			case attack.Crashed:
-				row.Crashed++
-			}
+		switch out {
+		case attack.Success:
+			successes++
+		case attack.Detected:
+			detected++
+		case attack.Crashed:
+			crashed++
 		}
-		row.SuccessPct = float64(row.Successes) / float64(attempts) * 100
-		rows = append(rows, row)
 	}
-	return rows, nil
+	return []exp.Record{{
+		Experiment: "entropy",
+		Cell:       fmt.Sprintf("spills=%d", k),
+		Labels:     map[string]string{"program": p.Name},
+		Values: map[string]float64{
+			"spills":      float64(k),
+			"objects":     float64(5 + k + 1),
+			"attempts":    float64(attempts),
+			"successes":   float64(successes),
+			"detected":    float64(detected),
+			"crashed":     float64(crashed),
+			"success_pct": float64(successes) / float64(attempts) * 100,
+		},
+	}}, nil
 }
 
-// PrintEntropyCurve runs the sweep with the default grid.
-func PrintEntropyCurve(cfg Config) error {
-	rows, err := EntropyCurve(cfg, []int{0, 1, 2, 4, 8, 16}, 300)
-	if err != nil {
-		return err
+// entropyRows rebuilds typed rows from records.
+func entropyRows(recs []exp.Record) []EntropyRow {
+	var rows []EntropyRow
+	for _, r := range exp.Filter(recs, "entropy") {
+		if r.Err != "" {
+			continue
+		}
+		rows = append(rows, EntropyRow{
+			Spills:     int(r.Value("spills")),
+			Objects:    int(r.Value("objects")),
+			Attempts:   int(r.Value("attempts")),
+			Successes:  int(r.Value("successes")),
+			Detected:   int(r.Value("detected")),
+			Crashed:    int(r.Value("crashed")),
+			SuccessPct: r.Value("success_pct"),
+		})
 	}
-	w := cfg.out()
+	return rows
+}
+
+// EntropyCurve measures the exploit's success rate at each sweep point.
+func EntropyCurve(cfg Config, spills []int, attempts int) ([]EntropyRow, error) {
+	recs := cfg.runner().Run(entropyCellsFor(cfg, spills, attempts))
+	return entropyRows(recs), exp.Errors(recs)
+}
+
+// RenderEntropyCurve writes the E9 table.
+func RenderEntropyCurve(w io.Writer, recs []exp.Record) {
+	recs = exp.Filter(recs, "entropy")
 	fmt.Fprintln(w, "Entropy curve (extension E9): Listing 1 brute-force bypass rate vs.")
 	fmt.Fprintln(w, "frame object count under smokestack+aes-10 (300 attempts per point)")
 	fmt.Fprintf(w, "%8s %8s %10s %10s %9s %9s\n", "spills", "objects", "bypass", "detected", "crashed", "failed")
-	for _, r := range rows {
+	for _, r := range entropyRows(recs) {
 		fmt.Fprintf(w, "%8d %8d %9.1f%% %10d %9d %9d\n",
 			r.Spills, r.Objects, r.SuccessPct, r.Detected, r.Crashed,
 			r.Attempts-r.Successes-r.Detected-r.Crashed)
 	}
+	for _, r := range recs {
+		if r.Err != "" {
+			fmt.Fprintf(w, "%8s ERROR: %s\n", r.Cell, r.Err)
+		}
+	}
 	fmt.Fprintln(w, "expected: bypass rate collapses as objects (hence permutations) grow —")
 	fmt.Fprintln(w, "the quantitative form of the paper's §II entropy argument.")
-	return nil
 }
+
+// PrintEntropyCurve runs the sweep with the default grid and renders it.
+func PrintEntropyCurve(cfg Config) error { return printOne(cfg, "entropy") }

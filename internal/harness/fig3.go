@@ -6,7 +6,9 @@ package harness
 
 import (
 	"fmt"
+	"io"
 
+	"repro/internal/exp"
 	"repro/internal/layout"
 	"repro/internal/workload"
 )
@@ -19,40 +21,87 @@ type Fig3Row struct {
 	Overheads map[string]float64
 }
 
-// Fig3 runs the performance-overhead experiment and returns one row per
-// workload plus the CPU-suite averages keyed by scheme.
-func Fig3(cfg Config) ([]Fig3Row, map[string]float64, error) {
+// kindLabel / kindOf translate workload.Kind to/from record labels.
+func kindLabel(k workload.Kind) string {
+	if k == workload.IO {
+		return "io"
+	}
+	return "cpu"
+}
+
+func kindOf(label string) workload.Kind {
+	if label == "io" {
+		return workload.IO
+	}
+	return workload.CPU
+}
+
+// fig3Cells produces one cell per workload; each cell runs the fixed
+// baseline plus all four schemes under its own derived seeds.
+func fig3Cells(cfg Config) []exp.Cell {
+	var cells []exp.Cell
+	for _, w := range workload.All() {
+		w := w
+		cells = append(cells, exp.Cell{
+			Experiment: "fig3",
+			Name:       w.Name,
+			Run:        func() ([]exp.Record, error) { return fig3Cell(cfg, w) },
+		})
+	}
+	return cells
+}
+
+// fig3Cell measures one workload row.
+func fig3Cell(cfg Config, w *workload.Workload) ([]exp.Record, error) {
+	base, err := runOnce(w, layout.NewFixed(), hashSeed(cfg.Seed, w.Name, "base"), 0)
+	if err != nil {
+		return nil, err
+	}
+	baseline := base.Stats().Cycles
+	rec := exp.Record{
+		Experiment: "fig3",
+		Cell:       w.Name,
+		Labels:     map[string]string{"workload": w.Name, "kind": kindLabel(w.Kind)},
+		Values:     map[string]float64{"baseline_cycles": baseline},
+	}
+	for _, scheme := range Schemes {
+		eng, err := smokestackEngine(scheme, w.Prog(), hashSeed(cfg.Seed, w.Name, scheme))
+		if err != nil {
+			return nil, fmt.Errorf("scheme %s: %w", scheme, err)
+		}
+		amp := 0.0
+		if cfg.Jitter {
+			amp = 0.026
+		}
+		m, err := runOnce(w, eng, hashSeed(cfg.Seed, w.Name, scheme, "run"), amp)
+		if err != nil {
+			return nil, fmt.Errorf("scheme %s: %w", scheme, err)
+		}
+		rec.Values["overhead_pct/"+scheme] = (m.Stats().Cycles - baseline) / baseline * 100
+	}
+	return []exp.Record{rec}, nil
+}
+
+// fig3Rows rebuilds typed rows plus the CPU-suite averages from records.
+// The averages map is empty when no CPU row succeeded (never NaN).
+func fig3Rows(recs []exp.Record) ([]Fig3Row, map[string]float64) {
 	var rows []Fig3Row
 	sums := make(map[string]float64)
 	cpuCount := 0
-	for _, w := range workload.All() {
-		base, err := runOnce(w, layout.NewFixed(), hashSeed(cfg.Seed, w.Name, "base"), 0)
-		if err != nil {
-			return nil, nil, err
+	for _, r := range exp.Filter(recs, "fig3") {
+		if r.Err != "" {
+			continue
 		}
 		row := Fig3Row{
-			Workload:  w.Name,
-			Kind:      w.Kind,
-			Baseline:  base.Stats().Cycles,
+			Workload:  r.Label("workload"),
+			Kind:      kindOf(r.Label("kind")),
+			Baseline:  r.Value("baseline_cycles"),
 			Overheads: make(map[string]float64),
 		}
-		for _, scheme := range Schemes {
-			eng, err := smokestackEngine(scheme, w.Prog(), hashSeed(cfg.Seed, w.Name, scheme))
-			if err != nil {
-				return nil, nil, err
-			}
-			amp := 0.0
-			if cfg.Jitter {
-				amp = 0.026
-			}
-			m, err := runOnce(w, eng, hashSeed(cfg.Seed, w.Name, scheme, "run"), amp)
-			if err != nil {
-				return nil, nil, err
-			}
-			ovh := (m.Stats().Cycles - row.Baseline) / row.Baseline * 100
-			row.Overheads[scheme] = ovh
+		for _, s := range Schemes {
+			row.Overheads[s] = r.Value("overhead_pct/" + s)
 		}
-		if w.Kind == workload.CPU {
+		if row.Kind == workload.CPU {
 			cpuCount++
 			for _, s := range Schemes {
 				sums[s] += row.Overheads[s]
@@ -61,19 +110,31 @@ func Fig3(cfg Config) ([]Fig3Row, map[string]float64, error) {
 		rows = append(rows, row)
 	}
 	avgs := make(map[string]float64)
-	for _, s := range Schemes {
-		avgs[s] = sums[s] / float64(cpuCount)
+	if cpuCount > 0 {
+		for _, s := range Schemes {
+			avgs[s] = sums[s] / float64(cpuCount)
+		}
 	}
-	return rows, avgs, nil
+	return rows, avgs
 }
 
-// PrintFig3 runs and renders the experiment.
-func PrintFig3(cfg Config) error {
-	rows, avgs, err := Fig3(cfg)
+// Fig3 runs the performance-overhead experiment and returns one row per
+// workload plus the CPU-suite averages keyed by scheme. Failed cells are
+// omitted from the rows and aggregated into the returned error.
+func Fig3(cfg Config) ([]Fig3Row, map[string]float64, error) {
+	recs, err := Run(cfg, "fig3")
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
-	w := cfg.out()
+	rows, avgs := fig3Rows(recs)
+	return rows, avgs, exp.Errors(recs)
+}
+
+// RenderFig3 writes the paper-style table for fig3 records, including a
+// line per failed cell.
+func RenderFig3(w io.Writer, recs []exp.Record) {
+	recs = exp.Filter(recs, "fig3")
+	rows, avgs := fig3Rows(recs)
 	fmt.Fprintln(w, "Fig 3: Percentage performance overhead of Smokestack")
 	fmt.Fprintln(w, "(modeled cycles vs. fixed-layout baseline; per RNG scheme)")
 	fmt.Fprintf(w, "%-12s %10s %10s %10s %10s\n", "benchmark", "pseudo", "AES-1", "AES-10", "RDRAND")
@@ -86,8 +147,19 @@ func PrintFig3(cfg Config) error {
 			r.Workload, r.Overheads["pseudo"], r.Overheads["aes-1"],
 			r.Overheads["aes-10"], r.Overheads["rdrand"], tag)
 	}
-	fmt.Fprintf(w, "%-12s %9.1f%% %9.1f%% %9.1f%% %9.1f%%\n",
-		"SPEC mean", avgs["pseudo"], avgs["aes-1"], avgs["aes-10"], avgs["rdrand"])
+	for _, r := range recs {
+		if r.Err != "" {
+			fmt.Fprintf(w, "%-12s ERROR: %s\n", r.Cell, r.Err)
+		}
+	}
+	if len(avgs) > 0 {
+		fmt.Fprintf(w, "%-12s %9.1f%% %9.1f%% %9.1f%% %9.1f%%\n",
+			"SPEC mean", avgs["pseudo"], avgs["aes-1"], avgs["aes-10"], avgs["rdrand"])
+	} else {
+		fmt.Fprintln(w, "SPEC mean     (no CPU rows succeeded)")
+	}
 	fmt.Fprintln(w, "paper:            0.9%       3.3%      10.3%      ~22%  (SPEC2006 averages)")
-	return nil
 }
+
+// PrintFig3 runs and renders the experiment.
+func PrintFig3(cfg Config) error { return printOne(cfg, "fig3") }

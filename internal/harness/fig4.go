@@ -8,7 +8,9 @@ package harness
 
 import (
 	"fmt"
+	"io"
 
+	"repro/internal/exp"
 	"repro/internal/layout"
 	"repro/internal/workload"
 )
@@ -30,56 +32,103 @@ type Fig4Row struct {
 	OverheadPct float64
 }
 
-// Fig4 measures memory overhead for the CPU workloads.
-func Fig4(cfg Config) ([]Fig4Row, error) {
-	var rows []Fig4Row
+// fig4Cells produces one cell per CPU workload.
+func fig4Cells(cfg Config) []exp.Cell {
+	var cells []exp.Cell
 	for _, w := range workload.CPUOnly() {
-		base, err := runOnce(w, layout.NewFixed(), hashSeed(cfg.Seed, w.Name, "m-base"), 0)
-		if err != nil {
-			return nil, err
-		}
-		eng, err := smokestackEngine("aes-10", w.Prog(), hashSeed(cfg.Seed, w.Name, "m-ss"))
-		if err != nil {
-			return nil, err
-		}
-		m, err := runOnce(w, eng, hashSeed(cfg.Seed, w.Name, "m-run"), 0)
-		if err != nil {
-			return nil, err
-		}
-		baseRes := base.ResidentBytes()
-		ssRes := m.ResidentBytes()
-		box := eng.Box()
-		rows = append(rows, Fig4Row{
-			Workload:           w.Name,
-			BaselineResident:   baseRes,
-			SmokestackResident: ssRes,
-			PBoxBytes:          box.TotalBytes(),
-			Tables:             box.TableCount(),
-			SharedEntries:      box.SharedCount(),
-			RuntimeFuncs:       box.RuntimeCount(),
-			OverheadPct:        float64(ssRes-baseRes) / float64(baseRes) * 100,
+		w := w
+		cells = append(cells, exp.Cell{
+			Experiment: "fig4",
+			Name:       w.Name,
+			Run:        func() ([]exp.Record, error) { return fig4Cell(cfg, w) },
 		})
 	}
-	return rows, nil
+	return cells
 }
 
-// PrintFig4 runs and renders the experiment.
-func PrintFig4(cfg Config) error {
-	rows, err := Fig4(cfg)
+// fig4Cell measures one workload's resident-set overhead.
+func fig4Cell(cfg Config, w *workload.Workload) ([]exp.Record, error) {
+	base, err := runOnce(w, layout.NewFixed(), hashSeed(cfg.Seed, w.Name, "m-base"), 0)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	w := cfg.out()
+	eng, err := smokestackEngine("aes-10", w.Prog(), hashSeed(cfg.Seed, w.Name, "m-ss"))
+	if err != nil {
+		return nil, err
+	}
+	m, err := runOnce(w, eng, hashSeed(cfg.Seed, w.Name, "m-run"), 0)
+	if err != nil {
+		return nil, err
+	}
+	baseRes := base.ResidentBytes()
+	ssRes := m.ResidentBytes()
+	box := eng.Box()
+	return []exp.Record{{
+		Experiment: "fig4",
+		Cell:       w.Name,
+		Labels:     map[string]string{"workload": w.Name},
+		Values: map[string]float64{
+			"baseline_rss_bytes":   float64(baseRes),
+			"smokestack_rss_bytes": float64(ssRes),
+			"pbox_bytes":           float64(box.TotalBytes()),
+			"tables":               float64(box.TableCount()),
+			"shared_entries":       float64(box.SharedCount()),
+			"runtime_funcs":        float64(box.RuntimeCount()),
+			"overhead_pct":         float64(ssRes-baseRes) / float64(baseRes) * 100,
+		},
+	}}, nil
+}
+
+// fig4Rows rebuilds typed rows from records (failed cells omitted).
+func fig4Rows(recs []exp.Record) []Fig4Row {
+	var rows []Fig4Row
+	for _, r := range exp.Filter(recs, "fig4") {
+		if r.Err != "" {
+			continue
+		}
+		rows = append(rows, Fig4Row{
+			Workload:           r.Label("workload"),
+			BaselineResident:   int64(r.Value("baseline_rss_bytes")),
+			SmokestackResident: int64(r.Value("smokestack_rss_bytes")),
+			PBoxBytes:          int64(r.Value("pbox_bytes")),
+			Tables:             int(r.Value("tables")),
+			SharedEntries:      int(r.Value("shared_entries")),
+			RuntimeFuncs:       int(r.Value("runtime_funcs")),
+			OverheadPct:        r.Value("overhead_pct"),
+		})
+	}
+	return rows
+}
+
+// Fig4 measures memory overhead for the CPU workloads.
+func Fig4(cfg Config) ([]Fig4Row, error) {
+	recs, err := Run(cfg, "fig4")
+	if err != nil {
+		return nil, err
+	}
+	return fig4Rows(recs), exp.Errors(recs)
+}
+
+// RenderFig4 writes the paper-style table for fig4 records.
+func RenderFig4(w io.Writer, recs []exp.Record) {
+	recs = exp.Filter(recs, "fig4")
 	fmt.Fprintln(w, "Fig 4: Percentage memory overhead of Smokestack (max resident set)")
 	fmt.Fprintln(w, "(The P-BOX in read-only data is the overhead source; our kernels have")
 	fmt.Fprintln(w, " 10-20 functions vs. thousands in real SPEC binaries, so percentages are")
 	fmt.Fprintln(w, " relative to correspondingly small residents — compare ordering, not magnitude.)")
 	fmt.Fprintf(w, "%-12s %12s %12s %10s %7s %7s %8s %9s\n",
 		"benchmark", "base RSS", "ss RSS", "P-BOX", "tables", "shared", "runtime", "overhead")
-	for _, r := range rows {
+	for _, r := range fig4Rows(recs) {
 		fmt.Fprintf(w, "%-12s %11dB %11dB %9dB %7d %7d %8d %8.1f%%\n",
 			r.Workload, r.BaselineResident, r.SmokestackResident, r.PBoxBytes,
 			r.Tables, r.SharedEntries, r.RuntimeFuncs, r.OverheadPct)
 	}
-	return nil
+	for _, r := range recs {
+		if r.Err != "" {
+			fmt.Fprintf(w, "%-12s ERROR: %s\n", r.Cell, r.Err)
+		}
+	}
 }
+
+// PrintFig4 runs and renders the experiment.
+func PrintFig4(cfg Config) error { return printOne(cfg, "fig4") }

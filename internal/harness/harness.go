@@ -1,16 +1,28 @@
-// Package harness runs the paper's experiments end-to-end and prints
-// paper-style tables: Fig 3 (performance overhead), Fig 4 (memory
-// overhead), Table I (randomness source rates), the synthetic penetration
-// tests and real-vulnerability attacks of §V-C, plus the ablations called
-// out in DESIGN.md (RNG disclosure resistance, P-BOX optimizations).
+// Package harness runs the paper's experiments end-to-end: Fig 3
+// (performance overhead), Fig 4 (memory overhead), Table I (randomness
+// source rates), the synthetic penetration tests and real-vulnerability
+// attacks of §V-C, plus the ablations called out in DESIGN.md (RNG
+// disclosure resistance, P-BOX optimizations).
+//
+// Every experiment is decomposed into independent exp.Cells and executed
+// through an exp.Runner worker pool; each cell derives all of its
+// randomness from hashSeed, so parallel runs are byte-identical to
+// serial runs. Results are typed exp.Records; the paper-style table
+// renderers (and exp.WriteJSON) layer on top. Smokestack build work is
+// deduplicated across cells and workloads by a shared plan cache and the
+// cross-program P-BOX table cache (the paper's §III-E table sharing,
+// applied to the whole experiment grid).
 package harness
 
 import (
 	"fmt"
 	"io"
+	"strings"
 
+	"repro/internal/exp"
 	"repro/internal/ir"
 	"repro/internal/layout"
+	"repro/internal/pbox"
 	"repro/internal/rng"
 	"repro/internal/vm"
 	"repro/internal/workload"
@@ -26,6 +38,9 @@ type Config struct {
 	// Out receives the printed tables (defaults to io.Discard if nil; the
 	// CLI passes os.Stdout).
 	Out io.Writer
+	// Parallel bounds the experiment cell worker pool (0 = GOMAXPROCS,
+	// 1 = serial). Results are identical at every setting.
+	Parallel int
 }
 
 func (c Config) out() io.Writer {
@@ -34,6 +49,8 @@ func (c Config) out() io.Writer {
 	}
 	return c.Out
 }
+
+func (c Config) runner() *exp.Runner { return &exp.Runner{Workers: c.Parallel} }
 
 // Schemes lists the four Smokestack RNG variants in Fig 3 order.
 var Schemes = []string{"pseudo", "aes-1", "aes-10", "rdrand"}
@@ -48,6 +65,41 @@ func hashSeed(base uint64, parts ...string) uint64 {
 		}
 	}
 	return h
+}
+
+// ---------------------------------------------------------------------------
+// Shared build caches
+//
+// Plans (P-BOX + entries + pricing) are immutable and expensive; engines
+// (plan + RNG stream) are mutable and cheap. Cells therefore construct a
+// fresh engine per cell but share plans process-wide, and beneath the
+// plans every distinct frame shape's table is built exactly once across
+// all workloads (pbox.Cache, keyed by the canonical allocation multiset
+// and the table-shaping config fields). Cached artifacts are pure
+// functions of their keys, so caching can never change a result — only
+// the wall clock.
+
+var (
+	tableCache = pbox.NewCache()
+	planCache  = layout.NewPlanCache()
+)
+
+// smokestackPlan returns the shared plan for prog under opts (nil =
+// paper defaults), routed through both caches.
+func smokestackPlan(prog *ir.Program, opts *layout.SmokestackOptions) *layout.SmokestackPlan {
+	o := layout.SmokestackOptions{PBox: pbox.DefaultConfig(), Guard: true, MaxVLAPad: 256}
+	if opts != nil {
+		o = *opts
+	}
+	o.TableCache = tableCache
+	return planCache.Plan(prog, &o)
+}
+
+// BuildCacheStats reports the shared cache hit/miss counters (tooling).
+func BuildCacheStats() (planHits, planMisses, tableHits, tableMisses int) {
+	planHits, planMisses = planCache.Stats()
+	tableHits, tableMisses = tableCache.Stats()
+	return
 }
 
 // runOnce executes one workload under one engine and returns the machine
@@ -71,11 +123,107 @@ func runOnce(w *workload.Workload, eng layout.Engine, seed uint64, jitterAmp flo
 	return m, nil
 }
 
-// smokestackEngine builds the Smokestack engine for a scheme name over prog.
+// smokestackEngine builds the Smokestack engine for a scheme name over prog
+// (shared plan, fresh RNG stream).
 func smokestackEngine(scheme string, prog *ir.Program, seed uint64) (*layout.Smokestack, error) {
 	src, err := rng.NewByName(scheme, seed, rng.SeededTRNG(seed^0x5eed))
 	if err != nil {
 		return nil, err
 	}
-	return layout.NewSmokestack(prog, src, nil), nil
+	return smokestackPlan(prog, nil).NewEngine(src), nil
+}
+
+// securityEngine builds a defense engine by lineup name, routing
+// Smokestack variants through the shared plan cache. Seed derivation
+// matches layout.NewByName so results are unchanged.
+func securityEngine(name string, prog *ir.Program, seed uint64) (layout.Engine, error) {
+	if scheme, ok := strings.CutPrefix(name, "smokestack+"); ok {
+		src, err := rng.NewByName(scheme, seed, rng.SeededTRNG(seed))
+		if err != nil {
+			return nil, err
+		}
+		return smokestackPlan(prog, nil).NewEngine(src), nil
+	}
+	return layout.NewByName(name, prog, seed, rng.SeededTRNG(seed))
+}
+
+// ---------------------------------------------------------------------------
+// Experiment registry and the pipeline entry point
+
+// Experiment binds a named figure/table to its cell producer and its
+// table renderer. Cells compute; renderers present.
+type Experiment struct {
+	Name string
+	// Cells decomposes the experiment into independent, deterministically
+	// seeded units of work.
+	Cells func(cfg Config) []exp.Cell
+	// Render writes the paper-style table for the experiment's records
+	// (records from other experiments are ignored).
+	Render func(w io.Writer, recs []exp.Record)
+}
+
+// Experiments returns the registry in the canonical presentation order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{Name: "table1", Cells: table1Cells, Render: RenderTable1},
+		{Name: "fig3", Cells: fig3Cells, Render: RenderFig3},
+		{Name: "fig4", Cells: fig4Cells, Render: RenderFig4},
+		{Name: "pentest", Cells: pentestCells, Render: RenderPentest},
+		{Name: "bypass", Cells: bypassCells, Render: RenderBypass},
+		{Name: "cve", Cells: cveCells, Render: RenderCVE},
+		{Name: "ablation-rng", Cells: ablationRNGCells, Render: RenderAblationRNG},
+		{Name: "ablation-pbox", Cells: ablationPBoxCells, Render: RenderPBoxAblation},
+		{Name: "entropy", Cells: entropyCells, Render: RenderEntropyCurve},
+	}
+}
+
+// ExperimentByName looks up a registry entry.
+func ExperimentByName(name string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// Run executes the named experiments (none = all, in registry order)
+// through one shared worker pool and returns their records in experiment
+// then cell order. Failed cells are reported as error records carrying
+// their cell identity — one bad cell never aborts a figure. The error
+// return covers only unknown experiment names.
+func Run(cfg Config, names ...string) ([]exp.Record, error) {
+	var exps []Experiment
+	if len(names) == 0 {
+		exps = Experiments()
+	} else {
+		for _, n := range names {
+			e, ok := ExperimentByName(n)
+			if !ok {
+				return nil, fmt.Errorf("harness: unknown experiment %q", n)
+			}
+			exps = append(exps, e)
+		}
+	}
+	// Compile every workload up front with the same parallelism budget so
+	// cells measure execution, not compilation.
+	workload.Prewarm(cfg.Parallel)
+	var cells []exp.Cell
+	for _, e := range exps {
+		cells = append(cells, e.Cells(cfg)...)
+	}
+	return cfg.runner().Run(cells), nil
+}
+
+// printOne runs a single experiment, renders its table, and surfaces any
+// per-cell failures as an aggregate error (after printing, so healthy
+// cells still show).
+func printOne(cfg Config, name string) error {
+	e, _ := ExperimentByName(name)
+	recs, err := Run(cfg, name)
+	if err != nil {
+		return err
+	}
+	e.Render(cfg.out(), recs)
+	return exp.Errors(recs)
 }

@@ -2,9 +2,12 @@ package harness_test
 
 import (
 	"bytes"
+	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 
+	"repro/internal/exp"
 	"repro/internal/harness"
 	"repro/internal/workload"
 )
@@ -174,6 +177,87 @@ func TestPrintersProduceTables(t *testing.T) {
 		if !strings.Contains(out, frag) {
 			t.Errorf("output missing %q", frag)
 		}
+	}
+}
+
+// TestParallelMatchesSerial enforces the pipeline's hard invariant: a
+// parallel run must be byte-identical to a serial run — same records, same
+// rendered tables, same JSON. Every cell derives its randomness from
+// hashSeed alone, so worker scheduling can never leak into results.
+// (table1 is excluded: its host ns/op column is a wall-clock measurement
+// and the one intentionally non-deterministic quantity in the suite.)
+func TestParallelMatchesSerial(t *testing.T) {
+	for _, name := range []string{"fig3", "fig4"} {
+		serial, err := harness.Run(harness.Config{Seed: 42, Jitter: true, Parallel: 1}, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := harness.Run(harness.Config{Seed: 42, Jitter: true, Parallel: 8}, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Fatalf("%s: parallel=8 records differ from parallel=1", name)
+		}
+		e, _ := harness.ExperimentByName(name)
+		var sTab, pTab bytes.Buffer
+		e.Render(&sTab, serial)
+		e.Render(&pTab, parallel)
+		if !bytes.Equal(sTab.Bytes(), pTab.Bytes()) {
+			t.Fatalf("%s: rendered tables differ between parallel and serial", name)
+		}
+		var sJSON, pJSON bytes.Buffer
+		if err := exp.WriteJSON(&sJSON, serial); err != nil {
+			t.Fatal(err)
+		}
+		if err := exp.WriteJSON(&pJSON, parallel); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sJSON.Bytes(), pJSON.Bytes()) {
+			t.Fatalf("%s: JSON output differs between parallel and serial", name)
+		}
+		// And the machine-readable stream must actually be machine-readable:
+		// one valid record per line.
+		for _, line := range bytes.Split(bytes.TrimSpace(sJSON.Bytes()), []byte("\n")) {
+			var rec exp.Record
+			if err := json.Unmarshal(line, &rec); err != nil {
+				t.Fatalf("%s: invalid JSON line %q: %v", name, line, err)
+			}
+			if rec.Experiment != name || rec.Cell == "" {
+				t.Fatalf("%s: malformed record %+v", name, rec)
+			}
+		}
+	}
+}
+
+// TestMixedExperimentCellsShareCaches pushes cells from most of the suite
+// through one high-parallelism pool against the shared workload programs
+// and the process-wide plan/table caches. Under `go test -race` this is
+// the pipeline's thread-safety stress test.
+func TestMixedExperimentCellsShareCaches(t *testing.T) {
+	names := []string{"table1", "fig4", "pentest", "bypass", "cve", "ablation-rng"}
+	recs, err := harness.Run(harness.Config{Seed: 7, Parallel: 8}, names...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.Errors(recs); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, r := range recs {
+		seen[r.Experiment]++
+	}
+	for _, name := range names {
+		if seen[name] == 0 {
+			t.Errorf("no records produced for %s", name)
+		}
+	}
+	// The shared caches must actually be getting shared: by now the run
+	// above (plus every earlier test in the package) has requested the
+	// same plans repeatedly.
+	planHits, _, tableHits, _ := harness.BuildCacheStats()
+	if planHits == 0 || tableHits == 0 {
+		t.Errorf("expected shared-cache hits, got plan=%d table=%d", planHits, tableHits)
 	}
 }
 

@@ -5,112 +5,198 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
+	"io"
 
 	"repro/internal/attack"
 	"repro/internal/attack/corpus"
-	"repro/internal/layout"
+	"repro/internal/exp"
 	"repro/internal/rng"
 )
 
 // securityEngines is the defense lineup every scenario is thrown against.
 var securityEngines = []string{"fixed", "padding", "baserand", "staticrand", "smokestack+aes-10"}
 
+// bypassEngines is the §II-C presentation order.
+var bypassEngines = []string{"fixed", "staticrand", "padding", "baserand", "smokestack+aes-10"}
+
 // AttackBudget is the brute-force budget per (scenario, engine) pair: the
 // finite number of attempts before the paper's threat model assumes
 // detection by the operator.
 const AttackBudget = 10
 
-// runScenarios runs each scenario against each engine.
-func runScenarios(cfg Config, scenarios []*attack.Scenario) ([]attack.Result, error) {
-	var out []attack.Result
-	for _, s := range scenarios {
-		for _, engName := range securityEngines {
-			seed := hashSeed(cfg.Seed, s.Name, engName)
-			eng, err := layout.NewByName(engName, s.Program.Prog, seed, rng.SeededTRNG(seed))
-			if err != nil {
-				return nil, err
-			}
-			d := &attack.Deployment{Program: s.Program, Engine: eng, TRNG: rng.SeededTRNG(seed + 1)}
-			out = append(out, s.Run(d, AttackBudget))
-		}
+// resultRecord converts an attack campaign outcome into a typed record.
+func resultRecord(experiment string, r attack.Result) exp.Record {
+	rec := exp.Record{
+		Experiment: experiment,
+		Cell:       r.Scenario + "/" + r.Engine,
+		Labels:     map[string]string{"scenario": r.Scenario, "engine": r.Engine},
+		Values: map[string]float64{
+			"attempts":      float64(r.Attempts),
+			"successes":     float64(r.Successes),
+			"detected":      float64(r.Detected),
+			"crashed":       float64(r.Crashed),
+			"failed":        float64(r.Failed),
+			"first_success": float64(r.FirstSuccess),
+		},
 	}
-	return out, nil
+	if r.Err != nil {
+		rec.Err = r.Err.Error()
+	}
+	return rec
 }
 
-// PrintPentest runs E4: the synthetic direct/indirect x stack/data/heap
-// matrix.
-func PrintPentest(cfg Config) error {
-	results, err := runScenarios(cfg, attack.PentestMatrix())
-	if err != nil {
-		return err
+// recordResult reconstructs the attack.Result a record was derived from,
+// so the renderers reuse Result.String's row format.
+func recordResult(r exp.Record) attack.Result {
+	res := attack.Result{
+		Scenario:     r.Label("scenario"),
+		Engine:       r.Label("engine"),
+		Attempts:     int(r.Value("attempts")),
+		Successes:    int(r.Value("successes")),
+		Detected:     int(r.Value("detected")),
+		Crashed:      int(r.Value("crashed")),
+		Failed:       int(r.Value("failed")),
+		FirstSuccess: int(r.Value("first_success")),
 	}
-	w := cfg.out()
+	if res.Scenario == "" {
+		res.Scenario = r.Cell
+	}
+	if r.Err != "" {
+		res.Err = errors.New(r.Err)
+	}
+	return res
+}
+
+// campaignCells builds one cell per (scenario, engine) pair. Each cell
+// reconstructs its scenario from a fresh matrix() call: scenarios carry
+// exploit closures and a compiled program, and giving every cell a
+// private copy keeps concurrent campaigns fully isolated.
+func campaignCells(cfg Config, experiment string, engines []string,
+	matrix func() []*attack.Scenario, seedParts func(s *attack.Scenario, engName string) []string) []exp.Cell {
+	var cells []exp.Cell
+	for i, s := range matrix() {
+		for _, engName := range engines {
+			i, engName := i, engName
+			name := s.Name + "/" + engName
+			cells = append(cells, exp.Cell{
+				Experiment: experiment,
+				Name:       name,
+				Run: func() ([]exp.Record, error) {
+					s := matrix()[i]
+					seed := hashSeed(cfg.Seed, seedParts(s, engName)...)
+					eng, err := securityEngine(engName, s.Program.Prog, seed)
+					if err != nil {
+						return nil, err
+					}
+					d := &attack.Deployment{Program: s.Program, Engine: eng, TRNG: rng.SeededTRNG(seed + 1)}
+					return []exp.Record{resultRecord(experiment, s.Run(d, AttackBudget))}, nil
+				},
+			})
+		}
+	}
+	return cells
+}
+
+// scenarioEngineSeed reproduces the historical per-pair seed derivation.
+func scenarioEngineSeed(s *attack.Scenario, engName string) []string {
+	return []string{s.Name, engName}
+}
+
+// pentestCells covers E4: the synthetic direct/indirect x stack/data/heap
+// matrix.
+func pentestCells(cfg Config) []exp.Cell {
+	return campaignCells(cfg, "pentest", securityEngines, attack.PentestMatrix, scenarioEngineSeed)
+}
+
+// cveCells covers E6: the real-vulnerability reproductions.
+func cveCells(cfg Config) []exp.Cell {
+	return campaignCells(cfg, "cve", securityEngines, attack.CVEScenarios, scenarioEngineSeed)
+}
+
+// bypassCells covers E5: the §II-C librelp PoC against each prior scheme.
+func bypassCells(cfg Config) []exp.Cell {
+	librelp := func() []*attack.Scenario { return []*attack.Scenario{attack.LibrelpScenario()} }
+	return campaignCells(cfg, "bypass", bypassEngines, librelp,
+		func(_ *attack.Scenario, engName string) []string { return []string{"bypass", engName} })
+}
+
+// renderCampaign prints one Result-style row per record.
+func renderCampaign(w io.Writer, recs []exp.Record, experiment string) {
+	for _, r := range exp.Filter(recs, experiment) {
+		fmt.Fprintln(w, recordResult(r))
+	}
+}
+
+// RenderPentest writes the E4 table.
+func RenderPentest(w io.Writer, recs []exp.Record) {
 	fmt.Fprintln(w, "Penetration testing with synthetic DOP benchmarks (paper §V-C)")
 	fmt.Fprintf(w, "budget: %d attempts per pair (service restarts after a crash)\n", AttackBudget)
-	for _, r := range results {
-		fmt.Fprintln(w, r)
-	}
+	renderCampaign(w, recs, "pentest")
 	fmt.Fprintln(w, "paper: Smokestack prevented all synthetic attacks; direct overflows were")
 	fmt.Fprintln(w, "       stopped and indirect overflows failed on the first step.")
-	return nil
 }
 
-// PrintCVE runs E6: the real-vulnerability reproductions.
-func PrintCVE(cfg Config) error {
-	results, err := runScenarios(cfg, attack.CVEScenarios())
-	if err != nil {
-		return err
-	}
-	w := cfg.out()
+// RenderCVE writes the E6 table.
+func RenderCVE(w io.Writer, recs []exp.Record) {
 	fmt.Fprintln(w, "Real vulnerabilities (paper §V-C): librelp CVE-2018-1000140,")
 	fmt.Fprintln(w, "Wireshark CVE-2014-2299, ProFTPD CVE-2006-5815 key extraction")
-	for _, r := range results {
-		fmt.Fprintln(w, r)
-	}
+	renderCampaign(w, recs, "cve")
 	fmt.Fprintln(w, "paper: all three exploits bypass prior defenses; Smokestack stops each")
 	fmt.Fprintln(w, "       (Wireshark detected via the corrupted function identifier).")
-	return nil
 }
 
-// PrintBypass runs E5: the paper's §II-C demonstration that compile-time
-// stack randomization and padding fall to the librelp DOP PoC.
-func PrintBypass(cfg Config) error {
-	w := cfg.out()
+// RenderBypass writes the E5 table.
+func RenderBypass(w io.Writer, recs []exp.Record) {
 	fmt.Fprintln(w, "Bypassing prior stack randomization (paper §II-C, librelp PoC)")
-	s := attack.LibrelpScenario()
-	for _, engName := range []string{"fixed", "staticrand", "padding", "baserand", "smokestack+aes-10"} {
-		seed := hashSeed(cfg.Seed, "bypass", engName)
-		eng, err := layout.NewByName(engName, s.Program.Prog, seed, rng.SeededTRNG(seed))
-		if err != nil {
-			return err
-		}
-		d := &attack.Deployment{Program: s.Program, Engine: eng, TRNG: rng.SeededTRNG(seed + 1)}
-		fmt.Fprintln(w, s.Run(d, AttackBudget))
-	}
-	return nil
+	renderCampaign(w, recs, "bypass")
 }
 
-// PrintAblationRNG runs E7: the PRNG state-disclosure attack against
+// PrintPentest runs E4 and renders it.
+func PrintPentest(cfg Config) error { return printOne(cfg, "pentest") }
+
+// PrintCVE runs E6 and renders it.
+func PrintCVE(cfg Config) error { return printOne(cfg, "cve") }
+
+// PrintBypass runs E5 and renders it.
+func PrintBypass(cfg Config) error { return printOne(cfg, "bypass") }
+
+// ablationRNGCells covers E7: the PRNG state-disclosure attack against
 // Smokestack with each randomness source.
-func PrintAblationRNG(cfg Config) error {
-	w := cfg.out()
+func ablationRNGCells(cfg Config) []exp.Cell {
+	var cells []exp.Cell
+	for _, scheme := range Schemes {
+		scheme := scheme
+		cells = append(cells, exp.Cell{
+			Experiment: "ablation-rng",
+			Name:       scheme,
+			Run: func() ([]exp.Record, error) {
+				p := corpus.Listing1()
+				seed := hashSeed(cfg.Seed, "ablation-rng", scheme)
+				src, err := rng.NewByName(scheme, seed, rng.SeededTRNG(seed))
+				if err != nil {
+					return nil, err
+				}
+				eng := smokestackPlan(p.Prog, nil).NewEngine(src)
+				d := &attack.Deployment{Program: p, Engine: eng, TRNG: rng.SeededTRNG(seed + 1)}
+				r := attack.PredictionScenario(eng).Run(d, 20)
+				r.Scenario = "rng-predict/" + scheme
+				return []exp.Record{resultRecord("ablation-rng", r)}, nil
+			},
+		})
+	}
+	return cells
+}
+
+// RenderAblationRNG writes the E7 table.
+func RenderAblationRNG(w io.Writer, recs []exp.Record) {
 	fmt.Fprintln(w, "Ablation: RNG disclosure resistance (paper §III-D1 threat)")
 	fmt.Fprintln(w, "An attacker who can read memory replays a memory-state PRNG and")
 	fmt.Fprintln(w, "predicts the next invocation's permutation (and guard encoding).")
-	p := corpus.Listing1()
-	for _, scheme := range Schemes {
-		seed := hashSeed(cfg.Seed, "ablation-rng", scheme)
-		src, err := rng.NewByName(scheme, seed, rng.SeededTRNG(seed))
-		if err != nil {
-			return err
-		}
-		eng := layout.NewSmokestack(p.Prog, src, nil)
-		d := &attack.Deployment{Program: p, Engine: eng, TRNG: rng.SeededTRNG(seed + 1)}
-		r := attack.PredictionScenario(eng).Run(d, 20)
-		r.Scenario = "rng-predict/" + scheme
-		fmt.Fprintln(w, r)
-	}
+	renderCampaign(w, recs, "ablation-rng")
 	fmt.Fprintln(w, "expected: pseudo BYPASSED (state disclosable); aes-1/aes-10/rdrand stopped.")
-	return nil
 }
+
+// PrintAblationRNG runs E7 and renders it.
+func PrintAblationRNG(cfg Config) error { return printOne(cfg, "ablation-rng") }

@@ -8,8 +8,10 @@ package harness
 
 import (
 	"fmt"
+	"io"
 	"time"
 
+	"repro/internal/exp"
 	"repro/internal/rng"
 )
 
@@ -36,44 +38,85 @@ func securityOf(scheme string) string {
 	}
 }
 
-// Table1 measures all four sources.
-func Table1(cfg Config) ([]Table1Row, error) {
-	var rows []Table1Row
+// table1Cells produces one cell per randomness scheme. The host ns/op
+// value is a wall-clock measurement and therefore the one intentionally
+// non-deterministic quantity in the whole suite.
+func table1Cells(cfg Config) []exp.Cell {
+	var cells []exp.Cell
 	for _, scheme := range Schemes {
-		src, err := rng.NewByName(scheme, cfg.Seed|1, rng.SeededTRNG(cfg.Seed^0x7412))
-		if err != nil {
-			return nil, err
-		}
-		const n = 200_000
-		start := time.Now()
-		var sink uint64
-		for i := 0; i < n; i++ {
-			sink ^= src.Next()
-		}
-		elapsed := time.Since(start)
-		_ = sink
-		rows = append(rows, Table1Row{
-			Source:      src.Name(),
-			Security:    securityOf(scheme),
-			ModelCycles: src.Cost(),
-			HostNsPerOp: float64(elapsed.Nanoseconds()) / n,
+		scheme := scheme
+		cells = append(cells, exp.Cell{
+			Experiment: "table1",
+			Name:       scheme,
+			Run: func() ([]exp.Record, error) {
+				src, err := rng.NewByName(scheme, cfg.Seed|1, rng.SeededTRNG(cfg.Seed^0x7412))
+				if err != nil {
+					return nil, err
+				}
+				const n = 200_000
+				start := time.Now()
+				var sink uint64
+				for i := 0; i < n; i++ {
+					sink ^= src.Next()
+				}
+				elapsed := time.Since(start)
+				_ = sink
+				return []exp.Record{{
+					Experiment: "table1",
+					Cell:       scheme,
+					Labels:     map[string]string{"source": src.Name(), "security": securityOf(scheme)},
+					Values: map[string]float64{
+						"model_cycles":   src.Cost(),
+						"host_ns_per_op": float64(elapsed.Nanoseconds()) / n,
+					},
+				}}, nil
+			},
 		})
 	}
-	return rows, nil
+	return cells
+}
+
+// table1Rows rebuilds typed rows from records.
+func table1Rows(recs []exp.Record) []Table1Row {
+	var rows []Table1Row
+	for _, r := range exp.Filter(recs, "table1") {
+		if r.Err != "" {
+			continue
+		}
+		rows = append(rows, Table1Row{
+			Source:      r.Label("source"),
+			Security:    r.Label("security"),
+			ModelCycles: r.Value("model_cycles"),
+			HostNsPerOp: r.Value("host_ns_per_op"),
+		})
+	}
+	return rows
+}
+
+// Table1 measures all four sources.
+func Table1(cfg Config) ([]Table1Row, error) {
+	recs, err := Run(cfg, "table1")
+	if err != nil {
+		return nil, err
+	}
+	return table1Rows(recs), exp.Errors(recs)
+}
+
+// RenderTable1 writes the paper-style table for table1 records.
+func RenderTable1(w io.Writer, recs []exp.Record) {
+	recs = exp.Filter(recs, "table1")
+	fmt.Fprintln(w, "Table I: Source of randomness — generation rate")
+	fmt.Fprintf(w, "%-8s %-9s %24s %18s\n", "source", "security", "rate (cycles/invocation)", "host impl (ns/op)")
+	for _, r := range table1Rows(recs) {
+		fmt.Fprintf(w, "%-8s %-9s %24.1f %18.1f\n", r.Source, r.Security, r.ModelCycles, r.HostNsPerOp)
+	}
+	for _, r := range recs {
+		if r.Err != "" {
+			fmt.Fprintf(w, "%-8s ERROR: %s\n", r.Cell, r.Err)
+		}
+	}
+	fmt.Fprintln(w, "paper:   pseudo 3.4, AES-1 19.2, AES-10 92.8, RDRAND 265.6")
 }
 
 // PrintTable1 runs and renders the experiment.
-func PrintTable1(cfg Config) error {
-	rows, err := Table1(cfg)
-	if err != nil {
-		return err
-	}
-	w := cfg.out()
-	fmt.Fprintln(w, "Table I: Source of randomness — generation rate")
-	fmt.Fprintf(w, "%-8s %-9s %24s %18s\n", "source", "security", "rate (cycles/invocation)", "host impl (ns/op)")
-	for _, r := range rows {
-		fmt.Fprintf(w, "%-8s %-9s %24.1f %18.1f\n", r.Source, r.Security, r.ModelCycles, r.HostNsPerOp)
-	}
-	fmt.Fprintln(w, "paper:   pseudo 3.4, AES-1 19.2, AES-10 92.8, RDRAND 265.6")
-	return nil
-}
+func PrintTable1(cfg Config) error { return printOne(cfg, "table1") }

@@ -20,6 +20,8 @@ package layout
 
 import (
 	"fmt"
+	"strings"
+	"sync"
 
 	"repro/internal/ir"
 	"repro/internal/pbox"
@@ -360,32 +362,41 @@ type SmokestackOptions struct {
 	// MaxVLAPad bounds the random dummy padding before VLA allocations
 	// (rounded to 16; default 256).
 	MaxVLAPad int64
+	// TableCache, when set, routes P-BOX table builds through a shared
+	// cross-program cache (see pbox.Cache).
+	TableCache *pbox.Cache
 }
 
-// Smokestack is the paper's engine: per-invocation P-BOX permutations.
-type Smokestack struct {
-	source   rng.Source
+// normalize fills defaulted option fields.
+func (o *SmokestackOptions) normalize() {
+	if o.PBox.MaxTableAllocas == 0 {
+		o.PBox = pbox.DefaultConfig()
+	}
+	if o.MaxVLAPad <= 0 {
+		o.MaxVLAPad = 256
+	}
+}
+
+// SmokestackPlan is the compile-time half of the Smokestack engine: the
+// P-BOX, per-function table entries, and cycle-model parameters. A plan
+// is immutable once built and holds no random stream, so one plan can
+// safely back any number of concurrently-running engines (and Machines);
+// only the per-run Smokestack wrapper carries mutable RNG state.
+type SmokestackPlan struct {
 	opts     SmokestackOptions
 	box      *pbox.Box
 	entries  []*pbox.Entry // indexed by fn.ID
 	frameKiB []float64     // max frame size per function, in KiB
-	prog     *ir.Program
 }
 
-// NewSmokestack compiles the P-BOX for prog and returns the engine drawing
-// permutation indexes from source.
-func NewSmokestack(prog *ir.Program, source rng.Source, opts *SmokestackOptions) *Smokestack {
+// NewSmokestackPlan compiles the P-BOX and entries for prog.
+func NewSmokestackPlan(prog *ir.Program, opts *SmokestackOptions) *SmokestackPlan {
 	o := SmokestackOptions{PBox: pbox.DefaultConfig(), Guard: true, MaxVLAPad: 256}
 	if opts != nil {
 		o = *opts
-		if o.PBox.MaxTableAllocas == 0 {
-			o.PBox = pbox.DefaultConfig()
-		}
-		if o.MaxVLAPad <= 0 {
-			o.MaxVLAPad = 256
-		}
+		o.normalize()
 	}
-	s := &Smokestack{source: source, opts: o, box: pbox.New(o.PBox), prog: prog}
+	p := &SmokestackPlan{opts: o, box: pbox.NewWithCache(o.PBox, o.TableCache)}
 	for _, fn := range prog.Funcs {
 		allocs := make([]pbox.Alloc, 0, len(fn.Allocas)+1)
 		for _, a := range fn.Allocas {
@@ -396,11 +407,93 @@ func NewSmokestack(prog *ir.Program, source rng.Source, opts *SmokestackOptions)
 			// permutation like any other 8-byte object.
 			allocs = append(allocs, pbox.Alloc{Size: 8, Align: 8})
 		}
-		e := s.box.Register(allocs)
-		s.entries = append(s.entries, e)
-		s.frameKiB = append(s.frameKiB, float64(e.MaxFrameSize())/1024)
+		e := p.box.Register(allocs)
+		p.entries = append(p.entries, e)
+		p.frameKiB = append(p.frameKiB, float64(e.MaxFrameSize())/1024)
 	}
-	return s
+	return p
+}
+
+// Box exposes the built P-BOX (memory accounting, ablation).
+func (p *SmokestackPlan) Box() *pbox.Box { return p.box }
+
+// NewEngine wraps the plan with a per-run random source, yielding a
+// ready-to-deploy engine. Engines are cheap; plans are the expensive
+// artifact worth caching.
+func (p *SmokestackPlan) NewEngine(source rng.Source) *Smokestack {
+	return &Smokestack{plan: p, source: source}
+}
+
+// PlanCache is a concurrency-safe cache of Smokestack plans keyed by the
+// program's exact per-function allocation sequences plus the engine
+// options. Experiment cells that instrument the same program (with any
+// RNG scheme) share one plan build; even recompiled copies of a program
+// hit, since the key is the allocation shape, not the program pointer.
+//
+// Note the key must be the exact sequences, not the canonical multisets:
+// plan entries map declaration order to table columns, so two programs
+// may share a plan only when their declaration orders agree. Canonical-
+// multiset sharing happens one level down, in pbox.Cache.
+type PlanCache struct {
+	mu     sync.Mutex
+	plans  map[string]*SmokestackPlan
+	hits   int
+	misses int
+}
+
+// NewPlanCache creates an empty plan cache.
+func NewPlanCache() *PlanCache {
+	return &PlanCache{plans: make(map[string]*SmokestackPlan)}
+}
+
+// Plan returns the cached plan for (prog, opts), building it on miss.
+func (pc *PlanCache) Plan(prog *ir.Program, opts *SmokestackOptions) *SmokestackPlan {
+	o := SmokestackOptions{PBox: pbox.DefaultConfig(), Guard: true, MaxVLAPad: 256}
+	if opts != nil {
+		o = *opts
+		o.normalize()
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "pbox=%+v;guard=%t;vla=%d", o.PBox, o.Guard, o.MaxVLAPad)
+	for _, fn := range prog.Funcs {
+		sb.WriteByte('|')
+		for _, a := range fn.Allocas {
+			fmt.Fprintf(&sb, "%d/%d;", a.Size, a.Align)
+		}
+	}
+	k := sb.String()
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if p, ok := pc.plans[k]; ok {
+		pc.hits++
+		return p
+	}
+	pc.misses++
+	p := NewSmokestackPlan(prog, &o)
+	pc.plans[k] = p
+	return p
+}
+
+// Stats reports cache hits and misses (for tooling and tests).
+func (pc *PlanCache) Stats() (hits, misses int) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.hits, pc.misses
+}
+
+// Smokestack is the paper's engine: per-invocation P-BOX permutations.
+// It pairs an immutable shared plan with a per-run random source; the
+// engine (not the plan) is the unit that must not be shared across
+// concurrent Machines, since Next() mutates the source.
+type Smokestack struct {
+	plan   *SmokestackPlan
+	source rng.Source
+}
+
+// NewSmokestack compiles the P-BOX for prog and returns the engine drawing
+// permutation indexes from source.
+func NewSmokestack(prog *ir.Program, source rng.Source, opts *SmokestackOptions) *Smokestack {
+	return NewSmokestackPlan(prog, opts).NewEngine(source)
 }
 
 // Name implements Engine.
@@ -410,7 +503,10 @@ func (s *Smokestack) Name() string { return "smokestack+" + s.source.Name() }
 func (*Smokestack) NewRun() {}
 
 // Box exposes the built P-BOX for inspection (memory accounting, ablation).
-func (s *Smokestack) Box() *pbox.Box { return s.box }
+func (s *Smokestack) Box() *pbox.Box { return s.plan.box }
+
+// Plan exposes the engine's immutable build artifact.
+func (s *Smokestack) Plan() *SmokestackPlan { return s.plan }
 
 // Source exposes the permutation RNG (used by the RNG-prediction ablation).
 func (s *Smokestack) Source() rng.Source { return s.source }
@@ -426,16 +522,17 @@ func (s *Smokestack) Layout(fn *ir.Function) FrameLayout {
 // PRNG's state and replays the stream: the P-BOX itself is public (it ships
 // in the binary's read-only data), so knowing r is knowing the layout.
 func (s *Smokestack) LayoutForValue(fn *ir.Function, r uint64) FrameLayout {
-	e := s.entries[fn.ID]
+	p := s.plan
+	e := p.entries[fn.ID]
 	n := len(fn.Allocas)
 	total := n
-	if s.opts.Guard {
+	if p.opts.Guard {
 		total++
 	}
 	out := make([]int64, total)
 	size := e.Layout(r, out)
 	fl := FrameLayout{Offsets: out[:n], GuardOffset: -1, Size: size}
-	if s.opts.Guard {
+	if p.opts.Guard {
 		fl.GuardOffset = out[n]
 	}
 	return fl
@@ -443,26 +540,27 @@ func (s *Smokestack) LayoutForValue(fn *ir.Function, r uint64) FrameLayout {
 
 // PrologueCycles implements Engine.
 func (s *Smokestack) PrologueCycles(fn *ir.Function) float64 {
-	e := s.entries[fn.ID]
+	p := s.plan
+	e := p.entries[fn.ID]
 	c := s.source.Cost()
 	switch {
 	case e.Runtime:
 		c += runtimeDecodeBase + runtimeDecodePerAlloca*float64(e.NumAllocs())
-	case s.opts.PBox.PowerOfTwoRows:
+	case p.opts.PBox.PowerOfTwoRows:
 		c += lookupCyclesMasked
 	default:
 		c += lookupCyclesModulo
 	}
-	if s.opts.Guard {
+	if p.opts.Guard {
 		c += guardWriteCycles
 	}
-	c += frameSpreadCyclesPerKiB * s.frameKiB[fn.ID]
+	c += frameSpreadCyclesPerKiB * p.frameKiB[fn.ID]
 	return c
 }
 
 // EpilogueCycles implements Engine.
 func (s *Smokestack) EpilogueCycles(*ir.Function) float64 {
-	if s.opts.Guard {
+	if s.plan.opts.Guard {
 		return guardCheckCycles
 	}
 	return 0
@@ -474,7 +572,7 @@ func (*Smokestack) AddrLocalExtraCycles() float64 { return gepExtraCycles }
 // VLAPad implements Engine: a fresh random pad (16-byte granules) before
 // every VLA allocation (§III-D1).
 func (s *Smokestack) VLAPad() int64 {
-	granules := uint64(s.opts.MaxVLAPad / 16)
+	granules := uint64(s.plan.opts.MaxVLAPad / 16)
 	if granules == 0 {
 		return 0
 	}
@@ -485,7 +583,7 @@ func (s *Smokestack) VLAPad() int64 {
 func (*Smokestack) StackBias() uint64 { return 0 }
 
 // RodataBytes implements Engine: the P-BOX lives in read-only data.
-func (s *Smokestack) RodataBytes() int64 { return s.box.TotalBytes() }
+func (s *Smokestack) RodataBytes() int64 { return s.plan.box.TotalBytes() }
 
 // ---------------------------------------------------------------------------
 

@@ -296,3 +296,48 @@ func TestRodataBytes(t *testing.T) {
 		t.Fatal("fixed adds no rodata")
 	}
 }
+
+func TestPlanCacheSharesBuilds(t *testing.T) {
+	p := testProg(t)
+	pc := layout.NewPlanCache()
+	plan1 := pc.Plan(p, nil)
+	plan2 := pc.Plan(p, nil)
+	if plan1 != plan2 {
+		t.Fatal("same program + options must hit the plan cache")
+	}
+	// A recompiled copy of the same source has identical allocation
+	// sequences and must hit too — the key is the shape, not the pointer.
+	copyProg := testProg(t)
+	if pc.Plan(copyProg, nil) != plan1 {
+		t.Fatal("recompiled identical program should share the plan")
+	}
+	// Different options must miss.
+	if pc.Plan(p, &layout.SmokestackOptions{Guard: false, MaxVLAPad: 256, PBox: pbox.DefaultConfig()}) == plan1 {
+		t.Fatal("different options must not share a plan")
+	}
+	hits, misses := pc.Stats()
+	if hits != 2 || misses != 2 {
+		t.Fatalf("stats hits=%d misses=%d, want 2/2", hits, misses)
+	}
+}
+
+func TestPlanEnginesMatchDirectConstruction(t *testing.T) {
+	p := testProg(t)
+	fn := workFn(t, p)
+	pc := layout.NewPlanCache()
+	cached := pc.Plan(p, nil).NewEngine(rng.NewPseudo(99))
+	direct := layout.NewSmokestack(p, rng.NewPseudo(99), nil)
+	for i := 0; i < 50; i++ {
+		a, b := cached.Layout(fn), direct.Layout(fn)
+		validate(t, fn, a)
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Fatalf("invocation %d: cached-plan layout %v != direct %v", i, a, b)
+		}
+	}
+	if cached.RodataBytes() != direct.RodataBytes() {
+		t.Fatalf("rodata %d != %d", cached.RodataBytes(), direct.RodataBytes())
+	}
+	if cached.PrologueCycles(fn) != direct.PrologueCycles(fn) {
+		t.Fatal("prologue pricing should not depend on plan caching")
+	}
+}

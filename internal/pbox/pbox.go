@@ -27,6 +27,7 @@ package pbox
 import (
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Alloc describes one stack allocation: the only inputs Algorithm 1 needs.
@@ -138,9 +139,57 @@ func (e *Entry) Layout(r uint64, out []int64) int64 {
 	return int64(size)
 }
 
+// Cache is a concurrency-safe build cache for P-BOX tables, shared
+// across Boxes. A Table is an immutable, deterministic function of the
+// allocation sequence it is built over plus the config fields that shape
+// it (row padding, shuffle seed, frame alignment) — so once any program
+// has paid for a table, every other program (or concurrently-running
+// experiment cell) with the same frame shape reuses it for free. This is
+// the paper's §III-E table-sharing optimization lifted from
+// within-one-binary to across-the-whole-experiment-grid.
+//
+// Boxes using a shared Cache report the same TableCount/TotalBytes as
+// unshared ones: the cache dedupes the *build work and host memory*, not
+// the modeled per-binary footprint.
+type Cache struct {
+	mu     sync.Mutex
+	tables map[string]*Table
+	hits   int
+	misses int
+}
+
+// NewCache creates an empty shared table cache.
+func NewCache() *Cache {
+	return &Cache{tables: make(map[string]*Table)}
+}
+
+// table returns the cached table for key, building and caching it on
+// miss. The build runs under the lock: table generation is deterministic,
+// and serializing duplicate builds is exactly what the cache is for.
+func (c *Cache) table(key string, build func() *Table) *Table {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t, ok := c.tables[key]; ok {
+		c.hits++
+		return t
+	}
+	c.misses++
+	t := build()
+	c.tables[key] = t
+	return t
+}
+
+// Stats reports cache hits and misses (for tooling and tests).
+func (c *Cache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
 // Box accumulates the P-BOX tables for a whole program.
 type Box struct {
 	cfg     Config
+	cache   *Cache // optional cross-program table cache (nil = private builds)
 	tables  map[string]*Table
 	order   []string // deterministic iteration
 	entries int
@@ -149,7 +198,11 @@ type Box struct {
 }
 
 // New creates an empty Box with the given configuration.
-func New(cfg Config) *Box {
+func New(cfg Config) *Box { return NewWithCache(cfg, nil) }
+
+// NewWithCache creates an empty Box whose table builds go through the
+// given shared cache (nil behaves like New).
+func NewWithCache(cfg Config, cache *Cache) *Box {
 	if cfg.MaxTableAllocas <= 0 {
 		cfg.MaxTableAllocas = 6
 	}
@@ -159,7 +212,7 @@ func New(cfg Config) *Box {
 	if cfg.FrameAlign <= 0 {
 		cfg.FrameAlign = 16
 	}
-	return &Box{cfg: cfg, tables: make(map[string]*Table)}
+	return &Box{cfg: cfg, cache: cache, tables: make(map[string]*Table)}
 }
 
 // Config returns the box configuration.
@@ -250,7 +303,7 @@ func (b *Box) Register(allocs []Alloc) *Entry {
 	if !b.cfg.ShareTables {
 		// Every function gets a private table over its own declaration
 		// order (no canonicalization benefit).
-		t := b.buildTable(own)
+		t := b.newTable(own)
 		b.addTable(fmt.Sprintf("!private%d!%s", b.entries, key(own)), t)
 		e.Table = t
 		e.PosOf = identity(len(allocs))
@@ -282,11 +335,25 @@ func (b *Box) Register(allocs []Alloc) *Entry {
 			}
 		}
 	}
-	t := b.buildTable(canon)
+	t := b.newTable(canon)
 	b.addTable(k, t)
 	e.Table = t
 	e.PosOf = posOf
 	return e
+}
+
+// newTable builds (or fetches from the shared cache) the table for the
+// exact allocation sequence. The cache key carries every config field a
+// table's contents depend on; sequences registered under ShareTables
+// arrive canonicalized, so equal multisets collide into one cached table
+// across programs.
+func (b *Box) newTable(allocs []Alloc) *Table {
+	if b.cache == nil {
+		return b.buildTable(allocs)
+	}
+	k := fmt.Sprintf("pow2=%t;shuf=%d;align=%d|%s",
+		b.cfg.PowerOfTwoRows, b.cfg.ShuffleSeed, b.cfg.FrameAlign, key(allocs))
+	return b.cache.table(k, func() *Table { return b.buildTable(allocs) })
 }
 
 func (b *Box) addTable(k string, t *Table) {

@@ -329,3 +329,67 @@ func TestBytesAccounting(t *testing.T) {
 		t.Fatalf("total %d, want %d", b.TotalBytes(), want)
 	}
 }
+
+func TestSharedCacheDedupesBuilds(t *testing.T) {
+	cache := NewCache()
+	cfg := DefaultConfig()
+
+	// Two independent boxes (two "programs") with the same canonical shape
+	// must share one table object through the cache.
+	b1 := NewWithCache(cfg, cache)
+	b2 := NewWithCache(cfg, cache)
+	e1 := b1.Register(shapeMixed)
+	e2 := b2.Register(shapeMixed)
+	if e1.Table != e2.Table {
+		t.Fatal("cross-box registration of the same shape should share one cached table")
+	}
+	hits, misses := cache.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats hits=%d misses=%d, want 1/1", hits, misses)
+	}
+
+	// Cached contents must be byte-identical to a private build.
+	private := New(cfg).Register(shapeMixed)
+	out := make([]int64, len(shapeMixed))
+	outP := make([]int64, len(shapeMixed))
+	for r := uint64(0); r < uint64(e1.Table.Rows); r++ {
+		s := e1.Layout(r, out)
+		sp := private.Layout(r, outP)
+		if s != sp {
+			t.Fatalf("row %d: cached size %d != private %d", r, s, sp)
+		}
+		for i := range out {
+			if out[i] != outP[i] {
+				t.Fatalf("row %d alloc %d: cached off %d != private %d", r, i, out[i], outP[i])
+			}
+		}
+	}
+
+	// A differently-shuffled config must not collide with the cached table.
+	cfg2 := cfg
+	cfg2.ShuffleSeed = cfg.ShuffleSeed + 1
+	e3 := NewWithCache(cfg2, cache).Register(shapeMixed)
+	if e3.Table == e1.Table {
+		t.Fatal("different shuffle seed must build a distinct table")
+	}
+}
+
+func TestSharedCacheKeepsBoxAccounting(t *testing.T) {
+	cache := NewCache()
+	cfg := DefaultConfig()
+	withCache := NewWithCache(cfg, cache)
+	private := New(cfg)
+	for _, shapes := range [][]Alloc{shapeMixed, shapeLongs, shapeMixed} {
+		withCache.Register(shapes)
+		private.Register(shapes)
+	}
+	if withCache.TableCount() != private.TableCount() {
+		t.Errorf("table count %d != private %d", withCache.TableCount(), private.TableCount())
+	}
+	if withCache.TotalBytes() != private.TotalBytes() {
+		t.Errorf("total bytes %d != private %d", withCache.TotalBytes(), private.TotalBytes())
+	}
+	if withCache.SharedCount() != private.SharedCount() {
+		t.Errorf("shared count %d != private %d", withCache.SharedCount(), private.SharedCount())
+	}
+}

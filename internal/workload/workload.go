@@ -39,24 +39,48 @@ type Workload struct {
 	// Want is the expected main() return value (a checksum), fixed so
 	// instrumentation bugs that corrupt results are caught.
 	Want int64
+
+	compileOnce sync.Once
+	prog        *ir.Program
 }
 
-// Prog compiles the workload (cached).
+// Prog compiles the workload once (per-workload sync.Once, so concurrent
+// first calls for different workloads compile in parallel instead of
+// serializing on one global lock). The returned Program is immutable and
+// safely backs any number of concurrent Machines.
 func (w *Workload) Prog() *ir.Program {
-	progMu.Lock()
-	defer progMu.Unlock()
-	if p, ok := progCache[w.Name]; ok {
-		return p
-	}
-	p := compile.MustCompile(w.Name+".c", w.Source)
-	progCache[w.Name] = p
-	return p
+	w.compileOnce.Do(func() {
+		w.prog = compile.MustCompile(w.Name+".c", w.Source)
+	})
+	return w.prog
 }
 
-var (
-	progMu    sync.Mutex
-	progCache = make(map[string]*ir.Program)
-)
+// Prewarm compiles every registered workload using up to workers
+// concurrent compilers (<= 0 selects one per workload). Experiment
+// runners call it before fanning out cells so no cell pays compile
+// latency mid-measurement.
+func Prewarm(workers int) {
+	ws := All()
+	if workers <= 0 || workers > len(ws) {
+		workers = len(ws)
+	}
+	work := make(chan *Workload, len(ws))
+	for _, w := range ws {
+		work <- w
+	}
+	close(work)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for w := range work {
+				w.Prog()
+			}
+		}()
+	}
+	wg.Wait()
+}
 
 // registry is populated by the source files' init functions in Fig 3's
 // presentation order.

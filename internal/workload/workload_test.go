@@ -1,6 +1,7 @@
 package workload_test
 
 import (
+	"sync"
 	"testing"
 
 	"repro/internal/layout"
@@ -131,4 +132,25 @@ func TestProgCaching(t *testing.T) {
 	if w.Prog() != w.Prog() {
 		t.Error("Prog should cache the compiled program")
 	}
+}
+
+// TestPrewarmCompilesAllConcurrently exercises the per-workload
+// sync.Once path under concurrent first access (the -race stress for
+// this package) and checks Prewarm leaves every program compiled.
+func TestPrewarmCompilesAllConcurrently(t *testing.T) {
+	workload.Prewarm(8)
+	var wg sync.WaitGroup
+	for _, w := range workload.All() {
+		w := w
+		for i := 0; i < 3; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if w.Prog() == nil {
+					t.Errorf("%s: nil program after Prewarm", w.Name)
+				}
+			}()
+		}
+	}
+	wg.Wait()
 }
