@@ -7,9 +7,9 @@ GO ?= go
 # -race they need far more than the 10-minute default.
 RACE_TIMEOUT ?= 3600s
 
-.PHONY: ci build vet test race bench
+.PHONY: ci build vet test race bench smokebench
 
-ci: build vet race
+ci: build vet race smokebench
 
 build:
 	$(GO) build ./...
@@ -23,5 +23,16 @@ test:
 race:
 	$(GO) test -race -timeout $(RACE_TIMEOUT) ./...
 
+# Full benchmark sweep, snapshotted to BENCH_2.json (see cmd/benchjson).
+# ns/op figures are host-dependent; the sim-instructions/op and
+# model-cycles/op metrics are machine-independent modeled quantities.
 bench:
-	$(GO) test -bench=. -benchmem -run='^$$' .
+	$(GO) test -bench=. -benchmem -run='^$$' . | tee /dev/stderr | \
+		$(GO) run ./cmd/benchjson -o BENCH_2.json
+
+# Single-iteration pass over the hot-path benchmarks: catches benchmarks
+# that stopped compiling or started failing without paying for steady-state
+# timing. Part of `make ci`.
+smokebench:
+	$(GO) test -bench='VMThroughput|VMWorkloads|MemAccess|Table1' \
+		-benchtime=1x -run='^$$' .

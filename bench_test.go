@@ -12,6 +12,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/harness"
 	"repro/internal/layout"
+	"repro/internal/mem"
 	"repro/internal/pbox"
 	"repro/internal/rng"
 	"repro/internal/vm"
@@ -222,8 +223,19 @@ func BenchmarkFig4Pipeline(b *testing.B) {
 	}
 }
 
+// reportThroughput attaches the interpreter-speed metrics shared by the
+// throughput benchmarks: simulated instructions per run and per host second.
+func reportThroughput(b *testing.B, instr uint64) {
+	b.Helper()
+	b.ReportMetric(float64(instr), "sim-instructions/op")
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(instr)*float64(b.N)/s, "sim-instructions/s")
+	}
+}
+
 // BenchmarkVMThroughput measures raw interpreter speed (simulated
-// instructions per host second) on the lbm kernel.
+// instructions per host second) on the lbm kernel — the tight load/store
+// loop that exercises the memory fast path hardest.
 func BenchmarkVMThroughput(b *testing.B) {
 	w, _ := workload.ByName("lbm")
 	var instr uint64
@@ -234,5 +246,63 @@ func BenchmarkVMThroughput(b *testing.B) {
 		}
 		instr = m.Stats().Instructions
 	}
-	b.ReportMetric(float64(instr), "sim-instructions/op")
+	reportThroughput(b, instr)
+}
+
+// BenchmarkVMWorkloads measures interpreter speed across the regimes the
+// hot path has to serve: call-heavy recursion (perlbench, pooled frame
+// slabs), large frames (gobmk), the load/store floor (lbm, segment cache),
+// and host calls (proftpd). Comparing these across interpreter changes
+// shows which regime an optimization actually moved.
+func BenchmarkVMWorkloads(b *testing.B) {
+	for _, name := range fig3Subset {
+		w, ok := workload.ByName(name)
+		if !ok {
+			b.Fatalf("no workload %s", name)
+		}
+		b.Run(name, func(b *testing.B) {
+			var instr uint64
+			for i := 0; i < b.N; i++ {
+				m := vm.New(w.Prog(), layout.NewFixed(), &vm.Env{}, &vm.Options{TRNG: rng.SeededTRNG(1)})
+				if _, err := m.Run(); err != nil {
+					b.Fatal(err)
+				}
+				instr = m.Stats().Instructions
+			}
+			reportThroughput(b, instr)
+		})
+	}
+}
+
+// BenchmarkMemAccess isolates the simulated-memory layer: the segment-
+// cached fast path the interpreter uses for loads/stores versus the
+// error-returning slow path it falls back to, on the access pattern that
+// defeats a one-entry cache (alternating between two segments).
+func BenchmarkMemAccess(b *testing.B) {
+	build := func() (*mem.Memory, uint64, uint64) {
+		m := mem.New()
+		heap := m.AddSegment("heap", mem.HeapBase, 1<<16, true)
+		stack := m.AddSegment("stack", mem.StackTop-mem.StackSize, mem.StackSize, true)
+		return m, heap.Base + 128, stack.Base + 256
+	}
+	b.Run("fast-alternating", func(b *testing.B) {
+		m, ha, sa := build()
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			v, _ := m.ReadUFast(ha, 8)
+			sink ^= v
+			m.WriteUFast(sa, 8, sink)
+		}
+		_ = sink
+	})
+	b.Run("slow-alternating", func(b *testing.B) {
+		m, ha, sa := build()
+		var sink uint64
+		for i := 0; i < b.N; i++ {
+			v, _ := m.ReadU(ha, 8)
+			sink ^= v
+			_ = m.WriteU(sa, 8, sink)
+		}
+		_ = sink
+	})
 }

@@ -1,0 +1,119 @@
+// benchjson converts `go test -bench` text output (stdin) into a stable
+// JSON document for committed benchmark snapshots (BENCH_2.json). It keeps
+// every metric a benchmark reports — ns/op, B/op, allocs/op, and the
+// b.ReportMetric extras like sim-instructions/s — in the order printed, so
+// two snapshots diff cleanly.
+//
+//	go test -bench=. -benchmem -run='^$' . | go run ./cmd/benchjson -o BENCH_2.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Metric is one reported (unit, value) pair.
+type Metric struct {
+	Unit  string  `json:"unit"`
+	Value float64 `json:"value"`
+}
+
+// Benchmark is one result line.
+type Benchmark struct {
+	Name    string   `json:"name"`
+	Runs    int64    `json:"runs"`
+	Metrics []Metric `json:"metrics"`
+}
+
+// Report is the whole document.
+type Report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	Note       string      `json:"note,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func parse(lines *bufio.Scanner) (*Report, error) {
+	r := &Report{}
+	for lines.Scan() {
+		line := strings.TrimSpace(lines.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			r.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			r.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			r.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			r.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		f := strings.Fields(line)
+		// Name, run count, then (value, unit) pairs.
+		if len(f) < 4 || len(f)%2 != 0 {
+			return nil, fmt.Errorf("malformed benchmark line: %q", line)
+		}
+		runs, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad run count in %q: %v", line, err)
+		}
+		b := Benchmark{Name: strings.TrimPrefix(f[0], "Benchmark"), Runs: runs}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad metric value in %q: %v", line, err)
+			}
+			b.Metrics = append(b.Metrics, Metric{Unit: f[i+1], Value: v})
+		}
+		r.Benchmarks = append(r.Benchmarks, b)
+	}
+	if err := lines.Err(); err != nil {
+		return nil, err
+	}
+	if len(r.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no Benchmark lines found on stdin")
+	}
+	return r, nil
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	note := flag.String("note", "", "free-form note recorded in the snapshot")
+	flag.Parse()
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	r, err := parse(sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	r.Note = *note
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	b = append(b, '\n')
+	if *out == "" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(*out, b, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %s (%d benchmarks)\n", *out, len(r.Benchmarks))
+}

@@ -78,6 +78,10 @@ const (
 	OpRet // return A (NoReg for void)
 )
 
+// NumOps is the number of opcodes; per-opcode tables (such as the VM's
+// cycle cost table) are indexed by Op and sized by this.
+const NumOps = int(OpRet) + 1
+
 var opNames = [...]string{
 	OpNop: "nop", OpConst: "const", OpMov: "mov",
 	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpMod: "mod",

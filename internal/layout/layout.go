@@ -146,9 +146,12 @@ func (*Fixed) RodataBytes() int64 { return 0 }
 
 // StaticRand permutes each function's allocations once, at "compile time";
 // the permutation never changes afterwards, so a single disclosure
-// de-randomizes it (§II-C).
+// de-randomizes it (§II-C). The layout cache is mutex-guarded, so one
+// engine may safely back several concurrently-running Machines (layouts
+// are pure functions of the seed, so racing builders agree on the value).
 type StaticRand struct {
 	seed  uint64
+	mu    sync.Mutex
 	cache map[int]FrameLayout
 }
 
@@ -167,6 +170,8 @@ func (*StaticRand) NewRun() {}
 
 // Layout implements Engine.
 func (s *StaticRand) Layout(fn *ir.Function) FrameLayout {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if fl, ok := s.cache[fn.ID]; ok {
 		return fl
 	}
@@ -214,9 +219,15 @@ func (*StaticRand) RodataBytes() int64 { return 0 }
 // Padding
 
 // Padding adds a compile-time random pad (8..64 bytes, multiples of 8)
-// before frames whose allocations exceed 16 bytes, following Forrest et al.
+// before frames larger than 16 bytes, following Forrest et al. "Larger"
+// means the laid-out frame extent — allocation sizes plus the alignment
+// padding between them — not the raw sum of sizes: two 8-byte allocas with
+// 16-byte alignment span 24 bytes and are padded. The layout cache is
+// mutex-guarded like StaticRand's, so sharing one engine across Machines
+// is safe.
 type Padding struct {
 	seed  uint64
+	mu    sync.Mutex
 	cache map[int]FrameLayout
 }
 
@@ -233,13 +244,19 @@ func (*Padding) NewRun() {}
 
 // Layout implements Engine.
 func (p *Padding) Layout(fn *ir.Function) FrameLayout {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if fl, ok := p.cache[fn.ID]; ok {
 		return fl
 	}
 	off, size := fixedOffsets(fn)
+	// Forrest-style padding applies to frames larger than 16 bytes, where
+	// the frame extent includes alignment padding between allocations —
+	// the highest offset plus its allocation's size (offsets are
+	// declaration-ordered and monotonic).
 	var total int64
-	for _, a := range fn.Allocas {
-		total += a.Size
+	if n := len(fn.Allocas); n > 0 {
+		total = off[n-1] + fn.Allocas[n-1].Size
 	}
 	if total > 16 {
 		r := &splitmix{s: p.seed ^ (uint64(fn.ID)+1)*0xc6a4a7935bd1e995}

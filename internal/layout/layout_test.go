@@ -2,6 +2,7 @@ package layout_test
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/compile"
@@ -339,5 +340,92 @@ func TestPlanEnginesMatchDirectConstruction(t *testing.T) {
 	}
 	if cached.PrologueCycles(fn) != direct.PrologueCycles(fn) {
 		t.Fatal("prologue pricing should not depend on plan caching")
+	}
+}
+
+// TestPaddingThresholdCountsAlignment pins the padded/unpadded boundary:
+// the 16-byte threshold is on the laid-out frame extent (allocation sizes
+// plus inter-allocation alignment padding), not the raw sum of sizes. Two
+// 8-byte allocas with 16-byte alignment sum to 16 bytes but span 24, and
+// must be padded.
+func TestPaddingThresholdCountsAlignment(t *testing.T) {
+	aligned := &ir.Function{
+		Name: "aligned", ID: 3,
+		Allocas: []ir.Alloca{
+			{Name: "a", Size: 8, Align: 16},
+			{Name: "b", Size: 8, Align: 16},
+		},
+	}
+	fl := layout.NewPadding(3).Layout(aligned)
+	fx := layout.NewFixed().Layout(aligned)
+	pad := fl.Offsets[0] - fx.Offsets[0]
+	if pad < 8 || pad > 64 || pad%8 != 0 {
+		t.Fatalf("24-byte frame (16B of allocas + 8B alignment gap) must be padded by 8..64, got %d", pad)
+	}
+	// Exactly 16 bytes of contiguous allocations: at the threshold, unpadded.
+	atLimit := &ir.Function{
+		Name: "atlimit", ID: 4,
+		Allocas: []ir.Alloca{
+			{Name: "a", Size: 8, Align: 8},
+			{Name: "b", Size: 8, Align: 8},
+		},
+	}
+	fl = layout.NewPadding(3).Layout(atLimit)
+	fx = layout.NewFixed().Layout(atLimit)
+	if fl.Offsets[0] != fx.Offsets[0] || fl.Size != fx.Size {
+		t.Fatalf("16-byte frame must not be padded: got offsets %v size %d", fl.Offsets, fl.Size)
+	}
+	// One byte over via a trailing allocation: padded.
+	over := &ir.Function{
+		Name: "over", ID: 5,
+		Allocas: []ir.Alloca{
+			{Name: "a", Size: 16, Align: 8},
+			{Name: "b", Size: 1, Align: 1},
+		},
+	}
+	fl = layout.NewPadding(3).Layout(over)
+	fx = layout.NewFixed().Layout(over)
+	if fl.Offsets[0] == fx.Offsets[0] {
+		t.Fatal("17-byte frame must be padded")
+	}
+}
+
+// TestLayoutCachesConcurrent shares one StaticRand and one Padding engine
+// across goroutines hammering Layout — the post-PR-1 plan/engine split
+// invites exactly this sharing. Run under -race this fails if the layout
+// caches are unguarded; all goroutines must also agree on the layouts.
+func TestLayoutCachesConcurrent(t *testing.T) {
+	p := testProg(t)
+	engines := []layout.Engine{layout.NewStaticRand(11), layout.NewPadding(11)}
+	for _, eng := range engines {
+		eng := eng
+		want := make(map[string]string)
+		for _, fn := range p.Funcs {
+			want[fn.Name] = fmt.Sprint(eng.Layout(fn))
+		}
+		var wg sync.WaitGroup
+		errc := make(chan error, 8)
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 200; i++ {
+					for _, fn := range p.Funcs {
+						if got := fmt.Sprint(eng.Layout(fn)); got != want[fn.Name] {
+							select {
+							case errc <- fmt.Errorf("%s: concurrent layout %s != %s", eng.Name(), got, want[fn.Name]):
+							default:
+							}
+							return
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(errc)
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
 	}
 }

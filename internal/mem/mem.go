@@ -49,32 +49,86 @@ func (f *Fault) Error() string {
 	return fmt.Sprintf("segmentation fault: %s of %d bytes at 0x%x", f.Kind, f.Size, f.Addr)
 }
 
+// UnterminatedString reports a bounded C-string scan that exhausted its
+// byte budget without finding a NUL terminator while still inside a mapped
+// segment. It is distinct from Fault: the addresses involved are valid, the
+// string is just longer than the caller was willing to scan.
+type UnterminatedString struct {
+	Addr  uint64 // scan start
+	Limit int    // bytes examined
+}
+
+func (e *UnterminatedString) Error() string {
+	return fmt.Sprintf("unterminated string: no NUL within %d bytes of 0x%x", e.Limit, e.Addr)
+}
+
 // Segment is one contiguous address range.
 type Segment struct {
 	Name     string
 	Base     uint64
 	Writable bool
 	data     []byte
+	end      uint64 // Base + len(data), precomputed for the hot range check
 }
 
 // Size returns the segment length in bytes.
 func (s *Segment) Size() uint64 { return uint64(len(s.data)) }
 
 // End returns one past the last valid address.
-func (s *Segment) End() uint64 { return s.Base + s.Size() }
+func (s *Segment) End() uint64 { return s.end }
 
 // contains reports whether [addr, addr+n) lies inside the segment.
 func (s *Segment) contains(addr uint64, n int) bool {
-	return addr >= s.Base && addr+uint64(n) <= s.End() && addr+uint64(n) >= addr
+	return addr >= s.Base && addr+uint64(n) <= s.end && addr+uint64(n) >= addr
 }
 
 // Bytes exposes the raw backing store (for snapshotting and the attacker's
 // disclosure oracle).
 func (s *Segment) Bytes() []byte { return s.data }
 
+// Contains reports whether [addr, addr+n) lies inside the segment (the
+// exported form of the hot-path range check, for callers holding a segment
+// view).
+func (s *Segment) Contains(addr uint64, n int) bool { return s.contains(addr, n) }
+
+// ReadU64At reads the 8-byte little-endian value at addr directly from the
+// segment, skipping segment resolution entirely. ok is false when the range
+// leaves the segment. This is the fast path for callers that know which
+// segment they are touching (the VM's stack-segment guard slots).
+func (s *Segment) ReadU64At(addr uint64) (uint64, bool) {
+	if !s.contains(addr, 8) {
+		return 0, false
+	}
+	off := addr - s.Base
+	return binary.LittleEndian.Uint64(s.data[off : off+8]), true
+}
+
+// WriteU64At stores an 8-byte little-endian value at addr directly in the
+// segment; false when the range leaves the segment or it is read-only.
+func (s *Segment) WriteU64At(addr uint64, val uint64) bool {
+	if !s.Writable || !s.contains(addr, 8) {
+		return false
+	}
+	off := addr - s.Base
+	binary.LittleEndian.PutUint64(s.data[off:off+8], val)
+	return true
+}
+
 // Memory is a set of segments.
+//
+// Memory is NOT safe for concurrent use: the accessors keep a one-entry
+// segment cache that both reads and writes mutate. Each simulated machine
+// owns its Memory and runs on one goroutine (the experiment pipeline's
+// per-cell model), which is the intended usage.
 type Memory struct {
 	segs []*Segment
+	// last/prev form a two-entry segment cache: simulated access streams are
+	// overwhelmingly runs within one segment, or an alternation between two
+	// (stack locals interleaved with a heap buffer in a tight loop), so the
+	// common lookup is one or two range checks instead of a linear segment
+	// walk.
+	last *Segment
+	prev *Segment
 }
 
 // New creates an empty memory.
@@ -89,7 +143,7 @@ func (m *Memory) AddSegment(name string, base, size uint64, writable bool) *Segm
 				name, base, base+size, s.Name, s.Base, s.End()))
 		}
 	}
-	seg := &Segment{Name: name, Base: base, Writable: writable, data: make([]byte, size)}
+	seg := &Segment{Name: name, Base: base, Writable: writable, data: make([]byte, size), end: base + size}
 	m.segs = append(m.segs, seg)
 	return seg
 }
@@ -97,14 +151,95 @@ func (m *Memory) AddSegment(name string, base, size uint64, writable bool) *Segm
 // Segments returns all segments.
 func (m *Memory) Segments() []*Segment { return m.segs }
 
-// FindSegment returns the segment containing [addr, addr+n), or nil.
+// FindSegment returns the segment containing [addr, addr+n), or nil. Hits
+// populate the segment cache consulted by the fast-path accessors.
 func (m *Memory) FindSegment(addr uint64, n int) *Segment {
+	if s := m.last; s != nil && s.contains(addr, n) {
+		return s
+	}
+	if s := m.prev; s != nil && s.contains(addr, n) {
+		m.prev = m.last
+		m.last = s
+		return s
+	}
 	for _, s := range m.segs {
 		if s.contains(addr, n) {
+			m.prev = m.last
+			m.last = s
 			return s
 		}
 	}
 	return nil
+}
+
+// ReadUFast reads an n-byte little-endian unsigned value (n ∈ {1,4,8})
+// through the segment cache. ok is false on any miss — unmapped range,
+// straddling access, or unsupported width — in which case the caller falls
+// back to ReadU for the authoritative error. The fast path performs one
+// range check and no allocation.
+func (m *Memory) ReadUFast(addr uint64, n int) (uint64, bool) {
+	s := m.last
+	if s == nil || !s.contains(addr, n) {
+		// Alternating two-segment streams hit prev without churning the
+		// cache order; only genuine misses take the FindSegment walk.
+		if s = m.prev; s == nil || !s.contains(addr, n) {
+			if s = m.FindSegment(addr, n); s == nil {
+				return 0, false
+			}
+		}
+	}
+	off := addr - s.Base
+	switch n {
+	case 8:
+		return binary.LittleEndian.Uint64(s.data[off : off+8]), true
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(s.data[off : off+4])), true
+	case 1:
+		return uint64(s.data[off]), true
+	}
+	return 0, false
+}
+
+// ReadU64Fast is ReadUFast specialized to the dominant 8-byte width.
+func (m *Memory) ReadU64Fast(addr uint64) (uint64, bool) {
+	s := m.last
+	if s == nil || !s.contains(addr, 8) {
+		if s = m.prev; s == nil || !s.contains(addr, 8) {
+			if s = m.FindSegment(addr, 8); s == nil {
+				return 0, false
+			}
+		}
+	}
+	off := addr - s.Base
+	return binary.LittleEndian.Uint64(s.data[off : off+8]), true
+}
+
+// WriteUFast stores the low n bytes of val at addr (n ∈ {1,4,8}) through
+// the segment cache; false sends the caller to WriteU for the error.
+func (m *Memory) WriteUFast(addr uint64, n int, val uint64) bool {
+	s := m.last
+	if s == nil || !s.contains(addr, n) {
+		if s = m.prev; s == nil || !s.contains(addr, n) {
+			if s = m.FindSegment(addr, n); s == nil {
+				return false
+			}
+		}
+	}
+	if !s.Writable {
+		return false
+	}
+	off := addr - s.Base
+	switch n {
+	case 8:
+		binary.LittleEndian.PutUint64(s.data[off:off+8], val)
+	case 4:
+		binary.LittleEndian.PutUint32(s.data[off:off+4], uint32(val))
+	case 1:
+		s.data[off] = byte(val)
+	default:
+		return false
+	}
+	return true
 }
 
 // view returns the backing slice for [addr, addr+n), faulting if the range
@@ -179,7 +314,10 @@ func (m *Memory) WriteU(addr uint64, n int, val uint64) error {
 }
 
 // ReadCString reads a NUL-terminated string starting at addr, up to max
-// bytes (a fault is returned if the terminator is not found within bounds).
+// bytes. A scan that runs off the end of the segment returns a Fault at the
+// first out-of-segment address (the real C behaviour); a scan cut short by
+// max while still inside the segment returns *UnterminatedString, since the
+// address after the scan window is often perfectly valid memory.
 func (m *Memory) ReadCString(addr uint64, max int) (string, error) {
 	s := m.FindSegment(addr, 1)
 	if s == nil {
@@ -188,14 +326,21 @@ func (m *Memory) ReadCString(addr uint64, max int) (string, error) {
 	off := addr - s.Base
 	buf := s.data[off:]
 	limit := len(buf)
+	truncated := false
 	if max > 0 && max < limit {
 		limit = max
+		truncated = true
 	}
 	for i := 0; i < limit; i++ {
 		if buf[i] == 0 {
 			return string(buf[:i]), nil
 		}
 	}
+	if truncated {
+		return "", &UnterminatedString{Addr: addr, Limit: limit}
+	}
+	// The scan genuinely ran off the segment end: addr+limit is the first
+	// unmapped address.
 	return "", &Fault{Addr: addr + uint64(limit), Size: 1, Kind: Read}
 }
 

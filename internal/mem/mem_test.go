@@ -163,3 +163,41 @@ func TestFindSegment(t *testing.T) {
 		t.Fatal("gap must not match")
 	}
 }
+
+// TestCStringUnterminatedVsFault distinguishes the two "no NUL found"
+// outcomes: a scan cut short by max while still inside the segment is an
+// UnterminatedString (the next address is often valid memory), while a
+// scan that runs off the segment end is a genuine Fault at the first
+// unmapped address.
+func TestCStringUnterminatedVsFault(t *testing.T) {
+	m := twoSeg(t)
+	fill := make([]byte, 0x100)
+	for i := range fill {
+		fill[i] = 'A'
+	}
+	if err := m.WriteBytes(0x1000, fill); err != nil {
+		t.Fatal(err)
+	}
+	// Truncated by max mid-segment: unterminated, not a fault — 0x1008 is
+	// mapped, so a Fault there would point at valid memory.
+	_, err := m.ReadCString(0x1000, 8)
+	var u *mem.UnterminatedString
+	if !errors.As(err, &u) {
+		t.Fatalf("max-truncated scan: want UnterminatedString, got %v", err)
+	}
+	if u.Addr != 0x1000 || u.Limit != 8 {
+		t.Fatalf("unterminated identity wrong: %+v", u)
+	}
+	var f *mem.Fault
+	if errors.As(err, &f) {
+		t.Fatal("max-truncated scan must not be a Fault")
+	}
+	// Scan that exhausts the segment: a real fault at the segment end.
+	_, err = m.ReadCString(0x10f0, 100)
+	if !errors.As(err, &f) {
+		t.Fatalf("segment-exhausting scan: want Fault, got %v", err)
+	}
+	if f.Addr != 0x1100 {
+		t.Fatalf("fault at 0x%x, want segment end 0x1100", f.Addr)
+	}
+}

@@ -65,8 +65,10 @@ func HostTRNG() uint64 {
 	return binary.LittleEndian.Uint64(b[:])
 }
 
-// FixedTRNG returns a deterministic TRNG cycling through the given values;
-// for tests and reproducible experiments.
+// FixedTRNG returns a deterministic TRNG that yields the given values
+// verbatim for the first cycle — FixedTRNG(5)() == 5 — so tests can pin
+// exact draws. From the second cycle on, the call index is mixed in so
+// long runs do not repeat identically.
 func FixedTRNG(vals ...uint64) TRNG {
 	if len(vals) == 0 {
 		vals = []uint64{0x9e3779b97f4a7c15}
@@ -74,9 +76,10 @@ func FixedTRNG(vals ...uint64) TRNG {
 	i := 0
 	return func() uint64 {
 		v := vals[i%len(vals)]
+		if i >= len(vals) {
+			v ^= uint64(i+1) * 0x2545f4914f6cdd1d
+		}
 		i++
-		// Mix the index in so long runs do not repeat identically.
-		v ^= uint64(i) * 0x2545f4914f6cdd1d
 		return v
 	}
 }
@@ -154,6 +157,8 @@ type AESCtr struct {
 	counter uint64
 	calls   uint64
 	// ReseedInterval is the number of outputs between re-keying events.
+	// 0 means "never re-key": the source keeps its initial key and nonce
+	// for the whole run.
 	ReseedInterval uint64
 }
 
@@ -180,7 +185,7 @@ func (a *AESCtr) reseed() {
 
 // Next implements Source.
 func (a *AESCtr) Next() uint64 {
-	if a.calls > 0 && a.calls%a.ReseedInterval == 0 {
+	if a.ReseedInterval > 0 && a.calls > 0 && a.calls%a.ReseedInterval == 0 {
 		a.reseed()
 	}
 	a.calls++

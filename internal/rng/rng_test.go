@@ -283,3 +283,39 @@ func TestDevRandomViaNewByName(t *testing.T) {
 		src.Next()
 	}
 }
+
+// TestAESCtrNeverReseed locks the ReseedInterval = 0 contract: zero means
+// "never re-key" — drawing far past DefaultReseedInterval must neither
+// panic (the historical divide-by-zero) nor consult the TRNG again.
+func TestAESCtrNeverReseed(t *testing.T) {
+	trngCalls := 0
+	base := SeededTRNG(9)
+	counting := func() uint64 { trngCalls++; return base() }
+	a := NewAESCtr(1, counting)
+	a.ReseedInterval = 0
+	seedCalls := trngCalls // key (2 draws) + nonce (1 draw)
+	var sink uint64
+	for i := uint64(0); i < DefaultReseedInterval+8; i++ {
+		sink ^= a.Next()
+	}
+	_ = sink
+	if trngCalls != seedCalls {
+		t.Fatalf("ReseedInterval=0 must never re-key: TRNG drawn %d more times", trngCalls-seedCalls)
+	}
+}
+
+// TestFixedTRNGVerbatimFirstCycle locks the FixedTRNG contract: the given
+// values are returned verbatim for the first cycle, then index-mixed so
+// long runs do not repeat identically.
+func TestFixedTRNGVerbatimFirstCycle(t *testing.T) {
+	if v := FixedTRNG(5)(); v != 5 {
+		t.Fatalf("FixedTRNG(5)() = %d, want 5", v)
+	}
+	f := FixedTRNG(10, 20)
+	if a, b := f(), f(); a != 10 || b != 20 {
+		t.Fatalf("first cycle not verbatim: %d, %d", a, b)
+	}
+	if c, d := f(), f(); c == 10 || d == 20 {
+		t.Fatalf("second cycle must be index-mixed, got %d, %d", c, d)
+	}
+}

@@ -7,10 +7,12 @@
 package vm
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 
 	"repro/internal/ir"
+	"repro/internal/mem"
 )
 
 // cstringMax bounds string scans so a missing NUL terminator inside a huge
@@ -24,6 +26,13 @@ func (m *Machine) hostCall(fn *ir.Function, pc int, host int, args []int64) (int
 	name := hostNames[host]
 	m.stats.Cycles += m.costs.HostBase
 	memFault := func(err error) error {
+		// String scans cut short by cstringMax report UnterminatedString,
+		// not a segmentation fault: the scan never left mapped memory, so
+		// dressing it up as a MemFault would point at a valid address.
+		var u *mem.UnterminatedString
+		if errors.As(err, &u) {
+			return fmt.Errorf("%w in %s (%s) at pc=%d", err, fn.Name, name, pc)
+		}
 		return &MemFault{Func: fn.Name + " (" + name + ")", PC: pc, Err: err}
 	}
 	switch name {

@@ -193,6 +193,20 @@ type Machine struct {
 	steps     uint64
 	stats     Stats
 
+	// costTable prices each opcode (built once in New from costs and the
+	// engine's per-address-formation surcharge): the interpreter adds
+	// costTable[op] instead of re-deriving the price per step. The values
+	// and the accumulation order are bit-identical to the per-case
+	// constants they replace — guarded by TestCycleInvariance.
+	costTable [ir.NumOps]float64
+
+	// regSlabs and argSlabs pool the per-call register file and the
+	// OpCall/OpCallHost argument scratch, indexed by call depth so nested
+	// frames never alias. Slabs are cleared (registers) or fully
+	// overwritten (args) on reuse, so behaviour matches fresh allocation.
+	regSlabs [][]int64
+	argSlabs [][]int64
+
 	rodata     *mem.Segment
 	globals    *mem.Segment
 	heap       *mem.Segment
@@ -296,6 +310,7 @@ func New(prog *ir.Program, engine layout.Engine, env *Env, opts *Options) *Machi
 	m.sp = m.stackTop
 	m.stats.StackPeak = 0
 	m.guardKey = o.TRNG()
+	m.buildCostTable()
 
 	if o.JitterAmp > 0 && engine.Name() != "fixed" {
 		m.jitter = make([]float64, len(prog.Funcs))
@@ -312,6 +327,67 @@ func New(prog *ir.Program, engine layout.Engine, env *Env, opts *Options) *Machi
 		}
 	}
 	return m
+}
+
+// buildCostTable fills the per-opcode price table from the cost model and
+// the engine's AddrLocal surcharge. OpCall/OpCallHost stay zero — their
+// pricing (CallBase, prologue/epilogue, HostBase) is charged by call and
+// hostCall, exactly as before.
+func (m *Machine) buildCostTable() {
+	c := &m.costs
+	t := &m.costTable
+	for op := range t {
+		t[op] = c.ALU
+	}
+	t[ir.OpMul] = c.Mul
+	t[ir.OpDiv] = c.Div
+	t[ir.OpMod] = c.Div
+	t[ir.OpLoad] = c.Load
+	t[ir.OpStore] = c.Store
+	t[ir.OpAddrLocal] = c.AddrCalc + m.Engine.AddrLocalExtraCycles()
+	t[ir.OpAddrGlobal] = c.AddrCalc
+	t[ir.OpAddrData] = c.AddrCalc
+	t[ir.OpJmp] = c.Branch
+	t[ir.OpBr] = c.Branch
+	t[ir.OpRet] = c.Branch
+	t[ir.OpCall] = 0
+	t[ir.OpCallHost] = 0
+}
+
+// regSlab returns a zeroed register file for a frame at the given call
+// depth. Slabs are pooled per depth (nested frames never share) and
+// cleared on reuse, so a recycled slab is indistinguishable from a fresh
+// allocation.
+func (m *Machine) regSlab(depth, n int) []int64 {
+	for len(m.regSlabs) <= depth {
+		m.regSlabs = append(m.regSlabs, nil)
+	}
+	s := m.regSlabs[depth]
+	if cap(s) < n {
+		s = make([]int64, n)
+		m.regSlabs[depth] = s
+		return s
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// argSlab returns an argument scratch buffer for a call issued at the
+// given depth. The caller fully overwrites all n slots before use, and the
+// buffer is consumed (spilled to simulated memory or read by the host
+// call) before any nested call at the same depth can reuse it.
+func (m *Machine) argSlab(depth, n int) []int64 {
+	for len(m.argSlabs) <= depth {
+		m.argSlabs = append(m.argSlabs, nil)
+	}
+	s := m.argSlabs[depth]
+	if cap(s) < n {
+		s = make([]int64, n)
+		m.argSlabs[depth] = s
+		return s
+	}
+	return s[:n]
 }
 
 func alignU(n, a uint64) uint64 {
@@ -441,11 +517,16 @@ func (m *Machine) call(fn *ir.Function, args []int64) (int64, error) {
 			return 0, &MemFault{Func: fn.Name, PC: -1, Err: err}
 		}
 	}
-	// Write the encoded function identifier.
+	// Write the encoded function identifier. The guard slot always lies in
+	// the frame, i.e. the stack segment, so the direct segment view is the
+	// common path; the general WriteU produces the fault otherwise.
 	if fl.GuardOffset >= 0 {
-		if err := m.Mem.WriteU(base+uint64(fl.GuardOffset), 8, m.guardKey^uint64(fn.ID)); err != nil {
-			m.popFrame()
-			return 0, &MemFault{Func: fn.Name, PC: -1, Err: err}
+		gaddr := base + uint64(fl.GuardOffset)
+		if !m.stack.WriteU64At(gaddr, m.guardKey^uint64(fn.ID)) {
+			if err := m.Mem.WriteU(gaddr, 8, m.guardKey^uint64(fn.ID)); err != nil {
+				m.popFrame()
+				return 0, &MemFault{Func: fn.Name, PC: -1, Err: err}
+			}
 		}
 	}
 	m.stats.Cycles += m.costs.CallBase + m.Engine.PrologueCycles(fn)
@@ -455,12 +536,17 @@ func (m *Machine) call(fn *ir.Function, args []int64) (int64, error) {
 		m.popFrame()
 		return 0, err
 	}
-	// Epilogue guard check.
+	// Epilogue guard check (stack-segment view, same fallback as above).
 	if fl.GuardOffset >= 0 {
-		v, merr := m.Mem.ReadU(base+uint64(fl.GuardOffset), 8)
-		if merr != nil {
-			m.popFrame()
-			return 0, &MemFault{Func: fn.Name, PC: -1, Err: merr}
+		gaddr := base + uint64(fl.GuardOffset)
+		v, ok := m.stack.ReadU64At(gaddr)
+		if !ok {
+			var merr error
+			v, merr = m.Mem.ReadU(gaddr, 8)
+			if merr != nil {
+				m.popFrame()
+				return 0, &MemFault{Func: fn.Name, PC: -1, Err: merr}
+			}
 		}
 		if v != m.guardKey^uint64(fn.ID) {
 			m.popFrame()
@@ -478,124 +564,114 @@ func (m *Machine) popFrame() {
 	m.frames = m.frames[:len(m.frames)-1]
 }
 
-// exec interprets the function body.
+// exec interprets the function body. This is the simulator's innermost
+// loop; it works on pooled register slabs, prices instructions through the
+// per-opcode cost table, keeps the step counter in a local (synced around
+// calls and on exit), and routes loads/stores through the segment-cached
+// fast path. None of that changes a modeled cycle — TestCycleInvariance
+// pins the accounting bit-for-bit.
 func (m *Machine) exec(fn *ir.Function, base uint64, fl layout.FrameLayout) (int64, error) {
-	regs := make([]int64, fn.NumRegs)
+	regs := m.regSlab(len(m.frames)-1, fn.NumRegs)
 	code := fn.Code
 	costMul := 1.0
 	if m.jitter != nil {
 		costMul = m.jitter[fn.ID]
 	}
-	addrExtra := m.Engine.AddrLocalExtraCycles()
+	ct := &m.costTable
+	mm := m.Mem
 	cycles := 0.0
+	steps, limit := m.steps, m.stepLimit
 	pc := 0
-	defer func() { m.stats.Cycles += cycles * costMul }()
+	defer func() {
+		m.steps = steps
+		m.stats.Cycles += cycles * costMul
+	}()
 	for {
-		if m.steps >= m.stepLimit {
-			return 0, &StepLimit{Limit: m.stepLimit}
+		if steps >= limit {
+			return 0, &StepLimit{Limit: limit}
 		}
-		m.steps++
+		steps++
 		in := &code[pc]
-		switch in.Op {
+		op := in.Op
+		switch op {
 		case ir.OpNop:
-			cycles += m.costs.ALU
 		case ir.OpConst:
 			regs[in.Dst] = in.Imm
-			cycles += m.costs.ALU
 		case ir.OpMov:
 			regs[in.Dst] = regs[in.A]
-			cycles += m.costs.ALU
 		case ir.OpAdd:
 			regs[in.Dst] = regs[in.A] + regs[in.B]
-			cycles += m.costs.ALU
 		case ir.OpSub:
 			regs[in.Dst] = regs[in.A] - regs[in.B]
-			cycles += m.costs.ALU
 		case ir.OpMul:
 			regs[in.Dst] = regs[in.A] * regs[in.B]
-			cycles += m.costs.Mul
 		case ir.OpDiv:
 			if regs[in.B] == 0 {
 				return 0, &DivideByZero{Func: fn.Name, PC: pc}
 			}
 			regs[in.Dst] = regs[in.A] / regs[in.B]
-			cycles += m.costs.Div
 		case ir.OpMod:
 			if regs[in.B] == 0 {
 				return 0, &DivideByZero{Func: fn.Name, PC: pc}
 			}
 			regs[in.Dst] = regs[in.A] % regs[in.B]
-			cycles += m.costs.Div
 		case ir.OpAnd:
 			regs[in.Dst] = regs[in.A] & regs[in.B]
-			cycles += m.costs.ALU
 		case ir.OpOr:
 			regs[in.Dst] = regs[in.A] | regs[in.B]
-			cycles += m.costs.ALU
 		case ir.OpXor:
 			regs[in.Dst] = regs[in.A] ^ regs[in.B]
-			cycles += m.costs.ALU
 		case ir.OpShl:
 			regs[in.Dst] = regs[in.A] << (uint64(regs[in.B]) & 63)
-			cycles += m.costs.ALU
 		case ir.OpShr:
 			regs[in.Dst] = regs[in.A] >> (uint64(regs[in.B]) & 63)
-			cycles += m.costs.ALU
 		case ir.OpNeg:
 			regs[in.Dst] = -regs[in.A]
-			cycles += m.costs.ALU
 		case ir.OpNot:
 			regs[in.Dst] = ^regs[in.A]
-			cycles += m.costs.ALU
 		case ir.OpSetZ:
 			if regs[in.A] == 0 {
 				regs[in.Dst] = 1
 			} else {
 				regs[in.Dst] = 0
 			}
-			cycles += m.costs.ALU
 		case ir.OpEq:
 			regs[in.Dst] = b2i(regs[in.A] == regs[in.B])
-			cycles += m.costs.ALU
 		case ir.OpNe:
 			regs[in.Dst] = b2i(regs[in.A] != regs[in.B])
-			cycles += m.costs.ALU
 		case ir.OpLt:
 			regs[in.Dst] = b2i(regs[in.A] < regs[in.B])
-			cycles += m.costs.ALU
 		case ir.OpLe:
 			regs[in.Dst] = b2i(regs[in.A] <= regs[in.B])
-			cycles += m.costs.ALU
 		case ir.OpGt:
 			regs[in.Dst] = b2i(regs[in.A] > regs[in.B])
-			cycles += m.costs.ALU
 		case ir.OpGe:
 			regs[in.Dst] = b2i(regs[in.A] >= regs[in.B])
-			cycles += m.costs.ALU
 		case ir.OpLoad:
-			v, err := m.Mem.ReadU(uint64(regs[in.A]), int(in.Width))
-			if err != nil {
-				return 0, &MemFault{Func: fn.Name, PC: pc, Err: err}
+			v, ok := mm.ReadUFast(uint64(regs[in.A]), int(in.Width))
+			if !ok {
+				var err error
+				v, err = mm.ReadU(uint64(regs[in.A]), int(in.Width))
+				if err != nil {
+					return 0, &MemFault{Func: fn.Name, PC: pc, Err: err}
+				}
 			}
 			regs[in.Dst] = extend(v, in.Width, in.Unsigned)
-			cycles += m.costs.Load
 		case ir.OpStore:
-			if err := m.Mem.WriteU(uint64(regs[in.A]), int(in.Width), uint64(regs[in.B])); err != nil {
-				return 0, &MemFault{Func: fn.Name, PC: pc, Err: err}
+			if !mm.WriteUFast(uint64(regs[in.A]), int(in.Width), uint64(regs[in.B])) {
+				if err := mm.WriteU(uint64(regs[in.A]), int(in.Width), uint64(regs[in.B])); err != nil {
+					return 0, &MemFault{Func: fn.Name, PC: pc, Err: err}
+				}
 			}
-			cycles += m.costs.Store
 		case ir.OpAddrLocal:
 			regs[in.Dst] = int64(base + uint64(fl.Offsets[in.Sym]))
-			cycles += m.costs.AddrCalc + addrExtra
 		case ir.OpAddrGlobal:
 			regs[in.Dst] = int64(m.globalAddr[in.Sym])
-			cycles += m.costs.AddrCalc
 		case ir.OpAddrData:
 			regs[in.Dst] = int64(m.dataAddr[in.Sym])
-			cycles += m.costs.AddrCalc
 		case ir.OpJmp:
 			pc = int(in.Target0)
-			cycles += m.costs.Branch
+			cycles += ct[ir.OpJmp]
 			continue
 		case ir.OpBr:
 			if regs[in.A] != 0 {
@@ -603,18 +679,20 @@ func (m *Machine) exec(fn *ir.Function, base uint64, fl layout.FrameLayout) (int
 			} else {
 				pc = int(in.Target1)
 			}
-			cycles += m.costs.Branch
+			cycles += ct[ir.OpBr]
 			continue
 		case ir.OpCall:
-			args := make([]int64, len(in.Args))
+			args := m.argSlab(len(m.frames), len(in.Args))
 			for i, r := range in.Args {
 				args[i] = regs[r]
 			}
-			// Flush this frame's cycles before descending so recursive
-			// accounting stays ordered.
+			// Flush this frame's cycles and step count before descending so
+			// recursive accounting stays ordered.
 			m.stats.Cycles += cycles * costMul
 			cycles = 0
+			m.steps = steps
 			v, err := m.call(m.Prog.Funcs[in.Sym], args)
+			steps = m.steps
 			if err != nil {
 				return 0, err
 			}
@@ -622,10 +700,11 @@ func (m *Machine) exec(fn *ir.Function, base uint64, fl layout.FrameLayout) (int
 				regs[in.Dst] = v
 			}
 		case ir.OpCallHost:
-			args := make([]int64, len(in.Args))
+			args := m.argSlab(len(m.frames), len(in.Args))
 			for i, r := range in.Args {
 				args[i] = regs[r]
 			}
+			m.steps = steps
 			v, err := m.hostCall(fn, pc, int(in.Sym), args)
 			if err != nil {
 				return 0, err
@@ -634,14 +713,15 @@ func (m *Machine) exec(fn *ir.Function, base uint64, fl layout.FrameLayout) (int
 				regs[in.Dst] = v
 			}
 		case ir.OpRet:
-			cycles += m.costs.Branch
+			cycles += ct[ir.OpRet]
 			if in.A == ir.NoReg {
 				return 0, nil
 			}
 			return regs[in.A], nil
 		default:
-			return 0, fmt.Errorf("vm: unknown opcode %v in %s at pc=%d", in.Op, fn.Name, pc)
+			return 0, fmt.Errorf("vm: unknown opcode %v in %s at pc=%d", op, fn.Name, pc)
 		}
+		cycles += ct[op]
 		pc++
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/compile"
 	"repro/internal/layout"
+	"repro/internal/mem"
 	"repro/internal/rng"
 	"repro/internal/vm"
 )
@@ -418,5 +419,31 @@ long main() {
 		if v != want {
 			t.Errorf("%s: result %d differs from baseline %d", name, v, want)
 		}
+	}
+}
+
+// TestStrlenUnterminatedString drives the host-call path for a string scan
+// that exceeds the VM's scan budget inside mapped memory: the error must be
+// the distinct unterminated-string error, not a segmentation MemFault at a
+// valid address.
+func TestStrlenUnterminatedString(t *testing.T) {
+	// 1 MiB + 1 bytes of 'A' on the heap: past cstringMax with no NUL, but
+	// comfortably inside the 64 MiB heap segment.
+	_, _, err := runSrc(t, `
+long main() {
+	long p = malloc(2097152);
+	memset(p, 65, 1048577);
+	return strlen(p);
+}`, nil, nil)
+	if err == nil {
+		t.Fatal("expected an error for the unterminated string")
+	}
+	var u *mem.UnterminatedString
+	if !errors.As(err, &u) {
+		t.Fatalf("want UnterminatedString, got %v", err)
+	}
+	var mf *vm.MemFault
+	if errors.As(err, &mf) {
+		t.Fatalf("unterminated string misreported as segmentation fault: %v", err)
 	}
 }

@@ -1,0 +1,207 @@
+// Cycle-invariance guard: the interpreter hot-path optimizations (segment-
+// cached memory, pooled register/arg slabs, the opcode cost table) must not
+// change a single modeled cycle. The goldens in testdata/ were captured with
+// `go test -run 'Invariance' -update .` on the UNOPTIMIZED interpreter
+// (post-bugfix, pre-optimization); the tests re-run the same workloads and
+// experiments and require bit-identical results — cycles are compared as
+// exact float64 bit patterns, experiment records as raw JSON bytes.
+//
+// Regenerating the goldens is only legitimate when the cost *model* changes
+// deliberately (new prices, new engines); a diff caused by an "optimization"
+// is a bug in the optimization.
+
+package repro
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/exp"
+	"repro/internal/harness"
+	"repro/internal/layout"
+	"repro/internal/rng"
+	"repro/internal/vm"
+	"repro/internal/workload"
+)
+
+var update = flag.Bool("update", false, "rewrite the invariance goldens from the current interpreter")
+
+// invarianceEngines spans every cost-model branch: no instrumentation,
+// compile-time permutation/padding, base randomization, and the three
+// Smokestack RNG tiers (prologue pricing, guard write/check, VLA pads).
+var invarianceEngines = []string{
+	"fixed", "staticrand", "padding", "baserand",
+	"smokestack+pseudo", "smokestack+aes-10", "smokestack+rdrand",
+}
+
+// invarianceWorkloads covers the interpreter's regimes: call-heavy deep
+// recursion (perlbench), the large-frame worst case (gobmk), the tight
+// load/store loop floor (lbm), and the I/O + host-call path (proftpd).
+var invarianceWorkloads = []string{"perlbench", "gobmk", "lbm", "proftpd"}
+
+// cycleRecord is one (workload, engine) golden entry. Cycles is the exact
+// float64 bit pattern (hex form via strconv.FormatFloat 'x'): byte equality
+// here IS bit equality of the modeled cycle count.
+type cycleRecord struct {
+	CyclesHex    string  `json:"cycles_hex"`
+	Cycles       float64 `json:"cycles"` // human-readable mirror of CyclesHex
+	Instructions uint64  `json:"instructions"`
+	Calls        uint64  `json:"calls"`
+	MaxDepth     int     `json:"max_depth"`
+	MaxFrameSize int64   `json:"max_frame_size"`
+	HeapUsed     uint64  `json:"heap_used"`
+	StackPeak    uint64  `json:"stack_peak"`
+	Resident     int64   `json:"resident_bytes"`
+	Return       int64   `json:"return"`
+	OutputLen    int     `json:"output_len"`
+}
+
+func runInvarianceCell(t *testing.T, wname, scheme string) cycleRecord {
+	t.Helper()
+	w, ok := workload.ByName(wname)
+	if !ok {
+		t.Fatalf("no workload %s", wname)
+	}
+	seed := uint64(0x5eed<<16) ^ uint64(len(wname)+13*len(scheme))
+	eng, err := layout.NewByName(scheme, w.Prog(), seed, rng.SeededTRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &vm.Env{}
+	m := vm.New(w.Prog(), eng, env, &vm.Options{TRNG: rng.SeededTRNG(seed ^ 0xabc), StepLimit: 2_000_000_000})
+	v, err := m.Run()
+	if err != nil {
+		t.Fatalf("%s under %s: %v", wname, scheme, err)
+	}
+	s := m.Stats()
+	return cycleRecord{
+		CyclesHex:    strconv.FormatFloat(s.Cycles, 'x', -1, 64),
+		Cycles:       s.Cycles,
+		Instructions: s.Instructions,
+		Calls:        s.Calls,
+		MaxDepth:     s.MaxDepth,
+		MaxFrameSize: s.MaxFrameSize,
+		HeapUsed:     s.HeapUsed,
+		StackPeak:    s.StackPeak,
+		Resident:     m.ResidentBytes(),
+		Return:       v,
+		OutputLen:    len(env.Output),
+	}
+}
+
+// TestCycleInvariance runs each (workload, engine) cell and compares every
+// execution counter — above all the exact Cycles bits — against the golden
+// captured on the unoptimized interpreter.
+func TestCycleInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full workload runs; skipped in -short")
+	}
+	path := filepath.Join("testdata", "cycles_golden.json")
+	got := make(map[string]cycleRecord)
+	var mu sync.Mutex
+	for _, wname := range invarianceWorkloads {
+		for _, scheme := range invarianceEngines {
+			wname, scheme := wname, scheme
+			t.Run(wname+"/"+scheme, func(t *testing.T) {
+				t.Parallel()
+				rec := runInvarianceCell(t, wname, scheme)
+				mu.Lock()
+				got[wname+"/"+scheme] = rec
+				mu.Unlock()
+			})
+		}
+	}
+	t.Cleanup(func() {
+		if t.Failed() {
+			return
+		}
+		if *update {
+			b, err := json.MarshalIndent(got, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("wrote %s (%d cells)", path, len(got))
+			return
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden (run with -update on the reference interpreter): %v", err)
+		}
+		want := make(map[string]cycleRecord)
+		if err := json.Unmarshal(b, &want); err != nil {
+			t.Fatal(err)
+		}
+		if len(want) != len(got) {
+			t.Errorf("golden has %d cells, run produced %d", len(want), len(got))
+		}
+		for k, w := range want {
+			g, ok := got[k]
+			if !ok {
+				t.Errorf("%s: missing from run", k)
+				continue
+			}
+			if g != w {
+				t.Errorf("%s: cycle model diverged\n got %+v\nwant %+v", k, g, w)
+			}
+		}
+	})
+}
+
+// deterministicExperiments are the dopbench experiments whose records carry
+// only modeled quantities (no host wall-clock like table1's ns/op): their
+// JSON serialization must be byte-identical across interpreter changes.
+var deterministicExperiments = []string{
+	"fig4", "pentest", "bypass", "cve", "ablation-rng", "ablation-pbox",
+}
+
+// TestRecordInvariance replays `dopbench -json` for the deterministic
+// experiments and byte-compares the serialized records against the golden.
+func TestRecordInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment runs; skipped in -short")
+	}
+	path := filepath.Join("testdata", "records_golden.jsonl")
+	recs, err := harness.Run(harness.Config{Seed: 42, Jitter: true}, deterministicExperiments...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := exp.WriteJSON(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d records)", path, len(recs))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update on the reference interpreter): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		gotLines := bytes.Split(buf.Bytes(), []byte("\n"))
+		wantLines := bytes.Split(want, []byte("\n"))
+		n := 0
+		for i := 0; i < len(gotLines) && i < len(wantLines); i++ {
+			if !bytes.Equal(gotLines[i], wantLines[i]) {
+				t.Errorf("record %d diverged:\n got %s\nwant %s", i, gotLines[i], wantLines[i])
+				if n++; n >= 5 {
+					break
+				}
+			}
+		}
+		t.Fatalf("experiment records are not byte-identical to the golden (%d vs %d bytes)", buf.Len(), len(want))
+	}
+}
+
