@@ -1,15 +1,17 @@
 # Build / verification entry points. `make ci` is the gate every change
-# must pass: compile, vet, and the full test suite under the race
-# detector (the parallel experiment pipeline makes -race load-bearing).
+# must pass: compile, vet, the full test suite under the race detector
+# (the parallel experiment pipeline makes -race load-bearing), and the
+# invariance suite re-run under the legacy switch interpreter so both
+# execution tiers stay pinned to the same goldens.
 GO ?= go
 
 # The workload and harness packages run whole experiment grids; under
 # -race they need far more than the 10-minute default.
 RACE_TIMEOUT ?= 3600s
 
-.PHONY: ci build vet test race bench smokebench
+.PHONY: ci build vet test race bench bench-compare smokebench invariance
 
-ci: build vet race smokebench
+ci: build vet race invariance smokebench
 
 build:
 	$(GO) build ./...
@@ -23,12 +25,32 @@ test:
 race:
 	$(GO) test -race -timeout $(RACE_TIMEOUT) ./...
 
-# Full benchmark sweep, snapshotted to BENCH_2.json (see cmd/benchjson).
+# Invariance + tier differential under both execution tiers. The plain run
+# (compiled tier, the default) already happens inside `race`; this re-runs
+# the golden-pinned suites with SMOKESTACK_EXEC=switch so a compiled-tier
+# bug can never hide behind a matching golden regeneration — the legacy
+# interpreter must reproduce the exact same bytes.
+invariance:
+	$(GO) test -run 'TestCycleInvariance|TestRecordInvariance|TestTierDifferential' -count=1 .
+	SMOKESTACK_EXEC=switch $(GO) test -run 'TestCycleInvariance|TestRecordInvariance' -count=1 .
+
+# Full benchmark sweep, snapshotted to BENCH_3.json (see cmd/benchjson).
 # ns/op figures are host-dependent; the sim-instructions/op and
 # model-cycles/op metrics are machine-independent modeled quantities.
+# Earlier snapshots (BENCH_2.json, ...) are kept for cross-PR comparison.
 bench:
 	$(GO) test -bench=. -benchmem -run='^$$' . | tee /dev/stderr | \
-		$(GO) run ./cmd/benchjson -o BENCH_2.json
+		$(GO) run ./cmd/benchjson -o BENCH_3.json
+
+# Per-benchmark deltas between the previous snapshot and the current one;
+# exits non-zero when a metric regresses past the threshold. 35% leaves
+# headroom for the memory-bandwidth-bound attack benchmarks (Pentest/
+# direct-heap, CVE/proftpd-cve): they spend ~95% of their time zeroing a
+# fresh 64MiB heap per attempt (runtime.memclrNoHeapPointers) and swing
+# ±30% with host allocator/scavenger state, while a genuine dispatch-level
+# regression shows up as 1.5-2x.
+bench-compare:
+	$(GO) run ./cmd/benchjson -diff -threshold 35 BENCH_2.json BENCH_3.json
 
 # Single-iteration pass over the hot-path benchmarks: catches benchmarks
 # that stopped compiling or started failing without paying for steady-state

@@ -5,6 +5,15 @@
 // two snapshots diff cleanly.
 //
 //	go test -bench=. -benchmem -run='^$' . | go run ./cmd/benchjson -o BENCH_2.json
+//
+// Diff mode compares two snapshots and prints per-benchmark deltas for
+// every metric the two have in common (ns/op, allocs/op, B/op, and rate
+// metrics like sim-instructions/s). Time- and allocation-like metrics
+// count increases as regressions; rate metrics (unit ending in "/s") count
+// decreases. The exit code is 1 when any metric regresses by more than
+// -threshold percent, so CI can gate on it:
+//
+//	go run ./cmd/benchjson -diff -threshold 20 BENCH_2.json BENCH_3.json
 package main
 
 import (
@@ -88,10 +97,119 @@ func parse(lines *bufio.Scanner) (*Report, error) {
 	return r, nil
 }
 
+// load reads a snapshot produced by this tool.
+func load(path string) (*Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &r, nil
+}
+
+// metricValue finds the first metric with the given unit.
+func metricValue(b *Benchmark, unit string) (float64, bool) {
+	for _, m := range b.Metrics {
+		if m.Unit == unit {
+			return m.Value, true
+		}
+	}
+	return 0, false
+}
+
+// higherIsBetter classifies a metric's improvement direction: rates (any
+// unit ending in "/s") improve upward, everything else — ns/op, B/op,
+// allocs/op — improves downward.
+func higherIsBetter(unit string) bool { return strings.HasSuffix(unit, "/s") }
+
+// diff prints per-benchmark metric deltas between two snapshots and
+// reports whether any metric regressed by more than threshold percent.
+// Benchmarks or metrics present on only one side are reported but never
+// count as regressions (they have no baseline to regress from).
+func diff(w *os.File, oldR, newR *Report, threshold float64) (regressed bool) {
+	oldByName := make(map[string]*Benchmark, len(oldR.Benchmarks))
+	for i := range oldR.Benchmarks {
+		oldByName[oldR.Benchmarks[i].Name] = &oldR.Benchmarks[i]
+	}
+	matched := make(map[string]bool)
+	for i := range newR.Benchmarks {
+		nb := &newR.Benchmarks[i]
+		ob, ok := oldByName[nb.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-40s  (new benchmark, no baseline)\n", nb.Name)
+			continue
+		}
+		matched[nb.Name] = true
+		fmt.Fprintf(w, "%s\n", nb.Name)
+		for _, m := range nb.Metrics {
+			ov, ok := metricValue(ob, m.Unit)
+			if !ok {
+				fmt.Fprintf(w, "  %-22s %14.4g  (no baseline metric)\n", m.Unit, m.Value)
+				continue
+			}
+			pct := 0.0
+			if ov != 0 {
+				pct = (m.Value - ov) / ov * 100
+			}
+			verdict := ""
+			worse := pct > 0
+			if higherIsBetter(m.Unit) {
+				worse = pct < 0
+			}
+			if worse && pct != 0 && abs(pct) > threshold {
+				verdict = "  REGRESSION"
+				regressed = true
+			}
+			fmt.Fprintf(w, "  %-22s %14.4g -> %14.4g  %+7.2f%%%s\n", m.Unit, ov, m.Value, pct, verdict)
+		}
+	}
+	for name := range oldByName {
+		if !matched[name] {
+			fmt.Fprintf(w, "%-40s  (removed: present only in baseline)\n", name)
+		}
+	}
+	return regressed
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	note := flag.String("note", "", "free-form note recorded in the snapshot")
+	diffMode := flag.Bool("diff", false, "compare two snapshots: benchjson -diff old.json new.json")
+	threshold := flag.Float64("threshold", 10, "regression threshold in percent for -diff's exit code")
 	flag.Parse()
+
+	if *diffMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two snapshot files: old.json new.json")
+			os.Exit(2)
+		}
+		oldR, err := load(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		newR, err := load(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchjson diff: %s -> %s (threshold %.1f%%)\n\n", flag.Arg(0), flag.Arg(1), *threshold)
+		if diff(os.Stdout, oldR, newR, *threshold) {
+			fmt.Fprintf(os.Stderr, "benchjson: regression beyond %.1f%% detected\n", *threshold)
+			os.Exit(1)
+		}
+		return
+	}
 
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)

@@ -4,29 +4,76 @@
 //
 //	dopbench -exp fig3|fig4|table1|pentest|bypass|cve|ablation-rng|ablation-pbox|entropy|all
 //	         [-seed N] [-jitter] [-parallel N] [-json]
+//	         [-cpuprofile FILE] [-memprofile FILE]
 //
 // All experiments run through one shared exp.Runner worker pool; -parallel
 // bounds the pool (0 = GOMAXPROCS, 1 = serial) and never changes results —
 // every cell derives its randomness from the run seed alone. -json swaps
 // the paper-style tables for one JSON record per experiment cell on stdout.
+//
+// -cpuprofile and -memprofile write pprof profiles covering the experiment
+// run (the CPU profile spans harness.Run; the heap profile is captured
+// after it completes, post-GC). Inspect with `go tool pprof`. Profiles are
+// flushed on every exit path, including per-cell failures.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/exp"
 	"repro/internal/harness"
 )
 
 func main() {
+	// All the work happens in run so profile-flushing defers execute before
+	// the process exits (os.Exit skips defers).
+	os.Exit(run())
+}
+
+func run() int {
 	expName := flag.String("exp", "all", "experiment: fig3, fig4, table1, pentest, bypass, cve, ablation-rng, ablation-pbox, entropy, all")
 	seed := flag.Uint64("seed", 42, "seed for all deterministic random streams")
 	jitter := flag.Bool("jitter", true, "enable the instruction-scheduling perturbation model in fig3")
 	parallel := flag.Int("parallel", 0, "worker pool size for experiment cells (0 = GOMAXPROCS, 1 = serial)")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON records (one per line) instead of tables")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (captured after the run) to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dopbench: -cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dopbench: -cpuprofile: %v\n", err)
+			f.Close()
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dopbench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "dopbench: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	cfg := harness.Config{Seed: *seed, Jitter: *jitter, Out: os.Stdout, Parallel: *parallel}
 
@@ -38,7 +85,7 @@ func main() {
 				known = append(known, e.Name)
 			}
 			fmt.Fprintf(os.Stderr, "dopbench: unknown experiment %q (want one of %v or all)\n", *expName, known)
-			os.Exit(2)
+			return 2
 		}
 		names = []string{*expName}
 	}
@@ -49,13 +96,13 @@ func main() {
 	recs, err := harness.Run(cfg, names...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dopbench: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 
 	if *asJSON {
 		if err := exp.WriteJSON(os.Stdout, recs); err != nil {
 			fmt.Fprintf(os.Stderr, "dopbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	} else {
 		exps := harness.Experiments()
@@ -75,6 +122,7 @@ func main() {
 	// without having aborted the healthy cells.
 	if err := exp.Errors(recs); err != nil {
 		fmt.Fprintf(os.Stderr, "dopbench: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -62,29 +62,57 @@ func (e *UnterminatedString) Error() string {
 	return fmt.Sprintf("unterminated string: no NUL within %d bytes of 0x%x", e.Limit, e.Addr)
 }
 
-// Segment is one contiguous address range.
+// Segment is one contiguous address range. Large segments may be created
+// lazily (AddSegmentLazy): the address range is reserved and resolvable
+// immediately, but the zeroed backing bytes are only allocated on first
+// access — runs that never touch the segment never pay for it.
 type Segment struct {
 	Name     string
 	Base     uint64
 	Writable bool
 	data     []byte
-	end      uint64 // Base + len(data), precomputed for the hot range check
+	end      uint64 // Base + size: the segment's logical extent
+	// dataEnd is Base + len(data): the extent actually backed by bytes.
+	// Equal to end once materialized; Base while a lazy backing is pending,
+	// so the hot-path contains check fails and callers fall through to the
+	// materializing FindSegment walk.
+	dataEnd uint64
 }
 
 // Size returns the segment length in bytes.
-func (s *Segment) Size() uint64 { return uint64(len(s.data)) }
+func (s *Segment) Size() uint64 { return s.end - s.Base }
 
 // End returns one past the last valid address.
 func (s *Segment) End() uint64 { return s.end }
 
-// contains reports whether [addr, addr+n) lies inside the segment.
+// contains reports whether [addr, addr+n) lies inside the segment's backed
+// bytes. Deliberately bounded by dataEnd, not the logical end: an
+// unmaterialized segment contains nothing, which routes every direct
+// accessor to the slow path until FindSegment materializes it.
 func (s *Segment) contains(addr uint64, n int) bool {
+	return addr >= s.Base && addr+uint64(n) <= s.dataEnd && addr+uint64(n) >= addr
+}
+
+// spans reports whether [addr, addr+n) lies inside the segment's logical
+// address range, backed or not.
+func (s *Segment) spans(addr uint64, n int) bool {
 	return addr >= s.Base && addr+uint64(n) <= s.end && addr+uint64(n) >= addr
 }
 
+// materialize allocates the zeroed backing store of a lazy segment.
+func (s *Segment) materialize() {
+	if s.dataEnd != s.end {
+		s.data = make([]byte, s.end-s.Base)
+		s.dataEnd = s.end
+	}
+}
+
 // Bytes exposes the raw backing store (for snapshotting and the attacker's
-// disclosure oracle).
-func (s *Segment) Bytes() []byte { return s.data }
+// disclosure oracle), materializing a lazy segment first.
+func (s *Segment) Bytes() []byte {
+	s.materialize()
+	return s.data
+}
 
 // Contains reports whether [addr, addr+n) lies inside the segment (the
 // exported form of the hot-path range check, for callers holding a segment
@@ -111,6 +139,67 @@ func (s *Segment) WriteU64At(addr uint64, val uint64) bool {
 	}
 	off := addr - s.Base
 	binary.LittleEndian.PutUint64(s.data[off:off+8], val)
+	return true
+}
+
+// ReadU32At reads the 4-byte little-endian value at addr directly from the
+// segment. Width-specialized so it inlines into interpreter hot loops.
+func (s *Segment) ReadU32At(addr uint64) (uint32, bool) {
+	if !s.contains(addr, 4) {
+		return 0, false
+	}
+	off := addr - s.Base
+	return binary.LittleEndian.Uint32(s.data[off : off+4]), true
+}
+
+// ReadU8At reads the byte at addr directly from the segment.
+func (s *Segment) ReadU8At(addr uint64) (byte, bool) {
+	if !s.contains(addr, 1) {
+		return 0, false
+	}
+	return s.data[addr-s.Base], true
+}
+
+// WriteU32At stores a 4-byte little-endian value at addr directly in the
+// segment; false when the range leaves the segment or it is read-only.
+func (s *Segment) WriteU32At(addr uint64, val uint32) bool {
+	if !s.Writable || !s.contains(addr, 4) {
+		return false
+	}
+	off := addr - s.Base
+	binary.LittleEndian.PutUint32(s.data[off:off+4], val)
+	return true
+}
+
+// WriteU8At stores one byte at addr directly in the segment.
+func (s *Segment) WriteU8At(addr uint64, val byte) bool {
+	if !s.Writable || !s.contains(addr, 1) {
+		return false
+	}
+	s.data[addr-s.Base] = val
+	return true
+}
+
+// WriteUAt stores the low n bytes of val (n ∈ {1,4,8}) at addr directly in
+// the segment; false when the range leaves the segment, the segment is
+// read-only, or the width is unsupported. The width-parameterized sibling
+// of WriteU64At, for callers that know the target segment but not the
+// operand size (the VM's argument spill).
+func (s *Segment) WriteUAt(addr uint64, n int, val uint64) bool {
+	if !s.Writable || !s.contains(addr, n) {
+		return false
+	}
+	off := addr - s.Base
+	switch n {
+	case 8:
+		binary.LittleEndian.PutUint64(s.data[off:off+8], val)
+	case 4:
+		binary.LittleEndian.PutUint32(s.data[off:off+4], uint32(val))
+	case 1:
+		s.data[off] = byte(val)
+	default:
+		return false
+	}
 	return true
 }
 
@@ -143,13 +232,35 @@ func (m *Memory) AddSegment(name string, base, size uint64, writable bool) *Segm
 				name, base, base+size, s.Name, s.Base, s.End()))
 		}
 	}
-	seg := &Segment{Name: name, Base: base, Writable: writable, data: make([]byte, size), end: base + size}
+	seg := &Segment{Name: name, Base: base, Writable: writable, data: make([]byte, size), end: base + size, dataEnd: base + size}
+	m.segs = append(m.segs, seg)
+	return seg
+}
+
+// AddSegmentLazy creates a segment whose backing bytes are allocated on
+// first access instead of eagerly. Identical observable behaviour to
+// AddSegment (the bytes read as zero either way); meant for large regions
+// most runs never touch, such as the VM's heap.
+func (m *Memory) AddSegmentLazy(name string, base, size uint64, writable bool) *Segment {
+	for _, s := range m.segs {
+		if base < s.End() && base+size > s.Base {
+			panic(fmt.Sprintf("mem: segment %s [0x%x,0x%x) overlaps %s [0x%x,0x%x)",
+				name, base, base+size, s.Name, s.Base, s.End()))
+		}
+	}
+	seg := &Segment{Name: name, Base: base, Writable: writable, end: base + size, dataEnd: base}
 	m.segs = append(m.segs, seg)
 	return seg
 }
 
 // Segments returns all segments.
 func (m *Memory) Segments() []*Segment { return m.segs }
+
+// HotSegment returns the most recently touched segment (the head of the
+// accessor cache), or nil before any access. Executors that keep their own
+// inline segment view re-aim it from here after a miss; the returned
+// segment is only a performance hint and never affects results.
+func (m *Memory) HotSegment() *Segment { return m.last }
 
 // FindSegment returns the segment containing [addr, addr+n), or nil. Hits
 // populate the segment cache consulted by the fast-path accessors.
@@ -163,7 +274,10 @@ func (m *Memory) FindSegment(addr uint64, n int) *Segment {
 		return s
 	}
 	for _, s := range m.segs {
-		if s.contains(addr, n) {
+		if s.spans(addr, n) {
+			// Only materialized segments enter the accessor cache: the
+			// fast paths index s.data straight after a contains hit.
+			s.materialize()
 			m.prev = m.last
 			m.last = s
 			return s
@@ -362,7 +476,7 @@ func (m *Memory) Zero(addr uint64, n int) error {
 func (m *Memory) Snapshot() map[string][]byte {
 	out := make(map[string][]byte, len(m.segs))
 	for _, s := range m.segs {
-		out[s.Name] = append([]byte(nil), s.data...)
+		out[s.Name] = append([]byte(nil), s.Bytes()...)
 	}
 	return out
 }

@@ -164,6 +164,139 @@ func TestFindSegment(t *testing.T) {
 	}
 }
 
+// TestSegmentDirectAccessors covers the width-specialized segment-view
+// fast path the execution tiers inline: in-range round trips, the
+// read-only and out-of-range refusals, and WriteUAt's width dispatch.
+func TestSegmentDirectAccessors(t *testing.T) {
+	m := mem.New()
+	s := m.AddSegment("data", 0x1000, 0x100, true)
+	ro := m.AddSegment("ro", 0x4000, 0x40, false)
+
+	if !s.WriteU64At(0x1008, 0x1122334455667788) {
+		t.Fatal("in-range WriteU64At refused")
+	}
+	if v, ok := s.ReadU64At(0x1008); !ok || v != 0x1122334455667788 {
+		t.Fatalf("ReadU64At = %x, %v", v, ok)
+	}
+	if v, ok := s.ReadU32At(0x1008); !ok || v != 0x55667788 {
+		t.Fatalf("ReadU32At = %x, %v", v, ok)
+	}
+	if v, ok := s.ReadU8At(0x100f); !ok || v != 0x11 {
+		t.Fatalf("ReadU8At = %x, %v", v, ok)
+	}
+	if !s.WriteU32At(0x1010, 0xdeadbeef) || !s.WriteU8At(0x1014, 0x7f) {
+		t.Fatal("in-range narrow writes refused")
+	}
+
+	// WriteUAt dispatches on width and rejects unsupported ones.
+	for _, n := range []int{1, 4, 8} {
+		if !s.WriteUAt(0x1020, n, 0xff) {
+			t.Fatalf("WriteUAt width %d refused", n)
+		}
+	}
+	if s.WriteUAt(0x1020, 2, 0xff) {
+		t.Fatal("WriteUAt must reject width 2")
+	}
+
+	// Out-of-segment and straddling ranges miss instead of faulting: the
+	// caller is expected to fall back to the Memory-level accessors.
+	if _, ok := s.ReadU64At(0x0ff8); ok {
+		t.Fatal("read below base must miss")
+	}
+	if _, ok := s.ReadU64At(0x10fc); ok {
+		t.Fatal("straddling read must miss")
+	}
+	if s.WriteU64At(0x10fc, 1) {
+		t.Fatal("straddling write must miss")
+	}
+	if ro.WriteU64At(0x4000, 1) || ro.WriteUAt(0x4000, 8, 1) {
+		t.Fatal("read-only segment write must miss")
+	}
+	if _, ok := ro.ReadU64At(0x4000); !ok {
+		t.Fatal("read-only segment read must still hit")
+	}
+}
+
+// TestLazySegment pins the lazy-heap contract: identical observable
+// behaviour to an eager segment, with the backing bytes deferred until
+// first access, and direct accessors missing until materialization.
+func TestLazySegment(t *testing.T) {
+	m := mem.New()
+	s := m.AddSegmentLazy("heap", 0x1000, 0x100, true)
+
+	// Unmaterialized: direct accessors and Contains must miss so hot-path
+	// callers fall through to the materializing slow path.
+	if s.Contains(0x1000, 8) {
+		t.Fatal("unmaterialized segment must not Contains")
+	}
+	if _, ok := s.ReadU64At(0x1000); ok {
+		t.Fatal("unmaterialized direct read must miss")
+	}
+
+	// Memory-level access materializes and reads zeros.
+	if v, err := m.ReadU(0x1010, 8); err != nil || v != 0 {
+		t.Fatalf("lazy segment must read as zero: %x, %v", v, err)
+	}
+	if !s.Contains(0x1000, 8) {
+		t.Fatal("segment must be materialized after first access")
+	}
+	if err := m.WriteU(0x1010, 8, 42); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.ReadU64At(0x1010); !ok || v != 42 {
+		t.Fatalf("post-materialization direct read = %d, %v", v, ok)
+	}
+	if got := uint64(len(s.Bytes())); got != s.Size() {
+		t.Fatalf("Bytes length %d, want full size %d", got, s.Size())
+	}
+}
+
+// TestFastPathCache covers the Memory-level cached accessors the VM's
+// slow-path fallbacks use: hits through the two-entry cache, misses on
+// unmapped or straddling ranges, the read-only refusal, and HotSegment
+// tracking the most recently touched segment.
+func TestFastPathCache(t *testing.T) {
+	m := twoSeg(t)
+	if m.HotSegment() != nil {
+		t.Fatal("HotSegment must be nil before any access")
+	}
+	if !m.WriteUFast(0x1000, 8, 0xabcdef) {
+		t.Fatal("in-range WriteUFast refused")
+	}
+	if hot := m.HotSegment(); hot == nil || hot.Name != "data" {
+		t.Fatalf("HotSegment = %v, want data", hot)
+	}
+	if v, ok := m.ReadUFast(0x1000, 8); !ok || v != 0xabcdef {
+		t.Fatalf("ReadUFast = %x, %v", v, ok)
+	}
+	if v, ok := m.ReadU64Fast(0x1000); !ok || v != 0xabcdef {
+		t.Fatalf("ReadU64Fast = %x, %v", v, ok)
+	}
+	// Alternating between two segments stays on the fast path.
+	if _, ok := m.ReadUFast(0x4000, 8); !ok {
+		t.Fatal("ro segment read must hit")
+	}
+	if _, ok := m.ReadUFast(0x1000, 4); !ok {
+		t.Fatal("alternating back to data must hit")
+	}
+	// Misses: unmapped, straddling, unsupported width, read-only write.
+	if _, ok := m.ReadUFast(0x9000, 8); ok {
+		t.Fatal("unmapped read must miss")
+	}
+	if _, ok := m.ReadUFast(0x10fc, 8); ok {
+		t.Fatal("straddling read must miss")
+	}
+	if _, ok := m.ReadUFast(0x1000, 2); ok {
+		t.Fatal("width-2 read must miss")
+	}
+	if m.WriteUFast(0x4000, 8, 1) {
+		t.Fatal("read-only WriteUFast must miss")
+	}
+	if m.WriteUFast(0x1000, 2, 1) {
+		t.Fatal("width-2 write must miss")
+	}
+}
+
 // TestCStringUnterminatedVsFault distinguishes the two "no NUL found"
 // outcomes: a scan cut short by max while still inside the segment is an
 // UnterminatedString (the next address is often valid memory), while a

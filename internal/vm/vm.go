@@ -13,6 +13,7 @@ package vm
 
 import (
 	"fmt"
+	"os"
 
 	"repro/internal/ir"
 	"repro/internal/layout"
@@ -104,6 +105,31 @@ func DefaultCosts() Costs {
 	}
 }
 
+// ExecTier selects the interpreter implementation. Both tiers execute the
+// same IR with bit-identical results, cycle accounting and faults (the
+// differential test and the invariance goldens enforce this); the compiled
+// tier is simply faster.
+type ExecTier int
+
+const (
+	// TierAuto picks the compiled tier unless SMOKESTACK_EXEC=switch is set
+	// in the environment.
+	TierAuto ExecTier = iota
+	// TierCompiled executes pre-decoded, fused cinstr streams (compile.go /
+	// exec_compiled.go), sharing compiled programs through a CodeCache.
+	TierCompiled
+	// TierSwitch executes raw ir.Instr through the legacy switch
+	// interpreter — the differential oracle the compiled tier is checked
+	// against.
+	TierSwitch
+)
+
+// execTierEnv is the environment variable consulted by TierAuto. The only
+// recognized value is "switch"; anything else (including unset) selects the
+// compiled tier. Read per Machine, not cached at init, so tests can flip
+// it with t.Setenv.
+const execTierEnv = "SMOKESTACK_EXEC"
+
 // Options configure a Machine.
 type Options struct {
 	// Costs is the instruction cost model; zero value selects DefaultCosts.
@@ -125,6 +151,12 @@ type Options struct {
 	JitterSeed uint64
 	// HeapSize overrides the heap segment size (default 64 MiB).
 	HeapSize uint64
+	// Exec selects the execution tier (default TierAuto: compiled unless
+	// SMOKESTACK_EXEC=switch).
+	Exec ExecTier
+	// CodeCache overrides the process-wide compiled-code cache (tests use
+	// private caches to observe hit/miss counts). Ignored under TierSwitch.
+	CodeCache *CodeCache
 }
 
 // Env is the host environment: attacker/user input and program output.
@@ -199,6 +231,12 @@ type Machine struct {
 	// and the accumulation order are bit-identical to the per-case
 	// constants they replace — guarded by TestCycleInvariance.
 	costTable [ir.NumOps]float64
+
+	// ccode is the program's compiled instruction streams (nil under the
+	// switch tier). Shared across Machines through a CodeCache — streams
+	// depend only on (program, cost model, engine AddrLocal surcharge),
+	// never on per-run state.
+	ccode *compiledProgram
 
 	// regSlabs and argSlabs pool the per-call register file and the
 	// OpCall/OpCallHost argument scratch, indexed by call depth so nested
@@ -299,7 +337,9 @@ func New(prog *ir.Program, engine layout.Engine, env *Env, opts *Options) *Machi
 		addr += uint64(g.Size)
 	}
 
-	m.heap = m.Mem.AddSegment("heap", mem.HeapBase, o.HeapSize, true)
+	// The heap's 64 MiB backing is materialized on first access: runs that
+	// never touch the heap (most workloads) skip the allocation entirely.
+	m.heap = m.Mem.AddSegmentLazy("heap", mem.HeapBase, o.HeapSize, true)
 	m.heapNext = mem.HeapBase
 
 	m.stack = m.Mem.AddSegment("stack", mem.StackTop-mem.StackSize, mem.StackSize, true)
@@ -311,6 +351,22 @@ func New(prog *ir.Program, engine layout.Engine, env *Env, opts *Options) *Machi
 	m.stats.StackPeak = 0
 	m.guardKey = o.TRNG()
 	m.buildCostTable()
+
+	tier := o.Exec
+	if tier == TierAuto {
+		if os.Getenv(execTierEnv) == "switch" {
+			tier = TierSwitch
+		} else {
+			tier = TierCompiled
+		}
+	}
+	if tier == TierCompiled {
+		cache := o.CodeCache
+		if cache == nil {
+			cache = defaultCodeCache
+		}
+		m.ccode = cache.compiled(prog, costs, engine.AddrLocalExtraCycles(), m.globalAddr, m.dataAddr)
+	}
 
 	if o.JitterAmp > 0 && engine.Name() != "fixed" {
 		m.jitter = make([]float64, len(prog.Funcs))
@@ -330,28 +386,11 @@ func New(prog *ir.Program, engine layout.Engine, env *Env, opts *Options) *Machi
 }
 
 // buildCostTable fills the per-opcode price table from the cost model and
-// the engine's AddrLocal surcharge. OpCall/OpCallHost stay zero — their
-// pricing (CallBase, prologue/epilogue, HostBase) is charged by call and
-// hostCall, exactly as before.
+// the engine's AddrLocal surcharge. It delegates to buildCostTableFrom —
+// the single source of truth shared with the bytecode compiler, so both
+// tiers price instructions from identical float values.
 func (m *Machine) buildCostTable() {
-	c := &m.costs
-	t := &m.costTable
-	for op := range t {
-		t[op] = c.ALU
-	}
-	t[ir.OpMul] = c.Mul
-	t[ir.OpDiv] = c.Div
-	t[ir.OpMod] = c.Div
-	t[ir.OpLoad] = c.Load
-	t[ir.OpStore] = c.Store
-	t[ir.OpAddrLocal] = c.AddrCalc + m.Engine.AddrLocalExtraCycles()
-	t[ir.OpAddrGlobal] = c.AddrCalc
-	t[ir.OpAddrData] = c.AddrCalc
-	t[ir.OpJmp] = c.Branch
-	t[ir.OpBr] = c.Branch
-	t[ir.OpRet] = c.Branch
-	t[ir.OpCall] = 0
-	t[ir.OpCallHost] = 0
+	m.costTable = buildCostTableFrom(&m.costs, m.Engine.AddrLocalExtraCycles())
 }
 
 // regSlab returns a zeroed register file for a frame at the given call
@@ -506,15 +545,20 @@ func (m *Machine) call(fn *ir.Function, args []int64) (int64, error) {
 	}
 	m.frames = append(m.frames, frameRecord{fn: fn, base: base, layout: fl, savedSP: savedSP})
 
-	// Spill arguments into their (permuted) allocas.
+	// Spill arguments into their (permuted) allocas. Param allocas always
+	// live in the frame, i.e. the stack segment, so the direct segment view
+	// is the common path (same pattern as the guard-slot write below); the
+	// general WriteU produces the fault otherwise.
 	for i := 0; i < fn.NumParams && i < len(args); i++ {
 		w := int(fn.Allocas[i].Size)
 		if w > 8 {
 			w = 8
 		}
-		if err := m.Mem.WriteU(base+uint64(fl.Offsets[i]), w, uint64(args[i])); err != nil {
-			m.popFrame()
-			return 0, &MemFault{Func: fn.Name, PC: -1, Err: err}
+		if !m.stack.WriteUAt(base+uint64(fl.Offsets[i]), w, uint64(args[i])) {
+			if err := m.Mem.WriteU(base+uint64(fl.Offsets[i]), w, uint64(args[i])); err != nil {
+				m.popFrame()
+				return 0, &MemFault{Func: fn.Name, PC: -1, Err: err}
+			}
 		}
 	}
 	// Write the encoded function identifier. The guard slot always lies in
@@ -531,7 +575,13 @@ func (m *Machine) call(fn *ir.Function, args []int64) (int64, error) {
 	}
 	m.stats.Cycles += m.costs.CallBase + m.Engine.PrologueCycles(fn)
 
-	ret, err := m.exec(fn, base, fl)
+	var ret int64
+	var err error
+	if m.ccode != nil {
+		ret, err = m.execCompiled(fn, &m.ccode.funcs[fn.ID], base, fl)
+	} else {
+		ret, err = m.exec(fn, base, fl)
+	}
 	if err != nil {
 		m.popFrame()
 		return 0, err

@@ -204,4 +204,3 @@ func TestRecordInvariance(t *testing.T) {
 		t.Fatalf("experiment records are not byte-identical to the golden (%d vs %d bytes)", buf.Len(), len(want))
 	}
 }
-
