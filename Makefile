@@ -9,9 +9,9 @@ GO ?= go
 # -race they need far more than the 10-minute default.
 RACE_TIMEOUT ?= 3600s
 
-.PHONY: ci build vet test race bench bench-compare smokebench invariance
+.PHONY: ci build vet test race bench bench-compare smokebench invariance faults
 
-ci: build vet race invariance smokebench
+ci: build vet race invariance faults smokebench
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,19 @@ race:
 invariance:
 	$(GO) test -run 'TestCycleInvariance|TestRecordInvariance|TestTierDifferential' -count=1 .
 	SMOKESTACK_EXEC=switch $(GO) test -run 'TestCycleInvariance|TestRecordInvariance' -count=1 .
+
+# Robustness gate: the fault-injection differential (fault-injected runs
+# bit-identical across both execution tiers), the watchdog/cancellation
+# suite, and the rng resilience tests — all under -race, since the
+# watchdog's AfterFunc fires on a foreign goroutine — then the
+# entropy-brownout sweep end-to-end: it must exit 0 with every failed cell
+# classified (injected), no panics.
+faults:
+	$(GO) test -race -timeout $(RACE_TIMEOUT) \
+		-run 'TestFaultInjection|TestWatchdog|TestRunContext' -count=1 \
+		. ./internal/vm/
+	$(GO) test -race -timeout $(RACE_TIMEOUT) ./internal/faultinject/ ./internal/rng/ ./internal/exp/
+	$(GO) run ./cmd/dopbench -faults > /dev/null
 
 # Full benchmark sweep, snapshotted to BENCH_3.json (see cmd/benchjson).
 # ns/op figures are host-dependent; the sim-instructions/op and

@@ -14,6 +14,13 @@
 // -threshold percent, so CI can gate on it:
 //
 //	go run ./cmd/benchjson -diff -threshold 20 BENCH_2.json BENCH_3.json
+//
+// Diff mode also accepts `dopbench -json` record streams (JSONL) on either
+// side: each record becomes a pseudo-benchmark named experiment/cell with
+// one metric per value. Cells carrying an error classification (notably
+// "injected" from the fault sweep) are reported but never counted as
+// regressions — expected degradation under an injected fault schedule must
+// not fail CI.
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -37,6 +45,11 @@ type Benchmark struct {
 	Name    string   `json:"name"`
 	Runs    int64    `json:"runs"`
 	Metrics []Metric `json:"metrics"`
+	// ErrClass carries the error classification of a failed experiment
+	// cell loaded from JSONL records ("injected" for fault-injected cells;
+	// "" for ordinary benchmarks). Classified cells are expected to
+	// degrade, so -diff reports but never regresses them.
+	ErrClass string `json:"err_class,omitempty"`
 }
 
 // Report is the whole document.
@@ -97,17 +110,89 @@ func parse(lines *bufio.Scanner) (*Report, error) {
 	return r, nil
 }
 
-// load reads a snapshot produced by this tool.
+// load reads a snapshot: either a Report produced by this tool, or a
+// `dopbench -json` JSONL stream of experiment records (one object per
+// line), converted so experiment sweeps diff with the same machinery as
+// benchmarks. Record values become metrics keyed by value name; the cell's
+// error classification is kept so -diff can tolerate fault-injected cells.
 func load(path string) (*Report, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
 	var r Report
-	if err := json.Unmarshal(b, &r); err != nil {
-		return nil, fmt.Errorf("%s: %v", path, err)
+	if err := json.Unmarshal(b, &r); err == nil && len(r.Benchmarks) > 0 {
+		return &r, nil
 	}
-	return &r, nil
+	if r2, err2 := loadRecords(b); err2 == nil {
+		return r2, nil
+	}
+	return nil, fmt.Errorf("%s: neither a benchjson snapshot nor dopbench -json records", path)
+}
+
+// record mirrors the exp.Record fields this tool consumes.
+type record struct {
+	Experiment string             `json:"experiment"`
+	Cell       string             `json:"cell"`
+	Values     map[string]float64 `json:"values"`
+	Err        string             `json:"err"`
+	ErrClass   string             `json:"err_class"`
+}
+
+// loadRecords parses a dopbench -json JSONL stream into a Report. A failed
+// cell emits two records under one name — its partial values and the error
+// record carrying the classification; they merge into one entry here.
+func loadRecords(b []byte) (*Report, error) {
+	r := &Report{}
+	index := make(map[string]int)
+	sc := bufio.NewScanner(strings.NewReader(string(b)))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			return nil, err
+		}
+		if rec.Experiment == "" || rec.Cell == "" {
+			return nil, fmt.Errorf("line is not an experiment record: %q", line)
+		}
+		name := rec.Experiment + "/" + rec.Cell
+		i, ok := index[name]
+		if !ok {
+			i = len(r.Benchmarks)
+			index[name] = i
+			r.Benchmarks = append(r.Benchmarks, Benchmark{Name: name, Runs: 1})
+		}
+		bench := &r.Benchmarks[i]
+		if rec.ErrClass != "" {
+			bench.ErrClass = rec.ErrClass
+		} else if rec.Err != "" && bench.ErrClass == "" {
+			// An unclassified failure has no classification to excuse it;
+			// mark it so diff can flag the cell.
+			bench.ErrClass = "error"
+		}
+		// Sort value names so two snapshots of the same sweep align.
+		names := make([]string, 0, len(rec.Values))
+		for name := range rec.Values {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if _, dup := metricValue(bench, name); !dup {
+				bench.Metrics = append(bench.Metrics, Metric{Unit: name, Value: rec.Values[name]})
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(r.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no records found")
+	}
+	return r, nil
 }
 
 // metricValue finds the first metric with the given unit.
@@ -143,6 +228,21 @@ func diff(w *os.File, oldR, newR *Report, threshold float64) (regressed bool) {
 			continue
 		}
 		matched[nb.Name] = true
+		// A cell classified on either side degraded by design (fault
+		// injection) or failed outright; its numbers are not comparable
+		// baselines, so report the classification and never regress on it.
+		if nb.ErrClass != "" || ob.ErrClass != "" {
+			tag := nb.ErrClass
+			if tag == "" {
+				tag = ob.ErrClass
+			}
+			note := "flagged, not a regression"
+			if tag == "injected" {
+				note = "fault-injected; tolerated"
+			}
+			fmt.Fprintf(w, "%-40s  (classified %q: %s)\n", nb.Name, tag, note)
+			continue
+		}
 		fmt.Fprintf(w, "%s\n", nb.Name)
 		for _, m := range nb.Metrics {
 			ov, ok := metricValue(ob, m.Unit)

@@ -2,14 +2,21 @@
 //
 // Usage:
 //
-//	dopbench -exp fig3|fig4|table1|pentest|bypass|cve|ablation-rng|ablation-pbox|entropy|all
-//	         [-seed N] [-jitter] [-parallel N] [-json]
+//	dopbench -exp fig3|fig4|table1|pentest|bypass|cve|ablation-rng|ablation-pbox|entropy|faults|all
+//	         [-faults] [-seed N] [-jitter] [-parallel N] [-retries N] [-json]
 //	         [-cpuprofile FILE] [-memprofile FILE]
 //
 // All experiments run through one shared exp.Runner worker pool; -parallel
 // bounds the pool (0 = GOMAXPROCS, 1 = serial) and never changes results —
 // every cell derives its randomness from the run seed alone. -json swaps
 // the paper-style tables for one JSON record per experiment cell on stdout.
+//
+// -faults is shorthand for -exp faults: the entropy-brownout/host-fault
+// sweep. Cells that fail *because of the injected schedule* carry a
+// classified error ("injected"); those are reported as warnings and do not
+// fail the run — the exit code is 1 only for unclassified (genuine)
+// failures, so a partial sweep still exits 0. -retries grants transient
+// failures bounded retries with capped backoff.
 //
 // -cpuprofile and -memprofile write pprof profiles covering the experiment
 // run (the CPU profile spans harness.Run; the heap profile is captured
@@ -35,10 +42,12 @@ func main() {
 }
 
 func run() int {
-	expName := flag.String("exp", "all", "experiment: fig3, fig4, table1, pentest, bypass, cve, ablation-rng, ablation-pbox, entropy, all")
+	expName := flag.String("exp", "all", "experiment: fig3, fig4, table1, pentest, bypass, cve, ablation-rng, ablation-pbox, entropy, faults, all")
+	faults := flag.Bool("faults", false, "run the fault-injection sweep (shorthand for -exp faults)")
 	seed := flag.Uint64("seed", 42, "seed for all deterministic random streams")
 	jitter := flag.Bool("jitter", true, "enable the instruction-scheduling perturbation model in fig3")
 	parallel := flag.Int("parallel", 0, "worker pool size for experiment cells (0 = GOMAXPROCS, 1 = serial)")
+	retries := flag.Int("retries", 0, "extra attempts for cells failing with transient errors (capped backoff between attempts)")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON records (one per line) instead of tables")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (captured after the run) to this file")
@@ -75,8 +84,11 @@ func run() int {
 		}()
 	}
 
-	cfg := harness.Config{Seed: *seed, Jitter: *jitter, Out: os.Stdout, Parallel: *parallel}
+	cfg := harness.Config{Seed: *seed, Jitter: *jitter, Out: os.Stdout, Parallel: *parallel, Retries: *retries}
 
+	if *faults {
+		*expName = "faults"
+	}
 	var names []string
 	if *expName != "all" {
 		if _, ok := harness.ExperimentByName(*expName); !ok {
@@ -118,10 +130,17 @@ func run() int {
 	}
 
 	// Per-cell failures are embedded in the records (and rendered with
-	// their cell identity above); surface them on stderr and the exit code
-	// without having aborted the healthy cells.
-	if err := exp.Errors(recs); err != nil {
-		fmt.Fprintf(os.Stderr, "dopbench: %v\n", err)
+	// their cell identity above); surface them on stderr without having
+	// aborted the healthy cells. Classified failures — expected casualties
+	// of an injected fault schedule — are warnings only: the exit code is 1
+	// solely for unclassified (genuine) failures, so a fault sweep that
+	// degrades exactly as scheduled still exits 0.
+	genuine := exp.UnclassifiedErrors(recs)
+	if all := exp.Errors(recs); all != nil && genuine == nil {
+		fmt.Fprintf(os.Stderr, "dopbench: warning: classified (expected) cell failures:\n%v\n", all)
+	}
+	if genuine != nil {
+		fmt.Fprintf(os.Stderr, "dopbench: %v\n", genuine)
 		return 1
 	}
 	return 0

@@ -1,0 +1,167 @@
+// Differential oracle for the fault-injection layer: a fault-injected run
+// must stay bit-for-bit identical across the two execution tiers, because
+// every injection point is tier-shared (TRNG draws outside the dispatch
+// loops, the host-call wrapper). Each case builds one Injector per tier
+// from the same Plan and compares everything diffTiers compares — return,
+// error text, exact Stats bits, memory digest. Divergence here means an
+// injection point leaked into tier-specific code, which would make fault
+// experiments unreproducible across tiers.
+
+package repro
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/faultinject"
+	"repro/internal/layout"
+	"repro/internal/rng"
+	"repro/internal/vm"
+)
+
+// faultDiffSrc is host-call dense (outbyte + readint every round) and
+// call dense (work() every round), so entropy, delay, corruption and
+// host-fault schedules all land mid-run.
+const faultDiffSrc = `
+long work(long n) {
+	long acc;
+	long i;
+	acc = 0;
+	i = 0;
+	while (i < n) {
+		acc = acc + i * 5 - (i & 3);
+		i = i + 1;
+	}
+	return acc;
+}
+
+long main() {
+	long total;
+	long r;
+	total = 0;
+	r = 0;
+	while (r < 120) {
+		total = total + work(12);
+		total = total + readint();
+		outbyte(total & 255);
+		r = r + 1;
+	}
+	print(total);
+	return total & 65535;
+}
+`
+
+// faultDiffPlans sweeps the schedule shapes: entropy brownout alone,
+// delays plus return corruption, a mid-run host fault, and a blackout
+// that kills the run before main.
+func faultDiffPlans(seed uint64) map[string]faultinject.Plan {
+	brownout := faultinject.NewBrownoutPlan(seed, 16, 3)
+	corrupt := faultinject.Plan{
+		Seed:           seed,
+		HostDelayEvery: 7, HostDelayCycles: 1500,
+		HostCorruptEvery: 11, HostCorruptXOR: 0x5a,
+	}
+	hostfault := faultinject.Plan{Seed: seed, HostFaultEvery: 101}
+	blackout := faultinject.NewBrownoutPlan(seed, 1, 1)
+	return map[string]faultinject.Plan{
+		"brownout": brownout, "corrupt": corrupt,
+		"hostfault": hostfault, "blackout": blackout,
+	}
+}
+
+// runTierFaulted mirrors runTier with a fresh Injector wired into every
+// injection point. Construction failures (blackout killing engine or
+// guard-key seeding) are captured as results, not test failures — both
+// tiers must report them identically.
+func runTierFaulted(t *testing.T, scheme string, seed uint64, plan faultinject.Plan, tier vm.ExecTier) tierResult {
+	t.Helper()
+	prog := compile.MustCompile("faultdiff.c", faultDiffSrc)
+	inj := faultinject.New(plan)
+	eng, err := layout.NewByName(scheme, prog, seed, inj.WrapTRNG(rng.SeededTRNG(seed)))
+	if err != nil {
+		return tierResult{errStr: err.Error()}
+	}
+	env := &vm.Env{}
+	m := vm.New(prog, eng, env, &vm.Options{
+		TRNG:      inj.WrapTRNG(rng.SeededTRNG(seed ^ 0xabc)),
+		StepLimit: 50_000_000,
+		Exec:      tier,
+		HostHook:  inj,
+	})
+	v, rerr := m.Run()
+	res := tierResult{ret: v, stats: m.Stats()}
+	if rerr != nil {
+		res.errStr = rerr.Error()
+	}
+	h := sha256.New()
+	for _, s := range m.Mem.Segments() {
+		if s.Name == "heap" {
+			if used := res.stats.HeapUsed; used > 0 {
+				fmt.Fprintf(h, "heap:%d\n", used)
+				h.Write(s.Bytes()[:used])
+			}
+			continue
+		}
+		fmt.Fprintf(h, "%s:%d\n", s.Name, s.Size())
+		h.Write(s.Bytes())
+	}
+	h.Write(env.Output)
+	copy(res.digest[:], h.Sum(nil))
+	return res
+}
+
+// TestFaultInjectionTierDifferential pins fault-injected executions across
+// both tiers for every engine family and schedule shape.
+func TestFaultInjectionTierDifferential(t *testing.T) {
+	for _, scheme := range differentialEngines {
+		for name, plan := range faultDiffPlans(0xfa17) {
+			scheme, name, plan := scheme, name, plan
+			t.Run(scheme+"/"+name, func(t *testing.T) {
+				t.Parallel()
+				seed := uint64(0xfa17<<16) ^ uint64(len(scheme)*31+len(name))
+				diffTiers(t,
+					runTierFaulted(t, scheme, seed, plan, vm.TierCompiled),
+					runTierFaulted(t, scheme, seed, plan, vm.TierSwitch))
+			})
+		}
+	}
+}
+
+// TestFaultInjectionReplay pins that equal plans replay identically within
+// one tier — the property that makes a fault experiment reportable by
+// (seed, plan) alone.
+func TestFaultInjectionReplay(t *testing.T) {
+	for name, plan := range faultDiffPlans(0xbeef) {
+		name, plan := name, plan
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			a := runTierFaulted(t, "smokestack+aes-10", 0x1234, plan, vm.TierCompiled)
+			b := runTierFaulted(t, "smokestack+aes-10", 0x1234, plan, vm.TierCompiled)
+			diffTiers(t, a, b)
+		})
+	}
+}
+
+// TestFaultInjectionPerturbs sanity-checks that the schedules actually
+// change the execution relative to a clean run (otherwise the differential
+// above would pass vacuously).
+func TestFaultInjectionPerturbs(t *testing.T) {
+	clean := runTierFaulted(t, "smokestack+aes-10", 0x1234, faultinject.Plan{}, vm.TierCompiled)
+	if clean.errStr != "" {
+		t.Fatalf("clean run failed: %s", clean.errStr)
+	}
+	perturbed := 0
+	for name, plan := range faultDiffPlans(0xbeef) {
+		r := runTierFaulted(t, "smokestack+aes-10", 0x1234, plan, vm.TierCompiled)
+		if r.errStr != "" || r.stats.Cycles != clean.stats.Cycles || r.digest != clean.digest {
+			perturbed++
+		} else {
+			t.Logf("plan %s left the run untouched", name)
+		}
+	}
+	if perturbed == 0 {
+		t.Fatal("no schedule perturbed the run; differential test is vacuous")
+	}
+}

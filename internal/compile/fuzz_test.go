@@ -3,6 +3,7 @@ package compile_test
 import (
 	"testing"
 
+	"repro/internal/attack/corpus"
 	"repro/internal/compile"
 	"repro/internal/layout"
 	"repro/internal/rng"
@@ -76,6 +77,53 @@ func FuzzRunEquivalence(f *testing.F) {
 		// point — so mixed outcomes are not a bug.)
 		if ok1 && ok2 && v1 != v2 {
 			t.Fatalf("result diverges: fixed=%d smokestack=%d\n%s", v1, v2, src)
+		}
+	})
+}
+
+// FuzzPipeline drives the entire stack on arbitrary source: parse →
+// semantic analysis → IR generation → execution under BOTH tiers and two
+// engine families, with bounded budgets. The contract under fuzzing is
+// purely "errors, never panics or hangs" — every malformed program must be
+// rejected (or fault at runtime) through the error paths introduced for the
+// resilience layer, and whenever both tiers run the same engine they must
+// agree on the outcome. Seeded with the attack-corpus programs: the most
+// idiom-dense MiniC in the repo, including the deliberately vulnerable
+// shapes (overflows, size_t underflow, indexed writes).
+func FuzzPipeline(f *testing.F) {
+	for _, p := range corpus.All() {
+		f.Add(p.Source)
+	}
+	f.Add("long main() { iodelay(10); outbyte(65); return readint(); }")
+	f.Add("long main() { char b[4]; b[9] = 1; return 0; }") // runtime fault path
+	f.Add("long main() { return main(); }")                 // depth limit path
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := compile.Compile("fuzz.c", src)
+		if err != nil {
+			return // rejection through the error path is the success case
+		}
+		for _, scheme := range []string{"fixed", "smokestack+aes-10"} {
+			run := func(tier vm.ExecTier) (int64, string) {
+				eng, err := layout.NewByName(scheme, prog, 9, rng.SeededTRNG(9))
+				if err != nil {
+					t.Fatalf("engine %s: %v", scheme, err)
+				}
+				m := vm.New(prog, eng, &vm.Env{}, &vm.Options{
+					TRNG: rng.SeededTRNG(10), StepLimit: 200_000, MaxCallDepth: 64,
+					Exec: tier,
+				})
+				v, err := m.Run()
+				if err != nil {
+					return v, err.Error()
+				}
+				return v, ""
+			}
+			v1, e1 := run(vm.TierCompiled)
+			v2, e2 := run(vm.TierSwitch)
+			if v1 != v2 || e1 != e2 {
+				t.Fatalf("tier divergence under %s: compiled (%d, %q) switch (%d, %q)\n%s",
+					scheme, v1, e1, v2, e2, src)
+			}
 		}
 	})
 }

@@ -21,6 +21,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Record is one experiment result: the cell's identity plus its measured
@@ -40,6 +41,14 @@ type Record struct {
 	// Err is the cell's failure, if any ("" = success). Failed cells
 	// surface here instead of aborting the whole experiment.
 	Err string `json:"err,omitempty"`
+	// ErrClass classifies Err ("" when Err is empty or unclassified):
+	// errors implementing ErrorClass() string — notably injected faults —
+	// report their class here so tooling can separate expected degradation
+	// from genuine failures.
+	ErrClass string `json:"err_class,omitempty"`
+	// Attempts counts how many times the cell ran (0 on records from cells
+	// that never needed a retry; >= 2 after transient-fault retries).
+	Attempts int `json:"attempts,omitempty"`
 }
 
 // Value returns the named value (0 when absent).
@@ -60,11 +69,41 @@ type Cell struct {
 	Run func() ([]Record, error)
 }
 
+// Classify extracts an error's classification: the innermost error in the
+// chain implementing ErrorClass() string decides ("" when none does).
+func Classify(err error) string {
+	var c interface{ ErrorClass() string }
+	if errors.As(err, &c) {
+		return c.ErrorClass()
+	}
+	return ""
+}
+
+// IsTransient reports whether any error in the chain declares itself
+// transient (Transient() bool) — a retry under the same cell may succeed.
+func IsTransient(err error) bool {
+	var t interface{ Transient() bool }
+	if errors.As(err, &t) {
+		return t.Transient()
+	}
+	return false
+}
+
 // Runner executes cells on a bounded worker pool.
 type Runner struct {
 	// Workers bounds concurrent cells; <= 0 selects GOMAXPROCS, 1 is
 	// strictly serial.
 	Workers int
+	// Retries is the number of extra attempts a cell gets when it fails
+	// with a transient error (IsTransient). 0 disables retries. Panics and
+	// non-transient errors never retry.
+	Retries int
+	// Backoff is the sleep before the first retry; it doubles per retry up
+	// to BackoffCap. Zero means no sleep between attempts.
+	Backoff    time.Duration
+	BackoffCap time.Duration
+	// Sleep overrides time.Sleep between attempts (tests use a recorder).
+	Sleep func(time.Duration)
 }
 
 // workers resolves the effective pool size for n cells.
@@ -84,15 +123,16 @@ func (r *Runner) workers(n int) int {
 
 // Run executes every cell and returns the records flattened in cell
 // order — the order is a function of the input alone, never of
-// scheduling. A cell that returns an error (or panics) contributes a
-// single Record carrying its identity and the failure; the other cells
-// still run.
+// scheduling. A cell that returns an error (or panics) keeps whatever
+// records it produced before failing and contributes one additional Record
+// carrying its identity, the failure and its classification; the other
+// cells still run. Transient failures retry per the Runner's policy.
 func (r *Runner) Run(cells []Cell) []Record {
 	perCell := make([][]Record, len(cells))
 	w := r.workers(len(cells))
 	if w == 1 {
 		for i := range cells {
-			perCell[i] = runCell(cells[i])
+			perCell[i] = r.runCell(cells[i])
 		}
 	} else {
 		var next atomic.Int64
@@ -107,7 +147,7 @@ func (r *Runner) Run(cells []Cell) []Record {
 					if i >= len(cells) {
 						return
 					}
-					perCell[i] = runCell(cells[i])
+					perCell[i] = r.runCell(cells[i])
 				}
 			}()
 		}
@@ -120,19 +160,69 @@ func (r *Runner) Run(cells []Cell) []Record {
 	return out
 }
 
+// panicError carries a recovered cell panic as a classified error.
+type panicError struct{ val any }
+
+func (e *panicError) Error() string      { return fmt.Sprintf("panic: %v", e.val) }
+func (e *panicError) ErrorClass() string { return "panic" }
+
 // runCell executes one cell, converting errors and panics into an error
-// record so one bad cell cannot take down the figure.
-func runCell(c Cell) (recs []Record) {
+// record so one bad cell cannot take down the figure. Records produced
+// before a failure are kept as partial results, with the error record
+// appended. Failures that declare themselves transient retry up to Retries
+// extra attempts, sleeping Backoff (doubling, capped at BackoffCap)
+// between attempts.
+func (r *Runner) runCell(c Cell) []Record {
+	var retries int
+	var backoff, backoffCap time.Duration
+	sleep := time.Sleep
+	if r != nil {
+		retries = r.Retries
+		backoff, backoffCap = r.Backoff, r.BackoffCap
+		if r.Sleep != nil {
+			sleep = r.Sleep
+		}
+	}
+	attempt := 0
+	for {
+		attempt++
+		recs, err := runCellOnce(c)
+		if err == nil {
+			if attempt > 1 {
+				for i := range recs {
+					recs[i].Attempts = attempt
+				}
+			}
+			return recs
+		}
+		if attempt <= retries && IsTransient(err) {
+			if backoff > 0 {
+				sleep(backoff)
+				backoff *= 2
+				if backoffCap > 0 && backoff > backoffCap {
+					backoff = backoffCap
+				}
+			}
+			continue
+		}
+		rec := Record{Experiment: c.Experiment, Cell: c.Name,
+			Err: err.Error(), ErrClass: Classify(err)}
+		if attempt > 1 {
+			rec.Attempts = attempt
+		}
+		return append(recs, rec)
+	}
+}
+
+// runCellOnce runs the cell body once with panic recovery; partial records
+// are returned alongside the failure.
+func runCellOnce(c Cell) (recs []Record, err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			recs = []Record{{Experiment: c.Experiment, Cell: c.Name, Err: fmt.Sprintf("panic: %v", p)}}
+			err = &panicError{val: p}
 		}
 	}()
-	recs, err := c.Run()
-	if err != nil {
-		return []Record{{Experiment: c.Experiment, Cell: c.Name, Err: err.Error()}}
-	}
-	return recs
+	return c.Run()
 }
 
 // Filter returns the records belonging to one experiment, preserving
@@ -153,6 +243,20 @@ func Errors(recs []Record) error {
 	var errs []error
 	for _, r := range recs {
 		if r.Err != "" {
+			errs = append(errs, fmt.Errorf("%s/%s: %s", r.Experiment, r.Cell, r.Err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// UnclassifiedErrors joins the failed records whose errors carry no
+// classification — genuine failures, as opposed to expected injected
+// faults — or returns nil when every failure is classified (or there are
+// none). The fault-sweep CLI path exits 0 on partial success gated by this.
+func UnclassifiedErrors(recs []Record) error {
+	var errs []error
+	for _, r := range recs {
+		if r.Err != "" && r.ErrClass == "" {
 			errs = append(errs, fmt.Errorf("%s/%s: %s", r.Experiment, r.Cell, r.Err))
 		}
 	}

@@ -1,0 +1,147 @@
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// transientErr is a minimal classified, transient error (the shape the
+// faultinject package produces).
+type transientErr struct{ msg string }
+
+func (e *transientErr) Error() string      { return e.msg }
+func (e *transientErr) ErrorClass() string { return "injected" }
+func (e *transientErr) Transient() bool    { return true }
+
+func TestClassifyAndIsTransient(t *testing.T) {
+	base := &transientErr{msg: "boom"}
+	wrapped := fmt.Errorf("cell: %w", base)
+	if Classify(wrapped) != "injected" {
+		t.Fatalf("Classify = %q", Classify(wrapped))
+	}
+	if !IsTransient(wrapped) {
+		t.Fatal("wrapped transient error must stay transient")
+	}
+	if Classify(errors.New("plain")) != "" || IsTransient(errors.New("plain")) {
+		t.Fatal("plain errors are unclassified and permanent")
+	}
+}
+
+func TestRetryTransientWithBackoff(t *testing.T) {
+	var slept []time.Duration
+	fails := 3
+	r := &Runner{
+		Workers: 1, Retries: 5,
+		Backoff: 10 * time.Millisecond, BackoffCap: 15 * time.Millisecond,
+		Sleep: func(d time.Duration) { slept = append(slept, d) },
+	}
+	attempts := 0
+	recs := r.Run([]Cell{{Experiment: "e", Name: "c", Run: func() ([]Record, error) {
+		attempts++
+		if attempts <= fails {
+			return nil, &transientErr{msg: "brownout"}
+		}
+		return []Record{{Experiment: "e", Cell: "c", Values: map[string]float64{"v": 1}}}, nil
+	}}})
+	if attempts != 4 {
+		t.Fatalf("ran %d attempts, want 4", attempts)
+	}
+	if len(recs) != 1 || recs[0].Err != "" || recs[0].Attempts != 4 {
+		t.Fatalf("records %+v", recs)
+	}
+	// Backoff doubles then caps: 10ms, 15ms, 15ms.
+	want := []time.Duration{10 * time.Millisecond, 15 * time.Millisecond, 15 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("slept %v, want %v", slept, want)
+		}
+	}
+}
+
+func TestNoRetryForPermanentErrors(t *testing.T) {
+	r := &Runner{Workers: 1, Retries: 5}
+	attempts := 0
+	recs := r.Run([]Cell{{Experiment: "e", Name: "c", Run: func() ([]Record, error) {
+		attempts++
+		return nil, errors.New("genuine bug")
+	}}})
+	if attempts != 1 {
+		t.Fatalf("permanent error retried (%d attempts)", attempts)
+	}
+	if len(recs) != 1 || recs[0].Err != "genuine bug" || recs[0].ErrClass != "" {
+		t.Fatalf("records %+v", recs)
+	}
+}
+
+func TestRetriesExhaustedKeepsClassification(t *testing.T) {
+	r := &Runner{Workers: 1, Retries: 2}
+	attempts := 0
+	recs := r.Run([]Cell{{Experiment: "e", Name: "c", Run: func() ([]Record, error) {
+		attempts++
+		return nil, &transientErr{msg: "still down"}
+	}}})
+	if attempts != 3 {
+		t.Fatalf("%d attempts, want 3 (1 + 2 retries)", attempts)
+	}
+	if len(recs) != 1 || recs[0].ErrClass != "injected" || recs[0].Attempts != 3 {
+		t.Fatalf("records %+v", recs)
+	}
+	if UnclassifiedErrors(recs) != nil {
+		t.Fatal("classified failure must not count as unclassified")
+	}
+	if Errors(recs) == nil {
+		t.Fatal("Errors must still report the classified failure")
+	}
+}
+
+func TestPartialRecordsKeptOnFailure(t *testing.T) {
+	r := &Runner{Workers: 1}
+	recs := r.Run([]Cell{{Experiment: "e", Name: "c", Run: func() ([]Record, error) {
+		partial := []Record{{Experiment: "e", Cell: "c/a", Values: map[string]float64{"v": 1}}}
+		return partial, errors.New("died after a")
+	}}})
+	if len(recs) != 2 {
+		t.Fatalf("want partial + error record, got %+v", recs)
+	}
+	if recs[0].Cell != "c/a" || recs[0].Err != "" {
+		t.Fatalf("partial record lost: %+v", recs[0])
+	}
+	if recs[1].Err != "died after a" {
+		t.Fatalf("error record %+v", recs[1])
+	}
+}
+
+func TestPanicClassified(t *testing.T) {
+	r := &Runner{Workers: 1, Retries: 3}
+	attempts := 0
+	recs := r.Run([]Cell{{Experiment: "e", Name: "c", Run: func() ([]Record, error) {
+		attempts++
+		panic("wedged")
+	}}})
+	if attempts != 1 {
+		t.Fatalf("panics must not retry (%d attempts)", attempts)
+	}
+	if len(recs) != 1 || recs[0].Err != "panic: wedged" || recs[0].ErrClass != "panic" {
+		t.Fatalf("records %+v", recs)
+	}
+}
+
+func TestUnclassifiedErrorsMixed(t *testing.T) {
+	recs := []Record{
+		{Experiment: "e", Cell: "ok"},
+		{Experiment: "e", Cell: "injected", Err: "fault", ErrClass: "injected"},
+		{Experiment: "e", Cell: "real", Err: "bug"},
+	}
+	err := UnclassifiedErrors(recs)
+	if err == nil {
+		t.Fatal("unclassified failure must surface")
+	}
+	if got := err.Error(); got != "e/real: bug" {
+		t.Fatalf("error %q", got)
+	}
+}

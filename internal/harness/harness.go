@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"repro/internal/exp"
 	"repro/internal/ir"
@@ -41,6 +42,12 @@ type Config struct {
 	// Parallel bounds the experiment cell worker pool (0 = GOMAXPROCS,
 	// 1 = serial). Results are identical at every setting.
 	Parallel int
+	// Retries grants each cell extra attempts when it fails with a
+	// transient (e.g. injected) error, with capped exponential backoff
+	// between attempts. 0 disables. Deterministically seeded cells fail
+	// identically on retry, so this matters only for cells with genuinely
+	// transient dependencies (host entropy, I/O).
+	Retries int
 }
 
 func (c Config) out() io.Writer {
@@ -50,7 +57,13 @@ func (c Config) out() io.Writer {
 	return c.Out
 }
 
-func (c Config) runner() *exp.Runner { return &exp.Runner{Workers: c.Parallel} }
+func (c Config) runner() *exp.Runner {
+	return &exp.Runner{
+		Workers: c.Parallel,
+		Retries: c.Retries,
+		Backoff: 10 * time.Millisecond, BackoffCap: 160 * time.Millisecond,
+	}
+}
 
 // Schemes lists the four Smokestack RNG variants in Fig 3 order.
 var Schemes = []string{"pseudo", "aes-1", "aes-10", "rdrand"}
@@ -174,6 +187,7 @@ func Experiments() []Experiment {
 		{Name: "ablation-rng", Cells: ablationRNGCells, Render: RenderAblationRNG},
 		{Name: "ablation-pbox", Cells: ablationPBoxCells, Render: RenderPBoxAblation},
 		{Name: "entropy", Cells: entropyCells, Render: RenderEntropyCurve},
+		{Name: "faults", Cells: faultsCells, Render: RenderFaults},
 	}
 }
 

@@ -312,9 +312,17 @@ func NewBaseRand(trng rng.TRNG) *BaseRand {
 // Name implements Engine.
 func (*BaseRand) Name() string { return "baserand" }
 
-// NewRun implements Engine: draw a fresh base bias.
+// NewRun implements Engine: draw a fresh base bias. A handful of failed
+// TRNG draws are retried; if the source stays down the previous bias is
+// kept — stale load-time ASLR degrades more gracefully than a crashed run,
+// and per-call entropy policy lives with the per-call engines.
 func (b *BaseRand) NewRun() {
-	b.bias = (b.trng() % (BaseRandWindow / 16)) * 16
+	for i := 0; i < 4; i++ {
+		if v, ok := b.trng(); ok {
+			b.bias = (v % (BaseRandWindow / 16)) * 16
+			return
+		}
+	}
 }
 
 // Layout implements Engine.

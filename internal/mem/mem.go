@@ -223,33 +223,75 @@ type Memory struct {
 // New creates an empty memory.
 func New() *Memory { return &Memory{} }
 
-// AddSegment creates a segment and returns it. Overlapping segments are a
-// programming error and panic.
-func (m *Memory) AddSegment(name string, base, size uint64, writable bool) *Segment {
+// MapError reports an invalid segment mapping (currently: an address-range
+// overlap with an existing segment).
+type MapError struct {
+	Name       string // segment being mapped
+	Base, Size uint64
+	Existing   string // segment it collides with
+	ExistBase  uint64
+	ExistEnd   uint64
+}
+
+func (e *MapError) Error() string {
+	return fmt.Sprintf("mem: segment %s [0x%x,0x%x) overlaps %s [0x%x,0x%x)",
+		e.Name, e.Base, e.Base+e.Size, e.Existing, e.ExistBase, e.ExistEnd)
+}
+
+// checkOverlap validates a prospective mapping against existing segments.
+func (m *Memory) checkOverlap(name string, base, size uint64) error {
 	for _, s := range m.segs {
 		if base < s.End() && base+size > s.Base {
-			panic(fmt.Sprintf("mem: segment %s [0x%x,0x%x) overlaps %s [0x%x,0x%x)",
-				name, base, base+size, s.Name, s.Base, s.End()))
+			return &MapError{Name: name, Base: base, Size: size,
+				Existing: s.Name, ExistBase: s.Base, ExistEnd: s.End()}
 		}
+	}
+	return nil
+}
+
+// Map creates a segment and returns it, or a *MapError when the address
+// range collides with an existing segment. This is the library-path API:
+// callers with attacker- or fuzzer-influenced sizes must use it and route
+// the error; AddSegment is the Must-style wrapper for layouts that are
+// fixed by construction.
+func (m *Memory) Map(name string, base, size uint64, writable bool) (*Segment, error) {
+	if err := m.checkOverlap(name, base, size); err != nil {
+		return nil, err
 	}
 	seg := &Segment{Name: name, Base: base, Writable: writable, data: make([]byte, size), end: base + size, dataEnd: base + size}
 	m.segs = append(m.segs, seg)
-	return seg
+	return seg, nil
 }
 
-// AddSegmentLazy creates a segment whose backing bytes are allocated on
-// first access instead of eagerly. Identical observable behaviour to
-// AddSegment (the bytes read as zero either way); meant for large regions
-// most runs never touch, such as the VM's heap.
-func (m *Memory) AddSegmentLazy(name string, base, size uint64, writable bool) *Segment {
-	for _, s := range m.segs {
-		if base < s.End() && base+size > s.Base {
-			panic(fmt.Sprintf("mem: segment %s [0x%x,0x%x) overlaps %s [0x%x,0x%x)",
-				name, base, base+size, s.Name, s.Base, s.End()))
-		}
+// MapLazy is Map for a segment whose backing bytes are allocated on first
+// access instead of eagerly. Identical observable behaviour to Map (the
+// bytes read as zero either way); meant for large regions most runs never
+// touch, such as the VM's heap.
+func (m *Memory) MapLazy(name string, base, size uint64, writable bool) (*Segment, error) {
+	if err := m.checkOverlap(name, base, size); err != nil {
+		return nil, err
 	}
 	seg := &Segment{Name: name, Base: base, Writable: writable, end: base + size, dataEnd: base}
 	m.segs = append(m.segs, seg)
+	return seg, nil
+}
+
+// AddSegment is Map for layouts that are correct by construction:
+// overlapping segments are a programming error and panic.
+func (m *Memory) AddSegment(name string, base, size uint64, writable bool) *Segment {
+	seg, err := m.Map(name, base, size, writable)
+	if err != nil {
+		panic(err.Error())
+	}
+	return seg
+}
+
+// AddSegmentLazy is MapLazy with AddSegment's panic-on-overlap contract.
+func (m *Memory) AddSegmentLazy(name string, base, size uint64, writable bool) *Segment {
+	seg, err := m.MapLazy(name, base, size, writable)
+	if err != nil {
+		panic(err.Error())
+	}
 	return seg
 }
 

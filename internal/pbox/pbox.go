@@ -124,7 +124,9 @@ func (e *Entry) NumAllocs() int { return len(e.allocs) }
 
 // Layout fills out[i] with the frame offset of the function's i-th
 // allocation for random value r, and returns the frame size. len(out) must
-// equal NumAllocs.
+// equal NumAllocs — violating that is a caller bug, asserted by panic like
+// a slice-bounds failure; no program input or entropy state can reach it
+// (environmental failures surface as typed errors upstream, in rng).
 func (e *Entry) Layout(r uint64, out []int64) int64 {
 	if len(out) != len(e.allocs) {
 		panic(fmt.Sprintf("pbox: Layout buffer has %d slots, function has %d allocas", len(out), len(e.allocs)))

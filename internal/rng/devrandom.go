@@ -9,6 +9,8 @@
 
 package rng
 
+import "fmt"
+
 // Cycle-cost parameters of the model.
 const (
 	// devRandomDrawCycles is the cost of a successful pool read (a syscall
@@ -18,6 +20,10 @@ const (
 	// interrupt-driven entropy arrives on millisecond scales.
 	devRandomStallCycles = 2_000_000.0
 )
+
+// devRandomRetries bounds the extra attempts against a failing underlying
+// TRNG before a draw is declared failed.
+const devRandomRetries = 8
 
 // DevRandom is the blocking true-random source.
 type DevRandom struct {
@@ -30,6 +36,8 @@ type DevRandom struct {
 
 	bits      float64
 	lastStall bool
+	health    Health
+	err       error
 }
 
 // NewDevRandom builds the model over trng with Linux-flavoured defaults.
@@ -56,8 +64,28 @@ func (d *DevRandom) Next() uint64 {
 		d.lastStall = false
 		d.bits -= 64
 	}
-	return d.trng()
+	v, ok, attempts := drawRetry(d.trng, devRandomRetries)
+	d.health.Retries += uint64(attempts - 1)
+	d.health.Draws++
+	if !ok {
+		// The interrupt entropy feeding the pool has stopped entirely: a
+		// real /dev/random read would block forever. Model that as a stall
+		// plus a sticky terminal error.
+		d.lastStall = true
+		d.health.Failures++
+		if d.err == nil {
+			d.err = fmt.Errorf("devrandom: %w", ErrEntropyExhausted)
+		}
+		return 0
+	}
+	return v
 }
+
+// Err implements Checked.
+func (d *DevRandom) Err() error { return d.err }
+
+// Health implements HealthReporter.
+func (d *DevRandom) Health() Health { return d.health }
 
 // Cost implements Source: the price of the draw Next just performed. Under
 // sustained demand the pool empties after PoolBits/64 draws and every

@@ -1,0 +1,181 @@
+package rng
+
+import (
+	"errors"
+	"testing"
+)
+
+// flakyTRNG builds a TRNG over SeededTRNG(seed) whose draw i (0-based)
+// fails iff fail(i). This is the same shape the faultinject package wraps
+// real TRNGs with; here it exercises the ladder directly.
+func flakyTRNG(seed uint64, fail func(i int) bool) TRNG {
+	base := SeededTRNG(seed)
+	i := -1
+	return func() (uint64, bool) {
+		i++
+		v, _ := base()
+		if fail(i) {
+			return 0, false
+		}
+		return v, true
+	}
+}
+
+func TestRDRandRetryPricing(t *testing.T) {
+	// Draws 0 and 1 fail, draw 2 succeeds: one Next() consuming 3 attempts.
+	r := NewRDRand(flakyTRNG(1, func(i int) bool { return i < 2 }))
+	v := r.Next()
+	if v == 0 {
+		t.Fatal("retry should have delivered the third draw")
+	}
+	if got, want := r.Cost(), CostRDRand+float64(2)*CostRDRandRetry; got != want {
+		t.Fatalf("Cost() = %v, want %v (base + 2 retries)", got, want)
+	}
+	h := r.Health()
+	if h.Retries != 2 || h.Draws != 1 || h.Failures != 0 || h.Fallbacks != 0 {
+		t.Fatalf("health %+v, want 2 retries / 1 draw / clean", h)
+	}
+	// Next draw succeeds immediately: cost returns to the base rate.
+	r.Next()
+	if r.Cost() != CostRDRand {
+		t.Fatalf("clean draw Cost() = %v, want %v", r.Cost(), CostRDRand)
+	}
+	if r.Err() != nil {
+		t.Fatalf("healthy source reports Err %v", r.Err())
+	}
+}
+
+func TestRDRandFallbackAndRecovery(t *testing.T) {
+	// 8 good draws fund the cache, then the unit browns out: the first
+	// faulted draw burns its full retry budget, and the following few
+	// re-probes (one TRNG attempt each) still find it dead before it
+	// recovers. The window is measured in TRNG draw index, which advances
+	// only once per re-probe while in fallback mode.
+	deadFrom := 8
+	deadUntil := deadFrom + (DefaultRDRandRetries + 1) + 5
+	r := NewRDRand(flakyTRNG(2, func(i int) bool { return i >= deadFrom && i < deadUntil }))
+	for i := 0; i < 8; i++ {
+		r.Next()
+	}
+	// First draw inside the brownout: retries exhaust, fallback kicks in.
+	v := r.Next()
+	_ = v
+	h := r.Health()
+	if h.Failures != 1 || h.Fallbacks != 1 {
+		t.Fatalf("health %+v, want 1 failure and 1 fallback", h)
+	}
+	if r.Cost() != CostRDRand+float64(DefaultRDRandRetries)*CostRDRandRetry+CostAES10 {
+		t.Fatalf("fallback entry Cost() = %v", r.Cost())
+	}
+	if r.Err() != nil {
+		t.Fatalf("degraded-but-serving source must not report Err, got %v", r.Err())
+	}
+	// Subsequent fallback draws are priced as the AES stream.
+	r.Next()
+	if r.Cost() != CostAES10 {
+		t.Fatalf("fallback draw Cost() = %v, want %v", r.Cost(), CostAES10)
+	}
+	// Keep drawing: periodic re-probes eventually find the unit alive and
+	// direct draws resume (6 probes needed, one per rdrandReprobeInterval
+	// fallback draws).
+	recovered := false
+	for i := 0; i < 8*rdrandReprobeInterval; i++ {
+		r.Next()
+		if r.Cost() == CostRDRand {
+			recovered = true
+			break
+		}
+	}
+	if !recovered {
+		t.Fatal("brownout ended but the source never re-probed back to direct draws")
+	}
+}
+
+func TestRDRandDeterministicUnderFaults(t *testing.T) {
+	fail := func(i int) bool { return i%7 < 3 }
+	a := NewRDRand(flakyTRNG(3, fail))
+	b := NewRDRand(flakyTRNG(3, fail))
+	for i := 0; i < 500; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("identical fault schedules diverged at draw %d", i)
+		}
+		if a.Cost() != b.Cost() {
+			t.Fatalf("identical fault schedules priced differently at draw %d", i)
+		}
+	}
+}
+
+func TestRDRandEntropyExhausted(t *testing.T) {
+	r := NewRDRand(func() (uint64, bool) { return 0, false })
+	v := r.Next()
+	if v != 0 {
+		t.Fatalf("exhausted source returned %d, want 0", v)
+	}
+	if !errors.Is(r.Err(), ErrEntropyExhausted) {
+		t.Fatalf("Err() = %v, want ErrEntropyExhausted", r.Err())
+	}
+	if h := r.Health(); h.Failures == 0 {
+		t.Fatalf("health %+v, want a recorded failure", h)
+	}
+}
+
+func TestAESCtrSeedFailureSurfacedByNewByName(t *testing.T) {
+	dead := func() (uint64, bool) { return 0, false }
+	a := NewAESCtr(10, dead)
+	if !errors.Is(a.Err(), ErrEntropyExhausted) {
+		t.Fatalf("Err() = %v, want ErrEntropyExhausted", a.Err())
+	}
+	// Even failed, Next must not panic.
+	_ = a.Next()
+	if _, err := NewByName("aes-10", 1, dead); !errors.Is(err, ErrEntropyExhausted) {
+		t.Fatalf("NewByName error = %v, want ErrEntropyExhausted", err)
+	}
+}
+
+func TestAESCtrStaleKeyOnReseedFailure(t *testing.T) {
+	// Seeding succeeds (3 draws), then the TRNG dies: the re-key at the
+	// interval boundary must keep the old key and keep serving.
+	a := NewAESCtr(10, flakyTRNG(4, func(i int) bool { return i >= 3 }))
+	a.ReseedInterval = 8
+	if a.Err() != nil {
+		t.Fatalf("seeding failed: %v", a.Err())
+	}
+	for i := 0; i < 32; i++ {
+		a.Next()
+	}
+	h := a.Health()
+	if h.Fallbacks == 0 {
+		t.Fatalf("health %+v, want stale-key fallbacks recorded", h)
+	}
+	if h.Reseeds != 1 {
+		t.Fatalf("health %+v, want exactly the initial keying", h)
+	}
+	if a.Err() != nil {
+		t.Fatalf("stale-key degradation must not be terminal, got %v", a.Err())
+	}
+}
+
+func TestDevRandomEntropyExhausted(t *testing.T) {
+	d := NewDevRandom(func() (uint64, bool) { return 0, false })
+	_ = d.Next()
+	if !errors.Is(d.Err(), ErrEntropyExhausted) {
+		t.Fatalf("Err() = %v, want ErrEntropyExhausted", d.Err())
+	}
+	if d.Cost() != devRandomStallCycles {
+		t.Fatalf("a dead pool must price as a stall, got %v", d.Cost())
+	}
+}
+
+func TestSourceErrAndHealthOf(t *testing.T) {
+	if SourceErr(NewPseudo(1)) != nil {
+		t.Fatal("pseudo cannot fail")
+	}
+	if _, ok := HealthOf(NewPseudo(1)); ok {
+		t.Fatal("pseudo tracks no health")
+	}
+	r := NewRDRand(SeededTRNG(1))
+	r.Next()
+	if h, ok := HealthOf(r); !ok || h.Draws != 1 {
+		t.Fatalf("HealthOf(rdrand) = %+v, %v", h, ok)
+	}
+}

@@ -13,11 +13,20 @@
 //     ("registers"), so it is not disclosable.
 //   - RDRand: a fresh true-random value per invocation, modeling the Intel
 //     RDRAND instruction's rate.
+//
+// Entropy is treated as fallible: a TRNG draw can fail (real RDRAND reports
+// CF=0, /dev/random blocks, getrandom can error), and every source walks an
+// explicit degradation ladder — bounded retry, then reseed-from-cached-
+// entropy, then a typed ErrEntropyExhausted — instead of panicking. Health
+// counters (retries, fallbacks, reseeds, failures) expose how hard each
+// source had to work, which the harness's fault-injection experiments
+// measure directly.
 package rng
 
 import (
 	"crypto/rand"
 	"encoding/binary"
+	"errors"
 	"fmt"
 )
 
@@ -30,11 +39,24 @@ const (
 	CostRDRand = 265.6
 )
 
+// CostRDRandRetry prices one failed RDRAND attempt: the instruction runs to
+// completion (same latency as a successful draw) before reporting CF=0, so
+// every retry costs a full instruction issue.
+const CostRDRandRetry = CostRDRand
+
+// ErrEntropyExhausted reports that a source walked its whole degradation
+// ladder — retries, then any cached-entropy fallback — without obtaining
+// usable randomness. It is the terminal rung: sources return it (sticky,
+// via Checked) rather than panicking.
+var ErrEntropyExhausted = errors.New("rng: entropy exhausted")
+
 // Source generates one random value per function invocation.
 type Source interface {
 	// Next returns the next random value.
 	Next() uint64
-	// Cost returns the modeled cycles consumed per Next call.
+	// Cost returns the modeled cycles consumed by the Next call just
+	// performed (or, before any draw, by a nominal draw). Sources with
+	// retry or stall behaviour report per-draw dynamic costs.
 	Cost() float64
 	// Name identifies the scheme (pseudo, aes-1, aes-10, rdrand).
 	Name() string
@@ -52,17 +74,79 @@ type Disclosable interface {
 	Predict() Source
 }
 
-// TRNG yields true-random 64-bit values. The default implementation reads
-// the host CSPRNG; tests inject deterministic versions.
-type TRNG func() uint64
+// Checked is implemented by sources that can fail. Err reports the sticky
+// terminal failure (ErrEntropyExhausted-wrapping), or nil while the source
+// is healthy or degraded-but-serving.
+type Checked interface {
+	Err() error
+}
 
-// HostTRNG reads the host cryptographic RNG.
-func HostTRNG() uint64 {
+// Health counts how hard a source has worked for its entropy.
+type Health struct {
+	// Draws counts values delivered to the consumer.
+	Draws uint64
+	// Retries counts extra TRNG attempts issued after a failed draw.
+	Retries uint64
+	// Fallbacks counts draws served by a degraded path (cached-entropy AES
+	// stream, or an AES re-key skipped because the TRNG was down).
+	Fallbacks uint64
+	// Reseeds counts successful AES-CTR (re)keying events.
+	Reseeds uint64
+	// Failures counts draws for which every rung of the ladder failed.
+	Failures uint64
+}
+
+// HealthReporter is implemented by sources that track Health.
+type HealthReporter interface {
+	Health() Health
+}
+
+// SourceErr reports a source's sticky failure; nil for sources that cannot
+// fail or have not.
+func SourceErr(s Source) error {
+	if c, ok := s.(Checked); ok {
+		return c.Err()
+	}
+	return nil
+}
+
+// HealthOf returns a source's health counters (ok=false for sources that do
+// not track them).
+func HealthOf(s Source) (Health, bool) {
+	if h, ok := s.(HealthReporter); ok {
+		return h.Health(), true
+	}
+	return Health{}, false
+}
+
+// TRNG yields true-random 64-bit values. ok=false reports a failed draw
+// (hardware CF=0, exhausted host entropy, or an injected fault) — a zero
+// value with ok=true is a legitimate draw, distinct from failure. The
+// default implementation reads the host CSPRNG; tests and the fault
+// injector wrap deterministic versions.
+type TRNG func() (uint64, bool)
+
+// drawRetry draws from t with up to retries extra attempts after a failure.
+// Returns the value, success, and the total attempts consumed (>= 1).
+func drawRetry(t TRNG, retries int) (uint64, bool, int) {
+	for i := 0; ; i++ {
+		if v, ok := t(); ok {
+			return v, true, i + 1
+		}
+		if i >= retries {
+			return 0, false, i + 1
+		}
+	}
+}
+
+// HostTRNG reads the host cryptographic RNG. A read error reports a failed
+// draw instead of panicking; NewByName surfaces it as a typed error.
+func HostTRNG() (uint64, bool) {
 	var b [8]byte
 	if _, err := rand.Read(b[:]); err != nil {
-		panic(fmt.Sprintf("rng: host entropy unavailable: %v", err))
+		return 0, false
 	}
-	return binary.LittleEndian.Uint64(b[:])
+	return binary.LittleEndian.Uint64(b[:]), true
 }
 
 // FixedTRNG returns a deterministic TRNG that yields the given values
@@ -74,13 +158,13 @@ func FixedTRNG(vals ...uint64) TRNG {
 		vals = []uint64{0x9e3779b97f4a7c15}
 	}
 	i := 0
-	return func() uint64 {
+	return func() (uint64, bool) {
 		v := vals[i%len(vals)]
 		if i >= len(vals) {
 			v ^= uint64(i+1) * 0x2545f4914f6cdd1d
 		}
 		i++
-		return v
+		return v, true
 	}
 }
 
@@ -88,12 +172,12 @@ func FixedTRNG(vals ...uint64) TRNG {
 // splitmix64. Used for reproducible experiment runs.
 func SeededTRNG(seed uint64) TRNG {
 	s := seed
-	return func() uint64 {
+	return func() (uint64, bool) {
 		s += 0x9e3779b97f4a7c15
 		z := s
 		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
 		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		return z ^ (z >> 31)
+		return z ^ (z >> 31), true
 	}
 }
 
@@ -145,10 +229,22 @@ func (p *Pseudo) Predict() Source { return &Pseudo{state: p.state} }
 // ---------------------------------------------------------------------------
 // AES counter mode.
 
+// aesSeedRetries bounds the extra TRNG attempts per key/nonce word during
+// (re)seeding.
+const aesSeedRetries = 8
+
 // AESCtr is an AES-128-CTR pseudo-random source seeded from a TRNG. A
 // universal call counter triggers re-keying every ReseedInterval outputs, as
 // described in §III-D1. Rounds selects the 1-round (fast, low security) or
 // 10-round (standard) variant.
+//
+// Degradation: a re-key whose TRNG draws fail (after bounded retries) keeps
+// the current key and counts a fallback — a stale AES key degrades far more
+// gracefully than a crashed defense. Only construction-time failure, when
+// no key material exists at all, marks the source with ErrEntropyExhausted
+// (surfaced by NewByName); Next then still emits a deterministic stream
+// from the zero key so consumers that ignore Err degrade instead of
+// panicking.
 type AESCtr struct {
 	rounds  int
 	trng    TRNG
@@ -156,6 +252,8 @@ type AESCtr struct {
 	nonce   uint64
 	counter uint64
 	calls   uint64
+	health  Health
+	err     error
 	// ReseedInterval is the number of outputs between re-keying events.
 	// 0 means "never re-key": the source keeps its initial key and nonce
 	// for the whole run.
@@ -167,28 +265,50 @@ type AESCtr struct {
 const DefaultReseedInterval = 1 << 16
 
 // NewAESCtr constructs an AES-CTR source with the given round count (1 or
-// 10) seeded from trng.
+// 10) seeded from trng. If seeding fails outright, the source is marked
+// failed (see Err) rather than panicking.
 func NewAESCtr(rounds int, trng TRNG) *AESCtr {
 	a := &AESCtr{rounds: rounds, trng: trng, ReseedInterval: DefaultReseedInterval}
-	a.reseed()
+	if !a.reseed() {
+		a.err = fmt.Errorf("aes-%d seeding: %w", rounds, ErrEntropyExhausted)
+		a.blk = newBlock([16]byte{}, a.rounds)
+	}
 	return a
 }
 
-func (a *AESCtr) reseed() {
+// reseed draws a fresh key and nonce, retrying each word up to
+// aesSeedRetries times. Reports whether new key material was installed.
+func (a *AESCtr) reseed() bool {
+	var words [3]uint64
+	for i := range words {
+		v, ok, attempts := drawRetry(a.trng, aesSeedRetries)
+		a.health.Retries += uint64(attempts - 1)
+		if !ok {
+			a.health.Failures++
+			return false
+		}
+		words[i] = v
+	}
 	var key [16]byte
-	binary.LittleEndian.PutUint64(key[0:8], a.trng())
-	binary.LittleEndian.PutUint64(key[8:16], a.trng())
+	binary.LittleEndian.PutUint64(key[0:8], words[0])
+	binary.LittleEndian.PutUint64(key[8:16], words[1])
 	a.blk = newBlock(key, a.rounds)
-	a.nonce = a.trng()
+	a.nonce = words[2]
 	a.counter = 0
+	a.health.Reseeds++
+	return true
 }
 
 // Next implements Source.
 func (a *AESCtr) Next() uint64 {
 	if a.ReseedInterval > 0 && a.calls > 0 && a.calls%a.ReseedInterval == 0 {
-		a.reseed()
+		if !a.reseed() {
+			// TRNG down at re-key time: keep the stale key, keep serving.
+			a.health.Fallbacks++
+		}
 	}
 	a.calls++
+	a.health.Draws++
 	var in [16]byte
 	binary.LittleEndian.PutUint64(in[0:8], a.nonce)
 	binary.LittleEndian.PutUint64(in[8:16], a.counter)
@@ -214,26 +334,150 @@ func (a *AESCtr) Name() string { return fmt.Sprintf("aes-%d", a.rounds) }
 // Rounds returns the configured round count.
 func (a *AESCtr) Rounds() int { return a.rounds }
 
+// Err implements Checked: non-nil only when construction-time seeding
+// failed and the stream never had real key material.
+func (a *AESCtr) Err() error { return a.err }
+
+// Health implements HealthReporter.
+func (a *AESCtr) Health() Health { return a.health }
+
 // ---------------------------------------------------------------------------
 // RDRand.
 
+const (
+	// DefaultRDRandRetries bounds CF=0 retries per draw, following the
+	// bounded-retry loop Intel's DRNG software implementation guide
+	// recommends before treating the unit as failed.
+	DefaultRDRandRetries = 10
+	// rdrandCacheWords is the size of the recent-entropy cache that funds
+	// the AES fallback stream.
+	rdrandCacheWords = 4
+	// rdrandReprobeInterval is how many fallback draws pass between probes
+	// of the hardware, so a brownout (rather than a dead unit) recovers.
+	rdrandReprobeInterval = 64
+)
+
 // RDRand models the on-chip true random number generator: every invocation
 // draws fresh entropy, at the highest per-invocation cost.
+//
+// Real RDRAND fails: the DRNG reports CF=0 when its entropy buffers are
+// drained. The model implements the full degradation ladder — bounded
+// retry (each retry pricing a full instruction issue), then an AES-CTR
+// stream reseeded from recently cached hardware entropy (periodically
+// re-probing the unit), and finally a sticky ErrEntropyExhausted when no
+// entropy was ever available to cache.
 type RDRand struct {
 	trng TRNG
+	// RetryLimit bounds CF=0 retries per draw (default
+	// DefaultRDRandRetries; negative disables retries).
+	RetryLimit int
+
+	cache      [rdrandCacheWords]uint64
+	cachePos   int
+	cacheLen   int
+	fallback   *AESCtr
+	sinceProbe int
+	health     Health
+	err        error
+	lastCost   float64
 }
 
 // NewRDRand constructs an RDRand source over trng.
-func NewRDRand(trng TRNG) *RDRand { return &RDRand{trng: trng} }
+func NewRDRand(trng TRNG) *RDRand {
+	return &RDRand{trng: trng, RetryLimit: DefaultRDRandRetries, lastCost: CostRDRand}
+}
 
-// Next implements Source.
-func (r *RDRand) Next() uint64 { return r.trng() }
+func (r *RDRand) retryLimit() int {
+	if r.RetryLimit < 0 {
+		return 0
+	}
+	return r.RetryLimit
+}
 
-// Cost implements Source.
-func (r *RDRand) Cost() float64 { return CostRDRand }
+// noteSuccess records a successful hardware draw in the entropy cache.
+func (r *RDRand) noteSuccess(v uint64) {
+	r.cache[r.cachePos] = v
+	r.cachePos = (r.cachePos + 1) % rdrandCacheWords
+	if r.cacheLen < rdrandCacheWords {
+		r.cacheLen++
+	}
+}
+
+// buildFallback keys a standalone AES-CTR stream from the cached entropy.
+// The stream never re-keys (its TRNG is the failed hardware), so it stays
+// deterministic for the remainder of the brownout.
+func (r *RDRand) buildFallback() *AESCtr {
+	seed := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < r.cacheLen; i++ {
+		seed ^= r.cache[i]
+		seed *= 0x100000001b3
+	}
+	a := NewAESCtr(10, SeededTRNG(seed))
+	a.ReseedInterval = 0
+	return a
+}
+
+// Next implements Source, walking the ladder: direct draw with bounded
+// retry → cached-entropy AES stream → zero with a sticky error.
+func (r *RDRand) Next() uint64 {
+	if r.fallback != nil {
+		r.sinceProbe++
+		if r.sinceProbe >= rdrandReprobeInterval {
+			r.sinceProbe = 0
+			if v, ok := r.trng(); ok {
+				// Brownout over: resume direct draws.
+				r.fallback = nil
+				r.noteSuccess(v)
+				r.health.Draws++
+				r.lastCost = CostRDRand
+				return v
+			}
+			r.health.Retries++
+		}
+		r.health.Draws++
+		r.health.Fallbacks++
+		r.lastCost = CostAES10
+		return r.fallback.Next()
+	}
+	v, ok, attempts := drawRetry(r.trng, r.retryLimit())
+	r.health.Retries += uint64(attempts - 1)
+	r.lastCost = CostRDRand + float64(attempts-1)*CostRDRandRetry
+	if ok {
+		r.noteSuccess(v)
+		r.health.Draws++
+		return v
+	}
+	r.health.Failures++
+	if r.cacheLen > 0 {
+		r.fallback = r.buildFallback()
+		r.sinceProbe = 0
+		r.health.Draws++
+		r.health.Fallbacks++
+		r.lastCost += CostAES10
+		return r.fallback.Next()
+	}
+	// Never saw entropy at all: nothing to fall back on.
+	if r.err == nil {
+		r.err = fmt.Errorf("rdrand: %w", ErrEntropyExhausted)
+	}
+	r.health.Draws++
+	return 0
+}
+
+// Cost implements Source: the price of the draw Next just performed
+// (retries each cost a full instruction; fallback draws cost the AES-10
+// stream).
+func (r *RDRand) Cost() float64 { return r.lastCost }
 
 // Name implements Source.
 func (r *RDRand) Name() string { return "rdrand" }
+
+// Err implements Checked: sticky once a draw found neither hardware
+// entropy nor cached entropy to fall back on.
+func (r *RDRand) Err() error { return r.err }
+
+// Health implements HealthReporter.
+func (r *RDRand) Health() Health { return r.health }
 
 // ---------------------------------------------------------------------------
 // Construction by name.
@@ -243,20 +487,28 @@ var SchemeNames = []string{"pseudo", "aes-1", "aes-10", "rdrand"}
 
 // NewByName constructs a source by scheme name with the given TRNG (used
 // for seeding or direct generation). Seed seeds the pseudo generator.
+// Construction-time entropy failure (e.g. a dead HostTRNG seeding an AES
+// stream) surfaces as an ErrEntropyExhausted-wrapping error.
 func NewByName(name string, seed uint64, trng TRNG) (Source, error) {
+	var src Source
 	switch name {
 	case "pseudo":
-		return NewPseudo(seed), nil
+		src = NewPseudo(seed)
 	case "aes-1":
-		return NewAESCtr(1, trng), nil
+		src = NewAESCtr(1, trng)
 	case "aes-10":
-		return NewAESCtr(10, trng), nil
+		src = NewAESCtr(10, trng)
 	case "rdrand":
-		return NewRDRand(trng), nil
+		src = NewRDRand(trng)
 	case "devrandom":
 		// Modeled /dev/random: available for experiments, excluded from
 		// the paper's figures (it stalls; see devrandom.go).
-		return NewDevRandom(trng), nil
+		src = NewDevRandom(trng)
+	default:
+		return nil, fmt.Errorf("rng: unknown scheme %q (want one of %v or devrandom)", name, SchemeNames)
 	}
-	return nil, fmt.Errorf("rng: unknown scheme %q (want one of %v or devrandom)", name, SchemeNames)
+	if err := SourceErr(src); err != nil {
+		return nil, fmt.Errorf("rng: constructing %s: %w", name, err)
+	}
+	return src, nil
 }

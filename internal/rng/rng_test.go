@@ -158,9 +158,19 @@ func TestNewByName(t *testing.T) {
 	}
 }
 
+// drawOK draws one value from a TRNG, failing the test if the draw fails.
+func drawOK(t *testing.T, f TRNG) uint64 {
+	t.Helper()
+	v, ok := f()
+	if !ok {
+		t.Fatal("TRNG draw failed unexpectedly")
+	}
+	return v
+}
+
 func TestRDRandUsesTRNG(t *testing.T) {
 	vals := []uint64{}
-	r := NewRDRand(func() uint64 { vals = append(vals, 1); return uint64(len(vals)) })
+	r := NewRDRand(func() (uint64, bool) { vals = append(vals, 1); return uint64(len(vals)), true })
 	if r.Next() != 1 || r.Next() != 2 {
 		t.Fatal("RDRand must pass the TRNG stream through")
 	}
@@ -212,17 +222,18 @@ func TestUniformity(t *testing.T) {
 func TestSeededTRNGDeterminism(t *testing.T) {
 	a, b := SeededTRNG(42), SeededTRNG(42)
 	for i := 0; i < 10; i++ {
-		if a() != b() {
+		if drawOK(t, a) != drawOK(t, b) {
 			t.Fatal("SeededTRNG not deterministic")
 		}
 	}
-	if SeededTRNG(1)() == SeededTRNG(2)() {
+	if drawOK(t, SeededTRNG(1)) == drawOK(t, SeededTRNG(2)) {
 		t.Fatal("different seeds collide immediately")
 	}
 }
 
 func TestHostTRNG(t *testing.T) {
-	a, b := HostTRNG(), HostTRNG()
+	a := drawOK(t, HostTRNG)
+	b := drawOK(t, HostTRNG)
 	if a == b {
 		t.Fatal("host entropy returned identical values (astronomically unlikely)")
 	}
@@ -230,7 +241,7 @@ func TestHostTRNG(t *testing.T) {
 
 func TestFixedTRNG(t *testing.T) {
 	f := FixedTRNG(10, 20)
-	x, y, z := f(), f(), f()
+	x, y, z := drawOK(t, f), drawOK(t, f), drawOK(t, f)
 	if x == y && y == z {
 		t.Fatal("FixedTRNG must mix the index")
 	}
@@ -290,7 +301,7 @@ func TestDevRandomViaNewByName(t *testing.T) {
 func TestAESCtrNeverReseed(t *testing.T) {
 	trngCalls := 0
 	base := SeededTRNG(9)
-	counting := func() uint64 { trngCalls++; return base() }
+	counting := func() (uint64, bool) { trngCalls++; return base() }
 	a := NewAESCtr(1, counting)
 	a.ReseedInterval = 0
 	seedCalls := trngCalls // key (2 draws) + nonce (1 draw)
@@ -308,14 +319,14 @@ func TestAESCtrNeverReseed(t *testing.T) {
 // values are returned verbatim for the first cycle, then index-mixed so
 // long runs do not repeat identically.
 func TestFixedTRNGVerbatimFirstCycle(t *testing.T) {
-	if v := FixedTRNG(5)(); v != 5 {
+	if v := drawOK(t, FixedTRNG(5)); v != 5 {
 		t.Fatalf("FixedTRNG(5)() = %d, want 5", v)
 	}
 	f := FixedTRNG(10, 20)
-	if a, b := f(), f(); a != 10 || b != 20 {
+	if a, b := drawOK(t, f), drawOK(t, f); a != 10 || b != 20 {
 		t.Fatalf("first cycle not verbatim: %d, %d", a, b)
 	}
-	if c, d := f(), f(); c == 10 || d == 20 {
+	if c, d := drawOK(t, f), drawOK(t, f); c == 10 || d == 20 {
 		t.Fatalf("second cycle must be index-mixed, got %d, %d", c, d)
 	}
 }

@@ -87,16 +87,36 @@ func (m *Machine) execCompiled(fn *ir.Function, cf *compiledFunc, base uint64, f
 	offsets := fl.Offsets
 	cycles := 0.0
 	steps, limit := m.steps, m.stepLimit
+	// next is the supervised chunk boundary (see exec): equal to limit with
+	// the watchdog dormant — bit-identical behaviour — and every
+	// supervisionInterval steps when armed. Only the core's loop-head check
+	// compares against next; mid-group re-checks keep the real limit, so a
+	// loop-head evLimit with steps < limit is always a clean, resumable
+	// group boundary (no partial constituent effects).
+	next := limit
+	if m.watchdog {
+		next = supNext(steps, limit)
+	}
 	pc := 0
 	for {
 		var ev coreEvent
-		pc, cycles, steps, ev = runCore(code, regs, base, offsets, stk, hot, hot2, pc, cycles, steps, limit)
+		pc, cycles, steps, ev = runCore(code, regs, base, offsets, stk, hot, hot2, pc, cycles, steps, next, limit)
 		c := &code[pc]
 		switch ev {
 		case evLimit:
-			m.steps = steps
-			m.stats.Cycles += cycles * costMul
-			return 0, &StepLimit{Limit: limit}
+			if steps >= limit {
+				m.steps = steps
+				m.stats.Cycles += cycles * costMul
+				return 0, &StepLimit{Limit: limit}
+			}
+			// Supervised chunk boundary: poll the watchdog, then resume at
+			// the same pc (the instruction there has not run).
+			if m.interrupted.Load() {
+				m.steps = steps
+				m.stats.Cycles += cycles * costMul
+				return 0, &Canceled{}
+			}
+			next = supNext(steps, limit)
 		case evRet:
 			m.steps = steps
 			m.stats.Cycles += cycles * costMul
@@ -309,9 +329,15 @@ func (m *Machine) slowMem(fn *ir.Function, c *cinstr, regs []int64, base uint64,
 // It must stay free of function calls (only inlinable accessors) so the
 // accumulators registerize; do not add error construction, Memory methods,
 // or anything else that compiles to CALL here.
-func runCore(code []cinstr, regs []int64, base uint64, offsets []int64, stk, hot, hot2 *mem.Segment, pc int, cycles float64, steps, limit uint64) (int, float64, uint64, coreEvent) {
+//
+// next is the driver's supervised chunk boundary (next <= limit; equal when
+// no watchdog is armed), checked only here at the loop head where no
+// partial group effects exist. The mid-group re-checks below compare the
+// real limit, so an evLimit with steps < limit can only come from the loop
+// head and is always safe to resume.
+func runCore(code []cinstr, regs []int64, base uint64, offsets []int64, stk, hot, hot2 *mem.Segment, pc int, cycles float64, steps, next, limit uint64) (int, float64, uint64, coreEvent) {
 	for {
-		if steps >= limit {
+		if steps >= next {
 			return pc, cycles, steps, evLimit
 		}
 		steps++

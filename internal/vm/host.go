@@ -19,7 +19,43 @@ import (
 // segment still terminates.
 const cstringMax = 1 << 20
 
+// HostHook observes every host (builtin) call. Both execution tiers route
+// host calls through the same wrapper, so a deterministic hook — the fault
+// injector is the canonical one — perturbs both tiers identically.
+type HostHook interface {
+	// EnterHost runs before the builtin dispatches. extraCycles is added to
+	// the modeled cost (a delay fault); a non-nil error fails the call site
+	// instead of dispatching (wrapped in a MemFault carrying the builtin
+	// name and pc).
+	EnterHost(name string) (extraCycles float64, err error)
+	// ExitHost observes the builtin's successful return value and may
+	// replace it (a corruption fault). Identity for healthy calls.
+	ExitHost(name string, ret int64) int64
+}
+
+// hostCall is the tier-shared entry for builtin calls: hook bookkeeping
+// around hostDispatch. With no hook installed it is a plain tail call.
 func (m *Machine) hostCall(fn *ir.Function, pc int, host int, args []int64) (int64, error) {
+	if m.hostHook == nil {
+		return m.hostDispatch(fn, pc, host, args)
+	}
+	if host < 0 || host >= len(hostNames) {
+		return 0, fmt.Errorf("vm: bad host index %d in %s", host, fn.Name)
+	}
+	name := hostNames[host]
+	extra, err := m.hostHook.EnterHost(name)
+	m.stats.Cycles += extra
+	if err != nil {
+		return 0, &MemFault{Func: fn.Name + " (" + name + ")", PC: pc, Err: err}
+	}
+	v, err := m.hostDispatch(fn, pc, host, args)
+	if err != nil {
+		return v, err
+	}
+	return m.hostHook.ExitHost(name, v), nil
+}
+
+func (m *Machine) hostDispatch(fn *ir.Function, pc int, host int, args []int64) (int64, error) {
 	if host < 0 || host >= len(hostNames) {
 		return 0, fmt.Errorf("vm: bad host index %d in %s", host, fn.Name)
 	}

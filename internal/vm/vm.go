@@ -12,8 +12,11 @@
 package vm
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
+	"sync/atomic"
 
 	"repro/internal/ir"
 	"repro/internal/layout"
@@ -50,6 +53,20 @@ type (
 	StepLimit struct {
 		Limit uint64
 	}
+	// EntropyFault reports that the layout engine's entropy source walked
+	// its whole degradation ladder and went terminal while entering Func.
+	// Randomizing a frame with known-dead randomness would silently void
+	// the defense, so the run faults instead.
+	EntropyFault struct {
+		Func string
+		Err  error
+	}
+	// Canceled reports that a context-supervised run (RunContext) was
+	// stopped by its watchdog: deadline expiry or explicit cancellation.
+	// Stats accumulated up to the stop remain valid partial results.
+	Canceled struct {
+		Cause error
+	}
 )
 
 func (e *MemFault) Error() string {
@@ -65,6 +82,17 @@ func (e *DivideByZero) Error() string {
 }
 func (e *Aborted) Error() string   { return "program aborted" }
 func (e *StepLimit) Error() string { return fmt.Sprintf("instruction budget exceeded (%d)", e.Limit) }
+func (e *EntropyFault) Error() string {
+	return fmt.Sprintf("entropy failure entering %s: %v", e.Func, e.Err)
+}
+func (e *EntropyFault) Unwrap() error { return e.Err }
+func (e *Canceled) Error() string {
+	if e.Cause != nil {
+		return fmt.Sprintf("execution canceled: %v", e.Cause)
+	}
+	return "execution canceled"
+}
+func (e *Canceled) Unwrap() error { return e.Cause }
 
 // exitRequest unwinds the interpreter when the program calls exit().
 type exitRequest struct{ code int64 }
@@ -157,6 +185,16 @@ type Options struct {
 	// CodeCache overrides the process-wide compiled-code cache (tests use
 	// private caches to observe hit/miss counts). Ignored under TierSwitch.
 	CodeCache *CodeCache
+	// HostHook, when non-nil, observes every host (builtin) call on both
+	// execution tiers: the fault injector uses it to delay, corrupt or
+	// fail host calls deterministically. nil costs nothing.
+	HostHook HostHook
+	// EntropyCheck, when non-nil, is consulted on every function call after
+	// the layout draw; a non-nil result faults the run with EntropyFault.
+	// The harness wires rng.SourceErr of the engine's source here so a
+	// terminally-exhausted entropy ladder stops the run at a call boundary
+	// instead of silently derandomizing it. nil costs nothing.
+	EntropyCheck func() error
 }
 
 // Env is the host environment: attacker/user input and program output.
@@ -261,6 +299,37 @@ type Machine struct {
 	jitter   []float64 // per-function cost multiplier (nil when disabled)
 
 	frames []frameRecord
+
+	// initErr records a construction-time failure (segment mapping, guard
+	// key entropy). New cannot return an error without breaking every call
+	// site, so the first Run/CallByName surfaces it instead.
+	initErr error
+
+	hostHook     HostHook
+	entropyCheck func() error
+
+	// watchdog/interrupted implement RunContext's cancellation: when armed,
+	// both exec tiers re-check interrupted every supervisionInterval steps
+	// at a resumable chunk boundary. Dormant (watchdog false) the chunk
+	// boundary equals the step limit and behaviour is bit-identical.
+	watchdog    bool
+	interrupted atomic.Bool
+}
+
+// supervisionInterval is the step count between watchdog polls while a
+// RunContext watchdog is armed. Small enough to stop a runaway loop within
+// microseconds of wall-clock cancellation, large enough to keep the poll
+// invisible in the dispatch loop.
+const supervisionInterval = 32768
+
+// supNext returns the next supervised chunk boundary after steps, capped at
+// the real budget.
+func supNext(steps, limit uint64) uint64 {
+	next := steps + supervisionInterval
+	if next > limit || next < steps {
+		next = limit
+	}
+	return next
 }
 
 // New prepares a Machine for one run of prog under engine. The engine's
@@ -286,6 +355,11 @@ func New(prog *ir.Program, engine layout.Engine, env *Env, opts *Options) *Machi
 	if o.HeapSize == 0 {
 		o.HeapSize = 64 << 20
 	}
+	// Clamp the heap below the stack segment: an oversized request shrinks
+	// to the available address range instead of failing construction.
+	if maxHeap := uint64(mem.StackTop-mem.StackSize) - mem.HeapBase; o.HeapSize > maxHeap {
+		o.HeapSize = maxHeap
+	}
 	if env == nil {
 		env = &Env{}
 	}
@@ -294,16 +368,21 @@ func New(prog *ir.Program, engine layout.Engine, env *Env, opts *Options) *Machi
 	}
 
 	m := &Machine{
-		Prog:      prog,
-		Mem:       mem.New(),
-		Engine:    engine,
-		Env:       env,
-		costs:     costs,
-		stepLimit: o.StepLimit,
-		maxDepth:  o.MaxCallDepth,
+		Prog:         prog,
+		Mem:          mem.New(),
+		Engine:       engine,
+		Env:          env,
+		costs:        costs,
+		stepLimit:    o.StepLimit,
+		maxDepth:     o.MaxCallDepth,
+		hostHook:     o.HostHook,
+		entropyCheck: o.EntropyCheck,
 	}
 
-	// Rodata: interned strings.
+	// Rodata: interned strings. Program images with fuzzer-scale data or
+	// global sections can exceed their address windows; a mapping failure
+	// is recorded as a typed initErr (surfaced by the first Run) instead of
+	// panicking inside the segment allocator.
 	var dataSize uint64
 	for _, d := range prog.Data {
 		dataSize += uint64(len(d)) + 8
@@ -311,7 +390,11 @@ func New(prog *ir.Program, engine layout.Engine, env *Env, opts *Options) *Machi
 	if dataSize < 16 {
 		dataSize = 16
 	}
-	m.rodata = m.Mem.AddSegment("rodata", mem.RodataBase, dataSize, false)
+	var err error
+	if m.rodata, err = m.Mem.Map("rodata", mem.RodataBase, dataSize, false); err != nil {
+		m.initErr = fmt.Errorf("vm: program image: %w", err)
+		return m
+	}
 	addr := uint64(mem.RodataBase)
 	for _, d := range prog.Data {
 		m.dataAddr = append(m.dataAddr, addr)
@@ -328,7 +411,10 @@ func New(prog *ir.Program, engine layout.Engine, env *Env, opts *Options) *Machi
 	if globSize < 16 {
 		globSize = 16
 	}
-	m.globals = m.Mem.AddSegment("globals", mem.GlobalBase, globSize, true)
+	if m.globals, err = m.Mem.Map("globals", mem.GlobalBase, globSize, true); err != nil {
+		m.initErr = fmt.Errorf("vm: program image: %w", err)
+		return m
+	}
 	addr = mem.GlobalBase
 	for _, g := range prog.Globals {
 		addr = alignU(addr, uint64(g.Align))
@@ -339,17 +425,37 @@ func New(prog *ir.Program, engine layout.Engine, env *Env, opts *Options) *Machi
 
 	// The heap's 64 MiB backing is materialized on first access: runs that
 	// never touch the heap (most workloads) skip the allocation entirely.
-	m.heap = m.Mem.AddSegmentLazy("heap", mem.HeapBase, o.HeapSize, true)
+	if m.heap, err = m.Mem.MapLazy("heap", mem.HeapBase, o.HeapSize, true); err != nil {
+		m.initErr = fmt.Errorf("vm: program image: %w", err)
+		return m
+	}
 	m.heapNext = mem.HeapBase
 
-	m.stack = m.Mem.AddSegment("stack", mem.StackTop-mem.StackSize, mem.StackSize, true)
+	if m.stack, err = m.Mem.Map("stack", mem.StackTop-mem.StackSize, mem.StackSize, true); err != nil {
+		m.initErr = fmt.Errorf("vm: program image: %w", err)
+		return m
+	}
 	m.stackBase = mem.StackTop - mem.StackSize
 
 	engine.NewRun()
 	m.stackTop = mem.StackTop - engine.StackBias()
 	m.sp = m.stackTop
 	m.stats.StackPeak = 0
-	m.guardKey = o.TRNG()
+	// The guard key must be unpredictable; retry a failing TRNG a bounded
+	// number of times, then fault construction rather than running with a
+	// known (zero) key.
+	const guardKeyRetries = 8
+	keyed := false
+	for i := 0; i <= guardKeyRetries && !keyed; i++ {
+		if v, ok := o.TRNG(); ok {
+			m.guardKey = v
+			keyed = true
+		}
+	}
+	if !keyed {
+		m.initErr = &EntropyFault{Func: "init (guard key)", Err: rng.ErrEntropyExhausted}
+		return m
+	}
 	m.buildCostTable()
 
 	tier := o.Exec
@@ -486,9 +592,17 @@ type ActiveFrame struct {
 	Layout layout.FrameLayout
 }
 
+// InitErr reports a construction-time failure (segment mapping, guard-key
+// entropy), or nil. Run and CallByName return it as well; this accessor
+// lets callers fail fast without issuing a run.
+func (m *Machine) InitErr() error { return m.initErr }
+
 // Run executes main and returns its value. Faults, guard violations and
 // aborts are returned as errors; exit(n) returns n with a nil error.
 func (m *Machine) Run() (int64, error) {
+	if m.initErr != nil {
+		return 0, m.initErr
+	}
 	fn, ok := m.Prog.FuncByName("main")
 	if !ok {
 		return 0, fmt.Errorf("vm: program %s has no main", m.Prog.Name)
@@ -505,8 +619,41 @@ func (m *Machine) Run() (int64, error) {
 	return v, nil
 }
 
+// RunContext executes main under a watchdog: when ctx carries a deadline or
+// is cancelable, both execution tiers poll for cancellation every
+// supervisionInterval steps at a resumable chunk boundary and return a
+// *Canceled (with partial Stats intact) once the context ends. A background
+// context runs exactly like Run.
+func (m *Machine) RunContext(ctx context.Context) (int64, error) {
+	if m.initErr != nil {
+		return 0, m.initErr
+	}
+	if ctx == nil || ctx.Done() == nil {
+		return m.Run()
+	}
+	if ctx.Err() != nil {
+		return 0, &Canceled{Cause: context.Cause(ctx)}
+	}
+	m.watchdog = true
+	m.interrupted.Store(false)
+	stop := context.AfterFunc(ctx, func() { m.interrupted.Store(true) })
+	defer func() {
+		stop()
+		m.watchdog = false
+	}()
+	v, err := m.Run()
+	var c *Canceled
+	if errors.As(err, &c) && c.Cause == nil {
+		c.Cause = context.Cause(ctx)
+	}
+	return v, err
+}
+
 // CallByName invokes an arbitrary function (used by tests and harnesses).
 func (m *Machine) CallByName(name string, args ...int64) (int64, error) {
+	if m.initErr != nil {
+		return 0, m.initErr
+	}
 	fn, ok := m.Prog.FuncByName(name)
 	if !ok {
 		return 0, fmt.Errorf("vm: no function %s", name)
@@ -527,6 +674,16 @@ func (m *Machine) call(fn *ir.Function, args []int64) (int64, error) {
 		return 0, &StackOverflow{Func: fn.Name}
 	}
 	fl := m.Engine.Layout(fn)
+	// The layout draw above may have pushed the engine's entropy source
+	// onto the terminal rung of its ladder; randomizing with dead entropy
+	// silently voids the defense, so the configured policy faults here.
+	// This check is tier-shared (both executors route calls through here),
+	// keeping faulted runs bit-identical across tiers.
+	if m.entropyCheck != nil {
+		if err := m.entropyCheck(); err != nil {
+			return 0, &EntropyFault{Func: fn.Name, Err: err}
+		}
+	}
 	savedSP := m.sp
 	base := (m.sp - uint64(fl.Size)) &^ 15
 	if base < m.stackBase {
@@ -631,14 +788,27 @@ func (m *Machine) exec(fn *ir.Function, base uint64, fl layout.FrameLayout) (int
 	mm := m.Mem
 	cycles := 0.0
 	steps, limit := m.steps, m.stepLimit
+	// next is the supervised chunk boundary: with the watchdog dormant it
+	// equals limit and this loop is bit-identical to the unsupervised one;
+	// armed, it forces a cancellation poll every supervisionInterval steps.
+	next := limit
+	if m.watchdog {
+		next = supNext(steps, limit)
+	}
 	pc := 0
 	defer func() {
 		m.steps = steps
 		m.stats.Cycles += cycles * costMul
 	}()
 	for {
-		if steps >= limit {
-			return 0, &StepLimit{Limit: limit}
+		if steps >= next {
+			if steps >= limit {
+				return 0, &StepLimit{Limit: limit}
+			}
+			if m.interrupted.Load() {
+				return 0, &Canceled{}
+			}
+			next = supNext(steps, limit)
 		}
 		steps++
 		in := &code[pc]
