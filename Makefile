@@ -9,9 +9,9 @@ GO ?= go
 # -race they need far more than the 10-minute default.
 RACE_TIMEOUT ?= 3600s
 
-.PHONY: ci build vet test race bench bench-compare smokebench invariance faults
+.PHONY: ci build vet test race bench bench-compare smokebench invariance faults telemetry
 
-ci: build vet race invariance faults smokebench
+ci: build vet race invariance faults telemetry smokebench
 
 build:
 	$(GO) build ./...
@@ -46,6 +46,20 @@ faults:
 		. ./internal/vm/
 	$(GO) test -race -timeout $(RACE_TIMEOUT) ./internal/faultinject/ ./internal/rng/ ./internal/exp/
 	$(GO) run ./cmd/dopbench -faults > /dev/null
+
+# Observability gate. Dormancy: attaching a registry/tracer must change no
+# record and no modeled cycle (profile reconciliation pins attribution to
+# Stats.Cycles on both tiers; the harness test diffs observed vs dormant
+# records; AllocsPerRun proves the hot paths allocate nothing extra). All
+# under -race — the registry is written from every runner worker. Then an
+# end-to-end smoke: `dopbench -metrics -trace` over the fault sweep must
+# produce a parseable snapshot and trace (rendered via benchjson -metrics).
+telemetry:
+	$(GO) test -race -timeout $(RACE_TIMEOUT) \
+		-run 'TestProfile|TestTelemetry|TestHealthOf|TestBackoffAbortsOnCancel|TestHooksFireInOrder|TestTracer|TestRegistry' -count=1 \
+		./internal/vm/ ./internal/telemetry/ ./internal/rng/ ./internal/exp/ ./internal/harness/
+	$(GO) run ./cmd/dopbench -faults -metrics /tmp/smokestack-metrics.json -trace /tmp/smokestack-trace.jsonl > /dev/null
+	$(GO) run ./cmd/benchjson -metrics /tmp/smokestack-metrics.json > /dev/null
 
 # Full benchmark sweep, snapshotted to BENCH_3.json (see cmd/benchjson).
 # ns/op figures are host-dependent; the sim-instructions/op and

@@ -20,7 +20,15 @@
 // one metric per value. Cells carrying an error classification (notably
 // "injected" from the fault sweep) are reported but never counted as
 // regressions — expected degradation under an injected fault schedule must
-// not fail CI.
+// not fail CI. When the two sides disagree on which cells exist, the diff
+// ends with an explicit cell-set mismatch section listing every extra and
+// missing cell key.
+//
+// -metrics renders a telemetry snapshot written by `dopbench -metrics` as
+// text: gauges, counters, histogram summaries, and per cell the top
+// cycle-attribution rows with the cell's exact total:
+//
+//	go run ./cmd/benchjson -metrics metrics.json
 package main
 
 import (
@@ -32,6 +40,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/telemetry"
 )
 
 // Metric is one reported (unit, value) pair.
@@ -220,11 +230,12 @@ func diff(w *os.File, oldR, newR *Report, threshold float64) (regressed bool) {
 		oldByName[oldR.Benchmarks[i].Name] = &oldR.Benchmarks[i]
 	}
 	matched := make(map[string]bool)
+	var extra []string
 	for i := range newR.Benchmarks {
 		nb := &newR.Benchmarks[i]
 		ob, ok := oldByName[nb.Name]
 		if !ok {
-			fmt.Fprintf(w, "%-40s  (new benchmark, no baseline)\n", nb.Name)
+			extra = append(extra, nb.Name)
 			continue
 		}
 		matched[nb.Name] = true
@@ -266,9 +277,24 @@ func diff(w *os.File, oldR, newR *Report, threshold float64) (regressed bool) {
 			fmt.Fprintf(w, "  %-22s %14.4g -> %14.4g  %+7.2f%%%s\n", m.Unit, ov, m.Value, pct, verdict)
 		}
 	}
+	var missing []string
 	for name := range oldByName {
 		if !matched[name] {
-			fmt.Fprintf(w, "%-40s  (removed: present only in baseline)\n", name)
+			missing = append(missing, name)
+		}
+	}
+	// When the two snapshots disagree on which cells exist, list both
+	// directions explicitly — a sweep that silently dropped cells would
+	// otherwise look like a clean diff.
+	if len(extra) > 0 || len(missing) > 0 {
+		sort.Strings(extra)
+		sort.Strings(missing)
+		fmt.Fprintf(w, "\ncell-set mismatch (%d extra, %d missing):\n", len(extra), len(missing))
+		for _, name := range extra {
+			fmt.Fprintf(w, "  extra    %s  (only in candidate; no baseline to diff)\n", name)
+		}
+		for _, name := range missing {
+			fmt.Fprintf(w, "  missing  %s  (only in baseline; dropped from candidate)\n", name)
 		}
 	}
 	return regressed
@@ -281,12 +307,86 @@ func abs(x float64) float64 {
 	return x
 }
 
+// renderMetrics pretty-prints a telemetry snapshot written by
+// `dopbench -metrics`: gauges and counters, histogram summaries, then per
+// cell the top cycle-attribution rows (op and category buckets, ranked by
+// cycles) with the cell's exact total.
+func renderMetrics(w *os.File, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	snap, err := telemetry.ReadSnapshot(f)
+	if err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	for _, c := range snap.Counters {
+		fmt.Fprintf(w, "counter  %-32s %d\n", c.Name, c.Value)
+	}
+	for _, g := range snap.Gauges {
+		fmt.Fprintf(w, "gauge    %-32s %g\n", g.Name, g.Value)
+	}
+	for _, h := range snap.Histograms {
+		mean := 0.0
+		if h.Count > 0 {
+			mean = h.Sum / float64(h.Count)
+		}
+		fmt.Fprintf(w, "hist     %-32s n=%d sum=%g mean=%g\n", h.Name, h.Count, h.Sum, mean)
+	}
+	const topRows = 12
+	for _, c := range snap.Cells {
+		fmt.Fprintf(w, "\ncell %s  total_cycles=%.6f  wall=%.3fs  attempts=%d\n",
+			c.Name, c.TotalCycles, c.WallSeconds, c.Attempts)
+		rows := append([]telemetry.Row(nil), c.Rows...)
+		sort.Slice(rows, func(i, j int) bool { return rows[i].Cycles > rows[j].Cycles })
+		for i, r := range rows {
+			if i == topRows {
+				rest := 0.0
+				for _, rr := range rows[i:] {
+					rest += rr.Cycles
+				}
+				fmt.Fprintf(w, "  ... %d more rows, %.6f cycles\n", len(rows)-i, rest)
+				break
+			}
+			share := 0.0
+			if c.TotalCycles > 0 {
+				share = r.Cycles / c.TotalCycles * 100
+			}
+			fmt.Fprintf(w, "  %-4s %-22s %14d x %16.6f cy  %5.1f%%\n", r.Kind, r.Name, r.Count, r.Cycles, share)
+		}
+		for _, k := range sortedKeys(c.RNG) {
+			fmt.Fprintf(w, "  rng  %-22s %d\n", k, c.RNG[k])
+		}
+	}
+	return nil
+}
+
+// sortedKeys returns m's keys in sorted order.
+func sortedKeys(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	note := flag.String("note", "", "free-form note recorded in the snapshot")
 	diffMode := flag.Bool("diff", false, "compare two snapshots: benchjson -diff old.json new.json")
 	threshold := flag.Float64("threshold", 10, "regression threshold in percent for -diff's exit code")
+	metricsFile := flag.String("metrics", "", "render a dopbench -metrics telemetry snapshot as text")
 	flag.Parse()
+
+	if *metricsFile != "" {
+		if err := renderMetrics(os.Stdout, *metricsFile); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	if *diffMode {
 		if flag.NArg() != 2 {

@@ -4,6 +4,7 @@
 //
 //	dopbench -exp fig3|fig4|table1|pentest|bypass|cve|ablation-rng|ablation-pbox|entropy|faults|all
 //	         [-faults] [-seed N] [-jitter] [-parallel N] [-retries N] [-json]
+//	         [-metrics FILE] [-trace FILE]
 //	         [-cpuprofile FILE] [-memprofile FILE]
 //
 // All experiments run through one shared exp.Runner worker pool; -parallel
@@ -17,6 +18,15 @@
 // fail the run — the exit code is 1 only for unclassified (genuine)
 // failures, so a partial sweep still exits 0. -retries grants transient
 // failures bounded retries with capped backoff.
+//
+// -metrics FILE enables the telemetry registry and writes a JSON metric
+// snapshot — counters, cache gauges, runner histograms, and per-cell
+// cycle-attribution profiles whose total_cycles is exactly the sum of the
+// cell's rows — to FILE after the run, plus a Prometheus text exposition
+// to FILE.prom. -trace FILE streams the structured JSONL event trace (cell
+// lifecycle, compiles, VM runs, fault-injection firings, watchdog
+// cancellations, rng degradation-ladder transitions) to FILE. Both are
+// fully dormant when the flags are absent: results are bit-identical.
 //
 // -cpuprofile and -memprofile write pprof profiles covering the experiment
 // run (the CPU profile spans harness.Run; the heap profile is captured
@@ -33,6 +43,7 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/harness"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -49,6 +60,8 @@ func run() int {
 	parallel := flag.Int("parallel", 0, "worker pool size for experiment cells (0 = GOMAXPROCS, 1 = serial)")
 	retries := flag.Int("retries", 0, "extra attempts for cells failing with transient errors (capped backoff between attempts)")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON records (one per line) instead of tables")
+	metricsFile := flag.String("metrics", "", "write a JSON metric snapshot to this file (and a Prometheus exposition to FILE.prom)")
+	traceFile := flag.String("trace", "", "stream the structured JSONL event trace to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (captured after the run) to this file")
 	flag.Parse()
@@ -85,6 +98,25 @@ func run() int {
 	}
 
 	cfg := harness.Config{Seed: *seed, Jitter: *jitter, Out: os.Stdout, Parallel: *parallel, Retries: *retries}
+
+	if *metricsFile != "" {
+		cfg.Metrics = telemetry.NewRegistry()
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dopbench: -trace: %v\n", err)
+			return 2
+		}
+		tr := telemetry.NewTracer(f)
+		cfg.Trace = tr
+		defer func() {
+			if err := tr.Flush(); err != nil {
+				fmt.Fprintf(os.Stderr, "dopbench: -trace: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
 
 	if *faults {
 		*expName = "faults"
@@ -129,6 +161,13 @@ func run() int {
 		}
 	}
 
+	if *metricsFile != "" {
+		if err := writeMetrics(*metricsFile, cfg.Metrics.Snapshot()); err != nil {
+			fmt.Fprintf(os.Stderr, "dopbench: -metrics: %v\n", err)
+			return 1
+		}
+	}
+
 	// Per-cell failures are embedded in the records (and rendered with
 	// their cell identity above); surface them on stderr without having
 	// aborted the healthy cells. Classified failures — expected casualties
@@ -144,4 +183,29 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// writeMetrics writes the snapshot as JSON to path and as a Prometheus
+// text exposition to path.prom.
+func writeMetrics(path string, snap telemetry.Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := snap.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	p, err := os.Create(path + ".prom")
+	if err != nil {
+		return err
+	}
+	if err := snap.WritePrometheus(p); err != nil {
+		p.Close()
+		return err
+	}
+	return p.Close()
 }

@@ -14,6 +14,7 @@
 package exp
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -102,8 +103,35 @@ type Runner struct {
 	// to BackoffCap. Zero means no sleep between attempts.
 	Backoff    time.Duration
 	BackoffCap time.Duration
-	// Sleep overrides time.Sleep between attempts (tests use a recorder).
+	// Sleep overrides the between-attempt wait (tests use a recorder).
+	// When set it is called instead of the context-aware timer wait, so a
+	// recorder sees exactly the durations the default path would sleep.
 	Sleep func(time.Duration)
+	// Ctx, when non-nil, cancels retry waits: a cell sleeping between
+	// attempts wakes immediately on cancellation and emits its error record
+	// instead of retrying, so a cancelled run never blocks a worker for the
+	// remaining backoff. Already-running cell bodies are not interrupted —
+	// cancellation is the cell body's own concern (e.g. via a watchdog).
+	Ctx context.Context
+	// Hooks observe cell lifecycle (all optional; see Hooks).
+	Hooks Hooks
+}
+
+// Hooks are optional observation points on the Runner's cell lifecycle.
+// They exist so callers can attach telemetry (wall-time histograms, trace
+// events) without the experiment pipeline importing a telemetry package.
+// Hooks may be called concurrently from multiple workers and must be
+// safe for that; nil fields are skipped.
+type Hooks struct {
+	// CellStart fires immediately before a cell's first attempt.
+	CellStart func(c Cell)
+	// CellRetry fires after a transient failure, before the backoff wait,
+	// with the attempt number that just failed and the wait about to begin.
+	CellRetry func(c Cell, attempt int, err error, wait time.Duration)
+	// CellEnd fires after the cell settles (success, terminal failure, or
+	// cancelled retry wait) with its records, total wall time across all
+	// attempts, and the number of attempts made.
+	CellEnd func(c Cell, recs []Record, wall time.Duration, attempts int)
 }
 
 // workers resolves the effective pool size for n cells.
@@ -170,18 +198,34 @@ func (e *panicError) ErrorClass() string { return "panic" }
 // record so one bad cell cannot take down the figure. Records produced
 // before a failure are kept as partial results, with the error record
 // appended. Failures that declare themselves transient retry up to Retries
-// extra attempts, sleeping Backoff (doubling, capped at BackoffCap)
-// between attempts.
+// extra attempts, waiting Backoff (doubling, capped at BackoffCap) between
+// attempts; the wait aborts promptly when Ctx is cancelled, in which case
+// the cell settles with its last error instead of retrying.
 func (r *Runner) runCell(c Cell) []Record {
 	var retries int
 	var backoff, backoffCap time.Duration
-	sleep := time.Sleep
+	var hooks Hooks
+	ctx := context.Context(nil)
+	sleep := func(d time.Duration) bool { return sleepCtx(ctx, d) }
 	if r != nil {
 		retries = r.Retries
 		backoff, backoffCap = r.Backoff, r.BackoffCap
+		ctx = r.Ctx
+		hooks = r.Hooks
 		if r.Sleep != nil {
-			sleep = r.Sleep
+			s := r.Sleep
+			sleep = func(d time.Duration) bool { s(d); return true }
 		}
+	}
+	if hooks.CellStart != nil {
+		hooks.CellStart(c)
+	}
+	start := time.Now()
+	finish := func(recs []Record, attempts int) []Record {
+		if hooks.CellEnd != nil {
+			hooks.CellEnd(c, recs, time.Since(start), attempts)
+		}
+		return recs
 	}
 	attempt := 0
 	for {
@@ -193,24 +237,49 @@ func (r *Runner) runCell(c Cell) []Record {
 					recs[i].Attempts = attempt
 				}
 			}
-			return recs
+			return finish(recs, attempt)
 		}
-		if attempt <= retries && IsTransient(err) {
+		if attempt <= retries && IsTransient(err) && (ctx == nil || ctx.Err() == nil) {
+			if hooks.CellRetry != nil {
+				hooks.CellRetry(c, attempt, err, backoff)
+			}
+			ok := true
 			if backoff > 0 {
-				sleep(backoff)
+				ok = sleep(backoff)
 				backoff *= 2
 				if backoffCap > 0 && backoff > backoffCap {
 					backoff = backoffCap
 				}
 			}
-			continue
+			if ok {
+				continue
+			}
 		}
 		rec := Record{Experiment: c.Experiment, Cell: c.Name,
 			Err: err.Error(), ErrClass: Classify(err)}
 		if attempt > 1 {
 			rec.Attempts = attempt
 		}
-		return append(recs, rec)
+		return finish(append(recs, rec), attempt)
+	}
+}
+
+// sleepCtx waits for d or until ctx (which may be nil) is cancelled,
+// reporting whether the full wait elapsed. Cancellation wakes the caller
+// immediately — a worker never sits out the rest of a backoff on a run
+// that has already been abandoned.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if ctx == nil {
+		time.Sleep(d)
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
 	}
 }
 

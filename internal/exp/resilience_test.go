@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -143,5 +144,94 @@ func TestUnclassifiedErrorsMixed(t *testing.T) {
 	}
 	if got := err.Error(); got != "e/real: bug" {
 		t.Fatalf("error %q", got)
+	}
+}
+
+// TestBackoffAbortsOnCancel pins the context-aware wait: a worker sleeping
+// out a retry backoff wakes immediately when the runner's context is
+// cancelled and settles the cell with its last error instead of retrying.
+func TestBackoffAbortsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Runner{
+		Workers: 1, Retries: 3,
+		Backoff: 10 * time.Second, // would block the worker for seconds if the wait ignored ctx
+		Ctx:     ctx,
+	}
+	attempts := 0
+	done := make(chan []Record, 1)
+	start := time.Now()
+	go func() {
+		done <- r.Run([]Cell{{Experiment: "e", Name: "c", Run: func() ([]Record, error) {
+			attempts++
+			return nil, &transientErr{msg: "brownout"}
+		}}})
+	}()
+	time.Sleep(20 * time.Millisecond) // let the worker enter the backoff wait
+	cancel()
+	select {
+	case recs := <-done:
+		if elapsed := time.Since(start); elapsed > 2*time.Second {
+			t.Fatalf("cancellation took %v; the wait ignored the context", elapsed)
+		}
+		if attempts != 1 {
+			t.Fatalf("%d attempts after cancel, want 1", attempts)
+		}
+		if len(recs) != 1 || recs[0].ErrClass != "injected" {
+			t.Fatalf("records %+v", recs)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("runner still blocked in backoff 5s after cancellation")
+	}
+}
+
+// TestCancelledContextSkipsRetries pins that a context cancelled before the
+// retry decision prevents further attempts outright (no wait at all).
+func TestCancelledContextSkipsRetries(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := &Runner{Workers: 1, Retries: 5, Backoff: time.Hour, Ctx: ctx}
+	attempts := 0
+	recs := r.Run([]Cell{{Experiment: "e", Name: "c", Run: func() ([]Record, error) {
+		attempts++
+		return nil, &transientErr{msg: "down"}
+	}}})
+	if attempts != 1 {
+		t.Fatalf("%d attempts under a dead context, want 1", attempts)
+	}
+	if len(recs) != 1 || recs[0].Err == "" {
+		t.Fatalf("records %+v", recs)
+	}
+}
+
+// TestHooksFireInOrder pins the lifecycle hook contract: start, one retry
+// per transient failure (with the wait about to begin), then end with the
+// total attempts and the cell's records.
+func TestHooksFireInOrder(t *testing.T) {
+	var events []string
+	r := &Runner{
+		Workers: 1, Retries: 2,
+		Backoff: time.Millisecond,
+		Sleep:   func(time.Duration) {},
+		Hooks: Hooks{
+			CellStart: func(c Cell) { events = append(events, "start:"+c.Name) },
+			CellRetry: func(c Cell, attempt int, err error, wait time.Duration) {
+				events = append(events, fmt.Sprintf("retry:%s:%d", c.Name, attempt))
+			},
+			CellEnd: func(c Cell, recs []Record, wall time.Duration, attempts int) {
+				events = append(events, fmt.Sprintf("end:%s:%d:%d", c.Name, attempts, len(recs)))
+			},
+		},
+	}
+	attempts := 0
+	r.Run([]Cell{{Experiment: "e", Name: "c", Run: func() ([]Record, error) {
+		attempts++
+		if attempts < 3 {
+			return nil, &transientErr{msg: "flaky"}
+		}
+		return []Record{{Experiment: "e", Cell: "c"}}, nil
+	}}})
+	want := []string{"start:c", "retry:c:1", "retry:c:2", "end:c:3:1"}
+	if fmt.Sprint(events) != fmt.Sprint(want) {
+		t.Fatalf("events %v, want %v", events, want)
 	}
 }

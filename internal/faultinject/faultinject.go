@@ -95,8 +95,8 @@ type InjectedError struct {
 	Err error
 }
 
-func (e *InjectedError) Error() string     { return "injected fault: " + e.Err.Error() }
-func (e *InjectedError) Unwrap() error     { return e.Err }
+func (e *InjectedError) Error() string      { return "injected fault: " + e.Err.Error() }
+func (e *InjectedError) Unwrap() error      { return e.Err }
 func (e *InjectedError) ErrorClass() string { return "injected" }
 func (e *InjectedError) Transient() bool    { return true }
 
@@ -121,6 +121,27 @@ type Injector struct {
 	draws     uint64
 	hostCalls uint64
 	stats     Stats
+
+	// observe, when set, fires on every injection actually applied (never
+	// on clean draws/calls): kinds "entropy" (a failed TRNG draw),
+	// "hostdelay", "hostcorrupt", "hostfail". index is the injector's
+	// draw/host-call sequence number for the kind. Used by the trace layer
+	// to replay a fault sweep's firings in order; must not call back into
+	// the Injector.
+	observe func(kind string, index uint64, detail string)
+}
+
+// Observe registers fn to receive every applied injection (see the observe
+// field). Passing nil detaches the observer.
+func (inj *Injector) Observe(fn func(kind string, index uint64, detail string)) {
+	inj.observe = fn
+}
+
+// fire reports an applied injection to the observer, if any.
+func (inj *Injector) fire(kind string, index uint64, detail string) {
+	if inj.observe != nil {
+		inj.observe(kind, index, detail)
+	}
 }
 
 // New builds an Injector for plan.
@@ -168,6 +189,7 @@ func (inj *Injector) WrapTRNG(t rng.TRNG) rng.TRNG {
 		v, ok := t()
 		if !ok || inj.failDraw(i) {
 			inj.stats.FailedDraws++
+			inj.fire("entropy", i, "")
 			return 0, false
 		}
 		return v, true
@@ -184,9 +206,11 @@ func (inj *Injector) EnterHost(name string) (float64, error) {
 	if p.HostDelayEvery > 0 && (i+1)%p.HostDelayEvery == 0 {
 		extra = p.HostDelayCycles
 		inj.stats.DelayedCalls++
+		inj.fire("hostdelay", i, name)
 	}
 	if p.HostFaultEvery > 0 && (i+1)%p.HostFaultEvery == 0 {
 		inj.stats.FailedCalls++
+		inj.fire("hostfail", i, name)
 		return extra, &HostFault{Name: name, Index: i}
 	}
 	return extra, nil
@@ -201,6 +225,7 @@ func (inj *Injector) ExitHost(name string, ret int64) int64 {
 	// hostCalls was already advanced by EnterHost for this call.
 	if inj.hostCalls%p.HostCorruptEvery == 0 {
 		inj.stats.CorruptedCalls++
+		inj.fire("hostcorrupt", inj.hostCalls-1, name)
 		return ret ^ p.HostCorruptXOR
 	}
 	return ret

@@ -82,7 +82,9 @@ func pboxAblationCellsFor(cfg Config, workloads []*workload.Workload) []exp.Cell
 
 // pboxAblationCell measures all variants over one workload.
 func pboxAblationCell(cfg Config, w *workload.Workload) ([]exp.Record, error) {
-	base, err := runOnce(w, layout.NewFixed(), hashSeed(cfg.Seed, w.Name, "ab-base"), 0)
+	o := cfg.obs("ablation-pbox", w.Name)
+	defer o.done()
+	base, err := runOnce(w, layout.NewFixed(), hashSeed(cfg.Seed, w.Name, "ab-base"), 0, o)
 	if err != nil {
 		return nil, err
 	}
@@ -97,7 +99,7 @@ func pboxAblationCell(cfg Config, w *workload.Workload) ([]exp.Record, error) {
 		eng := smokestackPlan(w.Prog(), &layout.SmokestackOptions{
 			PBox: v.Cfg, Guard: true, MaxVLAPad: 256,
 		}).NewEngine(src)
-		m, err := runOnce(w, eng, seed+1, 0)
+		m, err := runOnce(w, eng, seed+1, 0, o)
 		if err != nil {
 			return nil, fmt.Errorf("variant %s: %w", v.Name, err)
 		}

@@ -135,15 +135,18 @@ func faultsEngine(name string, prog *ir.Program, seed uint64, trng rng.TRNG) (la
 
 // faultsRun executes the probe once under the engine, optionally with a
 // fault injector wired into every injection point. Returns the stats, the
-// engine's entropy source, and the run error (nil on survival).
-func faultsRun(engine string, seed uint64, inj *faultinject.Injector) (vm.Stats, rng.Source, error) {
+// engine's entropy source, and the run error (nil on survival). o (nil =
+// dormant) attaches the cell profile and traces the run, the injector's
+// firings and the source's degradation-ladder transitions.
+func faultsRun(engine string, seed uint64, inj *faultinject.Injector, o *obs, label string) (vm.Stats, rng.Source, error) {
 	engineTRNG := rng.SeededTRNG(seed)
 	machineTRNG := rng.SeededTRNG(seed ^ 0xabc)
-	opts := &vm.Options{StepLimit: 50_000_000}
+	opts := &vm.Options{StepLimit: 50_000_000, Prof: o.profile()}
 	if inj != nil {
 		engineTRNG = inj.WrapTRNG(engineTRNG)
 		machineTRNG = inj.WrapTRNG(machineTRNG)
 		opts.HostHook = inj
+		o.watchFaults(inj)
 	}
 	eng, src, err := faultsEngine(engine, faultProbeProg, seed, engineTRNG)
 	if err != nil {
@@ -151,18 +154,23 @@ func faultsRun(engine string, seed uint64, inj *faultinject.Injector) (vm.Stats,
 	}
 	if src != nil {
 		opts.EntropyCheck = func() error { return rng.SourceErr(src) }
+		o.watchRNG(src)
 	}
 	opts.TRNG = machineTRNG
+	o.runStart(label)
 	m := vm.New(faultProbeProg, eng, &vm.Env{}, opts)
 	_, err = m.Run()
+	o.runEnd(label, m, err)
 	return m.Stats(), src, err
 }
 
 // faultsCell measures one (engine, severity) point: a clean reference run,
 // then the injected run, then survival/overhead/health.
 func faultsCell(cfg Config, engine string, tier faultTier) ([]exp.Record, error) {
+	o := cfg.obs("faults", engine+"/"+tier.name)
+	defer o.done()
 	seed := hashSeed(cfg.Seed, "faults", engine, tier.name)
-	cleanStats, _, err := faultsRun(engine, seed, nil)
+	cleanStats, _, err := faultsRun(engine, seed, nil, o, "clean")
 	if err != nil {
 		// The clean run must always pass: a failure here is a genuine bug,
 		// not an injected fault — leave it unclassified.
@@ -170,7 +178,8 @@ func faultsCell(cfg Config, engine string, tier faultTier) ([]exp.Record, error)
 	}
 
 	inj := faultinject.New(tier.plan(seed))
-	faultStats, src, runErr := faultsRun(engine, seed, inj)
+	faultStats, src, runErr := faultsRun(engine, seed, inj, o, "injected")
+	o.rngHealth(src)
 
 	vals := map[string]float64{
 		"survived":     1,

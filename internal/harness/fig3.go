@@ -53,7 +53,9 @@ func fig3Cells(cfg Config) []exp.Cell {
 
 // fig3Cell measures one workload row.
 func fig3Cell(cfg Config, w *workload.Workload) ([]exp.Record, error) {
-	base, err := runOnce(w, layout.NewFixed(), hashSeed(cfg.Seed, w.Name, "base"), 0)
+	o := cfg.obs("fig3", w.Name)
+	defer o.done()
+	base, err := runOnce(w, layout.NewFixed(), hashSeed(cfg.Seed, w.Name, "base"), 0, o)
 	if err != nil {
 		return nil, err
 	}
@@ -73,7 +75,7 @@ func fig3Cell(cfg Config, w *workload.Workload) ([]exp.Record, error) {
 		if cfg.Jitter {
 			amp = 0.026
 		}
-		m, err := runOnce(w, eng, hashSeed(cfg.Seed, w.Name, scheme, "run"), amp)
+		m, err := runOnce(w, eng, hashSeed(cfg.Seed, w.Name, scheme, "run"), amp, o)
 		if err != nil {
 			return nil, fmt.Errorf("scheme %s: %w", scheme, err)
 		}

@@ -48,7 +48,9 @@ func fig4Cells(cfg Config) []exp.Cell {
 
 // fig4Cell measures one workload's resident-set overhead.
 func fig4Cell(cfg Config, w *workload.Workload) ([]exp.Record, error) {
-	base, err := runOnce(w, layout.NewFixed(), hashSeed(cfg.Seed, w.Name, "m-base"), 0)
+	o := cfg.obs("fig4", w.Name)
+	defer o.done()
+	base, err := runOnce(w, layout.NewFixed(), hashSeed(cfg.Seed, w.Name, "m-base"), 0, o)
 	if err != nil {
 		return nil, err
 	}
@@ -56,7 +58,7 @@ func fig4Cell(cfg Config, w *workload.Workload) ([]exp.Record, error) {
 	if err != nil {
 		return nil, err
 	}
-	m, err := runOnce(w, eng, hashSeed(cfg.Seed, w.Name, "m-run"), 0)
+	m, err := runOnce(w, eng, hashSeed(cfg.Seed, w.Name, "m-run"), 0, o)
 	if err != nil {
 		return nil, err
 	}

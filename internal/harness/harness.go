@@ -15,6 +15,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -25,6 +26,7 @@ import (
 	"repro/internal/layout"
 	"repro/internal/pbox"
 	"repro/internal/rng"
+	"repro/internal/telemetry"
 	"repro/internal/vm"
 	"repro/internal/workload"
 )
@@ -48,6 +50,17 @@ type Config struct {
 	// identically on retry, so this matters only for cells with genuinely
 	// transient dependencies (host entropy, I/O).
 	Retries int
+	// Metrics, when non-nil, collects counters, gauges, histograms and
+	// per-cell cycle-attribution profiles (telemetry.Registry snapshot).
+	// Nil keeps every hot path dormant: results are bit-identical.
+	Metrics *telemetry.Registry
+	// Trace, when non-nil, receives the structured JSONL event stream
+	// (cell lifecycle, compiles, VM runs, fault-injection firings,
+	// watchdog cancellations, rng degradation-ladder transitions).
+	Trace *telemetry.Tracer
+	// Ctx, when non-nil, cancels retry backoff waits promptly (the cells
+	// themselves are supervised separately, by VM watchdogs).
+	Ctx context.Context
 }
 
 func (c Config) out() io.Writer {
@@ -62,6 +75,8 @@ func (c Config) runner() *exp.Runner {
 		Workers: c.Parallel,
 		Retries: c.Retries,
 		Backoff: 10 * time.Millisecond, BackoffCap: 160 * time.Millisecond,
+		Ctx:   c.Ctx,
+		Hooks: c.hooks(),
 	}
 }
 
@@ -116,16 +131,21 @@ func BuildCacheStats() (planHits, planMisses, tableHits, tableMisses int) {
 }
 
 // runOnce executes one workload under one engine and returns the machine
-// (for stats) after verifying the checksum.
-func runOnce(w *workload.Workload, eng layout.Engine, seed uint64, jitterAmp float64) (*vm.Machine, error) {
+// (for stats) after verifying the checksum. o (nil = dormant) attaches the
+// cell's cycle-attribution profile and traces the run.
+func runOnce(w *workload.Workload, eng layout.Engine, seed uint64, jitterAmp float64, o *obs) (*vm.Machine, error) {
 	opts := &vm.Options{
 		TRNG:       rng.SeededTRNG(seed),
 		JitterAmp:  jitterAmp,
 		JitterSeed: seed ^ 0xabcdef,
 		StepLimit:  2_000_000_000,
+		Prof:       o.profile(),
 	}
+	label := w.Name + "/" + eng.Name()
+	o.runStart(label)
 	m := vm.New(w.Prog(), eng, &vm.Env{}, opts)
 	v, err := m.Run()
+	o.runEnd(label, m, err)
 	if err != nil {
 		return nil, fmt.Errorf("%s under %s: %w", w.Name, eng.Name(), err)
 	}
@@ -219,6 +239,7 @@ func Run(cfg Config, names ...string) ([]exp.Record, error) {
 			exps = append(exps, e)
 		}
 	}
+	cfg.registerGauges()
 	// Compile every workload up front with the same parallelism budget so
 	// cells measure execution, not compilation.
 	workload.Prewarm(cfg.Parallel)

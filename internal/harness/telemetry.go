@@ -1,0 +1,223 @@
+// Telemetry glue: how the experiment harness feeds the observability layer.
+// Everything in this file is dormant when Config.Metrics and Config.Trace
+// are both nil — the cells run exactly as before, with nil *vm.Profile
+// pointers, nil exp.Hooks and no gauges registered — so goldens and the
+// invariance suite see bit-identical results.
+//
+// Threading model: one obs per experiment-cell attempt. The obs owns the
+// cell's *vm.Profile (shared by every Machine the cell constructs, which
+// run sequentially within the cell), mirrors fault-injector firings and
+// rng degradation-ladder transitions into the trace, and folds the
+// accumulated profile into the Registry cell when the attempt finishes.
+
+package harness
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/faultinject"
+	"repro/internal/rng"
+	"repro/internal/telemetry"
+	"repro/internal/vm"
+)
+
+// obs is a per-cell observation context; a nil *obs is the dormant case
+// and every method no-ops on it.
+type obs struct {
+	reg  *telemetry.Registry
+	tr   *telemetry.Tracer
+	cell string
+	prof *vm.Profile
+}
+
+// obs builds the observation context for one cell attempt, or nil when
+// telemetry is dormant.
+func (c Config) obs(experiment, name string) *obs {
+	if c.Metrics == nil && c.Trace == nil {
+		return nil
+	}
+	o := &obs{reg: c.Metrics, tr: c.Trace, cell: experiment + "/" + name}
+	if c.Metrics != nil {
+		o.prof = vm.NewProfile()
+	}
+	return o
+}
+
+// profile returns the profile to pass as vm.Options.Prof (nil when
+// dormant, which keeps the VM hot paths call-free).
+func (o *obs) profile() *vm.Profile {
+	if o == nil {
+		return nil
+	}
+	return o.prof
+}
+
+// runStart traces the start of one VM run within the cell.
+func (o *obs) runStart(label string) {
+	if o == nil {
+		return
+	}
+	o.tr.Event("run.start", o.cell, map[string]any{"label": label})
+}
+
+// runEnd traces the end of one VM run with its modeled stats.
+func (o *obs) runEnd(label string, m *vm.Machine, err error) {
+	if o == nil {
+		return
+	}
+	f := map[string]any{"label": label}
+	if m != nil {
+		st := m.Stats()
+		f["cycles"] = st.Cycles
+		f["instructions"] = st.Instructions
+	}
+	if err != nil {
+		f["err"] = err.Error()
+		var c *vm.Canceled
+		if errors.As(err, &c) {
+			o.tr.Event("watchdog.cancel", o.cell, map[string]any{"label": label, "err": err.Error()})
+		}
+	}
+	o.tr.Event("run.end", o.cell, f)
+}
+
+// rngHealth exports the entropy source's health counters into the cell
+// snapshot (satellite: rng.Health through the telemetry snapshot).
+func (o *obs) rngHealth(src rng.Source) {
+	if o == nil || o.reg == nil {
+		return
+	}
+	if h, ok := rng.HealthOf(src); ok {
+		o.reg.Cell(o.cell).SetRNG(map[string]uint64{
+			"draws":     h.Draws,
+			"retries":   h.Retries,
+			"fallbacks": h.Fallbacks,
+			"reseeds":   h.Reseeds,
+			"failures":  h.Failures,
+		})
+	}
+}
+
+// watchRNG mirrors the source's degradation-ladder transitions (reseed,
+// fallback engagement, reprobe recovery, exhaustion) into the trace.
+func (o *obs) watchRNG(src rng.Source) {
+	if o == nil || o.tr == nil {
+		return
+	}
+	tr, cell := o.tr, o.cell
+	fn := func(event string) {
+		tr.Event("rng.ladder", cell, map[string]any{"event": event})
+	}
+	switch s := src.(type) {
+	case *rng.AESCtr:
+		s.Notify = fn
+	case *rng.RDRand:
+		s.Notify = fn
+	}
+}
+
+// watchFaults mirrors the injector's applied faults into the trace, in
+// application order (the trace's global sequence numbers replay a sweep's
+// injection events exactly).
+func (o *obs) watchFaults(inj *faultinject.Injector) {
+	if o == nil || o.tr == nil || inj == nil {
+		return
+	}
+	tr, cell := o.tr, o.cell
+	inj.Observe(func(kind string, index uint64, detail string) {
+		f := map[string]any{"index": index}
+		if detail != "" {
+			f["name"] = detail
+		}
+		tr.Event("fault."+kind, cell, f)
+	})
+}
+
+// done folds the attempt's accumulated VM profile into the registry cell.
+// Call after the cell's last machine has finished (machine profiles flush
+// at Run exit, so the rows are complete by then).
+func (o *obs) done() {
+	if o == nil || o.reg == nil || o.prof == nil {
+		return
+	}
+	c := o.reg.Cell(o.cell)
+	c.AddRows(o.prof.Rows())
+	for name, n := range o.prof.Counters() {
+		c.AddCounter(name, n)
+	}
+}
+
+// hooks builds the runner lifecycle hooks feeding cell wall-time and
+// attempt metrics plus cell.start/retry/end trace events. Dormant
+// configurations return the zero Hooks (all nil).
+func (c Config) hooks() exp.Hooks {
+	reg, tr := c.Metrics, c.Trace
+	if reg == nil && tr == nil {
+		return exp.Hooks{}
+	}
+	key := func(cell exp.Cell) string { return cell.Experiment + "/" + cell.Name }
+	return exp.Hooks{
+		CellStart: func(cell exp.Cell) {
+			tr.Event("cell.start", key(cell), nil)
+		},
+		CellRetry: func(cell exp.Cell, attempt int, err error, wait time.Duration) {
+			tr.Event("cell.retry", key(cell), map[string]any{
+				"attempt": attempt, "err": err.Error(), "wait_ns": wait.Nanoseconds(),
+			})
+		},
+		CellEnd: func(cell exp.Cell, recs []exp.Record, wall time.Duration, attempts int) {
+			if reg != nil {
+				reg.Histogram("exp.cell.wall_seconds", wallBounds).Observe(wall.Seconds())
+				reg.Histogram("exp.cell.attempts", attemptBounds).Observe(float64(attempts))
+				reg.Cell(key(cell)).Timing(wall.Seconds(), uint64(attempts))
+			}
+			failed := 0
+			for _, r := range recs {
+				if r.Err != "" {
+					failed++
+				}
+			}
+			tr.Event("cell.end", key(cell), map[string]any{
+				"wall_ns": wall.Nanoseconds(), "attempts": attempts,
+				"records": len(recs), "failed": failed,
+			})
+		},
+	}
+}
+
+// wallBounds/attemptBounds are the fixed histogram bucket layouts for the
+// runner metrics (seconds; attempt counts).
+var (
+	wallBounds    = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 60}
+	attemptBounds = []float64{1, 2, 3, 4, 5, 8}
+)
+
+// registerGauges points the registry at the shared build caches and the
+// process-wide compiled-code cache, and mirrors code-cache compiles into
+// the trace. Idempotent per Config; called once per Run.
+func (c Config) registerGauges() {
+	reg, tr := c.Metrics, c.Trace
+	if reg == nil && tr == nil {
+		return
+	}
+	if tr != nil {
+		vm.DefaultCodeCache().OnCompile(func(prog string, funcs int) {
+			tr.Event("compile", "", map[string]any{"prog": prog, "funcs": funcs})
+		})
+	}
+	if reg == nil {
+		return
+	}
+	reg.SetGauge("layout.plancache.len", func() float64 { return float64(planCache.Len()) })
+	reg.SetGauge("layout.plancache.hits", func() float64 { h, _ := planCache.Stats(); return float64(h) })
+	reg.SetGauge("layout.plancache.misses", func() float64 { _, m := planCache.Stats(); return float64(m) })
+	reg.SetGauge("pbox.cache.len", func() float64 { return float64(tableCache.Len()) })
+	reg.SetGauge("pbox.cache.hits", func() float64 { h, _ := tableCache.Stats(); return float64(h) })
+	reg.SetGauge("pbox.cache.misses", func() float64 { _, m := tableCache.Stats(); return float64(m) })
+	cc := vm.DefaultCodeCache()
+	reg.SetGauge("vm.codecache.len", func() float64 { return float64(cc.Len()) })
+	reg.SetGauge("vm.codecache.hits", func() float64 { h, _ := cc.Stats(); return float64(h) })
+	reg.SetGauge("vm.codecache.misses", func() float64 { _, m := cc.Stats(); return float64(m) })
+}

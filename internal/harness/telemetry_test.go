@@ -1,0 +1,127 @@
+package harness_test
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/telemetry"
+)
+
+// TestTelemetryNeutralAndExact pins the two headline telemetry contracts
+// on the fault sweep (the experiment exercising every observation point):
+//
+//  1. Dormant neutrality — attaching a registry and tracer changes no
+//     record: the observed run is byte-identical to the dormant run.
+//  2. Attribution exactness — in the snapshot, every cell's TotalCycles
+//     is exactly (==, not approximately) the sum of its rows.
+func TestTelemetryNeutralAndExact(t *testing.T) {
+	base := harness.Config{Seed: 42}
+	dormant, err := harness.Run(base, "faults")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	observed := base
+	observed.Metrics = telemetry.NewRegistry()
+	var traceBuf bytes.Buffer
+	tracer := telemetry.NewTracer(&traceBuf)
+	observed.Trace = tracer
+	got, err := harness.Run(observed, "faults")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tracer.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dormant, got) {
+		t.Fatal("telemetry changed experiment records")
+	}
+
+	snap := observed.Metrics.Snapshot()
+	if len(snap.Cells) == 0 {
+		t.Fatal("no cells in snapshot")
+	}
+	profiled := 0
+	for _, c := range snap.Cells {
+		var sum float64
+		for _, r := range c.Rows {
+			sum += r.Cycles
+		}
+		if sum != c.TotalCycles {
+			t.Fatalf("cell %s: rows sum to %v, TotalCycles %v", c.Name, sum, c.TotalCycles)
+		}
+		if len(c.Rows) > 0 {
+			profiled++
+		}
+		// Blackout cells can die before the entropy source exists; every
+		// surviving smokestack cell must export its health counters.
+		if strings.Contains(c.Name, "smokestack") && !strings.HasSuffix(c.Name, "/blackout") {
+			if c.RNG == nil || c.RNG["draws"] == 0 {
+				t.Fatalf("cell %s: smokestack cell missing rng health: %+v", c.Name, c.RNG)
+			}
+		}
+	}
+	if profiled == 0 {
+		t.Fatal("no cell carries attribution rows")
+	}
+	if len(snap.Gauges) == 0 || len(snap.Histograms) == 0 {
+		t.Fatalf("cache gauges / runner histograms missing: %+v %+v", snap.Gauges, snap.Histograms)
+	}
+
+	// The trace must replay the sweep's injection events: globally ordered
+	// by seq, and per cell the entropy-fault draw indices re-run in
+	// injection order.
+	events, err := telemetry.ReadTrace(&traceBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty trace")
+	}
+	var lastSeq uint64
+	started := make(map[string]bool)
+	ended := make(map[string]bool)
+	lastEntropyIdx := make(map[string]float64)
+	entropyFaults, hostFaults := 0, 0
+	for _, e := range events {
+		if e.Seq <= lastSeq {
+			t.Fatalf("seq not strictly increasing at %+v", e)
+		}
+		lastSeq = e.Seq
+		switch e.Kind {
+		case "cell.start":
+			started[e.Cell] = true
+		case "cell.end":
+			if !started[e.Cell] {
+				t.Fatalf("cell.end before cell.start for %s", e.Cell)
+			}
+			ended[e.Cell] = true
+		case "fault.entropy":
+			entropyFaults++
+			if !started[e.Cell] || ended[e.Cell] {
+				t.Fatalf("fault outside its cell's lifetime: %+v", e)
+			}
+			idx, ok := e.Fields["index"].(float64)
+			if !ok {
+				t.Fatalf("fault.entropy without index: %+v", e)
+			}
+			if last, seen := lastEntropyIdx[e.Cell]; seen && idx <= last {
+				t.Fatalf("cell %s: entropy fault indices out of order (%v after %v)", e.Cell, idx, last)
+			}
+			lastEntropyIdx[e.Cell] = idx
+		case "fault.hostfail":
+			hostFaults++
+		}
+	}
+	if entropyFaults == 0 || hostFaults == 0 {
+		t.Fatalf("sweep injections not traced: %d entropy, %d hostfail", entropyFaults, hostFaults)
+	}
+	for cell := range started {
+		if !ended[cell] {
+			t.Fatalf("cell %s started but never ended", cell)
+		}
+	}
+}

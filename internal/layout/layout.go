@@ -506,6 +506,13 @@ func (pc *PlanCache) Stats() (hits, misses int) {
 	return pc.hits, pc.misses
 }
 
+// Len reports the number of cached plans (telemetry gauge).
+func (pc *PlanCache) Len() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return len(pc.plans)
+}
+
 // Smokestack is the paper's engine: per-invocation P-BOX permutations.
 // It pairs an immutable shared plan with a per-run random source; the
 // engine (not the plan) is the unit that must not be shared across
@@ -581,6 +588,32 @@ func (s *Smokestack) PrologueCycles(fn *ir.Function) float64 {
 	}
 	c += frameSpreadCyclesPerKiB * p.frameKiB[fn.ID]
 	return c
+}
+
+// PrologueBreakdown decomposes PrologueCycles into its priced components
+// — entropy draw, P-BOX lookup (or runtime decode), guard write, and the
+// frame-spread locality surcharge — for the VM's cycle-attribution
+// profiler (it implements vm.PrologueProfiler). The four components sum
+// to PrologueCycles(fn) for the same invocation; like PrologueCycles it
+// must be called after the Layout draw so source.Cost reflects the draw
+// just made.
+func (s *Smokestack) PrologueBreakdown(fn *ir.Function) (draw, lookup, guard, spread float64) {
+	p := s.plan
+	e := p.entries[fn.ID]
+	draw = s.source.Cost()
+	switch {
+	case e.Runtime:
+		lookup = runtimeDecodeBase + runtimeDecodePerAlloca*float64(e.NumAllocs())
+	case p.opts.PBox.PowerOfTwoRows:
+		lookup = lookupCyclesMasked
+	default:
+		lookup = lookupCyclesModulo
+	}
+	if p.opts.Guard {
+		guard = guardWriteCycles
+	}
+	spread = frameSpreadCyclesPerKiB * p.frameKiB[fn.ID]
+	return draw, lookup, guard, spread
 }
 
 // EpilogueCycles implements Engine.

@@ -218,7 +218,17 @@ type Memory struct {
 	// walk.
 	last *Segment
 	prev *Segment
+	// cacheHits/cacheWalks count cached-accessor lookups that were served
+	// by the last/prev entries vs. ones that took the linear segment walk
+	// (whether or not the walk found a segment). Plain fields — Memory is
+	// single-goroutine by contract; the VM profiler snapshots them as
+	// deltas at run boundaries (Machine.flushProfile).
+	cacheHits  uint64
+	cacheWalks uint64
 }
+
+// CacheStats reports the segment cache's cumulative hit and walk counts.
+func (m *Memory) CacheStats() (hits, walks uint64) { return m.cacheHits, m.cacheWalks }
 
 // New creates an empty memory.
 func New() *Memory { return &Memory{} }
@@ -308,13 +318,16 @@ func (m *Memory) HotSegment() *Segment { return m.last }
 // populate the segment cache consulted by the fast-path accessors.
 func (m *Memory) FindSegment(addr uint64, n int) *Segment {
 	if s := m.last; s != nil && s.contains(addr, n) {
+		m.cacheHits++
 		return s
 	}
 	if s := m.prev; s != nil && s.contains(addr, n) {
+		m.cacheHits++
 		m.prev = m.last
 		m.last = s
 		return s
 	}
+	m.cacheWalks++
 	for _, s := range m.segs {
 		if s.spans(addr, n) {
 			// Only materialized segments enter the accessor cache: the
@@ -335,14 +348,14 @@ func (m *Memory) FindSegment(addr uint64, n int) *Segment {
 // range check and no allocation.
 func (m *Memory) ReadUFast(addr uint64, n int) (uint64, bool) {
 	s := m.last
-	if s == nil || !s.contains(addr, n) {
+	if s != nil && s.contains(addr, n) {
+		m.cacheHits++
+	} else if s = m.prev; s != nil && s.contains(addr, n) {
 		// Alternating two-segment streams hit prev without churning the
 		// cache order; only genuine misses take the FindSegment walk.
-		if s = m.prev; s == nil || !s.contains(addr, n) {
-			if s = m.FindSegment(addr, n); s == nil {
-				return 0, false
-			}
-		}
+		m.cacheHits++
+	} else if s = m.FindSegment(addr, n); s == nil {
+		return 0, false
 	}
 	off := addr - s.Base
 	switch n {
@@ -359,12 +372,12 @@ func (m *Memory) ReadUFast(addr uint64, n int) (uint64, bool) {
 // ReadU64Fast is ReadUFast specialized to the dominant 8-byte width.
 func (m *Memory) ReadU64Fast(addr uint64) (uint64, bool) {
 	s := m.last
-	if s == nil || !s.contains(addr, 8) {
-		if s = m.prev; s == nil || !s.contains(addr, 8) {
-			if s = m.FindSegment(addr, 8); s == nil {
-				return 0, false
-			}
-		}
+	if s != nil && s.contains(addr, 8) {
+		m.cacheHits++
+	} else if s = m.prev; s != nil && s.contains(addr, 8) {
+		m.cacheHits++
+	} else if s = m.FindSegment(addr, 8); s == nil {
+		return 0, false
 	}
 	off := addr - s.Base
 	return binary.LittleEndian.Uint64(s.data[off : off+8]), true
@@ -374,12 +387,12 @@ func (m *Memory) ReadU64Fast(addr uint64) (uint64, bool) {
 // the segment cache; false sends the caller to WriteU for the error.
 func (m *Memory) WriteUFast(addr uint64, n int, val uint64) bool {
 	s := m.last
-	if s == nil || !s.contains(addr, n) {
-		if s = m.prev; s == nil || !s.contains(addr, n) {
-			if s = m.FindSegment(addr, n); s == nil {
-				return false
-			}
-		}
+	if s != nil && s.contains(addr, n) {
+		m.cacheHits++
+	} else if s = m.prev; s != nil && s.contains(addr, n) {
+		m.cacheHits++
+	} else if s = m.FindSegment(addr, n); s == nil {
+		return false
 	}
 	if !s.Writable {
 		return false

@@ -188,6 +188,13 @@ func (c *Cache) Stats() (hits, misses int) {
 	return c.hits, c.misses
 }
 
+// Len reports the number of cached tables (telemetry gauge).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.tables)
+}
+
 // Box accumulates the P-BOX tables for a whole program.
 type Box struct {
 	cfg     Config

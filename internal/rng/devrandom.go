@@ -36,7 +36,7 @@ type DevRandom struct {
 
 	bits      float64
 	lastStall bool
-	health    Health
+	health    healthCounters
 	err       error
 }
 
@@ -65,14 +65,14 @@ func (d *DevRandom) Next() uint64 {
 		d.bits -= 64
 	}
 	v, ok, attempts := drawRetry(d.trng, devRandomRetries)
-	d.health.Retries += uint64(attempts - 1)
-	d.health.Draws++
+	d.health.retries.Add(uint64(attempts - 1))
+	d.health.draws.Add(1)
 	if !ok {
 		// The interrupt entropy feeding the pool has stopped entirely: a
 		// real /dev/random read would block forever. Model that as a stall
 		// plus a sticky terminal error.
 		d.lastStall = true
-		d.health.Failures++
+		d.health.failures.Add(1)
 		if d.err == nil {
 			d.err = fmt.Errorf("devrandom: %w", ErrEntropyExhausted)
 		}
@@ -84,8 +84,9 @@ func (d *DevRandom) Next() uint64 {
 // Err implements Checked.
 func (d *DevRandom) Err() error { return d.err }
 
-// Health implements HealthReporter.
-func (d *DevRandom) Health() Health { return d.health }
+// Health implements HealthReporter. Safe to call concurrently with the
+// owning goroutine's draws.
+func (d *DevRandom) Health() Health { return d.health.snapshot() }
 
 // Cost implements Source: the price of the draw Next just performed. Under
 // sustained demand the pool empties after PoolBits/64 draws and every

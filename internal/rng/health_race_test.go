@@ -1,0 +1,79 @@
+package rng
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestHealthOfConcurrentWithDraws hammers HealthOf from several readers
+// while a writer goroutine draws from the source. The health counters are
+// internal atomics, so under -race this pins that exporting health through
+// the telemetry snapshot is safe while a machine is still drawing. Sources
+// themselves stay single-writer (their documented contract); only the
+// health read side is concurrent.
+func TestHealthOfConcurrentWithDraws(t *testing.T) {
+	flaky := func() TRNG {
+		i := 0
+		return func() (uint64, bool) {
+			i++
+			// Fail periodically so retries/fallbacks/reseed paths run too.
+			if i%37 == 0 {
+				return 0, false
+			}
+			return uint64(i) * 0x9e3779b97f4a7c15, true
+		}
+	}
+	sources := map[string]Source{
+		"aes":      NewAESCtr(10, flaky()),
+		"rdrand":   NewRDRand(flaky()),
+		"devrand":  NewDevRandom(flaky()),
+		"aes-fast": NewAESCtr(1, flaky()),
+	}
+	if a, ok := sources["aes"].(*AESCtr); ok {
+		a.ReseedInterval = 64 // force the re-key path under the flaky TRNG
+	}
+	for name, src := range sources {
+		src := src
+		t.Run(name, func(t *testing.T) {
+			const draws = 20_000
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			for r := 0; r < 4; r++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					var last Health
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						h, ok := HealthOf(src)
+						if !ok {
+							t.Errorf("HealthOf(%T) not supported", src)
+							return
+						}
+						// Counters are monotone; a reader must never
+						// observe them going backwards.
+						if h.Draws < last.Draws || h.Retries < last.Retries ||
+							h.Fallbacks < last.Fallbacks || h.Failures < last.Failures {
+							t.Errorf("health went backwards: %+v after %+v", h, last)
+							return
+						}
+						last = h
+					}
+				}()
+			}
+			for i := 0; i < draws; i++ {
+				src.Next()
+			}
+			close(stop)
+			wg.Wait()
+			h, _ := HealthOf(src)
+			if h.Draws < draws {
+				t.Fatalf("draws = %d, want >= %d", h.Draws, draws)
+			}
+		})
+	}
+}

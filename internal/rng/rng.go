@@ -28,6 +28,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // Cycle costs per invocation, from Table I of the paper (measured on a Xeon
@@ -100,6 +101,40 @@ type Health struct {
 type HealthReporter interface {
 	Health() Health
 }
+
+// healthCounters is the internal, atomically-updated form of Health.
+// Sources are single-goroutine for draws, but HealthOf is read by
+// monitoring code (telemetry exporters, the fault harness) concurrently
+// with the owning goroutine's Next calls — atomics make that snapshot
+// race-free. Health itself stays a plain value type for consumers.
+type healthCounters struct {
+	draws     atomic.Uint64
+	retries   atomic.Uint64
+	fallbacks atomic.Uint64
+	reseeds   atomic.Uint64
+	failures  atomic.Uint64
+}
+
+// snapshot materializes the counters as a Health value.
+func (h *healthCounters) snapshot() Health {
+	return Health{
+		Draws:     h.draws.Load(),
+		Retries:   h.retries.Load(),
+		Fallbacks: h.fallbacks.Load(),
+		Reseeds:   h.reseeds.Load(),
+		Failures:  h.failures.Load(),
+	}
+}
+
+// Ladder event kinds reported through a source's Notify hook: each marks a
+// degradation-ladder transition on a cold path (never per draw).
+const (
+	LadderReseed           = "reseed"            // AES-CTR (re)keyed successfully
+	LadderReseedFailed     = "reseed-failed"     // re-key failed; stale key kept
+	LadderFallbackEngaged  = "fallback-engaged"  // RDRand switched to cached-entropy AES
+	LadderReprobeRecovered = "reprobe-recovered" // hardware came back during a brownout
+	LadderExhausted        = "exhausted"         // terminal: no entropy ever cached
+)
 
 // SourceErr reports a source's sticky failure; nil for sources that cannot
 // fail or have not.
@@ -252,12 +287,16 @@ type AESCtr struct {
 	nonce   uint64
 	counter uint64
 	calls   uint64
-	health  Health
+	health  healthCounters
 	err     error
 	// ReseedInterval is the number of outputs between re-keying events.
 	// 0 means "never re-key": the source keeps its initial key and nonce
 	// for the whole run.
 	ReseedInterval uint64
+	// Notify, when non-nil, observes degradation-ladder transitions
+	// (LadderReseed, LadderReseedFailed). Called only on re-key paths,
+	// never per draw.
+	Notify func(event string)
 }
 
 // DefaultReseedInterval matches a generous "counter reaches a certain
@@ -282,9 +321,9 @@ func (a *AESCtr) reseed() bool {
 	var words [3]uint64
 	for i := range words {
 		v, ok, attempts := drawRetry(a.trng, aesSeedRetries)
-		a.health.Retries += uint64(attempts - 1)
+		a.health.retries.Add(uint64(attempts - 1))
 		if !ok {
-			a.health.Failures++
+			a.health.failures.Add(1)
 			return false
 		}
 		words[i] = v
@@ -295,7 +334,10 @@ func (a *AESCtr) reseed() bool {
 	a.blk = newBlock(key, a.rounds)
 	a.nonce = words[2]
 	a.counter = 0
-	a.health.Reseeds++
+	a.health.reseeds.Add(1)
+	if a.Notify != nil {
+		a.Notify(LadderReseed)
+	}
 	return true
 }
 
@@ -304,11 +346,14 @@ func (a *AESCtr) Next() uint64 {
 	if a.ReseedInterval > 0 && a.calls > 0 && a.calls%a.ReseedInterval == 0 {
 		if !a.reseed() {
 			// TRNG down at re-key time: keep the stale key, keep serving.
-			a.health.Fallbacks++
+			a.health.fallbacks.Add(1)
+			if a.Notify != nil {
+				a.Notify(LadderReseedFailed)
+			}
 		}
 	}
 	a.calls++
-	a.health.Draws++
+	a.health.draws.Add(1)
 	var in [16]byte
 	binary.LittleEndian.PutUint64(in[0:8], a.nonce)
 	binary.LittleEndian.PutUint64(in[8:16], a.counter)
@@ -338,8 +383,9 @@ func (a *AESCtr) Rounds() int { return a.rounds }
 // failed and the stream never had real key material.
 func (a *AESCtr) Err() error { return a.err }
 
-// Health implements HealthReporter.
-func (a *AESCtr) Health() Health { return a.health }
+// Health implements HealthReporter. Safe to call concurrently with the
+// owning goroutine's draws.
+func (a *AESCtr) Health() Health { return a.health.snapshot() }
 
 // ---------------------------------------------------------------------------
 // RDRand.
@@ -377,9 +423,14 @@ type RDRand struct {
 	cacheLen   int
 	fallback   *AESCtr
 	sinceProbe int
-	health     Health
+	health     healthCounters
 	err        error
 	lastCost   float64
+
+	// Notify, when non-nil, observes degradation-ladder transitions
+	// (LadderFallbackEngaged, LadderReprobeRecovered, LadderExhausted).
+	// Called only on ladder-transition cold paths, never per draw.
+	Notify func(event string)
 }
 
 // NewRDRand constructs an RDRand source over trng.
@@ -428,39 +479,48 @@ func (r *RDRand) Next() uint64 {
 				// Brownout over: resume direct draws.
 				r.fallback = nil
 				r.noteSuccess(v)
-				r.health.Draws++
+				r.health.draws.Add(1)
 				r.lastCost = CostRDRand
+				if r.Notify != nil {
+					r.Notify(LadderReprobeRecovered)
+				}
 				return v
 			}
-			r.health.Retries++
+			r.health.retries.Add(1)
 		}
-		r.health.Draws++
-		r.health.Fallbacks++
+		r.health.draws.Add(1)
+		r.health.fallbacks.Add(1)
 		r.lastCost = CostAES10
 		return r.fallback.Next()
 	}
 	v, ok, attempts := drawRetry(r.trng, r.retryLimit())
-	r.health.Retries += uint64(attempts - 1)
+	r.health.retries.Add(uint64(attempts - 1))
 	r.lastCost = CostRDRand + float64(attempts-1)*CostRDRandRetry
 	if ok {
 		r.noteSuccess(v)
-		r.health.Draws++
+		r.health.draws.Add(1)
 		return v
 	}
-	r.health.Failures++
+	r.health.failures.Add(1)
 	if r.cacheLen > 0 {
 		r.fallback = r.buildFallback()
 		r.sinceProbe = 0
-		r.health.Draws++
-		r.health.Fallbacks++
+		r.health.draws.Add(1)
+		r.health.fallbacks.Add(1)
 		r.lastCost += CostAES10
+		if r.Notify != nil {
+			r.Notify(LadderFallbackEngaged)
+		}
 		return r.fallback.Next()
 	}
 	// Never saw entropy at all: nothing to fall back on.
 	if r.err == nil {
 		r.err = fmt.Errorf("rdrand: %w", ErrEntropyExhausted)
+		if r.Notify != nil {
+			r.Notify(LadderExhausted)
+		}
 	}
-	r.health.Draws++
+	r.health.draws.Add(1)
 	return 0
 }
 
@@ -476,8 +536,9 @@ func (r *RDRand) Name() string { return "rdrand" }
 // entropy nor cached entropy to fall back on.
 func (r *RDRand) Err() error { return r.err }
 
-// Health implements HealthReporter.
-func (r *RDRand) Health() Health { return r.health }
+// Health implements HealthReporter. Safe to call concurrently with the
+// owning goroutine's draws.
+func (r *RDRand) Health() Health { return r.health.snapshot() }
 
 // ---------------------------------------------------------------------------
 // Construction by name.

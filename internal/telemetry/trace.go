@@ -1,0 +1,88 @@
+// Structured run tracing: a Tracer serializes timestamped events as one
+// JSON object per line (JSONL). Events carry a global monotonic sequence
+// number so a reader can replay the whole run — or any one cell's slice of
+// it — in exact emission order even when cells ran concurrently.
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one trace record. Kind is dot-namespaced (cell.start, cell.end,
+// cell.retry, compile, run.start, run.end, fault.entropy, fault.hostdelay,
+// fault.hostfail, watchdog.cancel, rng.ladder); Cell scopes the event to an
+// experiment cell when one is in scope.
+type Event struct {
+	Seq    uint64         `json:"seq"`
+	TimeNS int64          `json:"time_ns"` // wall clock, UnixNano
+	Kind   string         `json:"kind"`
+	Cell   string         `json:"cell,omitempty"`
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// Tracer writes events as JSONL. All methods are safe for concurrent use
+// and no-op on a nil receiver, so dormant call sites need no guards. The
+// sequence counter is global across all cells: sorting a trace by seq
+// reproduces emission order exactly.
+type Tracer struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	seq uint64
+	err error
+	now func() int64
+}
+
+// NewTracer creates a tracer writing to w. Call Flush before discarding.
+func NewTracer(w io.Writer) *Tracer {
+	bw := bufio.NewWriter(w)
+	return &Tracer{bw: bw, enc: json.NewEncoder(bw), now: func() int64 { return time.Now().UnixNano() }}
+}
+
+// Event emits one record. fields may be nil.
+func (t *Tracer) Event(kind, cell string, fields map[string]any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return
+	}
+	t.seq++
+	t.err = t.enc.Encode(Event{Seq: t.seq, TimeNS: t.now(), Kind: kind, Cell: cell, Fields: fields})
+}
+
+// Flush drains buffered events and returns the first error encountered
+// while encoding or writing.
+func (t *Tracer) Flush() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if err := t.bw.Flush(); t.err == nil {
+		t.err = err
+	}
+	return t.err
+}
+
+// ReadTrace parses a JSONL trace written by a Tracer.
+func ReadTrace(r io.Reader) ([]Event, error) {
+	var events []Event
+	dec := json.NewDecoder(r)
+	for {
+		var e Event
+		if err := dec.Decode(&e); err != nil {
+			if err == io.EOF {
+				return events, nil
+			}
+			return events, err
+		}
+		events = append(events, e)
+	}
+}

@@ -219,6 +219,25 @@ type CodeCache struct {
 	progs  map[codeKey]*compiledProgram
 	hits   int
 	misses int
+	// onCompile, when set, observes each cache miss (a real compile) with
+	// the program name and function count — the telemetry tracer's
+	// "compile" event. Called on the miss path only, outside any hot loop
+	// (but under the cache lock; observers must not re-enter the cache).
+	onCompile func(prog string, funcs int)
+}
+
+// OnCompile installs the compile observer (nil to clear).
+func (c *CodeCache) OnCompile(fn func(prog string, funcs int)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onCompile = fn
+}
+
+// Len reports the number of cached compiled programs (telemetry gauge).
+func (c *CodeCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.progs)
 }
 
 // NewCodeCache creates an empty compiled-code cache.
@@ -231,6 +250,11 @@ func NewCodeCache() *CodeCache {
 // the process lifetime (keys hold program pointers; programs are few and
 // long-lived in every current usage).
 var defaultCodeCache = NewCodeCache()
+
+// DefaultCodeCache returns the process-wide compiled-code cache backing
+// every Machine that does not supply its own (telemetry registers gauges
+// and the compile observer on it).
+func DefaultCodeCache() *CodeCache { return defaultCodeCache }
 
 // Stats reports cache hits and misses (for tooling and tests).
 func (c *CodeCache) Stats() (hits, misses int) {
@@ -257,6 +281,9 @@ func (c *CodeCache) compiled(prog *ir.Program, costs Costs, addrExtra float64, g
 		cp.funcs[i] = compileFunc(fn, &ct, globalAddr, dataAddr)
 	}
 	c.progs[k] = cp
+	if c.onCompile != nil {
+		c.onCompile(prog.Name, len(prog.Funcs))
+	}
 	return cp
 }
 

@@ -85,6 +85,13 @@ func (m *Machine) execCompiled(fn *ir.Function, cf *compiledFunc, base uint64, f
 	// steady alternation settles in-core after two events.
 	hot, hot2 := stk, stk
 	offsets := fl.Offsets
+	// pn is the per-cop dispatch-count slab for the counting core twin:
+	// nil when no profile is attached, and the dormant runCore (which
+	// never sees pn at all) runs instead — see runCoreProf. The core
+	// records raw counts only; the driver folds them with this
+	// invocation's cost multiplier at call boundaries (flushPending), so
+	// nested invocations with different jitter factors never mix.
+	pn := m.profPN
 	cycles := 0.0
 	steps, limit := m.steps, m.stepLimit
 	// next is the supervised chunk boundary (see exec): equal to limit with
@@ -100,7 +107,11 @@ func (m *Machine) execCompiled(fn *ir.Function, cf *compiledFunc, base uint64, f
 	pc := 0
 	for {
 		var ev coreEvent
-		pc, cycles, steps, ev = runCore(code, regs, base, offsets, stk, hot, hot2, pc, cycles, steps, next, limit)
+		if pn == nil {
+			pc, cycles, steps, ev = runCore(code, regs, base, offsets, stk, hot, hot2, pc, cycles, steps, next, limit)
+		} else {
+			pc, cycles, steps, ev = runCoreProf(code, regs, base, offsets, stk, hot, hot2, pc, cycles, steps, next, limit, pn)
+		}
 		c := &code[pc]
 		switch ev {
 		case evLimit:
@@ -133,6 +144,12 @@ func (m *Machine) execCompiled(fn *ir.Function, cf *compiledFunc, base uint64, f
 			}
 			// Flush this frame's cycles and step count before descending so
 			// recursive accounting stays ordered (same flush point as exec).
+			// Pending dispatch counts flush too: the callee runs with its
+			// own jitter multiplier.
+			if pn != nil {
+				pn[cCall]++
+				m.flushPending(fn)
+			}
 			m.stats.Cycles += cycles * costMul
 			cycles = 0
 			m.steps = steps
@@ -162,6 +179,9 @@ func (m *Machine) execCompiled(fn *ir.Function, cf *compiledFunc, base uint64, f
 			if c.dst != int32(ir.NoReg) {
 				regs[c.dst] = v
 			}
+			if pn != nil {
+				pn[cCallHost]++
+			}
 			cycles += c.cost
 			pc++
 		case evMemSlow:
@@ -170,6 +190,13 @@ func (m *Machine) execCompiled(fn *ir.Function, cf *compiledFunc, base uint64, f
 				m.steps = steps
 				m.stats.Cycles += cycles * costMul
 				return 0, err
+			}
+			// The memory access is the LAST constituent of every group that
+			// can raise evMemSlow, so a successful slow path completes the
+			// whole dispatch: count it (the core's tail was bypassed).
+			if pn != nil {
+				pn[c.op]++
+				m.profMemSlow++
 			}
 			cycles += costAdd
 			pc++
@@ -1232,6 +1259,966 @@ func runCore(code []cinstr, regs []int64, base uint64, offsets []int64, stk, hot
 			return pc, cycles, steps, evBad
 		}
 		cycles += c.cost
+		pc++
+	}
+}
+
+// runCoreProf is runCore with per-cop dispatch counting: each completed
+// dispatch (all constituents of a fused group ran) increments pn[c.op]
+// with a plain array add — no calls, so the core stays registerized. A
+// dispatch that exits early (event, fault, mid-group limit) is NOT
+// counted; the driver supplies the correction where the dispatch still
+// completes off-core (evMemSlow, evCall, evCallHost).
+//
+// It exists as a twin so the dormant core carries no trace of profiling
+// (not even a never-taken branch or the extra live slice): threading pn
+// through runCore's register-allocated loop measurably slows dormant
+// runs. The two bodies must stay in step; TestProfileReconciliation and
+// the tier-differential suite pin them to identical semantics
+// (bit-equal results, Stats, and faults, profiled vs dormant).
+func runCoreProf(code []cinstr, regs []int64, base uint64, offsets []int64, stk, hot, hot2 *mem.Segment, pc int, cycles float64, steps, next, limit uint64, pn []uint64) (int, float64, uint64, coreEvent) {
+	for {
+		if steps >= next {
+			return pc, cycles, steps, evLimit
+		}
+		steps++
+		c := &code[pc]
+		switch c.op {
+		case cNop:
+		case cConst:
+			regs[c.dst] = c.imm
+		case cMov:
+			regs[c.dst] = regs[c.a]
+		case cAdd:
+			regs[c.dst] = regs[c.a] + regs[c.b]
+		case cSub:
+			regs[c.dst] = regs[c.a] - regs[c.b]
+		case cMul:
+			regs[c.dst] = regs[c.a] * regs[c.b]
+		case cDiv:
+			if regs[c.b] == 0 {
+				return pc, cycles, steps, evDivZero
+			}
+			regs[c.dst] = regs[c.a] / regs[c.b]
+		case cMod:
+			if regs[c.b] == 0 {
+				return pc, cycles, steps, evDivZero
+			}
+			regs[c.dst] = regs[c.a] % regs[c.b]
+		case cAnd:
+			regs[c.dst] = regs[c.a] & regs[c.b]
+		case cOr:
+			regs[c.dst] = regs[c.a] | regs[c.b]
+		case cXor:
+			regs[c.dst] = regs[c.a] ^ regs[c.b]
+		case cShl:
+			regs[c.dst] = regs[c.a] << (uint64(regs[c.b]) & 63)
+		case cShr:
+			regs[c.dst] = regs[c.a] >> (uint64(regs[c.b]) & 63)
+		case cNeg:
+			regs[c.dst] = -regs[c.a]
+		case cNot:
+			regs[c.dst] = ^regs[c.a]
+		case cSetZ:
+			if regs[c.a] == 0 {
+				regs[c.dst] = 1
+			} else {
+				regs[c.dst] = 0
+			}
+		case cEq:
+			regs[c.dst] = b2i(regs[c.a] == regs[c.b])
+		case cNe:
+			regs[c.dst] = b2i(regs[c.a] != regs[c.b])
+		case cLt:
+			regs[c.dst] = b2i(regs[c.a] < regs[c.b])
+		case cLe:
+			regs[c.dst] = b2i(regs[c.a] <= regs[c.b])
+		case cGt:
+			regs[c.dst] = b2i(regs[c.a] > regs[c.b])
+		case cGe:
+			regs[c.dst] = b2i(regs[c.a] >= regs[c.b])
+
+		case cLoad8:
+			addr := uint64(regs[c.a])
+			v, ok := hot.ReadU64At(addr)
+			if !ok {
+				if v, ok = stk.ReadU64At(addr); !ok {
+					if v, ok = hot2.ReadU64At(addr); !ok {
+						return pc, cycles, steps, evMemSlow
+					}
+				}
+			}
+			regs[c.dst] = int64(v)
+		case cLoad4s:
+			addr := uint64(regs[c.a])
+			v, ok := hot.ReadU32At(addr)
+			if !ok {
+				if v, ok = stk.ReadU32At(addr); !ok {
+					if v, ok = hot2.ReadU32At(addr); !ok {
+						return pc, cycles, steps, evMemSlow
+					}
+				}
+			}
+			regs[c.dst] = int64(int32(v))
+		case cLoad4u:
+			addr := uint64(regs[c.a])
+			v, ok := hot.ReadU32At(addr)
+			if !ok {
+				if v, ok = stk.ReadU32At(addr); !ok {
+					if v, ok = hot2.ReadU32At(addr); !ok {
+						return pc, cycles, steps, evMemSlow
+					}
+				}
+			}
+			regs[c.dst] = int64(v)
+		case cLoad1s:
+			addr := uint64(regs[c.a])
+			v, ok := hot.ReadU8At(addr)
+			if !ok {
+				if v, ok = stk.ReadU8At(addr); !ok {
+					if v, ok = hot2.ReadU8At(addr); !ok {
+						return pc, cycles, steps, evMemSlow
+					}
+				}
+			}
+			regs[c.dst] = int64(int8(v))
+		case cLoad1u:
+			addr := uint64(regs[c.a])
+			v, ok := hot.ReadU8At(addr)
+			if !ok {
+				if v, ok = stk.ReadU8At(addr); !ok {
+					if v, ok = hot2.ReadU8At(addr); !ok {
+						return pc, cycles, steps, evMemSlow
+					}
+				}
+			}
+			regs[c.dst] = int64(v)
+
+		case cStore8:
+			addr := uint64(regs[c.a])
+			if !hot.WriteU64At(addr, uint64(regs[c.b])) {
+				if !stk.WriteU64At(addr, uint64(regs[c.b])) {
+					if !hot2.WriteU64At(addr, uint64(regs[c.b])) {
+						return pc, cycles, steps, evMemSlow
+					}
+				}
+			}
+		case cStore4:
+			addr := uint64(regs[c.a])
+			if !hot.WriteU32At(addr, uint32(regs[c.b])) {
+				if !stk.WriteU32At(addr, uint32(regs[c.b])) {
+					if !hot2.WriteU32At(addr, uint32(regs[c.b])) {
+						return pc, cycles, steps, evMemSlow
+					}
+				}
+			}
+		case cStore1:
+			addr := uint64(regs[c.a])
+			if !hot.WriteU8At(addr, byte(regs[c.b])) {
+				if !stk.WriteU8At(addr, byte(regs[c.b])) {
+					if !hot2.WriteU8At(addr, byte(regs[c.b])) {
+						return pc, cycles, steps, evMemSlow
+					}
+				}
+			}
+
+		case cAddrLocal:
+			regs[c.dst] = int64(base + uint64(offsets[c.sym]))
+		case cAddrConst:
+			regs[c.dst] = c.imm
+		case cJmp:
+			pc = int(c.t0)
+			cycles += c.cost
+			pn[cJmp]++
+			continue
+		case cBr:
+			if regs[c.a] != 0 {
+				pc = int(c.t0)
+			} else {
+				pc = int(c.t1)
+			}
+			cycles += c.cost
+			pn[cBr]++
+			continue
+		case cCall:
+			return pc, cycles, steps, evCall
+		case cCallHost:
+			return pc, cycles, steps, evCallHost
+		case cRet:
+			cycles += c.cost
+			pn[cRet]++
+			return pc, cycles, steps, evRet
+		case cRetVoid:
+			cycles += c.cost
+			pn[cRetVoid]++
+			return pc, cycles, steps, evRetVoid
+
+		case cEqBr:
+			v := b2i(regs[c.a] == regs[c.b])
+			regs[c.dst] = v
+			cycles += c.cost
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			if v != 0 {
+				pc = int(c.t0)
+			} else {
+				pc = int(c.t1)
+			}
+			cycles += c.cost2
+			pn[c.op]++
+			continue
+		case cNeBr:
+			v := b2i(regs[c.a] != regs[c.b])
+			regs[c.dst] = v
+			cycles += c.cost
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			if v != 0 {
+				pc = int(c.t0)
+			} else {
+				pc = int(c.t1)
+			}
+			cycles += c.cost2
+			pn[c.op]++
+			continue
+		case cLtBr:
+			v := b2i(regs[c.a] < regs[c.b])
+			regs[c.dst] = v
+			cycles += c.cost
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			if v != 0 {
+				pc = int(c.t0)
+			} else {
+				pc = int(c.t1)
+			}
+			cycles += c.cost2
+			pn[c.op]++
+			continue
+		case cLeBr:
+			v := b2i(regs[c.a] <= regs[c.b])
+			regs[c.dst] = v
+			cycles += c.cost
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			if v != 0 {
+				pc = int(c.t0)
+			} else {
+				pc = int(c.t1)
+			}
+			cycles += c.cost2
+			pn[c.op]++
+			continue
+		case cGtBr:
+			v := b2i(regs[c.a] > regs[c.b])
+			regs[c.dst] = v
+			cycles += c.cost
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			if v != 0 {
+				pc = int(c.t0)
+			} else {
+				pc = int(c.t1)
+			}
+			cycles += c.cost2
+			pn[c.op]++
+			continue
+		case cGeBr:
+			v := b2i(regs[c.a] >= regs[c.b])
+			regs[c.dst] = v
+			cycles += c.cost
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			if v != 0 {
+				pc = int(c.t0)
+			} else {
+				pc = int(c.t1)
+			}
+			cycles += c.cost2
+			pn[c.op]++
+			continue
+
+		case cConstAdd:
+			regs[c.dst] = c.imm
+			cycles += c.cost
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			regs[c.dst2] = regs[c.a] + regs[c.b]
+			cycles += c.cost2
+			pn[c.op]++
+			pc++
+			continue
+		case cConstSub:
+			regs[c.dst] = c.imm
+			cycles += c.cost
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			regs[c.dst2] = regs[c.a] - regs[c.b]
+			cycles += c.cost2
+			pn[c.op]++
+			pc++
+			continue
+		case cConstMul:
+			regs[c.dst] = c.imm
+			cycles += c.cost
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			regs[c.dst2] = regs[c.a] * regs[c.b]
+			cycles += c.cost2
+			pn[c.op]++
+			pc++
+			continue
+		case cConstDiv:
+			regs[c.dst] = c.imm
+			cycles += c.cost
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			if regs[c.b] == 0 {
+				return pc, cycles, steps, evDivZero
+			}
+			regs[c.dst2] = regs[c.a] / regs[c.b]
+			cycles += c.cost2
+			pn[c.op]++
+			pc++
+			continue
+		case cConstMod:
+			regs[c.dst] = c.imm
+			cycles += c.cost
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			if regs[c.b] == 0 {
+				return pc, cycles, steps, evDivZero
+			}
+			regs[c.dst2] = regs[c.a] % regs[c.b]
+			cycles += c.cost2
+			pn[c.op]++
+			pc++
+			continue
+		case cConstAnd:
+			regs[c.dst] = c.imm
+			cycles += c.cost
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			regs[c.dst2] = regs[c.a] & regs[c.b]
+			cycles += c.cost2
+			pn[c.op]++
+			pc++
+			continue
+		case cConstOr:
+			regs[c.dst] = c.imm
+			cycles += c.cost
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			regs[c.dst2] = regs[c.a] | regs[c.b]
+			cycles += c.cost2
+			pn[c.op]++
+			pc++
+			continue
+		case cConstXor:
+			regs[c.dst] = c.imm
+			cycles += c.cost
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			regs[c.dst2] = regs[c.a] ^ regs[c.b]
+			cycles += c.cost2
+			pn[c.op]++
+			pc++
+			continue
+		case cConstShl:
+			regs[c.dst] = c.imm
+			cycles += c.cost
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			regs[c.dst2] = regs[c.a] << (uint64(regs[c.b]) & 63)
+			cycles += c.cost2
+			pn[c.op]++
+			pc++
+			continue
+		case cConstShr:
+			regs[c.dst] = c.imm
+			cycles += c.cost
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			regs[c.dst2] = regs[c.a] >> (uint64(regs[c.b]) & 63)
+			cycles += c.cost2
+			pn[c.op]++
+			pc++
+			continue
+
+		case cConstEqBr:
+			regs[c.dst] = c.imm
+			cycles += c.cost
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			v := b2i(regs[c.a] == regs[c.b])
+			regs[c.dst2] = v
+			cycles += c.cost2
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			if v != 0 {
+				pc = int(c.t0)
+			} else {
+				pc = int(c.t1)
+			}
+			cycles += c.cost3
+			pn[c.op]++
+			continue
+		case cConstNeBr:
+			regs[c.dst] = c.imm
+			cycles += c.cost
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			v := b2i(regs[c.a] != regs[c.b])
+			regs[c.dst2] = v
+			cycles += c.cost2
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			if v != 0 {
+				pc = int(c.t0)
+			} else {
+				pc = int(c.t1)
+			}
+			cycles += c.cost3
+			pn[c.op]++
+			continue
+		case cConstLtBr:
+			regs[c.dst] = c.imm
+			cycles += c.cost
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			v := b2i(regs[c.a] < regs[c.b])
+			regs[c.dst2] = v
+			cycles += c.cost2
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			if v != 0 {
+				pc = int(c.t0)
+			} else {
+				pc = int(c.t1)
+			}
+			cycles += c.cost3
+			pn[c.op]++
+			continue
+		case cConstLeBr:
+			regs[c.dst] = c.imm
+			cycles += c.cost
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			v := b2i(regs[c.a] <= regs[c.b])
+			regs[c.dst2] = v
+			cycles += c.cost2
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			if v != 0 {
+				pc = int(c.t0)
+			} else {
+				pc = int(c.t1)
+			}
+			cycles += c.cost3
+			pn[c.op]++
+			continue
+		case cConstGtBr:
+			regs[c.dst] = c.imm
+			cycles += c.cost
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			v := b2i(regs[c.a] > regs[c.b])
+			regs[c.dst2] = v
+			cycles += c.cost2
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			if v != 0 {
+				pc = int(c.t0)
+			} else {
+				pc = int(c.t1)
+			}
+			cycles += c.cost3
+			pn[c.op]++
+			continue
+		case cConstGeBr:
+			regs[c.dst] = c.imm
+			cycles += c.cost
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			v := b2i(regs[c.a] >= regs[c.b])
+			regs[c.dst2] = v
+			cycles += c.cost2
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			if v != 0 {
+				pc = int(c.t0)
+			} else {
+				pc = int(c.t1)
+			}
+			cycles += c.cost3
+			pn[c.op]++
+			continue
+
+		// Fused frame-offset loads/stores: the address is base+offset,
+		// which is always inside the stack segment, so the stack view is
+		// the effectively-always path.
+		case cAddrLoad8:
+			addr := base + uint64(offsets[c.sym])
+			regs[c.dst] = int64(addr)
+			cycles += c.cost
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			v, ok := stk.ReadU64At(addr)
+			if !ok {
+				return pc, cycles, steps, evMemSlow
+			}
+			regs[c.dst2] = int64(v)
+			cycles += c.cost2
+			pn[c.op]++
+			pc++
+			continue
+		case cAddrLoad4s:
+			addr := base + uint64(offsets[c.sym])
+			regs[c.dst] = int64(addr)
+			cycles += c.cost
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			v, ok := stk.ReadU32At(addr)
+			if !ok {
+				return pc, cycles, steps, evMemSlow
+			}
+			regs[c.dst2] = int64(int32(v))
+			cycles += c.cost2
+			pn[c.op]++
+			pc++
+			continue
+		case cAddrLoad4u:
+			addr := base + uint64(offsets[c.sym])
+			regs[c.dst] = int64(addr)
+			cycles += c.cost
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			v, ok := stk.ReadU32At(addr)
+			if !ok {
+				return pc, cycles, steps, evMemSlow
+			}
+			regs[c.dst2] = int64(v)
+			cycles += c.cost2
+			pn[c.op]++
+			pc++
+			continue
+		case cAddrLoad1s:
+			addr := base + uint64(offsets[c.sym])
+			regs[c.dst] = int64(addr)
+			cycles += c.cost
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			v, ok := stk.ReadU8At(addr)
+			if !ok {
+				return pc, cycles, steps, evMemSlow
+			}
+			regs[c.dst2] = int64(int8(v))
+			cycles += c.cost2
+			pn[c.op]++
+			pc++
+			continue
+		case cAddrLoad1u:
+			addr := base + uint64(offsets[c.sym])
+			regs[c.dst] = int64(addr)
+			cycles += c.cost
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			v, ok := stk.ReadU8At(addr)
+			if !ok {
+				return pc, cycles, steps, evMemSlow
+			}
+			regs[c.dst2] = int64(v)
+			cycles += c.cost2
+			pn[c.op]++
+			pc++
+			continue
+
+		case cAddrStore8:
+			addr := base + uint64(offsets[c.sym])
+			regs[c.dst] = int64(addr)
+			cycles += c.cost
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			if !stk.WriteU64At(addr, uint64(regs[c.b])) {
+				return pc, cycles, steps, evMemSlow
+			}
+			cycles += c.cost2
+			pn[c.op]++
+			pc++
+			continue
+		case cAddrStore4:
+			addr := base + uint64(offsets[c.sym])
+			regs[c.dst] = int64(addr)
+			cycles += c.cost
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			if !stk.WriteU32At(addr, uint32(regs[c.b])) {
+				return pc, cycles, steps, evMemSlow
+			}
+			cycles += c.cost2
+			pn[c.op]++
+			pc++
+			continue
+		case cAddrStore1:
+			addr := base + uint64(offsets[c.sym])
+			regs[c.dst] = int64(addr)
+			cycles += c.cost
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			if !stk.WriteU8At(addr, byte(regs[c.b])) {
+				return pc, cycles, steps, evMemSlow
+			}
+			cycles += c.cost2
+			pn[c.op]++
+			pc++
+			continue
+
+		// Fused computed-address (array element) loads/stores: the add's
+		// sum is the effective address, through the hot then stack views.
+		case cAddLoad8:
+			sum := regs[c.a] + regs[c.b]
+			regs[c.dst] = sum
+			cycles += c.cost
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			addr := uint64(sum)
+			v, ok := hot.ReadU64At(addr)
+			if !ok {
+				if v, ok = stk.ReadU64At(addr); !ok {
+					if v, ok = hot2.ReadU64At(addr); !ok {
+						return pc, cycles, steps, evMemSlow
+					}
+				}
+			}
+			regs[c.dst2] = int64(v)
+			cycles += c.cost2
+			pn[c.op]++
+			pc++
+			continue
+		case cAddLoad4s:
+			sum := regs[c.a] + regs[c.b]
+			regs[c.dst] = sum
+			cycles += c.cost
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			addr := uint64(sum)
+			v, ok := hot.ReadU32At(addr)
+			if !ok {
+				if v, ok = stk.ReadU32At(addr); !ok {
+					if v, ok = hot2.ReadU32At(addr); !ok {
+						return pc, cycles, steps, evMemSlow
+					}
+				}
+			}
+			regs[c.dst2] = int64(int32(v))
+			cycles += c.cost2
+			pn[c.op]++
+			pc++
+			continue
+		case cAddLoad4u:
+			sum := regs[c.a] + regs[c.b]
+			regs[c.dst] = sum
+			cycles += c.cost
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			addr := uint64(sum)
+			v, ok := hot.ReadU32At(addr)
+			if !ok {
+				if v, ok = stk.ReadU32At(addr); !ok {
+					if v, ok = hot2.ReadU32At(addr); !ok {
+						return pc, cycles, steps, evMemSlow
+					}
+				}
+			}
+			regs[c.dst2] = int64(v)
+			cycles += c.cost2
+			pn[c.op]++
+			pc++
+			continue
+		case cAddLoad1s:
+			sum := regs[c.a] + regs[c.b]
+			regs[c.dst] = sum
+			cycles += c.cost
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			addr := uint64(sum)
+			v, ok := hot.ReadU8At(addr)
+			if !ok {
+				if v, ok = stk.ReadU8At(addr); !ok {
+					if v, ok = hot2.ReadU8At(addr); !ok {
+						return pc, cycles, steps, evMemSlow
+					}
+				}
+			}
+			regs[c.dst2] = int64(int8(v))
+			cycles += c.cost2
+			pn[c.op]++
+			pc++
+			continue
+		case cAddLoad1u:
+			sum := regs[c.a] + regs[c.b]
+			regs[c.dst] = sum
+			cycles += c.cost
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			addr := uint64(sum)
+			v, ok := hot.ReadU8At(addr)
+			if !ok {
+				if v, ok = stk.ReadU8At(addr); !ok {
+					if v, ok = hot2.ReadU8At(addr); !ok {
+						return pc, cycles, steps, evMemSlow
+					}
+				}
+			}
+			regs[c.dst2] = int64(v)
+			cycles += c.cost2
+			pn[c.op]++
+			pc++
+			continue
+
+		case cAddStore8:
+			sum := regs[c.a] + regs[c.b]
+			regs[c.dst] = sum
+			cycles += c.cost
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			addr := uint64(sum)
+			val := uint64(regs[c.dst2])
+			if !hot.WriteU64At(addr, val) {
+				if !stk.WriteU64At(addr, val) {
+					if !hot2.WriteU64At(addr, val) {
+						return pc, cycles, steps, evMemSlow
+					}
+				}
+			}
+			cycles += c.cost2
+			pn[c.op]++
+			pc++
+			continue
+		case cAddStore4:
+			sum := regs[c.a] + regs[c.b]
+			regs[c.dst] = sum
+			cycles += c.cost
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			addr := uint64(sum)
+			val := uint64(regs[c.dst2])
+			if !hot.WriteU32At(addr, uint32(val)) {
+				if !stk.WriteU32At(addr, uint32(val)) {
+					if !hot2.WriteU32At(addr, uint32(val)) {
+						return pc, cycles, steps, evMemSlow
+					}
+				}
+			}
+			cycles += c.cost2
+			pn[c.op]++
+			pc++
+			continue
+		case cAddStore1:
+			sum := regs[c.a] + regs[c.b]
+			regs[c.dst] = sum
+			cycles += c.cost
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			addr := uint64(sum)
+			val := uint64(regs[c.dst2])
+			if !hot.WriteU8At(addr, byte(val)) {
+				if !stk.WriteU8At(addr, byte(val)) {
+					if !hot2.WriteU8At(addr, byte(val)) {
+						return pc, cycles, steps, evMemSlow
+					}
+				}
+			}
+			cycles += c.cost2
+			pn[c.op]++
+			pc++
+			continue
+
+		case cAddrAddrLoad8:
+			regs[c.dst] = int64(base + uint64(offsets[c.sym]))
+			cycles += c.cost
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			addr := base + uint64(offsets[c.t0])
+			regs[c.a] = int64(addr)
+			cycles += c.cost // second AddrLocal, same table entry
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			v, ok := stk.ReadU64At(addr)
+			if !ok {
+				return pc, cycles, steps, evMemSlow
+			}
+			regs[c.dst2] = int64(v)
+			cycles += c.cost2
+			pn[c.op]++
+			pc++
+			continue
+
+		case cMulLoad8:
+			regs[c.dst] = c.imm
+			cycles += c.cost
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			regs[c.dst2] = regs[c.a] * regs[c.b]
+			cycles += c.cost2
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			sum := regs[c.t0] + regs[c.dst2]
+			regs[c.t1] = sum
+			cycles += c.cost // the Add shares the const's ALU cost (compile-time guarded)
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			addr := uint64(sum)
+			v, ok := hot.ReadU64At(addr)
+			if !ok {
+				if v, ok = stk.ReadU64At(addr); !ok {
+					if v, ok = hot2.ReadU64At(addr); !ok {
+						return pc, cycles, steps, evMemSlow
+					}
+				}
+			}
+			regs[c.sym] = int64(v)
+			cycles += c.cost3
+			pn[c.op]++
+			pc++
+			continue
+		case cMulStore8:
+			regs[c.dst] = c.imm
+			cycles += c.cost
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			regs[c.dst2] = regs[c.a] * regs[c.b]
+			cycles += c.cost2
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			sum := regs[c.t0] + regs[c.dst2]
+			regs[c.t1] = sum
+			cycles += c.cost
+			if steps >= limit {
+				return pc, cycles, steps, evLimit
+			}
+			steps++
+			addr := uint64(sum)
+			val := uint64(regs[c.sym])
+			if !hot.WriteU64At(addr, val) {
+				if !stk.WriteU64At(addr, val) {
+					if !hot2.WriteU64At(addr, val) {
+						return pc, cycles, steps, evMemSlow
+					}
+				}
+			}
+			cycles += c.cost3
+			pn[c.op]++
+			pc++
+			continue
+
+		default: // cBad and anything unrecognized
+			return pc, cycles, steps, evBad
+		}
+		cycles += c.cost
+		pn[c.op]++
 		pc++
 	}
 }

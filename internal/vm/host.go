@@ -34,8 +34,24 @@ type HostHook interface {
 }
 
 // hostCall is the tier-shared entry for builtin calls: hook bookkeeping
-// around hostDispatch. With no hook installed it is a plain tail call.
+// around hostDispatch. With no hook installed (and no profile attached)
+// it is a plain tail call.
 func (m *Machine) hostCall(fn *ir.Function, pc int, host int, args []int64) (int64, error) {
+	if m.prof != nil {
+		// Capture the builtin's whole modeled cost (HostBase + per-op
+		// pricing + any hook delay) as a stats delta: host cycles are added
+		// to stats directly rather than through the exec accumulators, so a
+		// delta around the dispatch is the exact attribution.
+		before := m.stats.Cycles
+		v, err := m.hostCallHooked(fn, pc, host, args)
+		m.profHostCalls++
+		m.profHostCycles += m.stats.Cycles - before
+		return v, err
+	}
+	return m.hostCallHooked(fn, pc, host, args)
+}
+
+func (m *Machine) hostCallHooked(fn *ir.Function, pc int, host int, args []int64) (int64, error) {
 	if m.hostHook == nil {
 		return m.hostDispatch(fn, pc, host, args)
 	}

@@ -1,0 +1,391 @@
+// Cycle-attribution profiler. A Profile collects, per experiment cell,
+// where the modeled cycles of every Machine run went: per-opcode rows
+// (what the workload executed) and per-category rows (what the layout
+// instrumentation cost on top — permutation draw, P-BOX lookup, guard
+// write/check, frame spread, the AddrLocal GEP surcharge, call base
+// price, and host-builtin time). This is the fine-grained decomposition
+// the paper's Table I prices analytically; here it is measured from the
+// running VM.
+//
+// Hot-path discipline (mirrors PR 2/3): the Machine accumulates into
+// plain per-Machine fields — a weighted per-op array in the switch tier,
+// a counts-only per-cop array inside the compiled tier's call-free
+// runCore — and expands/flushes them into the shared mutex-protected
+// Profile only at Run/CallByName exit. With no Profile attached every
+// site is a nil check on a never-taken branch, and the cycle accumulator
+// itself is never touched, so dormant AND profiled runs alike stay
+// bit-identical to the goldens.
+//
+// Attribution exactness: rows are grid-rounded (telemetry.GridRound) so
+// the snapshot's per-cell TotalCycles is by construction the exact sum
+// of its rows in any summation order. Against the VM's own Stats.Cycles
+// — accumulated in windowed float order that no independent
+// decomposition can reproduce bit-for-bit — the row sum agrees to ~1e-9
+// relative error (TestProfileReconciliation pins the bound). The only
+// attribution leak is a faulted or step-limited run that stops inside a
+// fused superinstruction: completed constituents of the partial group
+// are charged to Stats.Cycles but no dispatch completed, so no row
+// counts them. Clean runs have no such gap.
+package vm
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/ir"
+	"repro/internal/telemetry"
+)
+
+// PrologueProfiler is an optional layout-engine interface: engines whose
+// PrologueCycles price is composite (Smokestack) can report the split so
+// the profiler buckets draw/lookup/guard/spread separately. The four
+// components must sum to PrologueCycles(fn) for the same invocation.
+// Engines without it get their whole prologue under "prologue.other".
+type PrologueProfiler interface {
+	PrologueBreakdown(fn *ir.Function) (draw, lookup, guard, spread float64)
+}
+
+// Instrumentation-cost categories. These price what the layout engine
+// and the call model add on top of plain opcode execution.
+const (
+	catCallBase      = iota // Costs.CallBase per sub-call
+	catDraw                 // prologue: permutation/entropy draw (source.Cost)
+	catLookup               // prologue: P-BOX row lookup or runtime decode
+	catGuardWrite           // prologue: canary store
+	catSpread               // prologue: frame-spread locality surcharge
+	catPrologueOther        // whole prologue, engines without a breakdown
+	catGuardCheck           // epilogue: canary compare
+	catAddrSurcharge        // AddrLocalExtraCycles share of every addr.local
+	catHost                 // host builtins: HostBase + per-op modeled time
+	numProfCats
+)
+
+var catNames = [numProfCats]string{
+	catCallBase:      "call.base",
+	catDraw:          "prologue.draw",
+	catLookup:        "prologue.lookup",
+	catGuardWrite:    "prologue.guardwrite",
+	catSpread:        "prologue.spread",
+	catPrologueOther: "prologue.other",
+	catGuardCheck:    "epilogue.guardcheck",
+	catAddrSurcharge: "addrlocal.surcharge",
+	catHost:          "host",
+}
+
+// numCops sizes per-cop tables (compiled-tier dispatch counts).
+const numCops = int(cAddrAddrLoad8) + 1
+
+// copNames names every compiled opcode for the fused-dispatch counters.
+var copNames = [numCops]string{
+	cNop: "nop", cConst: "const", cMov: "mov",
+	cAdd: "add", cSub: "sub", cMul: "mul", cDiv: "div", cMod: "mod",
+	cAnd: "and", cOr: "or", cXor: "xor", cShl: "shl", cShr: "shr",
+	cNeg: "neg", cNot: "not", cSetZ: "setz",
+	cEq: "eq", cNe: "ne", cLt: "lt", cLe: "le", cGt: "gt", cGe: "ge",
+	cLoad8: "load8", cLoad4s: "load4s", cLoad4u: "load4u",
+	cLoad1s: "load1s", cLoad1u: "load1u",
+	cStore8: "store8", cStore4: "store4", cStore1: "store1",
+	cAddrLocal: "addr.local", cAddrConst: "addr.const",
+	cJmp: "jmp", cBr: "br", cCall: "call", cCallHost: "call.host",
+	cRet: "ret", cRetVoid: "ret.void", cBad: "bad",
+	cEqBr: "eq.br", cNeBr: "ne.br", cLtBr: "lt.br",
+	cLeBr: "le.br", cGtBr: "gt.br", cGeBr: "ge.br",
+	cConstAdd: "const.add", cConstSub: "const.sub", cConstMul: "const.mul",
+	cConstDiv: "const.div", cConstMod: "const.mod", cConstAnd: "const.and",
+	cConstOr: "const.or", cConstXor: "const.xor", cConstShl: "const.shl",
+	cConstShr:  "const.shr",
+	cConstEqBr: "const.eq.br", cConstNeBr: "const.ne.br",
+	cConstLtBr: "const.lt.br", cConstLeBr: "const.le.br",
+	cConstGtBr: "const.gt.br", cConstGeBr: "const.ge.br",
+	cAddrLoad8: "addr.load8", cAddrLoad4s: "addr.load4s",
+	cAddrLoad4u: "addr.load4u", cAddrLoad1s: "addr.load1s",
+	cAddrLoad1u: "addr.load1u",
+	cAddrStore8: "addr.store8", cAddrStore4: "addr.store4",
+	cAddrStore1: "addr.store1",
+	cAddLoad8:   "add.load8", cAddLoad4s: "add.load4s",
+	cAddLoad4u: "add.load4u", cAddLoad1s: "add.load1s",
+	cAddLoad1u: "add.load1u",
+	cAddStore8: "add.store8", cAddStore4: "add.store4",
+	cAddStore1: "add.store1",
+	cMulLoad8:  "mul.load8", cMulStore8: "mul.store8",
+	cAddrAddrLoad8: "addr.addr.load8",
+}
+
+// copConstituents maps each compiled opcode to the ir.Ops it completed,
+// in execution order — the expansion the flush uses to charge compiled-
+// tier dispatch counts back to per-opcode rows at cost-table prices.
+// cAddrConst maps to OpAddrGlobal: globals and rodata are
+// indistinguishable after compilation, and buildCostTableFrom prices
+// OpAddrGlobal and OpAddrData identically (both AddrCalc), so the
+// attribution stays cost-exact. cMulLoad8/cMulStore8 are only emitted
+// when ct[OpConst]==ct[OpAdd] (see compileFunc), so expanding them at
+// table prices matches the executor's cost-field reuse. cBad never
+// completes, so it expands to nothing.
+var copConstituents = [numCops][]ir.Op{
+	cNop: {ir.OpNop}, cConst: {ir.OpConst}, cMov: {ir.OpMov},
+	cAdd: {ir.OpAdd}, cSub: {ir.OpSub}, cMul: {ir.OpMul},
+	cDiv: {ir.OpDiv}, cMod: {ir.OpMod},
+	cAnd: {ir.OpAnd}, cOr: {ir.OpOr}, cXor: {ir.OpXor},
+	cShl: {ir.OpShl}, cShr: {ir.OpShr},
+	cNeg: {ir.OpNeg}, cNot: {ir.OpNot}, cSetZ: {ir.OpSetZ},
+	cEq: {ir.OpEq}, cNe: {ir.OpNe}, cLt: {ir.OpLt},
+	cLe: {ir.OpLe}, cGt: {ir.OpGt}, cGe: {ir.OpGe},
+	cLoad8: {ir.OpLoad}, cLoad4s: {ir.OpLoad}, cLoad4u: {ir.OpLoad},
+	cLoad1s: {ir.OpLoad}, cLoad1u: {ir.OpLoad},
+	cStore8: {ir.OpStore}, cStore4: {ir.OpStore}, cStore1: {ir.OpStore},
+	cAddrLocal: {ir.OpAddrLocal}, cAddrConst: {ir.OpAddrGlobal},
+	cJmp: {ir.OpJmp}, cBr: {ir.OpBr},
+	cCall: {ir.OpCall}, cCallHost: {ir.OpCallHost},
+	cRet: {ir.OpRet}, cRetVoid: {ir.OpRet},
+	cBad:  {},
+	cEqBr: {ir.OpEq, ir.OpBr}, cNeBr: {ir.OpNe, ir.OpBr},
+	cLtBr: {ir.OpLt, ir.OpBr}, cLeBr: {ir.OpLe, ir.OpBr},
+	cGtBr: {ir.OpGt, ir.OpBr}, cGeBr: {ir.OpGe, ir.OpBr},
+	cConstAdd: {ir.OpConst, ir.OpAdd}, cConstSub: {ir.OpConst, ir.OpSub},
+	cConstMul: {ir.OpConst, ir.OpMul}, cConstDiv: {ir.OpConst, ir.OpDiv},
+	cConstMod: {ir.OpConst, ir.OpMod}, cConstAnd: {ir.OpConst, ir.OpAnd},
+	cConstOr: {ir.OpConst, ir.OpOr}, cConstXor: {ir.OpConst, ir.OpXor},
+	cConstShl: {ir.OpConst, ir.OpShl}, cConstShr: {ir.OpConst, ir.OpShr},
+	cConstEqBr:     {ir.OpConst, ir.OpEq, ir.OpBr},
+	cConstNeBr:     {ir.OpConst, ir.OpNe, ir.OpBr},
+	cConstLtBr:     {ir.OpConst, ir.OpLt, ir.OpBr},
+	cConstLeBr:     {ir.OpConst, ir.OpLe, ir.OpBr},
+	cConstGtBr:     {ir.OpConst, ir.OpGt, ir.OpBr},
+	cConstGeBr:     {ir.OpConst, ir.OpGe, ir.OpBr},
+	cAddrLoad8:     {ir.OpAddrLocal, ir.OpLoad},
+	cAddrLoad4s:    {ir.OpAddrLocal, ir.OpLoad},
+	cAddrLoad4u:    {ir.OpAddrLocal, ir.OpLoad},
+	cAddrLoad1s:    {ir.OpAddrLocal, ir.OpLoad},
+	cAddrLoad1u:    {ir.OpAddrLocal, ir.OpLoad},
+	cAddrStore8:    {ir.OpAddrLocal, ir.OpStore},
+	cAddrStore4:    {ir.OpAddrLocal, ir.OpStore},
+	cAddrStore1:    {ir.OpAddrLocal, ir.OpStore},
+	cAddLoad8:      {ir.OpAdd, ir.OpLoad},
+	cAddLoad4s:     {ir.OpAdd, ir.OpLoad},
+	cAddLoad4u:     {ir.OpAdd, ir.OpLoad},
+	cAddLoad1s:     {ir.OpAdd, ir.OpLoad},
+	cAddLoad1u:     {ir.OpAdd, ir.OpLoad},
+	cAddStore8:     {ir.OpAdd, ir.OpStore},
+	cAddStore4:     {ir.OpAdd, ir.OpStore},
+	cAddStore1:     {ir.OpAdd, ir.OpStore},
+	cMulLoad8:      {ir.OpConst, ir.OpMul, ir.OpAdd, ir.OpLoad},
+	cMulStore8:     {ir.OpConst, ir.OpMul, ir.OpAdd, ir.OpStore},
+	cAddrAddrLoad8: {ir.OpAddrLocal, ir.OpAddrLocal, ir.OpLoad},
+}
+
+// copIsFused reports whether a cop is a fused superinstruction (counted
+// as a "fused.<name>" cell counter) rather than a straight port.
+func copIsFused(c int) bool { return c > int(cBad) }
+
+type profAgg struct {
+	Count  uint64
+	Cycles float64
+}
+
+// Profile aggregates attribution across every Machine of one cell. All
+// Machines of a cell (clean run, injected run, repeat seeds) may share
+// one Profile; merges are mutex-protected and happen only at machine
+// run boundaries, never per step.
+type Profile struct {
+	mu       sync.Mutex
+	ops      [ir.NumOps]profAgg
+	cats     [numProfCats]profAgg
+	fused    [numCops]uint64
+	counters map[string]uint64
+}
+
+// NewProfile returns an empty profile ready to attach via Options.Prof.
+func NewProfile() *Profile { return &Profile{counters: map[string]uint64{}} }
+
+// AddCounter adds n to a named auxiliary counter (segment-cache hits,
+// frame-pool recycles, ...).
+func (p *Profile) AddCounter(name string, n uint64) {
+	if p == nil || n == 0 {
+		return
+	}
+	p.mu.Lock()
+	p.counters[name] += n
+	p.mu.Unlock()
+}
+
+// Rows emits the attribution as telemetry rows: kind "op" for opcode
+// execution, kind "cat" for instrumentation categories. Cycles are
+// grid-rounded so any re-summation is exact; rows are sorted by
+// (kind, name) for deterministic output.
+func (p *Profile) Rows() []telemetry.Row {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rows := make([]telemetry.Row, 0, len(p.ops)+len(p.cats))
+	for op := range p.ops {
+		a := p.ops[op]
+		if a.Count == 0 && a.Cycles == 0 {
+			continue
+		}
+		rows = append(rows, telemetry.Row{
+			Kind: "op", Name: ir.Op(op).String(),
+			Count: a.Count, Cycles: telemetry.GridRound(a.Cycles),
+		})
+	}
+	for c := range p.cats {
+		a := p.cats[c]
+		if a.Count == 0 && a.Cycles == 0 {
+			continue
+		}
+		rows = append(rows, telemetry.Row{
+			Kind: "cat", Name: catNames[c],
+			Count: a.Count, Cycles: telemetry.GridRound(a.Cycles),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Kind != rows[j].Kind {
+			return rows[i].Kind < rows[j].Kind
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	return rows
+}
+
+// TotalCycles sums the grid-rounded rows: the profile's own notion of
+// the cell's total modeled cycles (see the package comment for how this
+// relates to Stats.Cycles).
+func (p *Profile) TotalCycles() float64 {
+	var t float64
+	for _, r := range p.Rows() {
+		t += r.Cycles
+	}
+	return t
+}
+
+// Counters returns the auxiliary counters plus fused-superinstruction
+// dispatch counts ("fused.<name>").
+func (p *Profile) Counters() map[string]uint64 {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]uint64, len(p.counters)+8)
+	for k, v := range p.counters {
+		out[k] = v
+	}
+	for c, n := range p.fused {
+		if n != 0 && copIsFused(c) {
+			out["fused."+copNames[c]] = n
+		}
+	}
+	return out
+}
+
+// flushProfile expands and merges the Machine's plain-field accumulators
+// into the attached Profile, then zeroes them. Called at Run/CallByName
+// exit (success or fault) — never from a hot loop.
+func (m *Machine) flushProfile() {
+	p := m.prof
+	if p == nil {
+		return
+	}
+	ct := &m.costTable
+	sur := m.addrExtra
+	p.mu.Lock()
+	// Switch-tier per-op weighted counts: cycles = weight * table price,
+	// with the engine surcharge share of addr.local split out into its
+	// own category so the opcode row prices the plain GEP.
+	for op := range m.profN {
+		n := m.profN[op]
+		if n == 0 {
+			continue
+		}
+		w := m.profW[op]
+		price := ct[op]
+		if op == int(ir.OpAddrLocal) && sur != 0 {
+			p.cats[catAddrSurcharge].Count += n
+			p.cats[catAddrSurcharge].Cycles += w * sur
+			price -= sur
+		}
+		p.ops[op].Count += n
+		p.ops[op].Cycles += w * price
+		m.profN[op], m.profW[op] = 0, 0
+	}
+	// Compiled-tier per-cop weighted dispatch counts, expanded through
+	// the static constituent table.
+	for c := range m.profCN {
+		n := m.profCN[c]
+		if n == 0 {
+			continue
+		}
+		w := m.profCW[c]
+		p.fused[c] += n
+		for _, op := range copConstituents[c] {
+			price := ct[op]
+			if op == ir.OpAddrLocal && sur != 0 {
+				p.cats[catAddrSurcharge].Count += n
+				p.cats[catAddrSurcharge].Cycles += w * sur
+				price -= sur
+			}
+			p.ops[op].Count += n
+			p.ops[op].Cycles += w * price
+		}
+		m.profCN[c], m.profCW[c] = 0, 0
+	}
+	// Instrumentation categories.
+	if m.profCalls != 0 {
+		p.cats[catCallBase].Count += m.profCalls
+		p.cats[catCallBase].Cycles += float64(m.profCalls) * m.costs.CallBase
+	}
+	for c := range m.profCat {
+		if m.profCat[c].Cycles != 0 || m.profCat[c].Count != 0 {
+			p.cats[c].Count += m.profCat[c].Count
+			p.cats[c].Cycles += m.profCat[c].Cycles
+			m.profCat[c] = profAgg{}
+		}
+	}
+	if m.profHostCalls != 0 {
+		p.cats[catHost].Count += m.profHostCalls
+		p.cats[catHost].Cycles += m.profHostCycles
+	}
+	// Auxiliary counters.
+	addCounterLocked(p, "vm.calls", m.profCalls)
+	addCounterLocked(p, "vm.hostcalls", m.profHostCalls)
+	addCounterLocked(p, "vm.hotview.miss", m.profMemSlow)
+	addCounterLocked(p, "vm.framepool.reuse", m.profFrameReuse)
+	addCounterLocked(p, "vm.framepool.alloc", m.profFrameAlloc)
+	if m.Mem != nil {
+		hits, misses := m.Mem.CacheStats()
+		addCounterLocked(p, "vm.segcache.hits", hits-m.profMemHits)
+		addCounterLocked(p, "vm.segcache.misses", misses-m.profMemMisses)
+		m.profMemHits, m.profMemMisses = hits, misses
+	}
+	m.profCalls, m.profHostCalls, m.profHostCycles = 0, 0, 0
+	m.profMemSlow, m.profFrameReuse, m.profFrameAlloc = 0, 0, 0
+	p.mu.Unlock()
+}
+
+func addCounterLocked(p *Profile, name string, n uint64) {
+	if n != 0 {
+		p.counters[name] += n
+	}
+}
+
+// flushPending folds the compiled tier's pending per-cop dispatch counts
+// (accumulated raw inside runCore) into the weighted per-Machine arrays,
+// applying the current invocation's cost multiplier. Called at the two
+// compiled-tier call boundaries — before descending into a sub-call and
+// after execCompiled returns — so nested invocations with different
+// jitter multipliers never mix.
+func (m *Machine) flushPending(fn *ir.Function) {
+	cm := 1.0
+	if m.jitter != nil {
+		cm = m.jitter[fn.ID]
+	}
+	pn := m.profPN
+	for c, n := range pn {
+		if n != 0 {
+			m.profCN[c] += n
+			m.profCW[c] += cm * float64(n)
+			pn[c] = 0
+		}
+	}
+}

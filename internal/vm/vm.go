@@ -195,6 +195,13 @@ type Options struct {
 	// terminally-exhausted entropy ladder stops the run at a call boundary
 	// instead of silently derandomizing it. nil costs nothing.
 	EntropyCheck func() error
+	// Prof, when non-nil, attaches a cycle-attribution profile: the Machine
+	// accumulates per-opcode and per-category attribution in plain fields
+	// and flushes into Prof at Run/CallByName exit (see profile.go). nil is
+	// the dormant default and costs a never-taken branch per site; the
+	// cycle accumulator itself is never touched either way, so profiled
+	// runs remain bit-identical to dormant ones.
+	Prof *Profile
 }
 
 // Env is the host environment: attacker/user input and program output.
@@ -314,6 +321,33 @@ type Machine struct {
 	// boundary equals the step limit and behaviour is bit-identical.
 	watchdog    bool
 	interrupted atomic.Bool
+
+	// Cycle-attribution accumulators (see profile.go). All nil/zero when
+	// no Profile is attached; the hot paths only ever test prof (or the
+	// hoisted profPN slice) for nil. profW/profN hold the switch tier's
+	// weighted per-op counts; profPN holds the compiled core's raw per-cop
+	// dispatch counts for the current invocation, folded with the
+	// invocation's jitter multiplier into profCW/profCN at call
+	// boundaries. profCat buckets instrumentation cycles captured in
+	// call()/hostCall. profMemHits/profMemMisses are last-flushed
+	// baselines for the Memory segment-cache counters.
+	prof           *Profile
+	profProlog     PrologueProfiler
+	addrExtra      float64
+	profW          [ir.NumOps]float64
+	profN          [ir.NumOps]uint64
+	profPN         []uint64
+	profCW         []float64
+	profCN         []uint64
+	profCat        [numProfCats]profAgg
+	profCalls      uint64
+	profHostCalls  uint64
+	profHostCycles float64
+	profMemSlow    uint64
+	profFrameReuse uint64
+	profFrameAlloc uint64
+	profMemHits    uint64
+	profMemMisses  uint64
 }
 
 // supervisionInterval is the step count between watchdog polls while a
@@ -457,6 +491,19 @@ func New(prog *ir.Program, engine layout.Engine, env *Env, opts *Options) *Machi
 		return m
 	}
 	m.buildCostTable()
+	m.addrExtra = engine.AddrLocalExtraCycles()
+	if o.Prof != nil {
+		m.prof = o.Prof
+		if pp, ok := engine.(PrologueProfiler); ok {
+			m.profProlog = pp
+		}
+		// Per-cop slabs for the compiled tier's dispatch counts. Allocated
+		// here, once, so attaching a profile adds zero per-step and
+		// zero per-call allocations (TestProfileAllocs pins this).
+		m.profPN = make([]uint64, numCops)
+		m.profCW = make([]float64, numCops)
+		m.profCN = make([]uint64, numCops)
+	}
 
 	tier := o.Exec
 	if tier == TierAuto {
@@ -509,9 +556,15 @@ func (m *Machine) regSlab(depth, n int) []int64 {
 	}
 	s := m.regSlabs[depth]
 	if cap(s) < n {
+		if m.prof != nil {
+			m.profFrameAlloc++
+		}
 		s = make([]int64, n)
 		m.regSlabs[depth] = s
 		return s
+	}
+	if m.prof != nil {
+		m.profFrameReuse++
 	}
 	s = s[:n]
 	clear(s)
@@ -528,9 +581,15 @@ func (m *Machine) argSlab(depth, n int) []int64 {
 	}
 	s := m.argSlabs[depth]
 	if cap(s) < n {
+		if m.prof != nil {
+			m.profFrameAlloc++
+		}
 		s = make([]int64, n)
 		m.argSlabs[depth] = s
 		return s
+	}
+	if m.prof != nil {
+		m.profFrameReuse++
 	}
 	return s[:n]
 }
@@ -607,6 +666,9 @@ func (m *Machine) Run() (int64, error) {
 	if !ok {
 		return 0, fmt.Errorf("vm: program %s has no main", m.Prog.Name)
 	}
+	if m.prof != nil {
+		defer m.flushProfile()
+	}
 	v, err := m.call(fn, nil)
 	if err != nil {
 		var exit *exitRequest
@@ -657,6 +719,9 @@ func (m *Machine) CallByName(name string, args ...int64) (int64, error) {
 	fn, ok := m.Prog.FuncByName(name)
 	if !ok {
 		return 0, fmt.Errorf("vm: no function %s", name)
+	}
+	if m.prof != nil {
+		defer m.flushProfile()
 	}
 	v, err := m.call(fn, args)
 	if err != nil {
@@ -730,12 +795,45 @@ func (m *Machine) call(fn *ir.Function, args []int64) (int64, error) {
 			}
 		}
 	}
-	m.stats.Cycles += m.costs.CallBase + m.Engine.PrologueCycles(fn)
+	// The prologue price is captured in a local so an attached profiler can
+	// bucket it without a second engine call; the stats accumulation below
+	// performs the exact float operations of the original
+	// `CallBase + PrologueCycles(fn)` expression, keeping cycles
+	// bit-identical whether or not a profile is attached.
+	pro := m.Engine.PrologueCycles(fn)
+	m.stats.Cycles += m.costs.CallBase + pro
+	if m.prof != nil {
+		m.profCalls++
+		if m.profProlog != nil {
+			draw, lookup, guard, spread := m.profProlog.PrologueBreakdown(fn)
+			m.profCat[catDraw].Count++
+			m.profCat[catDraw].Cycles += draw
+			m.profCat[catLookup].Count++
+			m.profCat[catLookup].Cycles += lookup
+			if guard != 0 {
+				m.profCat[catGuardWrite].Count++
+				m.profCat[catGuardWrite].Cycles += guard
+			}
+			if spread != 0 {
+				m.profCat[catSpread].Count++
+				m.profCat[catSpread].Cycles += spread
+			}
+		} else if pro != 0 {
+			m.profCat[catPrologueOther].Count++
+			m.profCat[catPrologueOther].Cycles += pro
+		}
+	}
 
 	var ret int64
 	var err error
 	if m.ccode != nil {
 		ret, err = m.execCompiled(fn, &m.ccode.funcs[fn.ID], base, fl)
+		if m.prof != nil {
+			// Fold this invocation's pending compiled-core dispatch counts
+			// with its jitter multiplier (partial counts from a faulted run
+			// included — their cycles were charged before the fault).
+			m.flushPending(fn)
+		}
 	} else {
 		ret, err = m.exec(fn, base, fl)
 	}
@@ -760,7 +858,12 @@ func (m *Machine) call(fn *ir.Function, args []int64) (int64, error) {
 			return 0, &GuardViolation{Func: fn.Name}
 		}
 	}
-	m.stats.Cycles += m.Engine.EpilogueCycles(fn)
+	epi := m.Engine.EpilogueCycles(fn)
+	m.stats.Cycles += epi
+	if m.prof != nil && epi != 0 {
+		m.profCat[catGuardCheck].Count++
+		m.profCat[catGuardCheck].Cycles += epi
+	}
 	m.popFrame()
 	return ret, nil
 }
@@ -786,6 +889,14 @@ func (m *Machine) exec(fn *ir.Function, base uint64, fl layout.FrameLayout) (int
 	}
 	ct := &m.costTable
 	mm := m.Mem
+	// Hoisted profiling pointers: nil when dormant, so each of the four
+	// counting sites below is a single predictable never-taken branch and
+	// the cycle accounting is untouched either way.
+	var pw *[ir.NumOps]float64
+	var pnn *[ir.NumOps]uint64
+	if m.prof != nil {
+		pw, pnn = &m.profW, &m.profN
+	}
 	cycles := 0.0
 	steps, limit := m.steps, m.stepLimit
 	// next is the supervised chunk boundary: with the watchdog dormant it
@@ -892,6 +1003,10 @@ func (m *Machine) exec(fn *ir.Function, base uint64, fl layout.FrameLayout) (int
 		case ir.OpJmp:
 			pc = int(in.Target0)
 			cycles += ct[ir.OpJmp]
+			if pw != nil {
+				pw[ir.OpJmp] += costMul
+				pnn[ir.OpJmp]++
+			}
 			continue
 		case ir.OpBr:
 			if regs[in.A] != 0 {
@@ -900,6 +1015,10 @@ func (m *Machine) exec(fn *ir.Function, base uint64, fl layout.FrameLayout) (int
 				pc = int(in.Target1)
 			}
 			cycles += ct[ir.OpBr]
+			if pw != nil {
+				pw[ir.OpBr] += costMul
+				pnn[ir.OpBr]++
+			}
 			continue
 		case ir.OpCall:
 			args := m.argSlab(len(m.frames), len(in.Args))
@@ -934,6 +1053,10 @@ func (m *Machine) exec(fn *ir.Function, base uint64, fl layout.FrameLayout) (int
 			}
 		case ir.OpRet:
 			cycles += ct[ir.OpRet]
+			if pw != nil {
+				pw[ir.OpRet] += costMul
+				pnn[ir.OpRet]++
+			}
 			if in.A == ir.NoReg {
 				return 0, nil
 			}
@@ -942,6 +1065,10 @@ func (m *Machine) exec(fn *ir.Function, base uint64, fl layout.FrameLayout) (int
 			return 0, fmt.Errorf("vm: unknown opcode %v in %s at pc=%d", op, fn.Name, pc)
 		}
 		cycles += ct[op]
+		if pw != nil {
+			pw[op] += costMul
+			pnn[op]++
+		}
 		pc++
 	}
 }
