@@ -9,9 +9,9 @@ GO ?= go
 # -race they need far more than the 10-minute default.
 RACE_TIMEOUT ?= 3600s
 
-.PHONY: ci build vet test race bench bench-compare smokebench invariance faults telemetry
+.PHONY: ci build vet test race bench bench-compare smokebench invariance faults telemetry defenses
 
-ci: build vet race invariance faults telemetry smokebench
+ci: build vet race invariance faults telemetry defenses smokebench
 
 build:
 	$(GO) build ./...
@@ -60,6 +60,18 @@ telemetry:
 		./internal/vm/ ./internal/telemetry/ ./internal/rng/ ./internal/exp/ ./internal/harness/
 	$(GO) run ./cmd/dopbench -faults -metrics /tmp/smokestack-metrics.json -trace /tmp/smokestack-trace.jsonl > /dev/null
 	$(GO) run ./cmd/benchjson -metrics /tmp/smokestack-metrics.json > /dev/null
+
+# Defense-zoo gate: the registry/layout property tests (every registered
+# engine × random frames), the cross-defense matrix smoke (overhead +
+# entropy + full attack corpus for the three zoo engines), and the
+# tier-differential suite restricted to the zoo — the full differential
+# grid already runs in `invariance`; this subset re-runs fast after
+# layout-engine edits. Ends with the matrix itself rendered end-to-end
+# through dopbench -engines.
+defenses:
+	$(GO) test -run 'TestEngineLayoutProperties|TestUnknownEngineError|TestDefensesSmoke|TestDefensesRowOrder' -count=1 ./internal/harness/
+	$(GO) test -run 'TestTierDifferential/[^/]+/(cleanstack|shadowstack|stackato)' -count=1 .
+	$(GO) run ./cmd/dopbench -exp defenses -engines cleanstack,shadowstack,stackato > /dev/null
 
 # Full benchmark sweep, snapshotted to BENCH_3.json (see cmd/benchjson).
 # ns/op figures are host-dependent; the sim-instructions/op and

@@ -2,8 +2,8 @@
 //
 // Usage:
 //
-//	dopbench -exp fig3|fig4|table1|pentest|bypass|cve|ablation-rng|ablation-pbox|entropy|faults|all
-//	         [-faults] [-seed N] [-jitter] [-parallel N] [-retries N] [-json]
+//	dopbench -exp fig3|fig4|table1|pentest|bypass|cve|ablation-rng|ablation-pbox|entropy|faults|defenses|all
+//	         [-engines a,b,c] [-faults] [-seed N] [-jitter] [-parallel N] [-retries N] [-json]
 //	         [-metrics FILE] [-trace FILE]
 //	         [-cpuprofile FILE] [-memprofile FILE]
 //
@@ -11,6 +11,12 @@
 // bounds the pool (0 = GOMAXPROCS, 1 = serial) and never changes results —
 // every cell derives its randomness from the run seed alone. -json swaps
 // the paper-style tables for one JSON record per experiment cell on stdout.
+//
+// -engines replaces the default defense lineup of the lineup-driven
+// experiments (pentest, bypass, cve, defenses) with a comma-separated
+// subset of registered engine names (see harness.EngineNames); a typo is
+// rejected up front with the registered list. Experiments with golden-
+// pinned lineups (fig3/fig4/ablations) ignore it.
 //
 // -faults is shorthand for -exp faults: the entropy-brownout/host-fault
 // sweep. Cells that fail *because of the injected schedule* carry a
@@ -40,6 +46,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"repro/internal/exp"
 	"repro/internal/harness"
@@ -53,7 +60,8 @@ func main() {
 }
 
 func run() int {
-	expName := flag.String("exp", "all", "experiment: fig3, fig4, table1, pentest, bypass, cve, ablation-rng, ablation-pbox, entropy, faults, all")
+	expName := flag.String("exp", "all", "experiment: fig3, fig4, table1, pentest, bypass, cve, ablation-rng, ablation-pbox, entropy, faults, defenses, all")
+	engines := flag.String("engines", "", "comma-separated defense-engine subset for the lineup-driven experiments (empty = default lineups)")
 	faults := flag.Bool("faults", false, "run the fault-injection sweep (shorthand for -exp faults)")
 	seed := flag.Uint64("seed", 42, "seed for all deterministic random streams")
 	jitter := flag.Bool("jitter", true, "enable the instruction-scheduling perturbation model in fig3")
@@ -98,6 +106,17 @@ func run() int {
 	}
 
 	cfg := harness.Config{Seed: *seed, Jitter: *jitter, Out: os.Stdout, Parallel: *parallel, Retries: *retries}
+
+	if *engines != "" {
+		for _, name := range strings.Split(*engines, ",") {
+			name = strings.TrimSpace(name)
+			if !harness.ValidEngine(name) {
+				fmt.Fprintf(os.Stderr, "dopbench: -engines: %v\n", harness.UnknownEngineError(name))
+				return 2
+			}
+			cfg.Engines = append(cfg.Engines, name)
+		}
+	}
 
 	if *metricsFile != "" {
 		cfg.Metrics = telemetry.NewRegistry()

@@ -9,7 +9,9 @@
 //	           [-dump-ir] file.c
 //
 // Schemes: fixed (baseline), staticrand, padding, baserand,
-// smokestack+{pseudo,aes-1,aes-10,rdrand}.
+// smokestack+{pseudo,aes-1,aes-10,rdrand}, and the defense zoo:
+// cleanstack (dual stack; unsafe-region allocas print as name@off/u),
+// shadowstack, stackato.
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/layout"
 )
 
 func main() {
@@ -61,12 +64,19 @@ func main() {
 		fn, _ := prog.IR.FuncByName(*showLayout)
 		fmt.Printf("frame layouts of %s under %s:\n", *showLayout, *scheme)
 		for i, fl := range layouts {
-			fmt.Printf("  invocation %d (frame %d bytes):", i+1, fl.Size)
+			fmt.Printf("  invocation %d (frame %d bytes", i+1, fl.Size)
+			if fl.UnsafeSize > 0 {
+				fmt.Printf(" + %d unsafe", fl.UnsafeSize)
+			}
+			fmt.Print("):")
 			for ai, a := range fn.Allocas {
 				fmt.Printf(" %s@%d", a.Name, fl.Offsets[ai])
+				if fl.Region(ai) == layout.RegionUnsafe {
+					fmt.Print("/u")
+				}
 			}
-			if fl.GuardOffset >= 0 {
-				fmt.Printf(" [guard@%d]", fl.GuardOffset)
+			for _, s := range fl.SlotsView() {
+				fmt.Printf(" [%s@%d]", s.Kind, s.Offset)
 			}
 			fmt.Println()
 		}

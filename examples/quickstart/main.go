@@ -76,7 +76,7 @@ func main() {
 		for ai, a := range fn.Allocas {
 			fmt.Printf("  %s@%-3d", a.Name, fl.Offsets[ai])
 		}
-		fmt.Printf("  guard@%d\n", fl.GuardOffset)
+		fmt.Printf("  guard@%d\n", fl.GuardOffset())
 	}
 
 	// 4. The cost spectrum of the four randomness sources.

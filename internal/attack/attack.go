@@ -162,7 +162,14 @@ func beliefFromFrames(frames []vm.ActiveFrame) *Belief {
 	for _, fr := range frames {
 		fb := FrameBelief{Fn: fr.Fn, Offsets: make(map[string]int64), Size: fr.Layout.Size}
 		for i, a := range fr.Fn.Allocas {
-			fb.Offsets[a.Name] = fr.Layout.Offsets[i]
+			off := fr.Layout.Offsets[i]
+			if fr.Layout.Region(i) == layout.RegionUnsafe {
+				// Segregated alloca: the disclosure yields its effective
+				// offset from the main frame base — a huge cross-segment
+				// delta, which is exactly what the attacker learns.
+				off = int64(fr.UnsafeBase + uint64(off) - fr.Base)
+			}
+			fb.Offsets[a.Name] = off
 		}
 		b.Frames[fr.Fn.Name] = fb
 	}
@@ -219,11 +226,19 @@ func (p *Payload) grow(n int64) {
 	}
 }
 
+// maxPayloadSpan caps how far above the buffer a payload write may land.
+// A linear overflow that would have to run for megabytes (e.g. a believed
+// offset that is really a cross-segment delta into the unsafe stack) is
+// not a reachable stack-smash; marking it unreachable also keeps payload
+// images from ballooning to segment-sized allocations.
+const maxPayloadSpan = 1 << 20
+
 // Put8 writes a little-endian 8-byte value at off (relative to the buffer).
 // A negative offset marks the payload unreachable: a forward overflow
-// cannot reach below the buffer.
+// cannot reach below the buffer; offsets beyond maxPayloadSpan are equally
+// unreachable.
 func (p *Payload) Put8(off int64, v uint64) {
-	if off < 0 {
+	if off < 0 || off > maxPayloadSpan {
 		p.unreachable = true
 		return
 	}
@@ -233,7 +248,7 @@ func (p *Payload) Put8(off int64, v uint64) {
 
 // PutBytes writes raw bytes at off.
 func (p *Payload) PutBytes(off int64, b []byte) {
-	if off < 0 {
+	if off < 0 || off > maxPayloadSpan {
 		p.unreachable = true
 		return
 	}
@@ -321,11 +336,13 @@ func (s *Scenario) Attempt(d *Deployment) (Outcome, error) {
 // Classify turns a finished run into an Outcome.
 func Classify(m *vm.Machine, env *vm.Env, runErr error, goal Goal) Outcome {
 	var gv *vm.GuardViolation
-	if errors.As(runErr, &gv) {
-		// The guard may fire after the goal was already reached (e.g. a
-		// leak emitted before the corrupted frame returned); the paper
-		// counts any detection as a stop only when it precedes the damage,
-		// so check the goal first.
+	var cv *vm.CanaryViolation
+	var sv *vm.ShadowStackViolation
+	if errors.As(runErr, &gv) || errors.As(runErr, &cv) || errors.As(runErr, &sv) {
+		// A detection (guard, canary or shadow-stack fault) may fire after
+		// the goal was already reached (e.g. a leak emitted before the
+		// corrupted frame returned); the paper counts any detection as a
+		// stop only when it precedes the damage, so check the goal first.
 		if goal(m, env) {
 			return Success
 		}

@@ -58,13 +58,13 @@ func PredictionScenario(eng *layout.Smokestack) *Scenario {
 				mainFL := eng.LayoutForValue(mainFn, rMain)
 				dispFL := eng.LayoutForValue(dispFn, rDisp)
 				predicted = &dispFL
-				if mainFL.GuardOffset >= 0 && dispFL.GuardOffset >= 0 {
+				if mainFL.GuardOffset() >= 0 && dispFL.GuardOffset() >= 0 {
 					// main's frame base is deterministic: the stack top
 					// minus its (known, predicted) frame size, 16-aligned.
 					mainBase := (uint64(mem.StackTop) - uint64(mainFL.Size)) &^ 15
 					// Defer the read to attack time (the frame must be
 					// live); capture addresses now.
-					guardAddr := mainBase + uint64(mainFL.GuardOffset)
+					guardAddr := mainBase + uint64(mainFL.GuardOffset())
 					mainID := uint64(mainFn.ID)
 					dispID := uint64(dispFn.ID)
 					env.Input = buildPredictedInput(m, b, steps, predicted, func() (uint64, bool) {
@@ -110,9 +110,9 @@ func buildPredictedInput(_ *vm.Machine, b *Belief, steps []map[string]int64,
 		for v, val := range steps[k] {
 			pl.Put8(dispOff(v)-bufOff, uint64(val))
 		}
-		if predicted != nil && predicted.GuardOffset >= 0 && guardVal != nil {
+		if predicted != nil && predicted.GuardOffset() >= 0 && guardVal != nil {
 			if gv, ok := guardVal(); ok {
-				rel := predicted.GuardOffset - bufOff
+				rel := predicted.GuardOffset() - bufOff
 				if rel >= 0 && rel < pl.Len() {
 					// The guard lies inside the overflow span: preserve its
 					// encoded value so the epilogue check passes.

@@ -106,7 +106,7 @@ func TestFrameLayouts(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, fl := range ls {
-		if fl.GuardOffset < 0 {
+		if fl.GuardOffset() < 0 {
 			t.Fatal("guard missing")
 		}
 	}

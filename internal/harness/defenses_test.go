@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+// TestDefensesSmoke runs the cross-defense matrix over the three new zoo
+// engines and checks that every engine gets an overhead, entropy and full
+// attack-campaign row and that the rendered table carries all three axes.
+func TestDefensesSmoke(t *testing.T) {
+	zoo := []string{"cleanstack", "shadowstack", "stackato"}
+	recs, err := Run(Config{Seed: 7, Engines: zoo}, "defenses")
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := exp.Errors(recs); err != nil {
+		t.Fatalf("cell errors: %v", err)
+	}
+	kinds := make(map[string]map[string]int) // engine -> kind -> count
+	attacks := make(map[string]int)
+	for _, r := range exp.Filter(recs, "defenses") {
+		eng := r.Label("engine")
+		if eng == "" {
+			t.Fatalf("record %s has no engine label", r.Cell)
+		}
+		if kinds[eng] == nil {
+			kinds[eng] = make(map[string]int)
+		}
+		switch k := r.Label("kind"); k {
+		case "overhead", "entropy":
+			kinds[eng][k]++
+		default:
+			attacks[eng]++
+		}
+	}
+	corpusSize := len(fullAttackCorpus())
+	for _, eng := range zoo {
+		if kinds[eng]["overhead"] != 1 || kinds[eng]["entropy"] != 1 {
+			t.Errorf("%s: overhead/entropy cells = %v, want one of each", eng, kinds[eng])
+		}
+		if attacks[eng] != corpusSize {
+			t.Errorf("%s: %d attack records, want %d (full corpus)", eng, attacks[eng], corpusSize)
+		}
+	}
+
+	var sb strings.Builder
+	RenderDefenses(&sb, recs)
+	table := sb.String()
+	for _, want := range append([]string{"overhead%", "entropy(bits)", "stopped", "bypassed-by"}, zoo...) {
+		if !strings.Contains(table, want) {
+			t.Errorf("rendered matrix missing %q:\n%s", want, table)
+		}
+	}
+}
+
+// TestDefensesRowOrder checks the matrix preserves lineup order and that
+// the default lineup covers the five historical engines plus the zoo.
+func TestDefensesRowOrder(t *testing.T) {
+	recs := []exp.Record{
+		{Experiment: "defenses", Labels: map[string]string{"kind": "entropy", "engine": "b"}, Values: map[string]float64{"bits": 1}},
+		{Experiment: "defenses", Labels: map[string]string{"kind": "overhead", "engine": "a"}, Values: map[string]float64{"overhead_pct": 2}},
+		{Experiment: "defenses", Labels: map[string]string{"engine": "a", "scenario": "s"}, Values: map[string]float64{"successes": 1}},
+	}
+	rows := defenseRows(recs)
+	if len(rows) != 2 || rows[0].engine != "b" || rows[1].engine != "a" {
+		t.Fatalf("rows = %+v, want first-appearance order b,a", rows)
+	}
+	if rows[1].attacks != 1 || rows[1].stopped != 0 || len(rows[1].bypassed) != 1 {
+		t.Errorf("attack fold wrong: %+v", rows[1])
+	}
+	for _, name := range defenseLineup {
+		if !ValidEngine(name) {
+			t.Errorf("default lineup engine %q not registered", name)
+		}
+	}
+}

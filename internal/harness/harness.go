@@ -18,7 +18,6 @@ import (
 	"context"
 	"fmt"
 	"io"
-	"strings"
 	"time"
 
 	"repro/internal/exp"
@@ -44,6 +43,11 @@ type Config struct {
 	// Parallel bounds the experiment cell worker pool (0 = GOMAXPROCS,
 	// 1 = serial). Results are identical at every setting.
 	Parallel int
+	// Engines, when non-empty, replaces the default defense lineup of the
+	// lineup-driven experiments (pentest, bypass, cve, defenses). Names
+	// must be registered (see EngineNames); nil keeps the historical
+	// lineups, so recorded goldens are unaffected.
+	Engines []string
 	// Retries grants each cell extra attempts when it fails with a
 	// transient (e.g. injected) error, with capped exponential backoff
 	// between attempts. 0 disables. Deterministically seeded cells fail
@@ -61,6 +65,15 @@ type Config struct {
 	// Ctx, when non-nil, cancels retry backoff waits promptly (the cells
 	// themselves are supervised separately, by VM watchdogs).
 	Ctx context.Context
+}
+
+// lineup resolves the engine list for a lineup-driven experiment: the
+// config override when set, else the experiment's default.
+func (c Config) lineup(def []string) []string {
+	if len(c.Engines) > 0 {
+		return c.Engines
+	}
+	return def
 }
 
 func (c Config) out() io.Writer {
@@ -157,27 +170,19 @@ func runOnce(w *workload.Workload, eng layout.Engine, seed uint64, jitterAmp flo
 }
 
 // smokestackEngine builds the Smokestack engine for a scheme name over prog
-// (shared plan, fresh RNG stream).
+// (shared plan, fresh RNG stream) — the registry's performance lineage.
 func smokestackEngine(scheme string, prog *ir.Program, seed uint64) (*layout.Smokestack, error) {
-	src, err := rng.NewByName(scheme, seed, rng.SeededTRNG(seed^0x5eed))
+	eng, err := BuildEngine("smokestack+"+scheme, prog, seed, SaltPerf)
 	if err != nil {
 		return nil, err
 	}
-	return smokestackPlan(prog, nil).NewEngine(src), nil
+	return eng.(*layout.Smokestack), nil
 }
 
-// securityEngine builds a defense engine by lineup name, routing
-// Smokestack variants through the shared plan cache. Seed derivation
-// matches layout.NewByName so results are unchanged.
+// securityEngine builds a defense engine by registry name — the registry's
+// security lineage.
 func securityEngine(name string, prog *ir.Program, seed uint64) (layout.Engine, error) {
-	if scheme, ok := strings.CutPrefix(name, "smokestack+"); ok {
-		src, err := rng.NewByName(scheme, seed, rng.SeededTRNG(seed))
-		if err != nil {
-			return nil, err
-		}
-		return smokestackPlan(prog, nil).NewEngine(src), nil
-	}
-	return layout.NewByName(name, prog, seed, rng.SeededTRNG(seed))
+	return BuildEngine(name, prog, seed, SaltSecurity)
 }
 
 // ---------------------------------------------------------------------------
@@ -208,6 +213,7 @@ func Experiments() []Experiment {
 		{Name: "ablation-pbox", Cells: ablationPBoxCells, Render: RenderPBoxAblation},
 		{Name: "entropy", Cells: entropyCells, Render: RenderEntropyCurve},
 		{Name: "faults", Cells: faultsCells, Render: RenderFaults},
+		{Name: "defenses", Cells: defensesCells, Render: RenderDefenses},
 	}
 }
 

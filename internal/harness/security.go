@@ -107,18 +107,18 @@ func scenarioEngineSeed(s *attack.Scenario, engName string) []string {
 // pentestCells covers E4: the synthetic direct/indirect x stack/data/heap
 // matrix.
 func pentestCells(cfg Config) []exp.Cell {
-	return campaignCells(cfg, "pentest", securityEngines, attack.PentestMatrix, scenarioEngineSeed)
+	return campaignCells(cfg, "pentest", cfg.lineup(securityEngines), attack.PentestMatrix, scenarioEngineSeed)
 }
 
 // cveCells covers E6: the real-vulnerability reproductions.
 func cveCells(cfg Config) []exp.Cell {
-	return campaignCells(cfg, "cve", securityEngines, attack.CVEScenarios, scenarioEngineSeed)
+	return campaignCells(cfg, "cve", cfg.lineup(securityEngines), attack.CVEScenarios, scenarioEngineSeed)
 }
 
 // bypassCells covers E5: the §II-C librelp PoC against each prior scheme.
 func bypassCells(cfg Config) []exp.Cell {
 	librelp := func() []*attack.Scenario { return []*attack.Scenario{attack.LibrelpScenario()} }
-	return campaignCells(cfg, "bypass", bypassEngines, librelp,
+	return campaignCells(cfg, "bypass", cfg.lineup(bypassEngines), librelp,
 		func(_ *attack.Scenario, engName string) []string { return []string{"bypass", engName} })
 }
 

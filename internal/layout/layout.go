@@ -28,19 +28,127 @@ import (
 	"repro/internal/rng"
 )
 
-// FrameLayout describes the stack frame organization for one invocation.
-type FrameLayout struct {
-	// Offsets holds each alloca's offset from the frame base (low address),
-	// indexed like ir.Function.Allocas.
-	Offsets []int64
-	// GuardOffset is the offset of the encoded function-identifier slot, or
-	// -1 when the engine places no guard.
-	GuardOffset int64
-	// Size is the total frame extent (16-byte aligned).
-	Size int64
+// SlotKind classifies an integrity slot a layout engine places in the
+// frame. Each kind has its own write value, check point and typed fault in
+// the VM (GuardViolation / CanaryViolation / ShadowStackViolation).
+type SlotKind uint8
+
+// Integrity slot kinds.
+const (
+	// SlotGuard is Smokestack's encoded function-identifier slot: written
+	// with guardKey^fn.ID at prologue, checked at epilogue (§III-D2).
+	SlotGuard SlotKind = iota
+	// SlotCanary is a Stackato/StackGuard-style per-frame canary: a secret
+	// per-run key encoded with the function identity, checked at epilogue.
+	SlotCanary
+	// SlotReturn is a shadow return-address token: the VM pushes a
+	// per-invocation token on a disjoint (unreadable) shadow stack and
+	// mirrors it into this frame slot; an epilogue mismatch means the
+	// backward edge was corrupted.
+	SlotReturn
+)
+
+// String names the slot kind (diagnostics and layout dumps).
+func (k SlotKind) String() string {
+	switch k {
+	case SlotGuard:
+		return "guard"
+	case SlotCanary:
+		return "canary"
+	case SlotReturn:
+		return "shadow"
+	}
+	return fmt.Sprintf("slot(%d)", uint8(k))
 }
 
-// Engine decides frame layouts and prices its instrumentation.
+// Stack regions an alloca may be placed in. Region values index the VM's
+// stack segments; engines without dual stacks leave FrameLayout.Regions nil
+// (everything in the main region).
+const (
+	// RegionMain is the ordinary stack frame.
+	RegionMain uint8 = 0
+	// RegionUnsafe is the segregated "unsafe" stack segment (CleanStack):
+	// objects reachable from pointer-taking or array code live there, away
+	// from scalars and integrity slots.
+	RegionUnsafe uint8 = 1
+)
+
+// IntegritySlot is one engine-declared integrity slot. Offset is relative
+// to the main-region frame base; every slot is 8 bytes.
+type IntegritySlot struct {
+	Kind   SlotKind
+	Offset int64
+}
+
+// maxIntegritySlots bounds the slots a layout may declare. The array is
+// inline in FrameLayout so declaring slots never allocates on the call
+// path (TestProfileAllocsPerCall pins per-call allocations).
+const maxIntegritySlots = 2
+
+// FrameLayout describes the stack frame organization for one invocation.
+type FrameLayout struct {
+	// Offsets holds each alloca's offset from its region's frame base (low
+	// address), indexed like ir.Function.Allocas. For allocas in the main
+	// region the offset is relative to the main frame base; for allocas in
+	// the unsafe region it is relative to the unsafe frame base.
+	Offsets []int64
+	// Size is the total main-region frame extent (16-byte aligned).
+	Size int64
+	// Slots holds the engine's integrity slots (guard, canary, shadow
+	// token); only the first NumSlots entries are meaningful. Slot offsets
+	// are main-region relative.
+	Slots    [maxIntegritySlots]IntegritySlot
+	NumSlots int
+	// Regions assigns each alloca to a stack region (indexed like Offsets).
+	// nil means every alloca lives in RegionMain — the single-stack common
+	// case, which the VM treats exactly as before the region seam existed.
+	Regions []uint8
+	// UnsafeSize is the unsafe-region frame extent (16-byte aligned; 0
+	// when Regions is nil or nothing was segregated).
+	UnsafeSize int64
+}
+
+// AddSlot appends an integrity slot; it panics beyond maxIntegritySlots
+// (an engine bug, not an input condition).
+func (fl *FrameLayout) AddSlot(kind SlotKind, off int64) {
+	if fl.NumSlots >= maxIntegritySlots {
+		panic("layout: too many integrity slots")
+	}
+	fl.Slots[fl.NumSlots] = IntegritySlot{Kind: kind, Offset: off}
+	fl.NumSlots++
+}
+
+// GuardOffset returns the offset of the first SlotGuard slot, or -1 when
+// the layout places none — the pre-refactor field as a derived accessor.
+func (fl FrameLayout) GuardOffset() int64 {
+	for i := 0; i < fl.NumSlots; i++ {
+		if fl.Slots[i].Kind == SlotGuard {
+			return fl.Slots[i].Offset
+		}
+	}
+	return -1
+}
+
+// SlotsView returns the meaningful prefix of Slots.
+func (fl *FrameLayout) SlotsView() []IntegritySlot { return fl.Slots[:fl.NumSlots] }
+
+// Region returns the stack region of alloca i (RegionMain when Regions is
+// nil).
+func (fl FrameLayout) Region(i int) uint8 {
+	if fl.Regions == nil {
+		return RegionMain
+	}
+	return fl.Regions[i]
+}
+
+// Engine decides frame layouts and prices its instrumentation. The
+// interface is capability-based: a layout may place each alloca in one of
+// several stack regions (FrameLayout.Regions), declare zero or more
+// integrity slots with per-slot check points (FrameLayout.Slots), and
+// request a shadow return stack (a SlotReturn slot). Engines with a second
+// stack segment additionally implement DualStacker; engines with
+// decomposable instrumentation prices implement vm.PrologueProfiler or
+// vm.DefenseProfiler for the cycle-attribution profiler.
 type Engine interface {
 	// Name identifies the scheme.
 	Name() string
@@ -120,7 +228,7 @@ func (*Fixed) NewRun() {}
 // Layout implements Engine.
 func (*Fixed) Layout(fn *ir.Function) FrameLayout {
 	off, size := fixedOffsets(fn)
-	return FrameLayout{Offsets: off, GuardOffset: -1, Size: size}
+	return FrameLayout{Offsets: off, Size: size}
 }
 
 // PrologueCycles implements Engine.
@@ -192,7 +300,7 @@ func (s *StaticRand) Layout(fn *ir.Function) FrameLayout {
 		offsets[ai] = ind
 		ind += fn.Allocas[ai].Size
 	}
-	fl := FrameLayout{Offsets: offsets, GuardOffset: -1, Size: alignUp(ind, 16)}
+	fl := FrameLayout{Offsets: offsets, Size: alignUp(ind, 16)}
 	s.cache[fn.ID] = fl
 	return fl
 }
@@ -266,7 +374,7 @@ func (p *Padding) Layout(fn *ir.Function) FrameLayout {
 		}
 		size = alignUp(size+pad, 16)
 	}
-	fl := FrameLayout{Offsets: off, GuardOffset: -1, Size: size}
+	fl := FrameLayout{Offsets: off, Size: size}
 	p.cache[fn.ID] = fl
 	return fl
 }
@@ -328,7 +436,7 @@ func (b *BaseRand) NewRun() {
 // Layout implements Engine.
 func (*BaseRand) Layout(fn *ir.Function) FrameLayout {
 	off, size := fixedOffsets(fn)
-	return FrameLayout{Offsets: off, GuardOffset: -1, Size: size}
+	return FrameLayout{Offsets: off, Size: size}
 }
 
 // PrologueCycles implements Engine.
@@ -563,9 +671,11 @@ func (s *Smokestack) LayoutForValue(fn *ir.Function, r uint64) FrameLayout {
 	}
 	out := make([]int64, total)
 	size := e.Layout(r, out)
-	fl := FrameLayout{Offsets: out[:n], GuardOffset: -1, Size: size}
+	fl := FrameLayout{Offsets: out[:n], Size: size}
 	if p.opts.Guard {
-		fl.GuardOffset = out[n]
+		// The guard participated in the permutation as the extra allocation;
+		// expose it as a SlotGuard integrity slot at its permuted offset.
+		fl.AddSlot(SlotGuard, out[n])
 	}
 	return fl
 }
@@ -657,6 +767,16 @@ func NewByName(name string, prog *ir.Program, seed uint64, trng rng.TRNG) (Engin
 		return NewPadding(seed), nil
 	case "baserand":
 		return NewBaseRand(trng), nil
+	case "cleanstack":
+		return NewCleanStack(trng), nil
+	case "shadowstack":
+		return NewShadowStack(), nil
+	case "stackato":
+		src, err := rng.NewByName("aes-10", seed, trng)
+		if err != nil {
+			return nil, err
+		}
+		return NewStackato(src), nil
 	}
 	const prefix = "smokestack+"
 	if len(name) > len(prefix) && name[:len(prefix)] == prefix {

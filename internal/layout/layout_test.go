@@ -44,8 +44,19 @@ func validate(t *testing.T, fn *ir.Function, fl layout.FrameLayout) {
 	t.Helper()
 	type span struct{ lo, hi int64 }
 	var spans []span
+	var unsafeSpans []span
 	for i, a := range fn.Allocas {
 		off := fl.Offsets[i]
+		if fl.Region(i) == layout.RegionUnsafe {
+			if off < 0 || off+a.Size > fl.UnsafeSize {
+				t.Fatalf("unsafe alloca %s out of region: off=%d size=%d region=%d", a.Name, off, a.Size, fl.UnsafeSize)
+			}
+			if off%a.Align != 0 {
+				t.Fatalf("alloca %s misaligned: off=%d align=%d", a.Name, off, a.Align)
+			}
+			unsafeSpans = append(unsafeSpans, span{off, off + a.Size})
+			continue
+		}
 		if off < 0 || off+a.Size > fl.Size {
 			t.Fatalf("alloca %s out of frame: off=%d size=%d frame=%d", a.Name, off, a.Size, fl.Size)
 		}
@@ -54,19 +65,23 @@ func validate(t *testing.T, fn *ir.Function, fl layout.FrameLayout) {
 		}
 		spans = append(spans, span{off, off + a.Size})
 	}
-	if fl.GuardOffset >= 0 {
-		if fl.GuardOffset+8 > fl.Size || fl.GuardOffset%8 != 0 {
-			t.Fatalf("guard out of frame or misaligned: %d", fl.GuardOffset)
+	for _, s := range fl.SlotsView() {
+		if s.Offset < 0 || s.Offset+8 > fl.Size || s.Offset%8 != 0 {
+			t.Fatalf("integrity slot out of frame or misaligned: %d", s.Offset)
 		}
-		spans = append(spans, span{fl.GuardOffset, fl.GuardOffset + 8})
+		spans = append(spans, span{s.Offset, s.Offset + 8})
 	}
-	for i := range spans {
-		for j := i + 1; j < len(spans); j++ {
-			if spans[i].lo < spans[j].hi && spans[j].lo < spans[i].hi {
-				t.Fatalf("objects %d and %d overlap", i, j)
+	overlapFree := func(spans []span) {
+		for i := range spans {
+			for j := i + 1; j < len(spans); j++ {
+				if spans[i].lo < spans[j].hi && spans[j].lo < spans[i].hi {
+					t.Fatalf("objects %d and %d overlap", i, j)
+				}
 			}
 		}
 	}
+	overlapFree(spans)
+	overlapFree(unsafeSpans)
 	if fl.Size%16 != 0 {
 		t.Fatalf("frame size %d not 16-aligned", fl.Size)
 	}
@@ -77,7 +92,7 @@ func TestFixedIsDeclarationOrder(t *testing.T) {
 	fn := workFn(t, p)
 	fl := layout.NewFixed().Layout(fn)
 	validate(t, fn, fl)
-	if fl.GuardOffset != -1 {
+	if fl.GuardOffset() != -1 {
 		t.Error("fixed must not place a guard")
 	}
 	// Declaration order: offsets strictly increase (modulo alignment).
@@ -182,10 +197,10 @@ func TestSmokestackPerInvocation(t *testing.T) {
 	for i := 0; i < 64; i++ {
 		fl := e.Layout(fn)
 		validate(t, fn, fl)
-		if fl.GuardOffset < 0 {
+		if fl.GuardOffset() < 0 {
 			t.Fatal("smokestack must place a guard")
 		}
-		seen[fmt.Sprint(fl.Offsets, fl.GuardOffset)] = true
+		seen[fmt.Sprint(fl.Offsets, fl.GuardOffset())] = true
 	}
 	// 5 objects + guard = 6 → 720 permutations; 64 draws should hit many
 	// distinct layouts.
@@ -215,7 +230,7 @@ func TestSmokestackGuardDisabled(t *testing.T) {
 	})
 	fl := e.Layout(fn)
 	validate(t, fn, fl)
-	if fl.GuardOffset != -1 {
+	if fl.GuardOffset() != -1 {
 		t.Fatal("guard disabled but offset present")
 	}
 	if e.EpilogueCycles(fn) != 0 {

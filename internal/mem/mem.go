@@ -20,6 +20,14 @@ const (
 	HeapBase   = 0x2000_0000
 	StackTop   = 0x7fff_0000 // stack occupies [StackTop-StackSize, StackTop)
 	StackSize  = 8 << 20     // 8 MiB
+
+	// The "unsafe" stack used by dual-stack engines (CleanStack). It sits
+	// below the main stack with a gap, so a linear overflow of an unsafe
+	// buffer faults before it can reach main-stack scalars or integrity
+	// slots. Mapped only when the layout engine implements
+	// layout.DualStacker.
+	UnsafeStackTop  = 0x7f00_0000 // [UnsafeStackTop-UnsafeStackSize, UnsafeStackTop)
+	UnsafeStackSize = 4 << 20     // 4 MiB
 )
 
 // AccessKind distinguishes read and write faults.

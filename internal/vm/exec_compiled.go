@@ -46,7 +46,6 @@ import (
 	"fmt"
 
 	"repro/internal/ir"
-	"repro/internal/layout"
 	"repro/internal/mem"
 )
 
@@ -68,7 +67,7 @@ const (
 // counterpart of exec and must preserve its observable behaviour (results,
 // faults, Stats) bit for bit; TestCycleInvariance and the tier
 // differential test enforce that.
-func (m *Machine) execCompiled(fn *ir.Function, cf *compiledFunc, base uint64, fl layout.FrameLayout) (int64, error) {
+func (m *Machine) execCompiled(fn *ir.Function, cf *compiledFunc, base uint64, offsets []int64) (int64, error) {
 	regs := m.regSlab(len(m.frames)-1, fn.NumRegs)
 	code := cf.code
 	costMul := 1.0
@@ -84,7 +83,6 @@ func (m *Machine) execCompiled(fn *ir.Function, cf *compiledFunc, base uint64, f
 	// two views the driver rotates hot→hot2 on each slow-path re-aim, so
 	// steady alternation settles in-core after two events.
 	hot, hot2 := stk, stk
-	offsets := fl.Offsets
 	// pn is the per-cop dispatch-count slab for the counting core twin:
 	// nil when no profile is attached, and the dormant runCore (which
 	// never sees pn at all) runs instead — see runCoreProf. The core

@@ -208,9 +208,7 @@ func (m *Machine) hostDispatch(fn *ir.Function, pc int, host int, args []int64) 
 			return 0, &StackOverflow{Func: fn.Name}
 		}
 		m.sp = newSP
-		if peak := m.stackTop - newSP; peak > m.stats.StackPeak {
-			m.stats.StackPeak = peak
-		}
+		m.notePeak()
 		return int64(newSP), nil
 	case "exit":
 		return 0, &exitRequest{code: args[0]}

@@ -45,6 +45,19 @@ type PrologueProfiler interface {
 	PrologueBreakdown(fn *ir.Function) (draw, lookup, guard, spread float64)
 }
 
+// DefenseProfiler is the optional layout-engine interface for the defense
+// zoo (cleanstack / shadowstack / stackato): engines report the per-event
+// decomposition of their instrumentation prices so the profiler can bucket
+// canary writes/checks, shadow pushes/checks and unsafe-stack rebases
+// separately. The prologue components (draw, canaryWrite, shadowPush,
+// unsafeRebase) must sum to PrologueCycles(fn) and the epilogue components
+// (canaryCheck, shadowCheck) to EpilogueCycles(fn) for the same
+// invocation; any residual is bucketed under prologue.other /
+// epilogue.guardcheck. PrologueProfiler wins when both are implemented.
+type DefenseProfiler interface {
+	DefenseBreakdown(fn *ir.Function) (draw, canaryWrite, shadowPush, unsafeRebase, canaryCheck, shadowCheck float64)
+}
+
 // Instrumentation-cost categories. These price what the layout engine
 // and the call model add on top of plain opcode execution.
 const (
@@ -54,9 +67,14 @@ const (
 	catGuardWrite           // prologue: canary store
 	catSpread               // prologue: frame-spread locality surcharge
 	catPrologueOther        // whole prologue, engines without a breakdown
-	catGuardCheck           // epilogue: canary compare
+	catGuardCheck           // epilogue: guard compare (and undecomposed epilogue)
 	catAddrSurcharge        // AddrLocalExtraCycles share of every addr.local
 	catHost                 // host builtins: HostBase + per-op modeled time
+	catCanaryWrite          // prologue: per-frame canary store (stackato)
+	catCanaryCheck          // epilogue: per-frame canary compare
+	catShadowPush           // prologue: shadow return-token push
+	catShadowCheck          // epilogue: shadow return-token compare
+	catUnsafeRebase         // prologue: unsafe-stack pointer rebase (cleanstack)
 	numProfCats
 )
 
@@ -70,6 +88,11 @@ var catNames = [numProfCats]string{
 	catGuardCheck:    "epilogue.guardcheck",
 	catAddrSurcharge: "addrlocal.surcharge",
 	catHost:          "host",
+	catCanaryWrite:   "canary.write",
+	catCanaryCheck:   "canary.check",
+	catShadowPush:    "shadow.push",
+	catShadowCheck:   "shadow.check",
+	catUnsafeRebase:  "unsafe.rebase",
 }
 
 // numCops sizes per-cop tables (compiled-tier dispatch counts).

@@ -72,6 +72,16 @@ func profileEngines(t *testing.T, seed uint64) map[string]func() (layout.Engine,
 		"smokestack+jitter": func() (layout.Engine, float64) {
 			return layout.NewSmokestack(profileProbeProg, rng.NewAESCtr(10, rng.SeededTRNG(seed)), nil), 0.026
 		},
+		// Defense zoo: each exercises a disjoint slice of the defense
+		// categories (unsafe.rebase / shadow.push+check / canary.write+check
+		// plus the prologue draw).
+		"cleanstack": func() (layout.Engine, float64) {
+			return layout.NewCleanStack(rng.SeededTRNG(seed)), 0
+		},
+		"shadowstack": func() (layout.Engine, float64) { return layout.NewShadowStack(), 0 },
+		"stackato": func() (layout.Engine, float64) {
+			return layout.NewStackato(rng.NewAESCtr(10, rng.SeededTRNG(seed))), 0
+		},
 	}
 }
 
@@ -162,6 +172,25 @@ func TestProfileReconciliation(t *testing.T) {
 				}
 				if steps != s1.Instructions {
 					t.Fatalf("op counts sum to %d, want %d instructions", steps, s1.Instructions)
+				}
+
+				// Defense engines must attribute their machinery to the
+				// dedicated categories (and still sum exactly, per above).
+				wantCats := map[string][]string{
+					"cleanstack":  {"unsafe.rebase"},
+					"shadowstack": {"shadow.push", "shadow.check"},
+					"stackato":    {"canary.write", "canary.check"},
+				}[engName]
+				cats := make(map[string]float64)
+				for _, r := range rows {
+					if r.Kind == "cat" {
+						cats[r.Name] = r.Cycles
+					}
+				}
+				for _, c := range wantCats {
+					if cats[c] <= 0 {
+						t.Errorf("category %q absent or zero (cats: %v)", c, cats)
+					}
 				}
 			})
 		}

@@ -38,6 +38,17 @@ type (
 	GuardViolation struct {
 		Func string
 	}
+	// CanaryViolation reports a corrupted per-frame canary slot detected at
+	// epilogue (Stackato/StackGuard-style defenses).
+	CanaryViolation struct {
+		Func string
+	}
+	// ShadowStackViolation reports a frame return-token that no longer
+	// matches the disjoint shadow stack at epilogue: backward-edge
+	// corruption caught by shadow-stack defenses.
+	ShadowStackViolation struct {
+		Func string
+	}
 	// StackOverflow reports frame allocation below the stack segment.
 	StackOverflow struct {
 		Func string
@@ -75,6 +86,12 @@ func (e *MemFault) Error() string {
 func (e *MemFault) Unwrap() error { return e.Err }
 func (e *GuardViolation) Error() string {
 	return fmt.Sprintf("smokestack: function identifier check failed in %s (stack corruption detected)", e.Func)
+}
+func (e *CanaryViolation) Error() string {
+	return fmt.Sprintf("canary check failed in %s (stack corruption detected)", e.Func)
+}
+func (e *ShadowStackViolation) Error() string {
+	return fmt.Sprintf("shadow stack mismatch in %s (return linkage corrupted)", e.Func)
 }
 func (e *StackOverflow) Error() string { return fmt.Sprintf("stack overflow in %s", e.Func) }
 func (e *DivideByZero) Error() string {
@@ -251,10 +268,15 @@ type Stats struct {
 // frameRecord tracks one active invocation (used by attacks and
 // diagnostics).
 type frameRecord struct {
-	fn      *ir.Function
-	base    uint64
-	layout  layout.FrameLayout
-	savedSP uint64
+	fn       *ir.Function
+	base     uint64
+	ubase    uint64 // unsafe-region frame base (0 when single-region)
+	layout   layout.FrameLayout
+	savedSP  uint64
+	savedUSP uint64
+	// savedShadow is the shadow-stack depth at entry; popFrame truncates to
+	// it, keeping the shadow balanced on every fault path.
+	savedShadow int
 }
 
 // Machine executes one program run.
@@ -302,8 +324,31 @@ type Machine struct {
 	stackBase uint64
 	stackTop  uint64
 
+	// Unsafe (second) stack segment state: mapped only when the engine
+	// implements layout.DualStacker; all zero/nil otherwise, in which case
+	// every expression involving them reduces to the single-stack value.
+	ustack     *mem.Segment
+	usp        uint64
+	unsafeBase uint64
+	unsafeTop  uint64
+
 	guardKey uint64
-	jitter   []float64 // per-function cost multiplier (nil when disabled)
+	// canaryKey/shadowKey back SlotCanary writes and SlotReturn tokens.
+	// Both derive deterministically from guardKey (splitmix steps), so
+	// engines using them consume no extra TRNG draws — existing engines'
+	// entropy streams are untouched.
+	canaryKey uint64
+	shadowKey uint64
+	// shadow is the disjoint shadow return stack: one token per live
+	// SlotReturn slot, invisible to simulated memory (the leak-resilience
+	// property).
+	shadow []uint64
+	// effSlabs pools per-depth effective-offset scratch for multi-region
+	// frames: offsets rebased so base+offset lands in the right region,
+	// letting the call-free compiled cores run unchanged.
+	effSlabs [][]int64
+
+	jitter []float64 // per-function cost multiplier (nil when disabled)
 
 	frames []frameRecord
 
@@ -333,6 +378,7 @@ type Machine struct {
 	// baselines for the Memory segment-cache counters.
 	prof           *Profile
 	profProlog     PrologueProfiler
+	profDefense    DefenseProfiler
 	addrExtra      float64
 	profW          [ir.NumOps]float64
 	profN          [ir.NumOps]uint64
@@ -389,9 +435,15 @@ func New(prog *ir.Program, engine layout.Engine, env *Env, opts *Options) *Machi
 	if o.HeapSize == 0 {
 		o.HeapSize = 64 << 20
 	}
-	// Clamp the heap below the stack segment: an oversized request shrinks
-	// to the available address range instead of failing construction.
-	if maxHeap := uint64(mem.StackTop-mem.StackSize) - mem.HeapBase; o.HeapSize > maxHeap {
+	// Clamp the heap below the lowest stack segment: an oversized request
+	// shrinks to the available address range instead of failing
+	// construction. Dual-stack engines add the unsafe segment below the
+	// main stack, lowering the ceiling.
+	stackFloor := uint64(mem.StackTop - mem.StackSize)
+	if _, ok := engine.(layout.DualStacker); ok {
+		stackFloor = uint64(mem.UnsafeStackTop - mem.UnsafeStackSize)
+	}
+	if maxHeap := stackFloor - mem.HeapBase; o.HeapSize > maxHeap {
 		o.HeapSize = maxHeap
 	}
 	if env == nil {
@@ -471,9 +523,26 @@ func New(prog *ir.Program, engine layout.Engine, env *Env, opts *Options) *Machi
 	}
 	m.stackBase = mem.StackTop - mem.StackSize
 
+	// Dual-stack engines get the segregated "unsafe" segment with its own
+	// per-run bias; for everyone else ustack stays nil and unsafeTop/usp
+	// stay 0, leaving segment lists, digests and stack accounting exactly
+	// as before the region seam existed.
+	ds, dualStack := engine.(layout.DualStacker)
+	if dualStack {
+		if m.ustack, err = m.Mem.Map("ustack", mem.UnsafeStackTop-mem.UnsafeStackSize, mem.UnsafeStackSize, true); err != nil {
+			m.initErr = fmt.Errorf("vm: program image: %w", err)
+			return m
+		}
+		m.unsafeBase = mem.UnsafeStackTop - mem.UnsafeStackSize
+	}
+
 	engine.NewRun()
 	m.stackTop = mem.StackTop - engine.StackBias()
 	m.sp = m.stackTop
+	if dualStack {
+		m.unsafeTop = mem.UnsafeStackTop - ds.UnsafeBias()
+		m.usp = m.unsafeTop
+	}
 	m.stats.StackPeak = 0
 	// The guard key must be unpredictable; retry a failing TRNG a bounded
 	// number of times, then fault construction rather than running with a
@@ -490,12 +559,20 @@ func New(prog *ir.Program, engine layout.Engine, env *Env, opts *Options) *Machi
 		m.initErr = &EntropyFault{Func: "init (guard key)", Err: rng.ErrEntropyExhausted}
 		return m
 	}
+	// Canary and shadow keys derive deterministically from the guard key:
+	// engines using those slots consume no extra TRNG draws, so every
+	// pre-existing engine's entropy stream is bit-identical to before.
+	m.canaryKey = splitmix64(m.guardKey)
+	m.shadowKey = splitmix64(m.canaryKey)
 	m.buildCostTable()
 	m.addrExtra = engine.AddrLocalExtraCycles()
 	if o.Prof != nil {
 		m.prof = o.Prof
 		if pp, ok := engine.(PrologueProfiler); ok {
 			m.profProlog = pp
+		}
+		if dp, ok := engine.(DefenseProfiler); ok {
+			m.profDefense = dp
 		}
 		// Per-cop slabs for the compiled tier's dispatch counts. Allocated
 		// here, once, so attaching a profile adds zero per-step and
@@ -604,6 +681,24 @@ func alignU(n, a uint64) uint64 {
 	return n
 }
 
+// splitmix64 is the standard 64-bit finalizing mixer; derives the canary
+// and shadow keys from the guard key.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// notePeak folds the current extent of both stacks into StackPeak. For
+// single-stack engines unsafeTop and usp are both 0, so the value reduces
+// to the pre-refactor stackTop-sp expression bit for bit.
+func (m *Machine) notePeak() {
+	if peak := m.stackTop - m.sp + (m.unsafeTop - m.usp); peak > m.stats.StackPeak {
+		m.stats.StackPeak = peak
+	}
+}
+
 // Stats returns execution counters accumulated so far.
 func (m *Machine) Stats() Stats {
 	s := m.stats
@@ -639,16 +734,20 @@ func (m *Machine) GlobalAddrByName(name string) (uint64, bool) {
 func (m *Machine) ActiveFrames() []ActiveFrame {
 	out := make([]ActiveFrame, len(m.frames))
 	for i, fr := range m.frames {
-		out[i] = ActiveFrame{Fn: fr.fn, Base: fr.base, Layout: fr.layout}
+		out[i] = ActiveFrame{Fn: fr.fn, Base: fr.base, UnsafeBase: fr.ubase, Layout: fr.layout}
 	}
 	return out
 }
 
 // ActiveFrame is one live invocation.
 type ActiveFrame struct {
-	Fn     *ir.Function
-	Base   uint64
-	Layout layout.FrameLayout
+	Fn   *ir.Function
+	Base uint64
+	// UnsafeBase is the frame's base in the unsafe stack region (0 when the
+	// layout is single-region). Offsets of allocas with Region(i) ==
+	// layout.RegionUnsafe are relative to it.
+	UnsafeBase uint64
+	Layout     layout.FrameLayout
 }
 
 // InitErr reports a construction-time failure (segment mapping, guard-key
@@ -755,9 +854,18 @@ func (m *Machine) call(fn *ir.Function, args []int64) (int64, error) {
 		return 0, &StackOverflow{Func: fn.Name}
 	}
 	m.sp = base
-	if peak := m.stackTop - base; peak > m.stats.StackPeak {
-		m.stats.StackPeak = peak
+	// Multi-region frames additionally carve a frame from the unsafe stack.
+	var ubase uint64
+	savedUSP := m.usp
+	if fl.Regions != nil {
+		ubase = (m.usp - uint64(fl.UnsafeSize)) &^ 15
+		if ubase < m.unsafeBase {
+			m.sp = savedSP
+			return 0, &StackOverflow{Func: fn.Name}
+		}
+		m.usp = ubase
 	}
+	m.notePeak()
 	m.stats.Calls++
 	if d := len(m.frames) + 1; d > m.stats.MaxDepth {
 		m.stats.MaxDepth = d
@@ -765,31 +873,66 @@ func (m *Machine) call(fn *ir.Function, args []int64) (int64, error) {
 	if fl.Size > m.stats.MaxFrameSize {
 		m.stats.MaxFrameSize = fl.Size
 	}
-	m.frames = append(m.frames, frameRecord{fn: fn, base: base, layout: fl, savedSP: savedSP})
+	m.frames = append(m.frames, frameRecord{
+		fn: fn, base: base, ubase: ubase, layout: fl,
+		savedSP: savedSP, savedUSP: savedUSP, savedShadow: len(m.shadow),
+	})
+
+	// Effective offsets: for single-region layouts these are the layout's
+	// offsets verbatim (no copy, no extra work). Multi-region layouts get a
+	// pooled slab with unsafe-region offsets rebased so base+offset (mod
+	// 2^64) lands at ubase+offset inside the unsafe segment — the executors
+	// and their call-free compiled cores run unchanged either way.
+	offsets := fl.Offsets
+	if fl.Regions != nil {
+		offsets = m.effSlab(len(m.frames)-1, len(fl.Offsets))
+		for i, off := range fl.Offsets {
+			if fl.Regions[i] == layout.RegionUnsafe {
+				offsets[i] = int64(ubase + uint64(off) - base)
+			} else {
+				offsets[i] = off
+			}
+		}
+	}
 
 	// Spill arguments into their (permuted) allocas. Param allocas always
 	// live in the frame, i.e. the stack segment, so the direct segment view
-	// is the common path (same pattern as the guard-slot write below); the
-	// general WriteU produces the fault otherwise.
+	// is the common path (same pattern as the integrity-slot write below);
+	// the general WriteU handles unsafe-region params and produces the
+	// fault otherwise.
 	for i := 0; i < fn.NumParams && i < len(args); i++ {
 		w := int(fn.Allocas[i].Size)
 		if w > 8 {
 			w = 8
 		}
-		if !m.stack.WriteUAt(base+uint64(fl.Offsets[i]), w, uint64(args[i])) {
-			if err := m.Mem.WriteU(base+uint64(fl.Offsets[i]), w, uint64(args[i])); err != nil {
+		if !m.stack.WriteUAt(base+uint64(offsets[i]), w, uint64(args[i])) {
+			if err := m.Mem.WriteU(base+uint64(offsets[i]), w, uint64(args[i])); err != nil {
 				m.popFrame()
 				return 0, &MemFault{Func: fn.Name, PC: -1, Err: err}
 			}
 		}
 	}
-	// Write the encoded function identifier. The guard slot always lies in
-	// the frame, i.e. the stack segment, so the direct segment view is the
-	// common path; the general WriteU produces the fault otherwise.
-	if fl.GuardOffset >= 0 {
-		gaddr := base + uint64(fl.GuardOffset)
-		if !m.stack.WriteU64At(gaddr, m.guardKey^uint64(fn.ID)) {
-			if err := m.Mem.WriteU(gaddr, 8, m.guardKey^uint64(fn.ID)); err != nil {
+	// Write the integrity slots. Slots always lie in the main frame, i.e.
+	// the stack segment, so the direct segment view is the common path; the
+	// general WriteU produces the fault otherwise.
+	for _, s := range fl.SlotsView() {
+		var val uint64
+		switch s.Kind {
+		case layout.SlotGuard:
+			// Smokestack's encoded function identifier (§III-D2).
+			val = m.guardKey ^ uint64(fn.ID)
+		case layout.SlotCanary:
+			val = m.canaryKey ^ uint64(fn.ID)
+		case layout.SlotReturn:
+			// Per-invocation token, mirrored between the frame slot and the
+			// disjoint shadow stack (popFrame truncates to savedShadow, so
+			// fault paths stay balanced).
+			val = m.shadowKey ^ (uint64(len(m.shadow)+1) * 0x9e3779b97f4a7c15)
+			m.shadow = append(m.shadow, val)
+		}
+		saddr := base + uint64(s.Offset)
+		if !m.stack.WriteU64At(saddr, val) {
+			if err := m.Mem.WriteU(saddr, 8, val); err != nil {
 				m.popFrame()
 				return 0, &MemFault{Func: fn.Name, PC: -1, Err: err}
 			}
@@ -818,6 +961,28 @@ func (m *Machine) call(fn *ir.Function, args []int64) (int64, error) {
 				m.profCat[catSpread].Count++
 				m.profCat[catSpread].Cycles += spread
 			}
+		} else if m.profDefense != nil {
+			draw, cw, spush, rebase, _, _ := m.profDefense.DefenseBreakdown(fn)
+			if draw != 0 {
+				m.profCat[catDraw].Count++
+				m.profCat[catDraw].Cycles += draw
+			}
+			if cw != 0 {
+				m.profCat[catCanaryWrite].Count++
+				m.profCat[catCanaryWrite].Cycles += cw
+			}
+			if spush != 0 {
+				m.profCat[catShadowPush].Count++
+				m.profCat[catShadowPush].Cycles += spush
+			}
+			if rebase != 0 {
+				m.profCat[catUnsafeRebase].Count++
+				m.profCat[catUnsafeRebase].Cycles += rebase
+			}
+			if rest := pro - draw - cw - spush - rebase; rest != 0 {
+				m.profCat[catPrologueOther].Count++
+				m.profCat[catPrologueOther].Cycles += rest
+			}
 		} else if pro != 0 {
 			m.profCat[catPrologueOther].Count++
 			m.profCat[catPrologueOther].Cycles += pro
@@ -827,7 +992,7 @@ func (m *Machine) call(fn *ir.Function, args []int64) (int64, error) {
 	var ret int64
 	var err error
 	if m.ccode != nil {
-		ret, err = m.execCompiled(fn, &m.ccode.funcs[fn.ID], base, fl)
+		ret, err = m.execCompiled(fn, &m.ccode.funcs[fn.ID], base, offsets)
 		if m.prof != nil {
 			// Fold this invocation's pending compiled-core dispatch counts
 			// with its jitter multiplier (partial counts from a faulted run
@@ -835,34 +1000,64 @@ func (m *Machine) call(fn *ir.Function, args []int64) (int64, error) {
 			m.flushPending(fn)
 		}
 	} else {
-		ret, err = m.exec(fn, base, fl)
+		ret, err = m.exec(fn, base, offsets)
 	}
 	if err != nil {
 		m.popFrame()
 		return 0, err
 	}
-	// Epilogue guard check (stack-segment view, same fallback as above).
-	if fl.GuardOffset >= 0 {
-		gaddr := base + uint64(fl.GuardOffset)
-		v, ok := m.stack.ReadU64At(gaddr)
+	// Epilogue integrity checks (stack-segment view, same fallback as
+	// above); each slot kind raises its own typed fault.
+	for _, s := range fl.SlotsView() {
+		saddr := base + uint64(s.Offset)
+		v, ok := m.stack.ReadU64At(saddr)
 		if !ok {
 			var merr error
-			v, merr = m.Mem.ReadU(gaddr, 8)
+			v, merr = m.Mem.ReadU(saddr, 8)
 			if merr != nil {
 				m.popFrame()
 				return 0, &MemFault{Func: fn.Name, PC: -1, Err: merr}
 			}
 		}
-		if v != m.guardKey^uint64(fn.ID) {
-			m.popFrame()
-			return 0, &GuardViolation{Func: fn.Name}
+		switch s.Kind {
+		case layout.SlotGuard:
+			if v != m.guardKey^uint64(fn.ID) {
+				m.popFrame()
+				return 0, &GuardViolation{Func: fn.Name}
+			}
+		case layout.SlotCanary:
+			if v != m.canaryKey^uint64(fn.ID) {
+				m.popFrame()
+				return 0, &CanaryViolation{Func: fn.Name}
+			}
+		case layout.SlotReturn:
+			if len(m.shadow) == 0 || v != m.shadow[len(m.shadow)-1] {
+				m.popFrame()
+				return 0, &ShadowStackViolation{Func: fn.Name}
+			}
 		}
 	}
 	epi := m.Engine.EpilogueCycles(fn)
 	m.stats.Cycles += epi
 	if m.prof != nil && epi != 0 {
-		m.profCat[catGuardCheck].Count++
-		m.profCat[catGuardCheck].Cycles += epi
+		if m.profDefense != nil {
+			_, _, _, _, ccheck, scheck := m.profDefense.DefenseBreakdown(fn)
+			if ccheck != 0 {
+				m.profCat[catCanaryCheck].Count++
+				m.profCat[catCanaryCheck].Cycles += ccheck
+			}
+			if scheck != 0 {
+				m.profCat[catShadowCheck].Count++
+				m.profCat[catShadowCheck].Cycles += scheck
+			}
+			if rest := epi - ccheck - scheck; rest != 0 {
+				m.profCat[catGuardCheck].Count++
+				m.profCat[catGuardCheck].Cycles += rest
+			}
+		} else {
+			m.profCat[catGuardCheck].Count++
+			m.profCat[catGuardCheck].Cycles += epi
+		}
 	}
 	m.popFrame()
 	return ret, nil
@@ -871,7 +1066,27 @@ func (m *Machine) call(fn *ir.Function, args []int64) (int64, error) {
 func (m *Machine) popFrame() {
 	fr := m.frames[len(m.frames)-1]
 	m.sp = fr.savedSP
+	m.usp = fr.savedUSP
+	if len(m.shadow) > fr.savedShadow {
+		m.shadow = m.shadow[:fr.savedShadow]
+	}
 	m.frames = m.frames[:len(m.frames)-1]
+}
+
+// effSlab returns an effective-offsets scratch slab for a multi-region
+// frame at the given depth; the caller fully overwrites all n slots. Same
+// pooling discipline as regSlab/argSlab.
+func (m *Machine) effSlab(depth, n int) []int64 {
+	for len(m.effSlabs) <= depth {
+		m.effSlabs = append(m.effSlabs, nil)
+	}
+	s := m.effSlabs[depth]
+	if cap(s) < n {
+		s = make([]int64, n)
+		m.effSlabs[depth] = s
+		return s
+	}
+	return s[:n]
 }
 
 // exec interprets the function body. This is the simulator's innermost
@@ -880,7 +1095,7 @@ func (m *Machine) popFrame() {
 // calls and on exit), and routes loads/stores through the segment-cached
 // fast path. None of that changes a modeled cycle — TestCycleInvariance
 // pins the accounting bit-for-bit.
-func (m *Machine) exec(fn *ir.Function, base uint64, fl layout.FrameLayout) (int64, error) {
+func (m *Machine) exec(fn *ir.Function, base uint64, offsets []int64) (int64, error) {
 	regs := m.regSlab(len(m.frames)-1, fn.NumRegs)
 	code := fn.Code
 	costMul := 1.0
@@ -995,7 +1210,7 @@ func (m *Machine) exec(fn *ir.Function, base uint64, fl layout.FrameLayout) (int
 				}
 			}
 		case ir.OpAddrLocal:
-			regs[in.Dst] = int64(base + uint64(fl.Offsets[in.Sym]))
+			regs[in.Dst] = int64(base + uint64(offsets[in.Sym]))
 		case ir.OpAddrGlobal:
 			regs[in.Dst] = int64(m.globalAddr[in.Sym])
 		case ir.OpAddrData:

@@ -30,9 +30,13 @@ import (
 
 // differentialEngines is one engine per instrumentation family; the
 // smokestack member uses the mid-strength AES tier so prologue pricing,
-// guard traffic and VLA pads are all live.
+// guard traffic and VLA pads are all live. The defense-zoo engines cover
+// the remaining frame machinery: cleanstack (dual-region frames and the
+// unsafe-stack rebase), shadowstack (return-linkage slots), stackato
+// (per-frame canary + random padding).
 var differentialEngines = []string{
 	"fixed", "staticrand", "padding", "baserand", "smokestack+aes-10",
+	"cleanstack", "shadowstack", "stackato",
 }
 
 // tierResult is everything a run exposes to the experiment layer.
