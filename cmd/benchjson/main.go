@@ -37,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"sort"
 	"strconv"
 	"strings"
@@ -307,6 +308,22 @@ func abs(x float64) float64 {
 	return x
 }
 
+// restrict drops every benchmark whose name does not match re. Applied to
+// both sides of a diff, so the cell-set mismatch check still fires when
+// the two snapshots disagree within the restricted scope. Lets a gate
+// compare the benchmarks a change targets while ignoring host-bound ones
+// (hardware entropy latency, stochastic attack rates) that cannot diff
+// meaningfully across recording machines.
+func restrict(r *Report, re *regexp.Regexp) {
+	kept := r.Benchmarks[:0]
+	for _, b := range r.Benchmarks {
+		if re.MatchString(b.Name) {
+			kept = append(kept, b)
+		}
+	}
+	r.Benchmarks = kept
+}
+
 // renderMetrics pretty-prints a telemetry snapshot written by
 // `dopbench -metrics`: gauges and counters, histogram summaries, then per
 // cell the top cycle-attribution rows (op and category buckets, ranked by
@@ -377,6 +394,7 @@ func main() {
 	note := flag.String("note", "", "free-form note recorded in the snapshot")
 	diffMode := flag.Bool("diff", false, "compare two snapshots: benchjson -diff old.json new.json")
 	threshold := flag.Float64("threshold", 10, "regression threshold in percent for -diff's exit code")
+	only := flag.String("only", "", "for -diff: restrict the comparison to benchmarks whose name matches this regexp")
 	metricsFile := flag.String("metrics", "", "render a dopbench -metrics telemetry snapshot as text")
 	flag.Parse()
 
@@ -403,7 +421,18 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(2)
 		}
-		fmt.Printf("benchjson diff: %s -> %s (threshold %.1f%%)\n\n", flag.Arg(0), flag.Arg(1), *threshold)
+		scope := ""
+		if *only != "" {
+			re, err := regexp.Compile(*only)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson: bad -only regexp:", err)
+				os.Exit(2)
+			}
+			restrict(oldR, re)
+			restrict(newR, re)
+			scope = fmt.Sprintf(", only %q", *only)
+		}
+		fmt.Printf("benchjson diff: %s -> %s (threshold %.1f%%%s)\n\n", flag.Arg(0), flag.Arg(1), *threshold, scope)
 		if diff(os.Stdout, oldR, newR, *threshold) {
 			fmt.Fprintf(os.Stderr, "benchjson: regression beyond %.1f%% detected\n", *threshold)
 			os.Exit(1)

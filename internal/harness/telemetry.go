@@ -220,4 +220,7 @@ func (c Config) registerGauges() {
 	reg.SetGauge("vm.codecache.len", func() float64 { return float64(cc.Len()) })
 	reg.SetGauge("vm.codecache.hits", func() float64 { h, _ := cc.Stats(); return float64(h) })
 	reg.SetGauge("vm.codecache.misses", func() float64 { _, m := cc.Stats(); return float64(m) })
+	reg.SetGauge("vm.blockcache.len", func() float64 { return float64(cc.BlockLen()) })
+	reg.SetGauge("vm.blockcache.hits", func() float64 { h, _ := cc.BlockStats(); return float64(h) })
+	reg.SetGauge("vm.blockcache.misses", func() float64 { _, m := cc.BlockStats(); return float64(m) })
 }

@@ -127,6 +127,20 @@ func (s *Segment) Bytes() []byte {
 // view).
 func (s *Segment) Contains(addr uint64, n int) bool { return s.contains(addr, n) }
 
+// View returns the backing store and its backed address bounds in one
+// tiny (always-inlinable) call, for interpreter loops that open-code the
+// ReadU64At/WriteU64At fast path: those loops are far past the inliner's
+// big-function threshold, where only very small callees still inline, so
+// the method forms cost a real call per access. The returned slice
+// aliases the segment and is valid until the next materialize; an
+// unmaterialized segment returns dataEnd == Base, so every bounds check
+// against the view fails and callers take their slow path, exactly like
+// contains. Callers writing through the view must check Writable
+// themselves.
+func (s *Segment) View() (data []byte, base, dataEnd uint64) {
+	return s.data, s.Base, s.dataEnd
+}
+
 // ReadU64At reads the 8-byte little-endian value at addr directly from the
 // segment, skipping segment resolution entirely. ok is false when the range
 // leaves the segment. This is the fast path for callers that know which

@@ -160,6 +160,20 @@ const (
 	cMulLoad8
 	cMulStore8
 	cAddrAddrLoad8
+
+	// cBlock is the block tier's superinstruction: one dispatch executes a
+	// whole profile-selected straight-line run of cinstrs (the "uops" of a
+	// blockDesc) with a single amortized step-budget check and a single
+	// pre-summed cost add. Only emitted by blockProgram (blocktier.go), and
+	// only when the folded cost table is integer-valued, which makes float
+	// cost addition exact and hence associative — the one pre-summed add is
+	// then bit-identical to the threaded tier's in-order per-constituent
+	// adds. The covered cinstrs stay in the stream at their original
+	// indexes, so mid-block faults and slow-path memory events hand the
+	// driver plain indexes and resume through the untouched originals.
+	// Fields: a = block index into compiledFunc.blocks, t0 = fall-through
+	// continuation index (unused when the block ends in its own branch).
+	cBlock
 )
 
 // cinstr is one compiled instruction. All operands are pre-decoded; for
@@ -187,10 +201,18 @@ type cinstr struct {
 
 // compiledFunc is one function's compiled stream. Call argument registers
 // live in a side table (argLists, indexed by cinstr.a) to keep cinstr flat
-// and pointer-free.
+// and pointer-free. Block-tier streams additionally carry the mined block
+// descriptors (blocks, indexed by a cBlock's a field) and an entry index:
+// block formation appends cBlock cinstrs at the end of the stream and
+// redirects branch targets (and the function entry) that land on a block
+// leader to the appended superinstruction, leaving the covered plain
+// cinstrs in place for mid-block resume. Threaded streams have entry 0 and
+// nil blocks.
 type compiledFunc struct {
 	code     []cinstr
 	argLists [][]ir.Reg
+	blocks   []blockDesc
+	entry    int32
 }
 
 // compiledProgram holds every function's stream, indexed by ir.Function.ID.
@@ -224,6 +246,20 @@ type CodeCache struct {
 	// "compile" event. Called on the miss path only, outside any hot loop
 	// (but under the cache lock; observers must not re-enter the cache).
 	onCompile func(prog string, funcs int)
+
+	// Block tier. blockProgs caches block-formed streams under the same
+	// codeKey — the profile-derived fusion decisions are a deterministic
+	// function of the key (the hot-count pre-run uses a fixed engine and a
+	// constant TRNG seed), so the key fully identifies the block stream
+	// too. hotCounts memoizes the one-shot profiling pre-run per program
+	// (counts do not depend on costs or the engine surcharge, only on the
+	// program), guarded by its own mutex because the pre-run runs a whole
+	// switch-tier Machine and must not hold the main cache lock.
+	blockProgs  map[codeKey]*compiledProgram
+	blockHits   int
+	blockMisses int
+	hotMu       sync.Mutex
+	hot         map[*ir.Program][][]uint64
 }
 
 // OnCompile installs the compile observer (nil to clear).
@@ -242,7 +278,11 @@ func (c *CodeCache) Len() int {
 
 // NewCodeCache creates an empty compiled-code cache.
 func NewCodeCache() *CodeCache {
-	return &CodeCache{progs: make(map[codeKey]*compiledProgram)}
+	return &CodeCache{
+		progs:      make(map[codeKey]*compiledProgram),
+		blockProgs: make(map[codeKey]*compiledProgram),
+		hot:        make(map[*ir.Program][][]uint64),
+	}
 }
 
 // defaultCodeCache backs every Machine that does not supply its own cache.
@@ -261,6 +301,23 @@ func (c *CodeCache) Stats() (hits, misses int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// BlockStats reports block-tier cache hits and misses (for tooling and
+// tests; a miss implies one profiling pre-run plus one block-formation
+// pass over the threaded stream).
+func (c *CodeCache) BlockStats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.blockHits, c.blockMisses
+}
+
+// BlockLen reports the number of cached block-formed programs (telemetry
+// gauge).
+func (c *CodeCache) BlockLen() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.blockProgs)
 }
 
 // compiled returns the compiled program for the key, building it on miss.

@@ -265,10 +265,26 @@ func TestExecTierSelection(t *testing.T) {
 	prog := testProg("tier")
 	mk := func(o *Options) *Machine { return New(prog, layout.NewFixed(), &Env{}, o) }
 
-	t.Run("auto-defaults-to-compiled", func(t *testing.T) {
+	t.Run("auto-defaults-to-block", func(t *testing.T) {
 		t.Setenv(execTierEnv, "")
-		if m := mk(&Options{TRNG: rng.SeededTRNG(1)}); m.ccode == nil {
-			t.Fatal("TierAuto with no env override must select the compiled tier")
+		cache := NewCodeCache()
+		m := mk(&Options{TRNG: rng.SeededTRNG(1), CodeCache: cache})
+		if m.ccode == nil {
+			t.Fatal("TierAuto with no env override must compile")
+		}
+		if _, misses := cache.BlockStats(); misses != 1 {
+			t.Fatal("TierAuto with no env override must select the block tier")
+		}
+	})
+	t.Run("env-selects-threaded", func(t *testing.T) {
+		t.Setenv(execTierEnv, "threaded")
+		cache := NewCodeCache()
+		m := mk(&Options{TRNG: rng.SeededTRNG(1), CodeCache: cache})
+		if m.ccode == nil {
+			t.Fatal("SMOKESTACK_EXEC=threaded must compile")
+		}
+		if _, misses := cache.BlockStats(); misses != 0 {
+			t.Fatal("SMOKESTACK_EXEC=threaded must not build blocks")
 		}
 	})
 	t.Run("env-selects-switch", func(t *testing.T) {

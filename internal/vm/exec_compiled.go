@@ -70,6 +70,11 @@ const (
 func (m *Machine) execCompiled(fn *ir.Function, cf *compiledFunc, base uint64, offsets []int64) (int64, error) {
 	regs := m.regSlab(len(m.frames)-1, fn.NumRegs)
 	code := cf.code
+	// Block tier: blocks holds the mined superinstruction descriptors and
+	// entry points at the function's first dispatch (a cBlock when the
+	// entry run is hot). Threaded streams have nil blocks and entry 0, and
+	// the cores never touch either.
+	blocks := cf.blocks
 	costMul := 1.0
 	if m.jitter != nil {
 		costMul = m.jitter[fn.ID]
@@ -102,13 +107,13 @@ func (m *Machine) execCompiled(fn *ir.Function, cf *compiledFunc, base uint64, o
 	if m.watchdog {
 		next = supNext(steps, limit)
 	}
-	pc := 0
+	pc := int(cf.entry)
 	for {
 		var ev coreEvent
 		if pn == nil {
-			pc, cycles, steps, ev = runCore(code, regs, base, offsets, stk, hot, hot2, pc, cycles, steps, next, limit)
+			pc, cycles, steps, ev = runCore(code, blocks, regs, base, offsets, stk, hot, hot2, pc, cycles, steps, next, limit)
 		} else {
-			pc, cycles, steps, ev = runCoreProf(code, regs, base, offsets, stk, hot, hot2, pc, cycles, steps, next, limit, pn)
+			pc, cycles, steps, ev = runCoreProf(code, blocks, regs, base, offsets, stk, hot, hot2, pc, cycles, steps, next, limit, pn)
 		}
 		c := &code[pc]
 		switch ev {
@@ -168,6 +173,12 @@ func (m *Machine) execCompiled(fn *ir.Function, cf *compiledFunc, base uint64, o
 			for i, r := range list {
 				args[i] = regs[r]
 			}
+			// Count the dispatch BEFORE the host call (mirrors evCall): a
+			// faulting host function unwinds without reaching this case's
+			// tail, and its step was already consumed by the core.
+			if pn != nil {
+				pn[cCallHost]++
+			}
 			m.steps = steps
 			v, err := m.hostCall(fn, int(c.pc), int(c.sym), args)
 			if err != nil {
@@ -177,14 +188,20 @@ func (m *Machine) execCompiled(fn *ir.Function, cf *compiledFunc, base uint64, o
 			if c.dst != int32(ir.NoReg) {
 				regs[c.dst] = v
 			}
-			if pn != nil {
-				pn[cCallHost]++
-			}
 			cycles += c.cost
 			pc++
 		case evMemSlow:
 			costAdd, err := m.slowMem(fn, c, regs, base, offsets)
 			if err != nil {
+				// Count-only attribution of the faulting dispatch (bypassing
+				// the weighted flushPending path): the group's consumed
+				// constituents equal its full expansion here — the memory
+				// access is always the last constituent — so one raw count
+				// keeps op rows summing to Stats.Instructions without
+				// attributing cycles the fault never charged.
+				if pn != nil {
+					m.profCN[c.op]++
+				}
 				m.steps = steps
 				m.stats.Cycles += cycles * costMul
 				return 0, err
@@ -202,6 +219,12 @@ func (m *Machine) execCompiled(fn *ir.Function, cf *compiledFunc, base uint64, o
 				hot2, hot = hot, h
 			}
 		case evDivZero:
+			// Count-only attribution (see evMemSlow): the divide is the last
+			// consumed constituent of cDiv/cMod/cConstDiv/cConstMod, so the
+			// group's expansion matches its consumed steps exactly.
+			if pn != nil {
+				m.profCN[c.op]++
+			}
 			m.steps = steps
 			m.stats.Cycles += cycles * costMul
 			at := int(c.pc)
@@ -360,7 +383,7 @@ func (m *Machine) slowMem(fn *ir.Function, c *cinstr, regs []int64, base uint64,
 // partial group effects exist. The mid-group re-checks below compare the
 // real limit, so an evLimit with steps < limit can only come from the loop
 // head and is always safe to resume.
-func runCore(code []cinstr, regs []int64, base uint64, offsets []int64, stk, hot, hot2 *mem.Segment, pc int, cycles float64, steps, next, limit uint64) (int, float64, uint64, coreEvent) {
+func runCore(code []cinstr, blocks []blockDesc, regs []int64, base uint64, offsets []int64, stk, hot, hot2 *mem.Segment, pc int, cycles float64, steps, next, limit uint64) (int, float64, uint64, coreEvent) {
 	for {
 		if steps >= next {
 			return pc, cycles, steps, evLimit
@@ -424,86 +447,102 @@ func runCore(code []cinstr, regs []int64, base uint64, offsets []int64, stk, hot
 
 		case cLoad8:
 			addr := uint64(regs[c.a])
-			v, ok := hot.ReadU64At(addr)
-			if !ok {
-				if v, ok = stk.ReadU64At(addr); !ok {
-					if v, ok = hot2.ReadU64At(addr); !ok {
-						return pc, cycles, steps, evMemSlow
-					}
-				}
+			var v uint64
+			if hd, hb, he := hot.View(); has8(hb, he, addr) {
+				v = get8(hd, hb, addr)
+			} else if sd, sb, se := stk.View(); has8(sb, se, addr) {
+				v = get8(sd, sb, addr)
+			} else if d2, b2, e2 := hot2.View(); has8(b2, e2, addr) {
+				v = get8(d2, b2, addr)
+			} else {
+				return pc, cycles, steps, evMemSlow
 			}
 			regs[c.dst] = int64(v)
 		case cLoad4s:
 			addr := uint64(regs[c.a])
-			v, ok := hot.ReadU32At(addr)
-			if !ok {
-				if v, ok = stk.ReadU32At(addr); !ok {
-					if v, ok = hot2.ReadU32At(addr); !ok {
-						return pc, cycles, steps, evMemSlow
-					}
-				}
+			var v uint32
+			if hd, hb, he := hot.View(); has4(hb, he, addr) {
+				v = get4(hd, hb, addr)
+			} else if sd, sb, se := stk.View(); has4(sb, se, addr) {
+				v = get4(sd, sb, addr)
+			} else if d2, b2, e2 := hot2.View(); has4(b2, e2, addr) {
+				v = get4(d2, b2, addr)
+			} else {
+				return pc, cycles, steps, evMemSlow
 			}
 			regs[c.dst] = int64(int32(v))
 		case cLoad4u:
 			addr := uint64(regs[c.a])
-			v, ok := hot.ReadU32At(addr)
-			if !ok {
-				if v, ok = stk.ReadU32At(addr); !ok {
-					if v, ok = hot2.ReadU32At(addr); !ok {
-						return pc, cycles, steps, evMemSlow
-					}
-				}
+			var v uint32
+			if hd, hb, he := hot.View(); has4(hb, he, addr) {
+				v = get4(hd, hb, addr)
+			} else if sd, sb, se := stk.View(); has4(sb, se, addr) {
+				v = get4(sd, sb, addr)
+			} else if d2, b2, e2 := hot2.View(); has4(b2, e2, addr) {
+				v = get4(d2, b2, addr)
+			} else {
+				return pc, cycles, steps, evMemSlow
 			}
 			regs[c.dst] = int64(v)
 		case cLoad1s:
 			addr := uint64(regs[c.a])
-			v, ok := hot.ReadU8At(addr)
-			if !ok {
-				if v, ok = stk.ReadU8At(addr); !ok {
-					if v, ok = hot2.ReadU8At(addr); !ok {
-						return pc, cycles, steps, evMemSlow
-					}
-				}
+			var v byte
+			if hd, hb, he := hot.View(); has1(hb, he, addr) {
+				v = get1(hd, hb, addr)
+			} else if sd, sb, se := stk.View(); has1(sb, se, addr) {
+				v = get1(sd, sb, addr)
+			} else if d2, b2, e2 := hot2.View(); has1(b2, e2, addr) {
+				v = get1(d2, b2, addr)
+			} else {
+				return pc, cycles, steps, evMemSlow
 			}
 			regs[c.dst] = int64(int8(v))
 		case cLoad1u:
 			addr := uint64(regs[c.a])
-			v, ok := hot.ReadU8At(addr)
-			if !ok {
-				if v, ok = stk.ReadU8At(addr); !ok {
-					if v, ok = hot2.ReadU8At(addr); !ok {
-						return pc, cycles, steps, evMemSlow
-					}
-				}
+			var v byte
+			if hd, hb, he := hot.View(); has1(hb, he, addr) {
+				v = get1(hd, hb, addr)
+			} else if sd, sb, se := stk.View(); has1(sb, se, addr) {
+				v = get1(sd, sb, addr)
+			} else if d2, b2, e2 := hot2.View(); has1(b2, e2, addr) {
+				v = get1(d2, b2, addr)
+			} else {
+				return pc, cycles, steps, evMemSlow
 			}
 			regs[c.dst] = int64(v)
 
 		case cStore8:
 			addr := uint64(regs[c.a])
-			if !hot.WriteU64At(addr, uint64(regs[c.b])) {
-				if !stk.WriteU64At(addr, uint64(regs[c.b])) {
-					if !hot2.WriteU64At(addr, uint64(regs[c.b])) {
-						return pc, cycles, steps, evMemSlow
-					}
-				}
+			if hd, hb, he := hot.View(); hot.Writable && has8(hb, he, addr) {
+				put8(hd, hb, addr, uint64(regs[c.b]))
+			} else if sd, sb, se := stk.View(); stk.Writable && has8(sb, se, addr) {
+				put8(sd, sb, addr, uint64(regs[c.b]))
+			} else if d2, b2, e2 := hot2.View(); hot2.Writable && has8(b2, e2, addr) {
+				put8(d2, b2, addr, uint64(regs[c.b]))
+			} else {
+				return pc, cycles, steps, evMemSlow
 			}
 		case cStore4:
 			addr := uint64(regs[c.a])
-			if !hot.WriteU32At(addr, uint32(regs[c.b])) {
-				if !stk.WriteU32At(addr, uint32(regs[c.b])) {
-					if !hot2.WriteU32At(addr, uint32(regs[c.b])) {
-						return pc, cycles, steps, evMemSlow
-					}
-				}
+			if hd, hb, he := hot.View(); hot.Writable && has4(hb, he, addr) {
+				put4(hd, hb, addr, uint32(regs[c.b]))
+			} else if sd, sb, se := stk.View(); stk.Writable && has4(sb, se, addr) {
+				put4(sd, sb, addr, uint32(regs[c.b]))
+			} else if d2, b2, e2 := hot2.View(); hot2.Writable && has4(b2, e2, addr) {
+				put4(d2, b2, addr, uint32(regs[c.b]))
+			} else {
+				return pc, cycles, steps, evMemSlow
 			}
 		case cStore1:
 			addr := uint64(regs[c.a])
-			if !hot.WriteU8At(addr, byte(regs[c.b])) {
-				if !stk.WriteU8At(addr, byte(regs[c.b])) {
-					if !hot2.WriteU8At(addr, byte(regs[c.b])) {
-						return pc, cycles, steps, evMemSlow
-					}
-				}
+			if hd, hb, he := hot.View(); hot.Writable && has1(hb, he, addr) {
+				put1(hd, hb, addr, byte(regs[c.b]))
+			} else if sd, sb, se := stk.View(); stk.Writable && has1(sb, se, addr) {
+				put1(sd, sb, addr, byte(regs[c.b]))
+			} else if d2, b2, e2 := hot2.View(); hot2.Writable && has1(b2, e2, addr) {
+				put1(d2, b2, addr, byte(regs[c.b]))
+			} else {
+				return pc, cycles, steps, evMemSlow
 			}
 
 		case cAddrLocal:
@@ -879,10 +918,11 @@ func runCore(code []cinstr, regs []int64, base uint64, offsets []int64, stk, hot
 				return pc, cycles, steps, evLimit
 			}
 			steps++
-			v, ok := stk.ReadU64At(addr)
-			if !ok {
+			sd, sb, se := stk.View()
+			if !has8(sb, se, addr) {
 				return pc, cycles, steps, evMemSlow
 			}
+			v := get8(sd, sb, addr)
 			regs[c.dst2] = int64(v)
 			cycles += c.cost2
 			pc++
@@ -895,10 +935,11 @@ func runCore(code []cinstr, regs []int64, base uint64, offsets []int64, stk, hot
 				return pc, cycles, steps, evLimit
 			}
 			steps++
-			v, ok := stk.ReadU32At(addr)
-			if !ok {
+			sd, sb, se := stk.View()
+			if !has4(sb, se, addr) {
 				return pc, cycles, steps, evMemSlow
 			}
+			v := get4(sd, sb, addr)
 			regs[c.dst2] = int64(int32(v))
 			cycles += c.cost2
 			pc++
@@ -911,10 +952,11 @@ func runCore(code []cinstr, regs []int64, base uint64, offsets []int64, stk, hot
 				return pc, cycles, steps, evLimit
 			}
 			steps++
-			v, ok := stk.ReadU32At(addr)
-			if !ok {
+			sd, sb, se := stk.View()
+			if !has4(sb, se, addr) {
 				return pc, cycles, steps, evMemSlow
 			}
+			v := get4(sd, sb, addr)
 			regs[c.dst2] = int64(v)
 			cycles += c.cost2
 			pc++
@@ -927,10 +969,11 @@ func runCore(code []cinstr, regs []int64, base uint64, offsets []int64, stk, hot
 				return pc, cycles, steps, evLimit
 			}
 			steps++
-			v, ok := stk.ReadU8At(addr)
-			if !ok {
+			sd, sb, se := stk.View()
+			if !has1(sb, se, addr) {
 				return pc, cycles, steps, evMemSlow
 			}
+			v := get1(sd, sb, addr)
 			regs[c.dst2] = int64(int8(v))
 			cycles += c.cost2
 			pc++
@@ -943,10 +986,11 @@ func runCore(code []cinstr, regs []int64, base uint64, offsets []int64, stk, hot
 				return pc, cycles, steps, evLimit
 			}
 			steps++
-			v, ok := stk.ReadU8At(addr)
-			if !ok {
+			sd, sb, se := stk.View()
+			if !has1(sb, se, addr) {
 				return pc, cycles, steps, evMemSlow
 			}
+			v := get1(sd, sb, addr)
 			regs[c.dst2] = int64(v)
 			cycles += c.cost2
 			pc++
@@ -960,7 +1004,9 @@ func runCore(code []cinstr, regs []int64, base uint64, offsets []int64, stk, hot
 				return pc, cycles, steps, evLimit
 			}
 			steps++
-			if !stk.WriteU64At(addr, uint64(regs[c.b])) {
+			if sd, sb, se := stk.View(); stk.Writable && has8(sb, se, addr) {
+				put8(sd, sb, addr, uint64(regs[c.b]))
+			} else {
 				return pc, cycles, steps, evMemSlow
 			}
 			cycles += c.cost2
@@ -974,7 +1020,9 @@ func runCore(code []cinstr, regs []int64, base uint64, offsets []int64, stk, hot
 				return pc, cycles, steps, evLimit
 			}
 			steps++
-			if !stk.WriteU32At(addr, uint32(regs[c.b])) {
+			if sd, sb, se := stk.View(); stk.Writable && has4(sb, se, addr) {
+				put4(sd, sb, addr, uint32(regs[c.b]))
+			} else {
 				return pc, cycles, steps, evMemSlow
 			}
 			cycles += c.cost2
@@ -988,7 +1036,9 @@ func runCore(code []cinstr, regs []int64, base uint64, offsets []int64, stk, hot
 				return pc, cycles, steps, evLimit
 			}
 			steps++
-			if !stk.WriteU8At(addr, byte(regs[c.b])) {
+			if sd, sb, se := stk.View(); stk.Writable && has1(sb, se, addr) {
+				put1(sd, sb, addr, byte(regs[c.b]))
+			} else {
 				return pc, cycles, steps, evMemSlow
 			}
 			cycles += c.cost2
@@ -1006,13 +1056,15 @@ func runCore(code []cinstr, regs []int64, base uint64, offsets []int64, stk, hot
 			}
 			steps++
 			addr := uint64(sum)
-			v, ok := hot.ReadU64At(addr)
-			if !ok {
-				if v, ok = stk.ReadU64At(addr); !ok {
-					if v, ok = hot2.ReadU64At(addr); !ok {
-						return pc, cycles, steps, evMemSlow
-					}
-				}
+			var v uint64
+			if hd, hb, he := hot.View(); has8(hb, he, addr) {
+				v = get8(hd, hb, addr)
+			} else if sd, sb, se := stk.View(); has8(sb, se, addr) {
+				v = get8(sd, sb, addr)
+			} else if d2, b2, e2 := hot2.View(); has8(b2, e2, addr) {
+				v = get8(d2, b2, addr)
+			} else {
+				return pc, cycles, steps, evMemSlow
 			}
 			regs[c.dst2] = int64(v)
 			cycles += c.cost2
@@ -1027,13 +1079,15 @@ func runCore(code []cinstr, regs []int64, base uint64, offsets []int64, stk, hot
 			}
 			steps++
 			addr := uint64(sum)
-			v, ok := hot.ReadU32At(addr)
-			if !ok {
-				if v, ok = stk.ReadU32At(addr); !ok {
-					if v, ok = hot2.ReadU32At(addr); !ok {
-						return pc, cycles, steps, evMemSlow
-					}
-				}
+			var v uint32
+			if hd, hb, he := hot.View(); has4(hb, he, addr) {
+				v = get4(hd, hb, addr)
+			} else if sd, sb, se := stk.View(); has4(sb, se, addr) {
+				v = get4(sd, sb, addr)
+			} else if d2, b2, e2 := hot2.View(); has4(b2, e2, addr) {
+				v = get4(d2, b2, addr)
+			} else {
+				return pc, cycles, steps, evMemSlow
 			}
 			regs[c.dst2] = int64(int32(v))
 			cycles += c.cost2
@@ -1048,13 +1102,15 @@ func runCore(code []cinstr, regs []int64, base uint64, offsets []int64, stk, hot
 			}
 			steps++
 			addr := uint64(sum)
-			v, ok := hot.ReadU32At(addr)
-			if !ok {
-				if v, ok = stk.ReadU32At(addr); !ok {
-					if v, ok = hot2.ReadU32At(addr); !ok {
-						return pc, cycles, steps, evMemSlow
-					}
-				}
+			var v uint32
+			if hd, hb, he := hot.View(); has4(hb, he, addr) {
+				v = get4(hd, hb, addr)
+			} else if sd, sb, se := stk.View(); has4(sb, se, addr) {
+				v = get4(sd, sb, addr)
+			} else if d2, b2, e2 := hot2.View(); has4(b2, e2, addr) {
+				v = get4(d2, b2, addr)
+			} else {
+				return pc, cycles, steps, evMemSlow
 			}
 			regs[c.dst2] = int64(v)
 			cycles += c.cost2
@@ -1069,13 +1125,15 @@ func runCore(code []cinstr, regs []int64, base uint64, offsets []int64, stk, hot
 			}
 			steps++
 			addr := uint64(sum)
-			v, ok := hot.ReadU8At(addr)
-			if !ok {
-				if v, ok = stk.ReadU8At(addr); !ok {
-					if v, ok = hot2.ReadU8At(addr); !ok {
-						return pc, cycles, steps, evMemSlow
-					}
-				}
+			var v byte
+			if hd, hb, he := hot.View(); has1(hb, he, addr) {
+				v = get1(hd, hb, addr)
+			} else if sd, sb, se := stk.View(); has1(sb, se, addr) {
+				v = get1(sd, sb, addr)
+			} else if d2, b2, e2 := hot2.View(); has1(b2, e2, addr) {
+				v = get1(d2, b2, addr)
+			} else {
+				return pc, cycles, steps, evMemSlow
 			}
 			regs[c.dst2] = int64(int8(v))
 			cycles += c.cost2
@@ -1090,13 +1148,15 @@ func runCore(code []cinstr, regs []int64, base uint64, offsets []int64, stk, hot
 			}
 			steps++
 			addr := uint64(sum)
-			v, ok := hot.ReadU8At(addr)
-			if !ok {
-				if v, ok = stk.ReadU8At(addr); !ok {
-					if v, ok = hot2.ReadU8At(addr); !ok {
-						return pc, cycles, steps, evMemSlow
-					}
-				}
+			var v byte
+			if hd, hb, he := hot.View(); has1(hb, he, addr) {
+				v = get1(hd, hb, addr)
+			} else if sd, sb, se := stk.View(); has1(sb, se, addr) {
+				v = get1(sd, sb, addr)
+			} else if d2, b2, e2 := hot2.View(); has1(b2, e2, addr) {
+				v = get1(d2, b2, addr)
+			} else {
+				return pc, cycles, steps, evMemSlow
 			}
 			regs[c.dst2] = int64(v)
 			cycles += c.cost2
@@ -1113,12 +1173,14 @@ func runCore(code []cinstr, regs []int64, base uint64, offsets []int64, stk, hot
 			steps++
 			addr := uint64(sum)
 			val := uint64(regs[c.dst2])
-			if !hot.WriteU64At(addr, val) {
-				if !stk.WriteU64At(addr, val) {
-					if !hot2.WriteU64At(addr, val) {
-						return pc, cycles, steps, evMemSlow
-					}
-				}
+			if hd, hb, he := hot.View(); hot.Writable && has8(hb, he, addr) {
+				put8(hd, hb, addr, val)
+			} else if sd, sb, se := stk.View(); stk.Writable && has8(sb, se, addr) {
+				put8(sd, sb, addr, val)
+			} else if d2, b2, e2 := hot2.View(); hot2.Writable && has8(b2, e2, addr) {
+				put8(d2, b2, addr, val)
+			} else {
+				return pc, cycles, steps, evMemSlow
 			}
 			cycles += c.cost2
 			pc++
@@ -1133,12 +1195,14 @@ func runCore(code []cinstr, regs []int64, base uint64, offsets []int64, stk, hot
 			steps++
 			addr := uint64(sum)
 			val := uint64(regs[c.dst2])
-			if !hot.WriteU32At(addr, uint32(val)) {
-				if !stk.WriteU32At(addr, uint32(val)) {
-					if !hot2.WriteU32At(addr, uint32(val)) {
-						return pc, cycles, steps, evMemSlow
-					}
-				}
+			if hd, hb, he := hot.View(); hot.Writable && has4(hb, he, addr) {
+				put4(hd, hb, addr, uint32(val))
+			} else if sd, sb, se := stk.View(); stk.Writable && has4(sb, se, addr) {
+				put4(sd, sb, addr, uint32(val))
+			} else if d2, b2, e2 := hot2.View(); hot2.Writable && has4(b2, e2, addr) {
+				put4(d2, b2, addr, uint32(val))
+			} else {
+				return pc, cycles, steps, evMemSlow
 			}
 			cycles += c.cost2
 			pc++
@@ -1153,12 +1217,14 @@ func runCore(code []cinstr, regs []int64, base uint64, offsets []int64, stk, hot
 			steps++
 			addr := uint64(sum)
 			val := uint64(regs[c.dst2])
-			if !hot.WriteU8At(addr, byte(val)) {
-				if !stk.WriteU8At(addr, byte(val)) {
-					if !hot2.WriteU8At(addr, byte(val)) {
-						return pc, cycles, steps, evMemSlow
-					}
-				}
+			if hd, hb, he := hot.View(); hot.Writable && has1(hb, he, addr) {
+				put1(hd, hb, addr, byte(val))
+			} else if sd, sb, se := stk.View(); stk.Writable && has1(sb, se, addr) {
+				put1(sd, sb, addr, byte(val))
+			} else if d2, b2, e2 := hot2.View(); hot2.Writable && has1(b2, e2, addr) {
+				put1(d2, b2, addr, byte(val))
+			} else {
+				return pc, cycles, steps, evMemSlow
 			}
 			cycles += c.cost2
 			pc++
@@ -1178,10 +1244,11 @@ func runCore(code []cinstr, regs []int64, base uint64, offsets []int64, stk, hot
 				return pc, cycles, steps, evLimit
 			}
 			steps++
-			v, ok := stk.ReadU64At(addr)
-			if !ok {
+			sd, sb, se := stk.View()
+			if !has8(sb, se, addr) {
 				return pc, cycles, steps, evMemSlow
 			}
+			v := get8(sd, sb, addr)
 			regs[c.dst2] = int64(v)
 			cycles += c.cost2
 			pc++
@@ -1208,13 +1275,15 @@ func runCore(code []cinstr, regs []int64, base uint64, offsets []int64, stk, hot
 			}
 			steps++
 			addr := uint64(sum)
-			v, ok := hot.ReadU64At(addr)
-			if !ok {
-				if v, ok = stk.ReadU64At(addr); !ok {
-					if v, ok = hot2.ReadU64At(addr); !ok {
-						return pc, cycles, steps, evMemSlow
-					}
-				}
+			var v uint64
+			if hd, hb, he := hot.View(); has8(hb, he, addr) {
+				v = get8(hd, hb, addr)
+			} else if sd, sb, se := stk.View(); has8(sb, se, addr) {
+				v = get8(sd, sb, addr)
+			} else if d2, b2, e2 := hot2.View(); has8(b2, e2, addr) {
+				v = get8(d2, b2, addr)
+			} else {
+				return pc, cycles, steps, evMemSlow
 			}
 			regs[c.sym] = int64(v)
 			cycles += c.cost3
@@ -1242,15 +1311,660 @@ func runCore(code []cinstr, regs []int64, base uint64, offsets []int64, stk, hot
 			steps++
 			addr := uint64(sum)
 			val := uint64(regs[c.sym])
-			if !hot.WriteU64At(addr, val) {
-				if !stk.WriteU64At(addr, val) {
-					if !hot2.WriteU64At(addr, val) {
-						return pc, cycles, steps, evMemSlow
-					}
-				}
+			if hd, hb, he := hot.View(); hot.Writable && has8(hb, he, addr) {
+				put8(hd, hb, addr, val)
+			} else if sd, sb, se := stk.View(); stk.Writable && has8(sb, se, addr) {
+				put8(sd, sb, addr, val)
+			} else if d2, b2, e2 := hot2.View(); hot2.Writable && has8(b2, e2, addr) {
+				put8(d2, b2, addr, val)
+			} else {
+				return pc, cycles, steps, evMemSlow
 			}
 			cycles += c.cost3
 			pc++
+			continue
+
+		case cBlock:
+			// Block superinstruction (blocktier.go): the whole mined
+			// straight-line run executes with ONE pre-summed cost add and
+			// the step budget amortized into this dispatch's loop-head
+			// check. The bail below guarantees the budget cannot land
+			// inside the block (entry steps + d.steps <= limit); when it
+			// could, the plain copies at d.start replay the run with full
+			// per-constituent fidelity instead (steps-- undoes this loop
+			// head's increment; the plain leader re-increments). Mid-block
+			// events that don't depend on the budget — slow-path memory,
+			// divide-by-zero — exit with exact partial sums (prefix/psteps)
+			// at the PLAIN index of the faulting uop, so the driver's
+			// handlers, fault attribution and pc+1 resume work unchanged
+			// and execution rejoins the accelerated stream at the next
+			// redirected branch.
+			d := &blocks[c.a]
+			if d.steps > limit-steps+1 {
+				steps--
+				pc = int(d.start)
+				continue
+			}
+			uops := d.uops
+			npc := int(c.t0)
+			for j := 0; j < len(uops); j++ {
+				u := &uops[j]
+				switch u.op {
+				case cNop:
+				case cConst:
+					regs[u.dst] = u.imm
+				case cMov:
+					regs[u.dst] = regs[u.a]
+				case cAdd:
+					regs[u.dst] = regs[u.a] + regs[u.b]
+				case cSub:
+					regs[u.dst] = regs[u.a] - regs[u.b]
+				case cMul:
+					regs[u.dst] = regs[u.a] * regs[u.b]
+				case cDiv:
+					if regs[u.b] == 0 {
+						cycles += d.prefix[j]
+						steps += uint64(d.psteps[j])
+						return int(d.start) + j, cycles, steps, evDivZero
+					}
+					regs[u.dst] = regs[u.a] / regs[u.b]
+				case cMod:
+					if regs[u.b] == 0 {
+						cycles += d.prefix[j]
+						steps += uint64(d.psteps[j])
+						return int(d.start) + j, cycles, steps, evDivZero
+					}
+					regs[u.dst] = regs[u.a] % regs[u.b]
+				case cAnd:
+					regs[u.dst] = regs[u.a] & regs[u.b]
+				case cOr:
+					regs[u.dst] = regs[u.a] | regs[u.b]
+				case cXor:
+					regs[u.dst] = regs[u.a] ^ regs[u.b]
+				case cShl:
+					regs[u.dst] = regs[u.a] << (uint64(regs[u.b]) & 63)
+				case cShr:
+					regs[u.dst] = regs[u.a] >> (uint64(regs[u.b]) & 63)
+				case cNeg:
+					regs[u.dst] = -regs[u.a]
+				case cNot:
+					regs[u.dst] = ^regs[u.a]
+				case cSetZ:
+					if regs[u.a] == 0 {
+						regs[u.dst] = 1
+					} else {
+						regs[u.dst] = 0
+					}
+				case cEq:
+					regs[u.dst] = b2i(regs[u.a] == regs[u.b])
+				case cNe:
+					regs[u.dst] = b2i(regs[u.a] != regs[u.b])
+				case cLt:
+					regs[u.dst] = b2i(regs[u.a] < regs[u.b])
+				case cLe:
+					regs[u.dst] = b2i(regs[u.a] <= regs[u.b])
+				case cGt:
+					regs[u.dst] = b2i(regs[u.a] > regs[u.b])
+				case cGe:
+					regs[u.dst] = b2i(regs[u.a] >= regs[u.b])
+
+				case cLoad8:
+					addr := uint64(regs[u.a])
+					var v uint64
+					if hd, hb, he := hot.View(); has8(hb, he, addr) {
+						v = get8(hd, hb, addr)
+					} else if sd, sb, se := stk.View(); has8(sb, se, addr) {
+						v = get8(sd, sb, addr)
+					} else if d2, b2, e2 := hot2.View(); has8(b2, e2, addr) {
+						v = get8(d2, b2, addr)
+					} else {
+						cycles += d.prefix[j]
+						steps += uint64(d.psteps[j])
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+					regs[u.dst] = int64(v)
+				case cLoad4s:
+					addr := uint64(regs[u.a])
+					var v uint32
+					if hd, hb, he := hot.View(); has4(hb, he, addr) {
+						v = get4(hd, hb, addr)
+					} else if sd, sb, se := stk.View(); has4(sb, se, addr) {
+						v = get4(sd, sb, addr)
+					} else if d2, b2, e2 := hot2.View(); has4(b2, e2, addr) {
+						v = get4(d2, b2, addr)
+					} else {
+						cycles += d.prefix[j]
+						steps += uint64(d.psteps[j])
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+					regs[u.dst] = int64(int32(v))
+				case cLoad4u:
+					addr := uint64(regs[u.a])
+					var v uint32
+					if hd, hb, he := hot.View(); has4(hb, he, addr) {
+						v = get4(hd, hb, addr)
+					} else if sd, sb, se := stk.View(); has4(sb, se, addr) {
+						v = get4(sd, sb, addr)
+					} else if d2, b2, e2 := hot2.View(); has4(b2, e2, addr) {
+						v = get4(d2, b2, addr)
+					} else {
+						cycles += d.prefix[j]
+						steps += uint64(d.psteps[j])
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+					regs[u.dst] = int64(v)
+				case cLoad1s:
+					addr := uint64(regs[u.a])
+					var v byte
+					if hd, hb, he := hot.View(); has1(hb, he, addr) {
+						v = get1(hd, hb, addr)
+					} else if sd, sb, se := stk.View(); has1(sb, se, addr) {
+						v = get1(sd, sb, addr)
+					} else if d2, b2, e2 := hot2.View(); has1(b2, e2, addr) {
+						v = get1(d2, b2, addr)
+					} else {
+						cycles += d.prefix[j]
+						steps += uint64(d.psteps[j])
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+					regs[u.dst] = int64(int8(v))
+				case cLoad1u:
+					addr := uint64(regs[u.a])
+					var v byte
+					if hd, hb, he := hot.View(); has1(hb, he, addr) {
+						v = get1(hd, hb, addr)
+					} else if sd, sb, se := stk.View(); has1(sb, se, addr) {
+						v = get1(sd, sb, addr)
+					} else if d2, b2, e2 := hot2.View(); has1(b2, e2, addr) {
+						v = get1(d2, b2, addr)
+					} else {
+						cycles += d.prefix[j]
+						steps += uint64(d.psteps[j])
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+					regs[u.dst] = int64(v)
+
+				case cStore8:
+					addr := uint64(regs[u.a])
+					if hd, hb, he := hot.View(); hot.Writable && has8(hb, he, addr) {
+						put8(hd, hb, addr, uint64(regs[u.b]))
+					} else if sd, sb, se := stk.View(); stk.Writable && has8(sb, se, addr) {
+						put8(sd, sb, addr, uint64(regs[u.b]))
+					} else if d2, b2, e2 := hot2.View(); hot2.Writable && has8(b2, e2, addr) {
+						put8(d2, b2, addr, uint64(regs[u.b]))
+					} else {
+						cycles += d.prefix[j]
+						steps += uint64(d.psteps[j])
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+				case cStore4:
+					addr := uint64(regs[u.a])
+					if hd, hb, he := hot.View(); hot.Writable && has4(hb, he, addr) {
+						put4(hd, hb, addr, uint32(regs[u.b]))
+					} else if sd, sb, se := stk.View(); stk.Writable && has4(sb, se, addr) {
+						put4(sd, sb, addr, uint32(regs[u.b]))
+					} else if d2, b2, e2 := hot2.View(); hot2.Writable && has4(b2, e2, addr) {
+						put4(d2, b2, addr, uint32(regs[u.b]))
+					} else {
+						cycles += d.prefix[j]
+						steps += uint64(d.psteps[j])
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+				case cStore1:
+					addr := uint64(regs[u.a])
+					if hd, hb, he := hot.View(); hot.Writable && has1(hb, he, addr) {
+						put1(hd, hb, addr, byte(regs[u.b]))
+					} else if sd, sb, se := stk.View(); stk.Writable && has1(sb, se, addr) {
+						put1(sd, sb, addr, byte(regs[u.b]))
+					} else if d2, b2, e2 := hot2.View(); hot2.Writable && has1(b2, e2, addr) {
+						put1(d2, b2, addr, byte(regs[u.b]))
+					} else {
+						cycles += d.prefix[j]
+						steps += uint64(d.psteps[j])
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+
+				case cAddrLocal:
+					regs[u.dst] = int64(base + uint64(offsets[u.sym]))
+				case cAddrConst:
+					regs[u.dst] = u.imm
+
+				case cConstAdd:
+					regs[u.dst] = u.imm
+					regs[u.dst2] = regs[u.a] + regs[u.b]
+				case cConstSub:
+					regs[u.dst] = u.imm
+					regs[u.dst2] = regs[u.a] - regs[u.b]
+				case cConstMul:
+					regs[u.dst] = u.imm
+					regs[u.dst2] = regs[u.a] * regs[u.b]
+				case cConstDiv:
+					regs[u.dst] = u.imm
+					if regs[u.b] == 0 {
+						cycles += d.prefix[j] + u.cost
+						steps += uint64(d.psteps[j]) + 1
+						return int(d.start) + j, cycles, steps, evDivZero
+					}
+					regs[u.dst2] = regs[u.a] / regs[u.b]
+				case cConstMod:
+					regs[u.dst] = u.imm
+					if regs[u.b] == 0 {
+						cycles += d.prefix[j] + u.cost
+						steps += uint64(d.psteps[j]) + 1
+						return int(d.start) + j, cycles, steps, evDivZero
+					}
+					regs[u.dst2] = regs[u.a] % regs[u.b]
+				case cConstAnd:
+					regs[u.dst] = u.imm
+					regs[u.dst2] = regs[u.a] & regs[u.b]
+				case cConstOr:
+					regs[u.dst] = u.imm
+					regs[u.dst2] = regs[u.a] | regs[u.b]
+				case cConstXor:
+					regs[u.dst] = u.imm
+					regs[u.dst2] = regs[u.a] ^ regs[u.b]
+				case cConstShl:
+					regs[u.dst] = u.imm
+					regs[u.dst2] = regs[u.a] << (uint64(regs[u.b]) & 63)
+				case cConstShr:
+					regs[u.dst] = u.imm
+					regs[u.dst2] = regs[u.a] >> (uint64(regs[u.b]) & 63)
+
+				case cAddrLoad8:
+					addr := base + uint64(offsets[u.sym])
+					regs[u.dst] = int64(addr)
+					sd, sb, se := stk.View()
+					if !has8(sb, se, addr) {
+						cycles += d.prefix[j] + u.cost
+						steps += uint64(d.psteps[j]) + 1
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+					v := get8(sd, sb, addr)
+					regs[u.dst2] = int64(v)
+				case cAddrLoad4s:
+					addr := base + uint64(offsets[u.sym])
+					regs[u.dst] = int64(addr)
+					sd, sb, se := stk.View()
+					if !has4(sb, se, addr) {
+						cycles += d.prefix[j] + u.cost
+						steps += uint64(d.psteps[j]) + 1
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+					v := get4(sd, sb, addr)
+					regs[u.dst2] = int64(int32(v))
+				case cAddrLoad4u:
+					addr := base + uint64(offsets[u.sym])
+					regs[u.dst] = int64(addr)
+					sd, sb, se := stk.View()
+					if !has4(sb, se, addr) {
+						cycles += d.prefix[j] + u.cost
+						steps += uint64(d.psteps[j]) + 1
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+					v := get4(sd, sb, addr)
+					regs[u.dst2] = int64(v)
+				case cAddrLoad1s:
+					addr := base + uint64(offsets[u.sym])
+					regs[u.dst] = int64(addr)
+					sd, sb, se := stk.View()
+					if !has1(sb, se, addr) {
+						cycles += d.prefix[j] + u.cost
+						steps += uint64(d.psteps[j]) + 1
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+					v := get1(sd, sb, addr)
+					regs[u.dst2] = int64(int8(v))
+				case cAddrLoad1u:
+					addr := base + uint64(offsets[u.sym])
+					regs[u.dst] = int64(addr)
+					sd, sb, se := stk.View()
+					if !has1(sb, se, addr) {
+						cycles += d.prefix[j] + u.cost
+						steps += uint64(d.psteps[j]) + 1
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+					v := get1(sd, sb, addr)
+					regs[u.dst2] = int64(v)
+
+				case cAddrStore8:
+					addr := base + uint64(offsets[u.sym])
+					regs[u.dst] = int64(addr)
+					if sd, sb, se := stk.View(); stk.Writable && has8(sb, se, addr) {
+						put8(sd, sb, addr, uint64(regs[u.b]))
+					} else {
+						cycles += d.prefix[j] + u.cost
+						steps += uint64(d.psteps[j]) + 1
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+				case cAddrStore4:
+					addr := base + uint64(offsets[u.sym])
+					regs[u.dst] = int64(addr)
+					if sd, sb, se := stk.View(); stk.Writable && has4(sb, se, addr) {
+						put4(sd, sb, addr, uint32(regs[u.b]))
+					} else {
+						cycles += d.prefix[j] + u.cost
+						steps += uint64(d.psteps[j]) + 1
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+				case cAddrStore1:
+					addr := base + uint64(offsets[u.sym])
+					regs[u.dst] = int64(addr)
+					if sd, sb, se := stk.View(); stk.Writable && has1(sb, se, addr) {
+						put1(sd, sb, addr, byte(regs[u.b]))
+					} else {
+						cycles += d.prefix[j] + u.cost
+						steps += uint64(d.psteps[j]) + 1
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+
+				case cAddLoad8:
+					sum := regs[u.a] + regs[u.b]
+					regs[u.dst] = sum
+					addr := uint64(sum)
+					var v uint64
+					if hd, hb, he := hot.View(); has8(hb, he, addr) {
+						v = get8(hd, hb, addr)
+					} else if sd, sb, se := stk.View(); has8(sb, se, addr) {
+						v = get8(sd, sb, addr)
+					} else if d2, b2, e2 := hot2.View(); has8(b2, e2, addr) {
+						v = get8(d2, b2, addr)
+					} else {
+						cycles += d.prefix[j] + u.cost
+						steps += uint64(d.psteps[j]) + 1
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+					regs[u.dst2] = int64(v)
+				case cAddLoad4s:
+					sum := regs[u.a] + regs[u.b]
+					regs[u.dst] = sum
+					addr := uint64(sum)
+					var v uint32
+					if hd, hb, he := hot.View(); has4(hb, he, addr) {
+						v = get4(hd, hb, addr)
+					} else if sd, sb, se := stk.View(); has4(sb, se, addr) {
+						v = get4(sd, sb, addr)
+					} else if d2, b2, e2 := hot2.View(); has4(b2, e2, addr) {
+						v = get4(d2, b2, addr)
+					} else {
+						cycles += d.prefix[j] + u.cost
+						steps += uint64(d.psteps[j]) + 1
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+					regs[u.dst2] = int64(int32(v))
+				case cAddLoad4u:
+					sum := regs[u.a] + regs[u.b]
+					regs[u.dst] = sum
+					addr := uint64(sum)
+					var v uint32
+					if hd, hb, he := hot.View(); has4(hb, he, addr) {
+						v = get4(hd, hb, addr)
+					} else if sd, sb, se := stk.View(); has4(sb, se, addr) {
+						v = get4(sd, sb, addr)
+					} else if d2, b2, e2 := hot2.View(); has4(b2, e2, addr) {
+						v = get4(d2, b2, addr)
+					} else {
+						cycles += d.prefix[j] + u.cost
+						steps += uint64(d.psteps[j]) + 1
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+					regs[u.dst2] = int64(v)
+				case cAddLoad1s:
+					sum := regs[u.a] + regs[u.b]
+					regs[u.dst] = sum
+					addr := uint64(sum)
+					var v byte
+					if hd, hb, he := hot.View(); has1(hb, he, addr) {
+						v = get1(hd, hb, addr)
+					} else if sd, sb, se := stk.View(); has1(sb, se, addr) {
+						v = get1(sd, sb, addr)
+					} else if d2, b2, e2 := hot2.View(); has1(b2, e2, addr) {
+						v = get1(d2, b2, addr)
+					} else {
+						cycles += d.prefix[j] + u.cost
+						steps += uint64(d.psteps[j]) + 1
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+					regs[u.dst2] = int64(int8(v))
+				case cAddLoad1u:
+					sum := regs[u.a] + regs[u.b]
+					regs[u.dst] = sum
+					addr := uint64(sum)
+					var v byte
+					if hd, hb, he := hot.View(); has1(hb, he, addr) {
+						v = get1(hd, hb, addr)
+					} else if sd, sb, se := stk.View(); has1(sb, se, addr) {
+						v = get1(sd, sb, addr)
+					} else if d2, b2, e2 := hot2.View(); has1(b2, e2, addr) {
+						v = get1(d2, b2, addr)
+					} else {
+						cycles += d.prefix[j] + u.cost
+						steps += uint64(d.psteps[j]) + 1
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+					regs[u.dst2] = int64(v)
+
+				case cAddStore8:
+					sum := regs[u.a] + regs[u.b]
+					regs[u.dst] = sum
+					addr := uint64(sum)
+					val := uint64(regs[u.dst2])
+					if hd, hb, he := hot.View(); hot.Writable && has8(hb, he, addr) {
+						put8(hd, hb, addr, val)
+					} else if sd, sb, se := stk.View(); stk.Writable && has8(sb, se, addr) {
+						put8(sd, sb, addr, val)
+					} else if d2, b2, e2 := hot2.View(); hot2.Writable && has8(b2, e2, addr) {
+						put8(d2, b2, addr, val)
+					} else {
+						cycles += d.prefix[j] + u.cost
+						steps += uint64(d.psteps[j]) + 1
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+				case cAddStore4:
+					sum := regs[u.a] + regs[u.b]
+					regs[u.dst] = sum
+					addr := uint64(sum)
+					val := uint64(regs[u.dst2])
+					if hd, hb, he := hot.View(); hot.Writable && has4(hb, he, addr) {
+						put4(hd, hb, addr, uint32(val))
+					} else if sd, sb, se := stk.View(); stk.Writable && has4(sb, se, addr) {
+						put4(sd, sb, addr, uint32(val))
+					} else if d2, b2, e2 := hot2.View(); hot2.Writable && has4(b2, e2, addr) {
+						put4(d2, b2, addr, uint32(val))
+					} else {
+						cycles += d.prefix[j] + u.cost
+						steps += uint64(d.psteps[j]) + 1
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+				case cAddStore1:
+					sum := regs[u.a] + regs[u.b]
+					regs[u.dst] = sum
+					addr := uint64(sum)
+					val := uint64(regs[u.dst2])
+					if hd, hb, he := hot.View(); hot.Writable && has1(hb, he, addr) {
+						put1(hd, hb, addr, byte(val))
+					} else if sd, sb, se := stk.View(); stk.Writable && has1(sb, se, addr) {
+						put1(sd, sb, addr, byte(val))
+					} else if d2, b2, e2 := hot2.View(); hot2.Writable && has1(b2, e2, addr) {
+						put1(d2, b2, addr, byte(val))
+					} else {
+						cycles += d.prefix[j] + u.cost
+						steps += uint64(d.psteps[j]) + 1
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+
+				case cAddrAddrLoad8:
+					regs[u.dst] = int64(base + uint64(offsets[u.sym]))
+					addr := base + uint64(offsets[u.t0])
+					regs[u.a] = int64(addr)
+					sd, sb, se := stk.View()
+					if !has8(sb, se, addr) {
+						cycles += d.prefix[j] + u.cost + u.cost
+						steps += uint64(d.psteps[j]) + 2
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+					v := get8(sd, sb, addr)
+					regs[u.dst2] = int64(v)
+
+				case cMulLoad8:
+					regs[u.dst] = u.imm
+					regs[u.dst2] = regs[u.a] * regs[u.b]
+					sum := regs[u.t0] + regs[u.dst2]
+					regs[u.t1] = sum
+					addr := uint64(sum)
+					var v uint64
+					if hd, hb, he := hot.View(); has8(hb, he, addr) {
+						v = get8(hd, hb, addr)
+					} else if sd, sb, se := stk.View(); has8(sb, se, addr) {
+						v = get8(sd, sb, addr)
+					} else if d2, b2, e2 := hot2.View(); has8(b2, e2, addr) {
+						v = get8(d2, b2, addr)
+					} else {
+						cycles += d.prefix[j] + u.cost + u.cost2 + u.cost
+						steps += uint64(d.psteps[j]) + 3
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+					regs[u.sym] = int64(v)
+				case cMulStore8:
+					regs[u.dst] = u.imm
+					regs[u.dst2] = regs[u.a] * regs[u.b]
+					sum := regs[u.t0] + regs[u.dst2]
+					regs[u.t1] = sum
+					addr := uint64(sum)
+					val := uint64(regs[u.sym])
+					if hd, hb, he := hot.View(); hot.Writable && has8(hb, he, addr) {
+						put8(hd, hb, addr, val)
+					} else if sd, sb, se := stk.View(); stk.Writable && has8(sb, se, addr) {
+						put8(sd, sb, addr, val)
+					} else if d2, b2, e2 := hot2.View(); hot2.Writable && has8(b2, e2, addr) {
+						put8(d2, b2, addr, val)
+					} else {
+						cycles += d.prefix[j] + u.cost + u.cost2 + u.cost
+						steps += uint64(d.psteps[j]) + 3
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+
+				case cJmp:
+					npc = int(u.t0)
+				case cBr:
+					if regs[u.a] != 0 {
+						npc = int(u.t0)
+					} else {
+						npc = int(u.t1)
+					}
+				case cEqBr:
+					v := b2i(regs[u.a] == regs[u.b])
+					regs[u.dst] = v
+					if v != 0 {
+						npc = int(u.t0)
+					} else {
+						npc = int(u.t1)
+					}
+				case cNeBr:
+					v := b2i(regs[u.a] != regs[u.b])
+					regs[u.dst] = v
+					if v != 0 {
+						npc = int(u.t0)
+					} else {
+						npc = int(u.t1)
+					}
+				case cLtBr:
+					v := b2i(regs[u.a] < regs[u.b])
+					regs[u.dst] = v
+					if v != 0 {
+						npc = int(u.t0)
+					} else {
+						npc = int(u.t1)
+					}
+				case cLeBr:
+					v := b2i(regs[u.a] <= regs[u.b])
+					regs[u.dst] = v
+					if v != 0 {
+						npc = int(u.t0)
+					} else {
+						npc = int(u.t1)
+					}
+				case cGtBr:
+					v := b2i(regs[u.a] > regs[u.b])
+					regs[u.dst] = v
+					if v != 0 {
+						npc = int(u.t0)
+					} else {
+						npc = int(u.t1)
+					}
+				case cGeBr:
+					v := b2i(regs[u.a] >= regs[u.b])
+					regs[u.dst] = v
+					if v != 0 {
+						npc = int(u.t0)
+					} else {
+						npc = int(u.t1)
+					}
+				case cConstEqBr:
+					regs[u.dst] = u.imm
+					v := b2i(regs[u.a] == regs[u.b])
+					regs[u.dst2] = v
+					if v != 0 {
+						npc = int(u.t0)
+					} else {
+						npc = int(u.t1)
+					}
+				case cConstNeBr:
+					regs[u.dst] = u.imm
+					v := b2i(regs[u.a] != regs[u.b])
+					regs[u.dst2] = v
+					if v != 0 {
+						npc = int(u.t0)
+					} else {
+						npc = int(u.t1)
+					}
+				case cConstLtBr:
+					regs[u.dst] = u.imm
+					v := b2i(regs[u.a] < regs[u.b])
+					regs[u.dst2] = v
+					if v != 0 {
+						npc = int(u.t0)
+					} else {
+						npc = int(u.t1)
+					}
+				case cConstLeBr:
+					regs[u.dst] = u.imm
+					v := b2i(regs[u.a] <= regs[u.b])
+					regs[u.dst2] = v
+					if v != 0 {
+						npc = int(u.t0)
+					} else {
+						npc = int(u.t1)
+					}
+				case cConstGtBr:
+					regs[u.dst] = u.imm
+					v := b2i(regs[u.a] > regs[u.b])
+					regs[u.dst2] = v
+					if v != 0 {
+						npc = int(u.t0)
+					} else {
+						npc = int(u.t1)
+					}
+				case cConstGeBr:
+					regs[u.dst] = u.imm
+					v := b2i(regs[u.a] >= regs[u.b])
+					regs[u.dst2] = v
+					if v != 0 {
+						npc = int(u.t0)
+					} else {
+						npc = int(u.t1)
+					}
+
+				default:
+					// Unreachable: the miner only admits uops with a case
+					// above. Surface as evBad at the plain index.
+					cycles += d.prefix[j]
+					steps += uint64(d.psteps[j])
+					return int(d.start) + j, cycles, steps, evBad
+				}
+			}
+			cycles += d.cost
+			steps += d.steps - 1
+			pc = npc
 			continue
 
 		default: // cBad and anything unrecognized
@@ -1274,7 +1988,7 @@ func runCore(code []cinstr, regs []int64, base uint64, offsets []int64, stk, hot
 // runs. The two bodies must stay in step; TestProfileReconciliation and
 // the tier-differential suite pin them to identical semantics
 // (bit-equal results, Stats, and faults, profiled vs dormant).
-func runCoreProf(code []cinstr, regs []int64, base uint64, offsets []int64, stk, hot, hot2 *mem.Segment, pc int, cycles float64, steps, next, limit uint64, pn []uint64) (int, float64, uint64, coreEvent) {
+func runCoreProf(code []cinstr, blocks []blockDesc, regs []int64, base uint64, offsets []int64, stk, hot, hot2 *mem.Segment, pc int, cycles float64, steps, next, limit uint64, pn []uint64) (int, float64, uint64, coreEvent) {
 	for {
 		if steps >= next {
 			return pc, cycles, steps, evLimit
@@ -1338,86 +2052,102 @@ func runCoreProf(code []cinstr, regs []int64, base uint64, offsets []int64, stk,
 
 		case cLoad8:
 			addr := uint64(regs[c.a])
-			v, ok := hot.ReadU64At(addr)
-			if !ok {
-				if v, ok = stk.ReadU64At(addr); !ok {
-					if v, ok = hot2.ReadU64At(addr); !ok {
-						return pc, cycles, steps, evMemSlow
-					}
-				}
+			var v uint64
+			if hd, hb, he := hot.View(); has8(hb, he, addr) {
+				v = get8(hd, hb, addr)
+			} else if sd, sb, se := stk.View(); has8(sb, se, addr) {
+				v = get8(sd, sb, addr)
+			} else if d2, b2, e2 := hot2.View(); has8(b2, e2, addr) {
+				v = get8(d2, b2, addr)
+			} else {
+				return pc, cycles, steps, evMemSlow
 			}
 			regs[c.dst] = int64(v)
 		case cLoad4s:
 			addr := uint64(regs[c.a])
-			v, ok := hot.ReadU32At(addr)
-			if !ok {
-				if v, ok = stk.ReadU32At(addr); !ok {
-					if v, ok = hot2.ReadU32At(addr); !ok {
-						return pc, cycles, steps, evMemSlow
-					}
-				}
+			var v uint32
+			if hd, hb, he := hot.View(); has4(hb, he, addr) {
+				v = get4(hd, hb, addr)
+			} else if sd, sb, se := stk.View(); has4(sb, se, addr) {
+				v = get4(sd, sb, addr)
+			} else if d2, b2, e2 := hot2.View(); has4(b2, e2, addr) {
+				v = get4(d2, b2, addr)
+			} else {
+				return pc, cycles, steps, evMemSlow
 			}
 			regs[c.dst] = int64(int32(v))
 		case cLoad4u:
 			addr := uint64(regs[c.a])
-			v, ok := hot.ReadU32At(addr)
-			if !ok {
-				if v, ok = stk.ReadU32At(addr); !ok {
-					if v, ok = hot2.ReadU32At(addr); !ok {
-						return pc, cycles, steps, evMemSlow
-					}
-				}
+			var v uint32
+			if hd, hb, he := hot.View(); has4(hb, he, addr) {
+				v = get4(hd, hb, addr)
+			} else if sd, sb, se := stk.View(); has4(sb, se, addr) {
+				v = get4(sd, sb, addr)
+			} else if d2, b2, e2 := hot2.View(); has4(b2, e2, addr) {
+				v = get4(d2, b2, addr)
+			} else {
+				return pc, cycles, steps, evMemSlow
 			}
 			regs[c.dst] = int64(v)
 		case cLoad1s:
 			addr := uint64(regs[c.a])
-			v, ok := hot.ReadU8At(addr)
-			if !ok {
-				if v, ok = stk.ReadU8At(addr); !ok {
-					if v, ok = hot2.ReadU8At(addr); !ok {
-						return pc, cycles, steps, evMemSlow
-					}
-				}
+			var v byte
+			if hd, hb, he := hot.View(); has1(hb, he, addr) {
+				v = get1(hd, hb, addr)
+			} else if sd, sb, se := stk.View(); has1(sb, se, addr) {
+				v = get1(sd, sb, addr)
+			} else if d2, b2, e2 := hot2.View(); has1(b2, e2, addr) {
+				v = get1(d2, b2, addr)
+			} else {
+				return pc, cycles, steps, evMemSlow
 			}
 			regs[c.dst] = int64(int8(v))
 		case cLoad1u:
 			addr := uint64(regs[c.a])
-			v, ok := hot.ReadU8At(addr)
-			if !ok {
-				if v, ok = stk.ReadU8At(addr); !ok {
-					if v, ok = hot2.ReadU8At(addr); !ok {
-						return pc, cycles, steps, evMemSlow
-					}
-				}
+			var v byte
+			if hd, hb, he := hot.View(); has1(hb, he, addr) {
+				v = get1(hd, hb, addr)
+			} else if sd, sb, se := stk.View(); has1(sb, se, addr) {
+				v = get1(sd, sb, addr)
+			} else if d2, b2, e2 := hot2.View(); has1(b2, e2, addr) {
+				v = get1(d2, b2, addr)
+			} else {
+				return pc, cycles, steps, evMemSlow
 			}
 			regs[c.dst] = int64(v)
 
 		case cStore8:
 			addr := uint64(regs[c.a])
-			if !hot.WriteU64At(addr, uint64(regs[c.b])) {
-				if !stk.WriteU64At(addr, uint64(regs[c.b])) {
-					if !hot2.WriteU64At(addr, uint64(regs[c.b])) {
-						return pc, cycles, steps, evMemSlow
-					}
-				}
+			if hd, hb, he := hot.View(); hot.Writable && has8(hb, he, addr) {
+				put8(hd, hb, addr, uint64(regs[c.b]))
+			} else if sd, sb, se := stk.View(); stk.Writable && has8(sb, se, addr) {
+				put8(sd, sb, addr, uint64(regs[c.b]))
+			} else if d2, b2, e2 := hot2.View(); hot2.Writable && has8(b2, e2, addr) {
+				put8(d2, b2, addr, uint64(regs[c.b]))
+			} else {
+				return pc, cycles, steps, evMemSlow
 			}
 		case cStore4:
 			addr := uint64(regs[c.a])
-			if !hot.WriteU32At(addr, uint32(regs[c.b])) {
-				if !stk.WriteU32At(addr, uint32(regs[c.b])) {
-					if !hot2.WriteU32At(addr, uint32(regs[c.b])) {
-						return pc, cycles, steps, evMemSlow
-					}
-				}
+			if hd, hb, he := hot.View(); hot.Writable && has4(hb, he, addr) {
+				put4(hd, hb, addr, uint32(regs[c.b]))
+			} else if sd, sb, se := stk.View(); stk.Writable && has4(sb, se, addr) {
+				put4(sd, sb, addr, uint32(regs[c.b]))
+			} else if d2, b2, e2 := hot2.View(); hot2.Writable && has4(b2, e2, addr) {
+				put4(d2, b2, addr, uint32(regs[c.b]))
+			} else {
+				return pc, cycles, steps, evMemSlow
 			}
 		case cStore1:
 			addr := uint64(regs[c.a])
-			if !hot.WriteU8At(addr, byte(regs[c.b])) {
-				if !stk.WriteU8At(addr, byte(regs[c.b])) {
-					if !hot2.WriteU8At(addr, byte(regs[c.b])) {
-						return pc, cycles, steps, evMemSlow
-					}
-				}
+			if hd, hb, he := hot.View(); hot.Writable && has1(hb, he, addr) {
+				put1(hd, hb, addr, byte(regs[c.b]))
+			} else if sd, sb, se := stk.View(); stk.Writable && has1(sb, se, addr) {
+				put1(sd, sb, addr, byte(regs[c.b]))
+			} else if d2, b2, e2 := hot2.View(); hot2.Writable && has1(b2, e2, addr) {
+				put1(d2, b2, addr, byte(regs[c.b]))
+			} else {
+				return pc, cycles, steps, evMemSlow
 			}
 
 		case cAddrLocal:
@@ -1819,10 +2549,11 @@ func runCoreProf(code []cinstr, regs []int64, base uint64, offsets []int64, stk,
 				return pc, cycles, steps, evLimit
 			}
 			steps++
-			v, ok := stk.ReadU64At(addr)
-			if !ok {
+			sd, sb, se := stk.View()
+			if !has8(sb, se, addr) {
 				return pc, cycles, steps, evMemSlow
 			}
+			v := get8(sd, sb, addr)
 			regs[c.dst2] = int64(v)
 			cycles += c.cost2
 			pn[c.op]++
@@ -1836,10 +2567,11 @@ func runCoreProf(code []cinstr, regs []int64, base uint64, offsets []int64, stk,
 				return pc, cycles, steps, evLimit
 			}
 			steps++
-			v, ok := stk.ReadU32At(addr)
-			if !ok {
+			sd, sb, se := stk.View()
+			if !has4(sb, se, addr) {
 				return pc, cycles, steps, evMemSlow
 			}
+			v := get4(sd, sb, addr)
 			regs[c.dst2] = int64(int32(v))
 			cycles += c.cost2
 			pn[c.op]++
@@ -1853,10 +2585,11 @@ func runCoreProf(code []cinstr, regs []int64, base uint64, offsets []int64, stk,
 				return pc, cycles, steps, evLimit
 			}
 			steps++
-			v, ok := stk.ReadU32At(addr)
-			if !ok {
+			sd, sb, se := stk.View()
+			if !has4(sb, se, addr) {
 				return pc, cycles, steps, evMemSlow
 			}
+			v := get4(sd, sb, addr)
 			regs[c.dst2] = int64(v)
 			cycles += c.cost2
 			pn[c.op]++
@@ -1870,10 +2603,11 @@ func runCoreProf(code []cinstr, regs []int64, base uint64, offsets []int64, stk,
 				return pc, cycles, steps, evLimit
 			}
 			steps++
-			v, ok := stk.ReadU8At(addr)
-			if !ok {
+			sd, sb, se := stk.View()
+			if !has1(sb, se, addr) {
 				return pc, cycles, steps, evMemSlow
 			}
+			v := get1(sd, sb, addr)
 			regs[c.dst2] = int64(int8(v))
 			cycles += c.cost2
 			pn[c.op]++
@@ -1887,10 +2621,11 @@ func runCoreProf(code []cinstr, regs []int64, base uint64, offsets []int64, stk,
 				return pc, cycles, steps, evLimit
 			}
 			steps++
-			v, ok := stk.ReadU8At(addr)
-			if !ok {
+			sd, sb, se := stk.View()
+			if !has1(sb, se, addr) {
 				return pc, cycles, steps, evMemSlow
 			}
+			v := get1(sd, sb, addr)
 			regs[c.dst2] = int64(v)
 			cycles += c.cost2
 			pn[c.op]++
@@ -1905,7 +2640,9 @@ func runCoreProf(code []cinstr, regs []int64, base uint64, offsets []int64, stk,
 				return pc, cycles, steps, evLimit
 			}
 			steps++
-			if !stk.WriteU64At(addr, uint64(regs[c.b])) {
+			if sd, sb, se := stk.View(); stk.Writable && has8(sb, se, addr) {
+				put8(sd, sb, addr, uint64(regs[c.b]))
+			} else {
 				return pc, cycles, steps, evMemSlow
 			}
 			cycles += c.cost2
@@ -1920,7 +2657,9 @@ func runCoreProf(code []cinstr, regs []int64, base uint64, offsets []int64, stk,
 				return pc, cycles, steps, evLimit
 			}
 			steps++
-			if !stk.WriteU32At(addr, uint32(regs[c.b])) {
+			if sd, sb, se := stk.View(); stk.Writable && has4(sb, se, addr) {
+				put4(sd, sb, addr, uint32(regs[c.b]))
+			} else {
 				return pc, cycles, steps, evMemSlow
 			}
 			cycles += c.cost2
@@ -1935,7 +2674,9 @@ func runCoreProf(code []cinstr, regs []int64, base uint64, offsets []int64, stk,
 				return pc, cycles, steps, evLimit
 			}
 			steps++
-			if !stk.WriteU8At(addr, byte(regs[c.b])) {
+			if sd, sb, se := stk.View(); stk.Writable && has1(sb, se, addr) {
+				put1(sd, sb, addr, byte(regs[c.b]))
+			} else {
 				return pc, cycles, steps, evMemSlow
 			}
 			cycles += c.cost2
@@ -1954,13 +2695,15 @@ func runCoreProf(code []cinstr, regs []int64, base uint64, offsets []int64, stk,
 			}
 			steps++
 			addr := uint64(sum)
-			v, ok := hot.ReadU64At(addr)
-			if !ok {
-				if v, ok = stk.ReadU64At(addr); !ok {
-					if v, ok = hot2.ReadU64At(addr); !ok {
-						return pc, cycles, steps, evMemSlow
-					}
-				}
+			var v uint64
+			if hd, hb, he := hot.View(); has8(hb, he, addr) {
+				v = get8(hd, hb, addr)
+			} else if sd, sb, se := stk.View(); has8(sb, se, addr) {
+				v = get8(sd, sb, addr)
+			} else if d2, b2, e2 := hot2.View(); has8(b2, e2, addr) {
+				v = get8(d2, b2, addr)
+			} else {
+				return pc, cycles, steps, evMemSlow
 			}
 			regs[c.dst2] = int64(v)
 			cycles += c.cost2
@@ -1976,13 +2719,15 @@ func runCoreProf(code []cinstr, regs []int64, base uint64, offsets []int64, stk,
 			}
 			steps++
 			addr := uint64(sum)
-			v, ok := hot.ReadU32At(addr)
-			if !ok {
-				if v, ok = stk.ReadU32At(addr); !ok {
-					if v, ok = hot2.ReadU32At(addr); !ok {
-						return pc, cycles, steps, evMemSlow
-					}
-				}
+			var v uint32
+			if hd, hb, he := hot.View(); has4(hb, he, addr) {
+				v = get4(hd, hb, addr)
+			} else if sd, sb, se := stk.View(); has4(sb, se, addr) {
+				v = get4(sd, sb, addr)
+			} else if d2, b2, e2 := hot2.View(); has4(b2, e2, addr) {
+				v = get4(d2, b2, addr)
+			} else {
+				return pc, cycles, steps, evMemSlow
 			}
 			regs[c.dst2] = int64(int32(v))
 			cycles += c.cost2
@@ -1998,13 +2743,15 @@ func runCoreProf(code []cinstr, regs []int64, base uint64, offsets []int64, stk,
 			}
 			steps++
 			addr := uint64(sum)
-			v, ok := hot.ReadU32At(addr)
-			if !ok {
-				if v, ok = stk.ReadU32At(addr); !ok {
-					if v, ok = hot2.ReadU32At(addr); !ok {
-						return pc, cycles, steps, evMemSlow
-					}
-				}
+			var v uint32
+			if hd, hb, he := hot.View(); has4(hb, he, addr) {
+				v = get4(hd, hb, addr)
+			} else if sd, sb, se := stk.View(); has4(sb, se, addr) {
+				v = get4(sd, sb, addr)
+			} else if d2, b2, e2 := hot2.View(); has4(b2, e2, addr) {
+				v = get4(d2, b2, addr)
+			} else {
+				return pc, cycles, steps, evMemSlow
 			}
 			regs[c.dst2] = int64(v)
 			cycles += c.cost2
@@ -2020,13 +2767,15 @@ func runCoreProf(code []cinstr, regs []int64, base uint64, offsets []int64, stk,
 			}
 			steps++
 			addr := uint64(sum)
-			v, ok := hot.ReadU8At(addr)
-			if !ok {
-				if v, ok = stk.ReadU8At(addr); !ok {
-					if v, ok = hot2.ReadU8At(addr); !ok {
-						return pc, cycles, steps, evMemSlow
-					}
-				}
+			var v byte
+			if hd, hb, he := hot.View(); has1(hb, he, addr) {
+				v = get1(hd, hb, addr)
+			} else if sd, sb, se := stk.View(); has1(sb, se, addr) {
+				v = get1(sd, sb, addr)
+			} else if d2, b2, e2 := hot2.View(); has1(b2, e2, addr) {
+				v = get1(d2, b2, addr)
+			} else {
+				return pc, cycles, steps, evMemSlow
 			}
 			regs[c.dst2] = int64(int8(v))
 			cycles += c.cost2
@@ -2042,13 +2791,15 @@ func runCoreProf(code []cinstr, regs []int64, base uint64, offsets []int64, stk,
 			}
 			steps++
 			addr := uint64(sum)
-			v, ok := hot.ReadU8At(addr)
-			if !ok {
-				if v, ok = stk.ReadU8At(addr); !ok {
-					if v, ok = hot2.ReadU8At(addr); !ok {
-						return pc, cycles, steps, evMemSlow
-					}
-				}
+			var v byte
+			if hd, hb, he := hot.View(); has1(hb, he, addr) {
+				v = get1(hd, hb, addr)
+			} else if sd, sb, se := stk.View(); has1(sb, se, addr) {
+				v = get1(sd, sb, addr)
+			} else if d2, b2, e2 := hot2.View(); has1(b2, e2, addr) {
+				v = get1(d2, b2, addr)
+			} else {
+				return pc, cycles, steps, evMemSlow
 			}
 			regs[c.dst2] = int64(v)
 			cycles += c.cost2
@@ -2066,12 +2817,14 @@ func runCoreProf(code []cinstr, regs []int64, base uint64, offsets []int64, stk,
 			steps++
 			addr := uint64(sum)
 			val := uint64(regs[c.dst2])
-			if !hot.WriteU64At(addr, val) {
-				if !stk.WriteU64At(addr, val) {
-					if !hot2.WriteU64At(addr, val) {
-						return pc, cycles, steps, evMemSlow
-					}
-				}
+			if hd, hb, he := hot.View(); hot.Writable && has8(hb, he, addr) {
+				put8(hd, hb, addr, val)
+			} else if sd, sb, se := stk.View(); stk.Writable && has8(sb, se, addr) {
+				put8(sd, sb, addr, val)
+			} else if d2, b2, e2 := hot2.View(); hot2.Writable && has8(b2, e2, addr) {
+				put8(d2, b2, addr, val)
+			} else {
+				return pc, cycles, steps, evMemSlow
 			}
 			cycles += c.cost2
 			pn[c.op]++
@@ -2087,12 +2840,14 @@ func runCoreProf(code []cinstr, regs []int64, base uint64, offsets []int64, stk,
 			steps++
 			addr := uint64(sum)
 			val := uint64(regs[c.dst2])
-			if !hot.WriteU32At(addr, uint32(val)) {
-				if !stk.WriteU32At(addr, uint32(val)) {
-					if !hot2.WriteU32At(addr, uint32(val)) {
-						return pc, cycles, steps, evMemSlow
-					}
-				}
+			if hd, hb, he := hot.View(); hot.Writable && has4(hb, he, addr) {
+				put4(hd, hb, addr, uint32(val))
+			} else if sd, sb, se := stk.View(); stk.Writable && has4(sb, se, addr) {
+				put4(sd, sb, addr, uint32(val))
+			} else if d2, b2, e2 := hot2.View(); hot2.Writable && has4(b2, e2, addr) {
+				put4(d2, b2, addr, uint32(val))
+			} else {
+				return pc, cycles, steps, evMemSlow
 			}
 			cycles += c.cost2
 			pn[c.op]++
@@ -2108,12 +2863,14 @@ func runCoreProf(code []cinstr, regs []int64, base uint64, offsets []int64, stk,
 			steps++
 			addr := uint64(sum)
 			val := uint64(regs[c.dst2])
-			if !hot.WriteU8At(addr, byte(val)) {
-				if !stk.WriteU8At(addr, byte(val)) {
-					if !hot2.WriteU8At(addr, byte(val)) {
-						return pc, cycles, steps, evMemSlow
-					}
-				}
+			if hd, hb, he := hot.View(); hot.Writable && has1(hb, he, addr) {
+				put1(hd, hb, addr, byte(val))
+			} else if sd, sb, se := stk.View(); stk.Writable && has1(sb, se, addr) {
+				put1(sd, sb, addr, byte(val))
+			} else if d2, b2, e2 := hot2.View(); hot2.Writable && has1(b2, e2, addr) {
+				put1(d2, b2, addr, byte(val))
+			} else {
+				return pc, cycles, steps, evMemSlow
 			}
 			cycles += c.cost2
 			pn[c.op]++
@@ -2134,10 +2891,11 @@ func runCoreProf(code []cinstr, regs []int64, base uint64, offsets []int64, stk,
 				return pc, cycles, steps, evLimit
 			}
 			steps++
-			v, ok := stk.ReadU64At(addr)
-			if !ok {
+			sd, sb, se := stk.View()
+			if !has8(sb, se, addr) {
 				return pc, cycles, steps, evMemSlow
 			}
+			v := get8(sd, sb, addr)
 			regs[c.dst2] = int64(v)
 			cycles += c.cost2
 			pn[c.op]++
@@ -2165,13 +2923,15 @@ func runCoreProf(code []cinstr, regs []int64, base uint64, offsets []int64, stk,
 			}
 			steps++
 			addr := uint64(sum)
-			v, ok := hot.ReadU64At(addr)
-			if !ok {
-				if v, ok = stk.ReadU64At(addr); !ok {
-					if v, ok = hot2.ReadU64At(addr); !ok {
-						return pc, cycles, steps, evMemSlow
-					}
-				}
+			var v uint64
+			if hd, hb, he := hot.View(); has8(hb, he, addr) {
+				v = get8(hd, hb, addr)
+			} else if sd, sb, se := stk.View(); has8(sb, se, addr) {
+				v = get8(sd, sb, addr)
+			} else if d2, b2, e2 := hot2.View(); has8(b2, e2, addr) {
+				v = get8(d2, b2, addr)
+			} else {
+				return pc, cycles, steps, evMemSlow
 			}
 			regs[c.sym] = int64(v)
 			cycles += c.cost3
@@ -2200,16 +2960,656 @@ func runCoreProf(code []cinstr, regs []int64, base uint64, offsets []int64, stk,
 			steps++
 			addr := uint64(sum)
 			val := uint64(regs[c.sym])
-			if !hot.WriteU64At(addr, val) {
-				if !stk.WriteU64At(addr, val) {
-					if !hot2.WriteU64At(addr, val) {
-						return pc, cycles, steps, evMemSlow
-					}
-				}
+			if hd, hb, he := hot.View(); hot.Writable && has8(hb, he, addr) {
+				put8(hd, hb, addr, val)
+			} else if sd, sb, se := stk.View(); stk.Writable && has8(sb, se, addr) {
+				put8(sd, sb, addr, val)
+			} else if d2, b2, e2 := hot2.View(); hot2.Writable && has8(b2, e2, addr) {
+				put8(d2, b2, addr, val)
+			} else {
+				return pc, cycles, steps, evMemSlow
 			}
 			cycles += c.cost3
 			pn[c.op]++
 			pc++
+			continue
+
+		case cBlock:
+			// Twin of runCore's cBlock case. Each completed uop counts
+			// under its OWN cop (copConstituents[cBlock] is empty, so the
+			// flush never expands cBlock itself): pn[u.op]++ at the bottom
+			// of the inner body mirrors the per-dispatch counting the uop
+			// would get in the plain stream. Early exits return before the
+			// count, matching the plain cores' not-counted-on-exit rule;
+			// the driver's evMemSlow correction then lands on the plain
+			// cinstr at the returned index.
+			d := &blocks[c.a]
+			if d.steps > limit-steps+1 {
+				steps--
+				pc = int(d.start)
+				continue
+			}
+			uops := d.uops
+			npc := int(c.t0)
+			for j := 0; j < len(uops); j++ {
+				u := &uops[j]
+				switch u.op {
+				case cNop:
+				case cConst:
+					regs[u.dst] = u.imm
+				case cMov:
+					regs[u.dst] = regs[u.a]
+				case cAdd:
+					regs[u.dst] = regs[u.a] + regs[u.b]
+				case cSub:
+					regs[u.dst] = regs[u.a] - regs[u.b]
+				case cMul:
+					regs[u.dst] = regs[u.a] * regs[u.b]
+				case cDiv:
+					if regs[u.b] == 0 {
+						cycles += d.prefix[j]
+						steps += uint64(d.psteps[j])
+						return int(d.start) + j, cycles, steps, evDivZero
+					}
+					regs[u.dst] = regs[u.a] / regs[u.b]
+				case cMod:
+					if regs[u.b] == 0 {
+						cycles += d.prefix[j]
+						steps += uint64(d.psteps[j])
+						return int(d.start) + j, cycles, steps, evDivZero
+					}
+					regs[u.dst] = regs[u.a] % regs[u.b]
+				case cAnd:
+					regs[u.dst] = regs[u.a] & regs[u.b]
+				case cOr:
+					regs[u.dst] = regs[u.a] | regs[u.b]
+				case cXor:
+					regs[u.dst] = regs[u.a] ^ regs[u.b]
+				case cShl:
+					regs[u.dst] = regs[u.a] << (uint64(regs[u.b]) & 63)
+				case cShr:
+					regs[u.dst] = regs[u.a] >> (uint64(regs[u.b]) & 63)
+				case cNeg:
+					regs[u.dst] = -regs[u.a]
+				case cNot:
+					regs[u.dst] = ^regs[u.a]
+				case cSetZ:
+					if regs[u.a] == 0 {
+						regs[u.dst] = 1
+					} else {
+						regs[u.dst] = 0
+					}
+				case cEq:
+					regs[u.dst] = b2i(regs[u.a] == regs[u.b])
+				case cNe:
+					regs[u.dst] = b2i(regs[u.a] != regs[u.b])
+				case cLt:
+					regs[u.dst] = b2i(regs[u.a] < regs[u.b])
+				case cLe:
+					regs[u.dst] = b2i(regs[u.a] <= regs[u.b])
+				case cGt:
+					regs[u.dst] = b2i(regs[u.a] > regs[u.b])
+				case cGe:
+					regs[u.dst] = b2i(regs[u.a] >= regs[u.b])
+
+				case cLoad8:
+					addr := uint64(regs[u.a])
+					var v uint64
+					if hd, hb, he := hot.View(); has8(hb, he, addr) {
+						v = get8(hd, hb, addr)
+					} else if sd, sb, se := stk.View(); has8(sb, se, addr) {
+						v = get8(sd, sb, addr)
+					} else if d2, b2, e2 := hot2.View(); has8(b2, e2, addr) {
+						v = get8(d2, b2, addr)
+					} else {
+						cycles += d.prefix[j]
+						steps += uint64(d.psteps[j])
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+					regs[u.dst] = int64(v)
+				case cLoad4s:
+					addr := uint64(regs[u.a])
+					var v uint32
+					if hd, hb, he := hot.View(); has4(hb, he, addr) {
+						v = get4(hd, hb, addr)
+					} else if sd, sb, se := stk.View(); has4(sb, se, addr) {
+						v = get4(sd, sb, addr)
+					} else if d2, b2, e2 := hot2.View(); has4(b2, e2, addr) {
+						v = get4(d2, b2, addr)
+					} else {
+						cycles += d.prefix[j]
+						steps += uint64(d.psteps[j])
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+					regs[u.dst] = int64(int32(v))
+				case cLoad4u:
+					addr := uint64(regs[u.a])
+					var v uint32
+					if hd, hb, he := hot.View(); has4(hb, he, addr) {
+						v = get4(hd, hb, addr)
+					} else if sd, sb, se := stk.View(); has4(sb, se, addr) {
+						v = get4(sd, sb, addr)
+					} else if d2, b2, e2 := hot2.View(); has4(b2, e2, addr) {
+						v = get4(d2, b2, addr)
+					} else {
+						cycles += d.prefix[j]
+						steps += uint64(d.psteps[j])
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+					regs[u.dst] = int64(v)
+				case cLoad1s:
+					addr := uint64(regs[u.a])
+					var v byte
+					if hd, hb, he := hot.View(); has1(hb, he, addr) {
+						v = get1(hd, hb, addr)
+					} else if sd, sb, se := stk.View(); has1(sb, se, addr) {
+						v = get1(sd, sb, addr)
+					} else if d2, b2, e2 := hot2.View(); has1(b2, e2, addr) {
+						v = get1(d2, b2, addr)
+					} else {
+						cycles += d.prefix[j]
+						steps += uint64(d.psteps[j])
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+					regs[u.dst] = int64(int8(v))
+				case cLoad1u:
+					addr := uint64(regs[u.a])
+					var v byte
+					if hd, hb, he := hot.View(); has1(hb, he, addr) {
+						v = get1(hd, hb, addr)
+					} else if sd, sb, se := stk.View(); has1(sb, se, addr) {
+						v = get1(sd, sb, addr)
+					} else if d2, b2, e2 := hot2.View(); has1(b2, e2, addr) {
+						v = get1(d2, b2, addr)
+					} else {
+						cycles += d.prefix[j]
+						steps += uint64(d.psteps[j])
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+					regs[u.dst] = int64(v)
+
+				case cStore8:
+					addr := uint64(regs[u.a])
+					if hd, hb, he := hot.View(); hot.Writable && has8(hb, he, addr) {
+						put8(hd, hb, addr, uint64(regs[u.b]))
+					} else if sd, sb, se := stk.View(); stk.Writable && has8(sb, se, addr) {
+						put8(sd, sb, addr, uint64(regs[u.b]))
+					} else if d2, b2, e2 := hot2.View(); hot2.Writable && has8(b2, e2, addr) {
+						put8(d2, b2, addr, uint64(regs[u.b]))
+					} else {
+						cycles += d.prefix[j]
+						steps += uint64(d.psteps[j])
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+				case cStore4:
+					addr := uint64(regs[u.a])
+					if hd, hb, he := hot.View(); hot.Writable && has4(hb, he, addr) {
+						put4(hd, hb, addr, uint32(regs[u.b]))
+					} else if sd, sb, se := stk.View(); stk.Writable && has4(sb, se, addr) {
+						put4(sd, sb, addr, uint32(regs[u.b]))
+					} else if d2, b2, e2 := hot2.View(); hot2.Writable && has4(b2, e2, addr) {
+						put4(d2, b2, addr, uint32(regs[u.b]))
+					} else {
+						cycles += d.prefix[j]
+						steps += uint64(d.psteps[j])
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+				case cStore1:
+					addr := uint64(regs[u.a])
+					if hd, hb, he := hot.View(); hot.Writable && has1(hb, he, addr) {
+						put1(hd, hb, addr, byte(regs[u.b]))
+					} else if sd, sb, se := stk.View(); stk.Writable && has1(sb, se, addr) {
+						put1(sd, sb, addr, byte(regs[u.b]))
+					} else if d2, b2, e2 := hot2.View(); hot2.Writable && has1(b2, e2, addr) {
+						put1(d2, b2, addr, byte(regs[u.b]))
+					} else {
+						cycles += d.prefix[j]
+						steps += uint64(d.psteps[j])
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+
+				case cAddrLocal:
+					regs[u.dst] = int64(base + uint64(offsets[u.sym]))
+				case cAddrConst:
+					regs[u.dst] = u.imm
+
+				case cConstAdd:
+					regs[u.dst] = u.imm
+					regs[u.dst2] = regs[u.a] + regs[u.b]
+				case cConstSub:
+					regs[u.dst] = u.imm
+					regs[u.dst2] = regs[u.a] - regs[u.b]
+				case cConstMul:
+					regs[u.dst] = u.imm
+					regs[u.dst2] = regs[u.a] * regs[u.b]
+				case cConstDiv:
+					regs[u.dst] = u.imm
+					if regs[u.b] == 0 {
+						cycles += d.prefix[j] + u.cost
+						steps += uint64(d.psteps[j]) + 1
+						return int(d.start) + j, cycles, steps, evDivZero
+					}
+					regs[u.dst2] = regs[u.a] / regs[u.b]
+				case cConstMod:
+					regs[u.dst] = u.imm
+					if regs[u.b] == 0 {
+						cycles += d.prefix[j] + u.cost
+						steps += uint64(d.psteps[j]) + 1
+						return int(d.start) + j, cycles, steps, evDivZero
+					}
+					regs[u.dst2] = regs[u.a] % regs[u.b]
+				case cConstAnd:
+					regs[u.dst] = u.imm
+					regs[u.dst2] = regs[u.a] & regs[u.b]
+				case cConstOr:
+					regs[u.dst] = u.imm
+					regs[u.dst2] = regs[u.a] | regs[u.b]
+				case cConstXor:
+					regs[u.dst] = u.imm
+					regs[u.dst2] = regs[u.a] ^ regs[u.b]
+				case cConstShl:
+					regs[u.dst] = u.imm
+					regs[u.dst2] = regs[u.a] << (uint64(regs[u.b]) & 63)
+				case cConstShr:
+					regs[u.dst] = u.imm
+					regs[u.dst2] = regs[u.a] >> (uint64(regs[u.b]) & 63)
+
+				case cAddrLoad8:
+					addr := base + uint64(offsets[u.sym])
+					regs[u.dst] = int64(addr)
+					sd, sb, se := stk.View()
+					if !has8(sb, se, addr) {
+						cycles += d.prefix[j] + u.cost
+						steps += uint64(d.psteps[j]) + 1
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+					v := get8(sd, sb, addr)
+					regs[u.dst2] = int64(v)
+				case cAddrLoad4s:
+					addr := base + uint64(offsets[u.sym])
+					regs[u.dst] = int64(addr)
+					sd, sb, se := stk.View()
+					if !has4(sb, se, addr) {
+						cycles += d.prefix[j] + u.cost
+						steps += uint64(d.psteps[j]) + 1
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+					v := get4(sd, sb, addr)
+					regs[u.dst2] = int64(int32(v))
+				case cAddrLoad4u:
+					addr := base + uint64(offsets[u.sym])
+					regs[u.dst] = int64(addr)
+					sd, sb, se := stk.View()
+					if !has4(sb, se, addr) {
+						cycles += d.prefix[j] + u.cost
+						steps += uint64(d.psteps[j]) + 1
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+					v := get4(sd, sb, addr)
+					regs[u.dst2] = int64(v)
+				case cAddrLoad1s:
+					addr := base + uint64(offsets[u.sym])
+					regs[u.dst] = int64(addr)
+					sd, sb, se := stk.View()
+					if !has1(sb, se, addr) {
+						cycles += d.prefix[j] + u.cost
+						steps += uint64(d.psteps[j]) + 1
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+					v := get1(sd, sb, addr)
+					regs[u.dst2] = int64(int8(v))
+				case cAddrLoad1u:
+					addr := base + uint64(offsets[u.sym])
+					regs[u.dst] = int64(addr)
+					sd, sb, se := stk.View()
+					if !has1(sb, se, addr) {
+						cycles += d.prefix[j] + u.cost
+						steps += uint64(d.psteps[j]) + 1
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+					v := get1(sd, sb, addr)
+					regs[u.dst2] = int64(v)
+
+				case cAddrStore8:
+					addr := base + uint64(offsets[u.sym])
+					regs[u.dst] = int64(addr)
+					if sd, sb, se := stk.View(); stk.Writable && has8(sb, se, addr) {
+						put8(sd, sb, addr, uint64(regs[u.b]))
+					} else {
+						cycles += d.prefix[j] + u.cost
+						steps += uint64(d.psteps[j]) + 1
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+				case cAddrStore4:
+					addr := base + uint64(offsets[u.sym])
+					regs[u.dst] = int64(addr)
+					if sd, sb, se := stk.View(); stk.Writable && has4(sb, se, addr) {
+						put4(sd, sb, addr, uint32(regs[u.b]))
+					} else {
+						cycles += d.prefix[j] + u.cost
+						steps += uint64(d.psteps[j]) + 1
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+				case cAddrStore1:
+					addr := base + uint64(offsets[u.sym])
+					regs[u.dst] = int64(addr)
+					if sd, sb, se := stk.View(); stk.Writable && has1(sb, se, addr) {
+						put1(sd, sb, addr, byte(regs[u.b]))
+					} else {
+						cycles += d.prefix[j] + u.cost
+						steps += uint64(d.psteps[j]) + 1
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+
+				case cAddLoad8:
+					sum := regs[u.a] + regs[u.b]
+					regs[u.dst] = sum
+					addr := uint64(sum)
+					var v uint64
+					if hd, hb, he := hot.View(); has8(hb, he, addr) {
+						v = get8(hd, hb, addr)
+					} else if sd, sb, se := stk.View(); has8(sb, se, addr) {
+						v = get8(sd, sb, addr)
+					} else if d2, b2, e2 := hot2.View(); has8(b2, e2, addr) {
+						v = get8(d2, b2, addr)
+					} else {
+						cycles += d.prefix[j] + u.cost
+						steps += uint64(d.psteps[j]) + 1
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+					regs[u.dst2] = int64(v)
+				case cAddLoad4s:
+					sum := regs[u.a] + regs[u.b]
+					regs[u.dst] = sum
+					addr := uint64(sum)
+					var v uint32
+					if hd, hb, he := hot.View(); has4(hb, he, addr) {
+						v = get4(hd, hb, addr)
+					} else if sd, sb, se := stk.View(); has4(sb, se, addr) {
+						v = get4(sd, sb, addr)
+					} else if d2, b2, e2 := hot2.View(); has4(b2, e2, addr) {
+						v = get4(d2, b2, addr)
+					} else {
+						cycles += d.prefix[j] + u.cost
+						steps += uint64(d.psteps[j]) + 1
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+					regs[u.dst2] = int64(int32(v))
+				case cAddLoad4u:
+					sum := regs[u.a] + regs[u.b]
+					regs[u.dst] = sum
+					addr := uint64(sum)
+					var v uint32
+					if hd, hb, he := hot.View(); has4(hb, he, addr) {
+						v = get4(hd, hb, addr)
+					} else if sd, sb, se := stk.View(); has4(sb, se, addr) {
+						v = get4(sd, sb, addr)
+					} else if d2, b2, e2 := hot2.View(); has4(b2, e2, addr) {
+						v = get4(d2, b2, addr)
+					} else {
+						cycles += d.prefix[j] + u.cost
+						steps += uint64(d.psteps[j]) + 1
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+					regs[u.dst2] = int64(v)
+				case cAddLoad1s:
+					sum := regs[u.a] + regs[u.b]
+					regs[u.dst] = sum
+					addr := uint64(sum)
+					var v byte
+					if hd, hb, he := hot.View(); has1(hb, he, addr) {
+						v = get1(hd, hb, addr)
+					} else if sd, sb, se := stk.View(); has1(sb, se, addr) {
+						v = get1(sd, sb, addr)
+					} else if d2, b2, e2 := hot2.View(); has1(b2, e2, addr) {
+						v = get1(d2, b2, addr)
+					} else {
+						cycles += d.prefix[j] + u.cost
+						steps += uint64(d.psteps[j]) + 1
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+					regs[u.dst2] = int64(int8(v))
+				case cAddLoad1u:
+					sum := regs[u.a] + regs[u.b]
+					regs[u.dst] = sum
+					addr := uint64(sum)
+					var v byte
+					if hd, hb, he := hot.View(); has1(hb, he, addr) {
+						v = get1(hd, hb, addr)
+					} else if sd, sb, se := stk.View(); has1(sb, se, addr) {
+						v = get1(sd, sb, addr)
+					} else if d2, b2, e2 := hot2.View(); has1(b2, e2, addr) {
+						v = get1(d2, b2, addr)
+					} else {
+						cycles += d.prefix[j] + u.cost
+						steps += uint64(d.psteps[j]) + 1
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+					regs[u.dst2] = int64(v)
+
+				case cAddStore8:
+					sum := regs[u.a] + regs[u.b]
+					regs[u.dst] = sum
+					addr := uint64(sum)
+					val := uint64(regs[u.dst2])
+					if hd, hb, he := hot.View(); hot.Writable && has8(hb, he, addr) {
+						put8(hd, hb, addr, val)
+					} else if sd, sb, se := stk.View(); stk.Writable && has8(sb, se, addr) {
+						put8(sd, sb, addr, val)
+					} else if d2, b2, e2 := hot2.View(); hot2.Writable && has8(b2, e2, addr) {
+						put8(d2, b2, addr, val)
+					} else {
+						cycles += d.prefix[j] + u.cost
+						steps += uint64(d.psteps[j]) + 1
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+				case cAddStore4:
+					sum := regs[u.a] + regs[u.b]
+					regs[u.dst] = sum
+					addr := uint64(sum)
+					val := uint64(regs[u.dst2])
+					if hd, hb, he := hot.View(); hot.Writable && has4(hb, he, addr) {
+						put4(hd, hb, addr, uint32(val))
+					} else if sd, sb, se := stk.View(); stk.Writable && has4(sb, se, addr) {
+						put4(sd, sb, addr, uint32(val))
+					} else if d2, b2, e2 := hot2.View(); hot2.Writable && has4(b2, e2, addr) {
+						put4(d2, b2, addr, uint32(val))
+					} else {
+						cycles += d.prefix[j] + u.cost
+						steps += uint64(d.psteps[j]) + 1
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+				case cAddStore1:
+					sum := regs[u.a] + regs[u.b]
+					regs[u.dst] = sum
+					addr := uint64(sum)
+					val := uint64(regs[u.dst2])
+					if hd, hb, he := hot.View(); hot.Writable && has1(hb, he, addr) {
+						put1(hd, hb, addr, byte(val))
+					} else if sd, sb, se := stk.View(); stk.Writable && has1(sb, se, addr) {
+						put1(sd, sb, addr, byte(val))
+					} else if d2, b2, e2 := hot2.View(); hot2.Writable && has1(b2, e2, addr) {
+						put1(d2, b2, addr, byte(val))
+					} else {
+						cycles += d.prefix[j] + u.cost
+						steps += uint64(d.psteps[j]) + 1
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+
+				case cAddrAddrLoad8:
+					regs[u.dst] = int64(base + uint64(offsets[u.sym]))
+					addr := base + uint64(offsets[u.t0])
+					regs[u.a] = int64(addr)
+					sd, sb, se := stk.View()
+					if !has8(sb, se, addr) {
+						cycles += d.prefix[j] + u.cost + u.cost
+						steps += uint64(d.psteps[j]) + 2
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+					v := get8(sd, sb, addr)
+					regs[u.dst2] = int64(v)
+
+				case cMulLoad8:
+					regs[u.dst] = u.imm
+					regs[u.dst2] = regs[u.a] * regs[u.b]
+					sum := regs[u.t0] + regs[u.dst2]
+					regs[u.t1] = sum
+					addr := uint64(sum)
+					var v uint64
+					if hd, hb, he := hot.View(); has8(hb, he, addr) {
+						v = get8(hd, hb, addr)
+					} else if sd, sb, se := stk.View(); has8(sb, se, addr) {
+						v = get8(sd, sb, addr)
+					} else if d2, b2, e2 := hot2.View(); has8(b2, e2, addr) {
+						v = get8(d2, b2, addr)
+					} else {
+						cycles += d.prefix[j] + u.cost + u.cost2 + u.cost
+						steps += uint64(d.psteps[j]) + 3
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+					regs[u.sym] = int64(v)
+				case cMulStore8:
+					regs[u.dst] = u.imm
+					regs[u.dst2] = regs[u.a] * regs[u.b]
+					sum := regs[u.t0] + regs[u.dst2]
+					regs[u.t1] = sum
+					addr := uint64(sum)
+					val := uint64(regs[u.sym])
+					if hd, hb, he := hot.View(); hot.Writable && has8(hb, he, addr) {
+						put8(hd, hb, addr, val)
+					} else if sd, sb, se := stk.View(); stk.Writable && has8(sb, se, addr) {
+						put8(sd, sb, addr, val)
+					} else if d2, b2, e2 := hot2.View(); hot2.Writable && has8(b2, e2, addr) {
+						put8(d2, b2, addr, val)
+					} else {
+						cycles += d.prefix[j] + u.cost + u.cost2 + u.cost
+						steps += uint64(d.psteps[j]) + 3
+						return int(d.start) + j, cycles, steps, evMemSlow
+					}
+
+				case cJmp:
+					npc = int(u.t0)
+				case cBr:
+					if regs[u.a] != 0 {
+						npc = int(u.t0)
+					} else {
+						npc = int(u.t1)
+					}
+				case cEqBr:
+					v := b2i(regs[u.a] == regs[u.b])
+					regs[u.dst] = v
+					if v != 0 {
+						npc = int(u.t0)
+					} else {
+						npc = int(u.t1)
+					}
+				case cNeBr:
+					v := b2i(regs[u.a] != regs[u.b])
+					regs[u.dst] = v
+					if v != 0 {
+						npc = int(u.t0)
+					} else {
+						npc = int(u.t1)
+					}
+				case cLtBr:
+					v := b2i(regs[u.a] < regs[u.b])
+					regs[u.dst] = v
+					if v != 0 {
+						npc = int(u.t0)
+					} else {
+						npc = int(u.t1)
+					}
+				case cLeBr:
+					v := b2i(regs[u.a] <= regs[u.b])
+					regs[u.dst] = v
+					if v != 0 {
+						npc = int(u.t0)
+					} else {
+						npc = int(u.t1)
+					}
+				case cGtBr:
+					v := b2i(regs[u.a] > regs[u.b])
+					regs[u.dst] = v
+					if v != 0 {
+						npc = int(u.t0)
+					} else {
+						npc = int(u.t1)
+					}
+				case cGeBr:
+					v := b2i(regs[u.a] >= regs[u.b])
+					regs[u.dst] = v
+					if v != 0 {
+						npc = int(u.t0)
+					} else {
+						npc = int(u.t1)
+					}
+				case cConstEqBr:
+					regs[u.dst] = u.imm
+					v := b2i(regs[u.a] == regs[u.b])
+					regs[u.dst2] = v
+					if v != 0 {
+						npc = int(u.t0)
+					} else {
+						npc = int(u.t1)
+					}
+				case cConstNeBr:
+					regs[u.dst] = u.imm
+					v := b2i(regs[u.a] != regs[u.b])
+					regs[u.dst2] = v
+					if v != 0 {
+						npc = int(u.t0)
+					} else {
+						npc = int(u.t1)
+					}
+				case cConstLtBr:
+					regs[u.dst] = u.imm
+					v := b2i(regs[u.a] < regs[u.b])
+					regs[u.dst2] = v
+					if v != 0 {
+						npc = int(u.t0)
+					} else {
+						npc = int(u.t1)
+					}
+				case cConstLeBr:
+					regs[u.dst] = u.imm
+					v := b2i(regs[u.a] <= regs[u.b])
+					regs[u.dst2] = v
+					if v != 0 {
+						npc = int(u.t0)
+					} else {
+						npc = int(u.t1)
+					}
+				case cConstGtBr:
+					regs[u.dst] = u.imm
+					v := b2i(regs[u.a] > regs[u.b])
+					regs[u.dst2] = v
+					if v != 0 {
+						npc = int(u.t0)
+					} else {
+						npc = int(u.t1)
+					}
+				case cConstGeBr:
+					regs[u.dst] = u.imm
+					v := b2i(regs[u.a] >= regs[u.b])
+					regs[u.dst2] = v
+					if v != 0 {
+						npc = int(u.t0)
+					} else {
+						npc = int(u.t1)
+					}
+
+				default:
+					// Unreachable: the miner only admits uops with a case
+					// above. Surface as evBad at the plain index.
+					cycles += d.prefix[j]
+					steps += uint64(d.psteps[j])
+					return int(d.start) + j, cycles, steps, evBad
+				}
+				pn[u.op]++
+			}
+			cycles += d.cost
+			steps += d.steps - 1
+			pc = npc
 			continue
 
 		default: // cBad and anything unrecognized

@@ -21,11 +21,19 @@
 // of its rows in any summation order. Against the VM's own Stats.Cycles
 // — accumulated in windowed float order that no independent
 // decomposition can reproduce bit-for-bit — the row sum agrees to ~1e-9
-// relative error (TestProfileReconciliation pins the bound). The only
-// attribution leak is a faulted or step-limited run that stops inside a
-// fused superinstruction: completed constituents of the partial group
-// are charged to Stats.Cycles but no dispatch completed, so no row
-// counts them. Clean runs have no such gap.
+// relative error (TestProfileReconciliation pins the bound).
+//
+// Early-exit runs reconcile too. In-flight calls are attributed before
+// descending, and a typed fault (divide-by-zero, memory fault) counts
+// its faulting dispatch at zero cycles — the fault sits on the group's
+// last constituent, so the expansion matches the consumed steps exactly
+// and op counts keep summing to Stats.Instructions on every tier
+// (TestCancelledRunProfileFlush, TestFaultedRunProfileFlush). Two small
+// leaks remain by design: a step limit landing inside a fused group
+// (partial constituents counted in Stats but no dispatch to expand),
+// and the already-charged leading constituents' cycles of a faulted
+// fused group (attributed at zero). Clean and cancelled runs have no
+// gap at all.
 package vm
 
 import (
@@ -96,7 +104,7 @@ var catNames = [numProfCats]string{
 }
 
 // numCops sizes per-cop tables (compiled-tier dispatch counts).
-const numCops = int(cAddrAddrLoad8) + 1
+const numCops = int(cBlock) + 1
 
 // copNames names every compiled opcode for the fused-dispatch counters.
 var copNames = [numCops]string{
@@ -132,6 +140,7 @@ var copNames = [numCops]string{
 	cAddStore1: "add.store1",
 	cMulLoad8:  "mul.load8", cMulStore8: "mul.store8",
 	cAddrAddrLoad8: "addr.addr.load8",
+	cBlock:         "block",
 }
 
 // copConstituents maps each compiled opcode to the ir.Ops it completed,
@@ -194,6 +203,12 @@ var copConstituents = [numCops][]ir.Op{
 	cMulLoad8:      {ir.OpConst, ir.OpMul, ir.OpAdd, ir.OpLoad},
 	cMulStore8:     {ir.OpConst, ir.OpMul, ir.OpAdd, ir.OpStore},
 	cAddrAddrLoad8: {ir.OpAddrLocal, ir.OpAddrLocal, ir.OpLoad},
+	// cBlock expands to nothing: the block tier's profiled core counts
+	// each executed uop under the uop's own cop (a block dispatch is N
+	// per-cop increments, not one cBlock increment), so attribution and
+	// reconciliation go through the constituent cops exactly as in the
+	// threaded tier. The cBlock counter itself stays zero.
+	cBlock: {},
 }
 
 // copIsFused reports whether a cop is a fused superinstruction (counted

@@ -91,6 +91,7 @@ var profileTiers = []struct {
 }{
 	{"switch", vm.TierSwitch},
 	{"compiled", vm.TierCompiled},
+	{"block", vm.TierBlock},
 }
 
 // profileRun executes the probe once, optionally profiled.

@@ -1,0 +1,26 @@
+//go:build !(amd64 || arm64)
+
+package vm
+
+import "encoding/binary"
+
+// Portable unchecked segment accessors for targets where unaligned
+// direct loads are unsafe or the byte order differs: encoding/binary
+// keeps the VM's little-endian memory image bit-identical everywhere,
+// at the price of an out-of-line call inside the interpreter cores.
+
+func get8(data []byte, base, addr uint64) uint64 {
+	return binary.LittleEndian.Uint64(data[addr-base:])
+}
+
+func get4(data []byte, base, addr uint64) uint32 {
+	return binary.LittleEndian.Uint32(data[addr-base:])
+}
+
+func put8(data []byte, base, addr, val uint64) {
+	binary.LittleEndian.PutUint64(data[addr-base:], val)
+}
+
+func put4(data []byte, base, addr uint64, val uint32) {
+	binary.LittleEndian.PutUint32(data[addr-base:], val)
+}

@@ -1,0 +1,31 @@
+//go:build amd64 || arm64
+
+package vm
+
+import "unsafe"
+
+// Little-endian targets with cheap unaligned access: the unchecked
+// segment accessors compile to a single load/store. Inside the
+// interpreter cores even encoding/binary's LittleEndian.Uint64 stays an
+// out-of-line CALL (the big-function inliner only accepts callees
+// costing <= 20, and the byte-assembly body is larger), so these use a
+// direct unsafe load instead. Safety: every call site has already
+// checked has8/has4 against the segment view, so addr-base .. +width
+// lies inside data; &data[addr-base] keeps the compiler's own bounds
+// check on the first byte.
+
+func get8(data []byte, base, addr uint64) uint64 {
+	return *(*uint64)(unsafe.Pointer(&data[addr-base]))
+}
+
+func get4(data []byte, base, addr uint64) uint32 {
+	return *(*uint32)(unsafe.Pointer(&data[addr-base]))
+}
+
+func put8(data []byte, base, addr, val uint64) {
+	*(*uint64)(unsafe.Pointer(&data[addr-base])) = val
+}
+
+func put4(data []byte, base, addr uint64, val uint32) {
+	*(*uint32)(unsafe.Pointer(&data[addr-base])) = val
+}

@@ -157,23 +157,45 @@ func DefaultCosts() Costs {
 type ExecTier int
 
 const (
-	// TierAuto picks the compiled tier unless SMOKESTACK_EXEC=switch is set
-	// in the environment.
+	// TierAuto consults SMOKESTACK_EXEC and defaults to the block tier.
 	TierAuto ExecTier = iota
 	// TierCompiled executes pre-decoded, fused cinstr streams (compile.go /
 	// exec_compiled.go), sharing compiled programs through a CodeCache.
 	TierCompiled
 	// TierSwitch executes raw ir.Instr through the legacy switch
-	// interpreter — the differential oracle the compiled tier is checked
+	// interpreter — the differential oracle the other tiers are checked
 	// against.
 	TierSwitch
+	// TierBlock executes the threaded stream with profile-guided block
+	// superinstructions layered on top (blocktier.go): hot straight-line
+	// runs dispatch as one cinstr with a pre-summed cost and an amortized
+	// step check, bit-identical to the other tiers by construction. Falls
+	// back to TierCompiled semantics when the cost table is not
+	// integer-valued or StepLimit exceeds 2^32 (see blocktier.go).
+	TierBlock
 )
 
-// execTierEnv is the environment variable consulted by TierAuto. The only
-// recognized value is "switch"; anything else (including unset) selects the
-// compiled tier. Read per Machine, not cached at init, so tests can flip
-// it with t.Setenv.
+// execTierEnv is the environment variable consulted by TierAuto. The
+// recognized values are "switch", "threaded" (the plain compiled tier) and
+// "block"; anything else (including unset) selects the block tier. Read
+// per Machine, not cached at init, so tests can flip it with t.Setenv.
 const execTierEnv = "SMOKESTACK_EXEC"
+
+// ParseExecTier maps a SMOKESTACK_EXEC-style name to its tier: "switch",
+// "threaded", "block", or "" / "auto" for TierAuto.
+func ParseExecTier(s string) (ExecTier, bool) {
+	switch s {
+	case "", "auto":
+		return TierAuto, true
+	case "switch":
+		return TierSwitch, true
+	case "threaded":
+		return TierCompiled, true
+	case "block":
+		return TierBlock, true
+	}
+	return TierAuto, false
+}
 
 // Options configure a Machine.
 type Options struct {
@@ -196,8 +218,8 @@ type Options struct {
 	JitterSeed uint64
 	// HeapSize overrides the heap segment size (default 64 MiB).
 	HeapSize uint64
-	// Exec selects the execution tier (default TierAuto: compiled unless
-	// SMOKESTACK_EXEC=switch).
+	// Exec selects the execution tier (default TierAuto: block unless
+	// SMOKESTACK_EXEC says otherwise).
 	Exec ExecTier
 	// CodeCache overrides the process-wide compiled-code cache (tests use
 	// private caches to observe hit/miss counts). Ignored under TierSwitch.
@@ -394,6 +416,13 @@ type Machine struct {
 	profFrameAlloc uint64
 	profMemHits    uint64
 	profMemMisses  uint64
+
+	// bbCount, when non-nil, makes the switch interpreter count executions
+	// per function (outer index ir.Function.ID) and IR pc — the block
+	// tier's one-shot profiling pre-run (blocktier.go) attaches it to find
+	// hot basic blocks. Nil on every ordinary Machine: the hot loop pays a
+	// hoisted nil check, same discipline as the profiler fields.
+	bbCount [][]uint64
 }
 
 // supervisionInterval is the step count between watchdog polls while a
@@ -584,18 +613,29 @@ func New(prog *ir.Program, engine layout.Engine, env *Env, opts *Options) *Machi
 
 	tier := o.Exec
 	if tier == TierAuto {
-		if os.Getenv(execTierEnv) == "switch" {
-			tier = TierSwitch
+		if t, ok := ParseExecTier(os.Getenv(execTierEnv)); ok && t != TierAuto {
+			tier = t
 		} else {
-			tier = TierCompiled
+			tier = TierBlock
 		}
 	}
-	if tier == TierCompiled {
+	// The block tier's exact pre-summed costs need the in-core cycle
+	// accumulator to stay in float64's exact-integer range; huge step
+	// limits fall back to the threaded tier's per-constituent accounting
+	// (bit-identical, just unaccelerated).
+	if tier == TierBlock && o.StepLimit > blockMaxStepLimit {
+		tier = TierCompiled
+	}
+	if tier == TierCompiled || tier == TierBlock {
 		cache := o.CodeCache
 		if cache == nil {
 			cache = defaultCodeCache
 		}
-		m.ccode = cache.compiled(prog, costs, engine.AddrLocalExtraCycles(), m.globalAddr, m.dataAddr)
+		if tier == TierBlock {
+			m.ccode = cache.blockCompiled(prog, costs, engine.AddrLocalExtraCycles(), m.globalAddr, m.dataAddr)
+		} else {
+			m.ccode = cache.compiled(prog, costs, engine.AddrLocalExtraCycles(), m.globalAddr, m.dataAddr)
+		}
 	}
 
 	if o.JitterAmp > 0 && engine.Name() != "fixed" {
@@ -1112,6 +1152,12 @@ func (m *Machine) exec(fn *ir.Function, base uint64, offsets []int64) (int64, er
 	if m.prof != nil {
 		pw, pnn = &m.profW, &m.profN
 	}
+	// Per-pc execution counts for the block tier's profiling pre-run
+	// (blocktier.go). Same hoisted-nil discipline as the profiler.
+	var bb []uint64
+	if m.bbCount != nil {
+		bb = m.bbCount[fn.ID]
+	}
 	cycles := 0.0
 	steps, limit := m.steps, m.stepLimit
 	// next is the supervised chunk boundary: with the watchdog dormant it
@@ -1137,6 +1183,9 @@ func (m *Machine) exec(fn *ir.Function, base uint64, offsets []int64) (int64, er
 			next = supNext(steps, limit)
 		}
 		steps++
+		if bb != nil {
+			bb[pc]++
+		}
 		in := &code[pc]
 		op := in.Op
 		switch op {
@@ -1153,11 +1202,22 @@ func (m *Machine) exec(fn *ir.Function, base uint64, offsets []int64) (int64, er
 			regs[in.Dst] = regs[in.A] * regs[in.B]
 		case ir.OpDiv:
 			if regs[in.B] == 0 {
+				// Count-only attribution of the faulting dispatch: the loop
+				// head consumed its step but no cycles were charged, so the
+				// count keeps the profile's op rows summing to
+				// Stats.Instructions while adding zero cycles (pnn without
+				// pw).
+				if pnn != nil {
+					pnn[op]++
+				}
 				return 0, &DivideByZero{Func: fn.Name, PC: pc}
 			}
 			regs[in.Dst] = regs[in.A] / regs[in.B]
 		case ir.OpMod:
 			if regs[in.B] == 0 {
+				if pnn != nil {
+					pnn[op]++
+				}
 				return 0, &DivideByZero{Func: fn.Name, PC: pc}
 			}
 			regs[in.Dst] = regs[in.A] % regs[in.B]
@@ -1199,6 +1259,11 @@ func (m *Machine) exec(fn *ir.Function, base uint64, offsets []int64) (int64, er
 				var err error
 				v, err = mm.ReadU(uint64(regs[in.A]), int(in.Width))
 				if err != nil {
+					// Count-only (see OpDiv): the faulted access charged no
+					// cycles but its step was consumed.
+					if pnn != nil {
+						pnn[op]++
+					}
 					return 0, &MemFault{Func: fn.Name, PC: pc, Err: err}
 				}
 			}
@@ -1206,6 +1271,9 @@ func (m *Machine) exec(fn *ir.Function, base uint64, offsets []int64) (int64, er
 		case ir.OpStore:
 			if !mm.WriteUFast(uint64(regs[in.A]), int(in.Width), uint64(regs[in.B])) {
 				if err := mm.WriteU(uint64(regs[in.A]), int(in.Width), uint64(regs[in.B])); err != nil {
+					if pnn != nil {
+						pnn[op]++
+					}
 					return 0, &MemFault{Func: fn.Name, PC: pc, Err: err}
 				}
 			}
@@ -1240,6 +1308,15 @@ func (m *Machine) exec(fn *ir.Function, base uint64, offsets []int64) (int64, er
 			for i, r := range in.Args {
 				args[i] = regs[r]
 			}
+			// Attribute the call dispatch BEFORE descending (the compiled
+			// driver does the same at evCall): its step was consumed at the
+			// loop head, and an erroring callee — fault, step limit,
+			// cancellation — unwinds past the shared tail, which would leak
+			// one counted-but-unattributed instruction per live call frame.
+			if pw != nil {
+				pw[op] += costMul
+				pnn[op]++
+			}
 			// Flush this frame's cycles and step count before descending so
 			// recursive accounting stays ordered.
 			m.stats.Cycles += cycles * costMul
@@ -1253,10 +1330,19 @@ func (m *Machine) exec(fn *ir.Function, base uint64, offsets []int64) (int64, er
 			if in.Dst != ir.NoReg {
 				regs[in.Dst] = v
 			}
+			cycles += ct[op]
+			pc++
+			continue
 		case ir.OpCallHost:
 			args := m.argSlab(len(m.frames), len(in.Args))
 			for i, r := range in.Args {
 				args[i] = regs[r]
+			}
+			// Same pre-attribution as OpCall: a faulting host call must not
+			// lose its already-stepped dispatch from the profile.
+			if pw != nil {
+				pw[op] += costMul
+				pnn[op]++
 			}
 			m.steps = steps
 			v, err := m.hostCall(fn, pc, int(in.Sym), args)
@@ -1266,6 +1352,9 @@ func (m *Machine) exec(fn *ir.Function, base uint64, offsets []int64) (int64, er
 			if in.Dst != ir.NoReg {
 				regs[in.Dst] = v
 			}
+			cycles += ct[op]
+			pc++
+			continue
 		case ir.OpRet:
 			cycles += ct[ir.OpRet]
 			if pw != nil {

@@ -27,18 +27,23 @@ long main() {
 	return x;
 }`
 
-// runSpin starts the infinite loop under the given tier with an
-// effectively unbounded step limit and the supplied context.
-func runSpin(t *testing.T, tier vm.ExecTier, ctx context.Context) (*vm.Machine, error) {
+// newSpin builds the infinite loop under the given tier with an
+// effectively unbounded step limit. Construction is separate from
+// RunContext so tests start their cancellation clocks after vm.New: the
+// block tier's one-shot profiling pre-run happens at construction and can
+// outlast a tight test deadline under -race, but the watchdog contract
+// being pinned here covers execution, not one-time mining latency.
+func newSpin(t *testing.T, tier vm.ExecTier) *vm.Machine {
 	t.Helper()
 	prog := compile.MustCompile("spin.c", spinSrc)
-	m := vm.New(prog, layout.NewFixed(), &vm.Env{}, &vm.Options{
+	// 2^32 steps is still hours of simulated work — effectively unbounded
+	// for a watchdog test — while staying inside the block tier's
+	// exactness cap (a larger limit would silently fall back to threaded).
+	return vm.New(prog, layout.NewFixed(), &vm.Env{}, &vm.Options{
 		TRNG:      rng.SeededTRNG(1),
-		StepLimit: 1 << 60,
+		StepLimit: 1 << 32,
 		Exec:      tier,
 	})
-	_, err := m.RunContext(ctx)
-	return m, err
 }
 
 var watchdogTiers = []struct {
@@ -47,6 +52,7 @@ var watchdogTiers = []struct {
 }{
 	{"switch", vm.TierSwitch},
 	{"compiled", vm.TierCompiled},
+	{"block", vm.TierBlock},
 }
 
 // TestWatchdogCancelsInfiniteLoop pins the supervised-execution contract
@@ -58,9 +64,10 @@ func TestWatchdogCancelsInfiniteLoop(t *testing.T) {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
 			t.Parallel()
+			m := newSpin(t, tc.tier)
 			ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
 			defer cancel()
-			m, err := runSpin(t, tc.tier, ctx)
+			_, err := m.RunContext(ctx)
 			var c *vm.Canceled
 			if !errors.As(err, &c) {
 				t.Fatalf("want *vm.Canceled, got %T: %v", err, err)
@@ -86,12 +93,13 @@ func TestWatchdogPartialStatsSemantics(t *testing.T) {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
 			t.Parallel()
+			m := newSpin(t, tc.tier)
 			ctx, cancel := context.WithCancel(context.Background())
 			go func() {
 				time.Sleep(20 * time.Millisecond)
 				cancel()
 			}()
-			m, err := runSpin(t, tc.tier, ctx)
+			_, err := m.RunContext(ctx)
 			var c *vm.Canceled
 			if !errors.As(err, &c) {
 				t.Fatalf("want *vm.Canceled, got %v", err)
@@ -116,9 +124,10 @@ func TestRunContextPreCancelled(t *testing.T) {
 	for _, tc := range watchdogTiers {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
+			m := newSpin(t, tc.tier)
 			ctx, cancel := context.WithCancel(context.Background())
 			cancel()
-			m, err := runSpin(t, tc.tier, ctx)
+			_, err := m.RunContext(ctx)
 			var c *vm.Canceled
 			if !errors.As(err, &c) {
 				t.Fatalf("want *vm.Canceled, got %v", err)

@@ -136,7 +136,9 @@ func TestProgCaching(t *testing.T) {
 
 // TestPrewarmCompilesAllConcurrently exercises the per-workload
 // sync.Once path under concurrent first access (the -race stress for
-// this package) and checks Prewarm leaves every program compiled.
+// this package) and checks Prewarm leaves every program compiled and the
+// block tier's cache warm: a block-tier run after Prewarm must not pay a
+// block-formation miss mid-measurement.
 func TestPrewarmCompilesAllConcurrently(t *testing.T) {
 	workload.Prewarm(8)
 	var wg sync.WaitGroup
@@ -153,4 +155,17 @@ func TestPrewarmCompilesAllConcurrently(t *testing.T) {
 		}
 	}
 	wg.Wait()
+
+	_, missBefore := vm.DefaultCodeCache().BlockStats()
+	for _, w := range workload.All() {
+		m := vm.New(w.Prog(), layout.NewFixed(), &vm.Env{}, &vm.Options{
+			TRNG: rng.SeededTRNG(2), Exec: vm.TierBlock, StepLimit: 2_000_000_000,
+		})
+		if _, err := m.Run(); err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+	}
+	if _, missAfter := vm.DefaultCodeCache().BlockStats(); missAfter != missBefore {
+		t.Fatalf("block cache not prewarmed: %d new misses after Prewarm", missAfter-missBefore)
+	}
 }

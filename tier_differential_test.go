@@ -1,7 +1,8 @@
-// Differential oracle for the threaded-code execution tier: every workload
-// program plus a batch of generated MiniC snippets runs under both the
-// compiled tier and the legacy switch interpreter, across all five layout
-// engine families, and the two executions must agree on everything an
+// Differential oracle for the accelerated execution tiers: every workload
+// program plus a batch of generated MiniC snippets runs under each
+// candidate tier (the threaded-code compiled tier and the profile-guided
+// block tier) and the legacy switch interpreter, across all registered
+// layout engine families, and the executions must agree on everything an
 // experiment can observe — return value, every Stats counter (Cycles as
 // exact float64 bits), faults (by message, which bakes in function and IR
 // pc), and a digest of final memory. The switch interpreter is the
@@ -37,6 +38,18 @@ import (
 var differentialEngines = []string{
 	"fixed", "staticrand", "padding", "baserand", "smokestack+aes-10",
 	"cleanstack", "shadowstack", "stackato",
+}
+
+// candidateTiers are the accelerated executors checked against the switch
+// oracle. The block tier layers hot-block superinstructions on top of the
+// compiled stream, so it exercises both the peephole fusion and the block
+// overlay accounting in one run.
+var candidateTiers = []struct {
+	name string
+	tier vm.ExecTier
+}{
+	{"compiled", vm.TierCompiled},
+	{"block", vm.TierBlock},
 }
 
 // tierResult is everything a run exposes to the experiment layer.
@@ -117,15 +130,17 @@ func TestTierDifferential(t *testing.T) {
 	}
 	for _, w := range workload.All() {
 		for _, scheme := range differentialEngines {
-			w, scheme := w, scheme
-			t.Run(w.Name+"/"+scheme, func(t *testing.T) {
-				t.Parallel()
-				seed := uint64(0xd1ff<<16) ^ uint64(len(w.Name)+17*len(scheme))
-				const limit = 2_000_000_000
-				diffTiers(t,
-					runTier(t, w.Prog(), scheme, seed, vm.TierCompiled, limit),
-					runTier(t, w.Prog(), scheme, seed, vm.TierSwitch, limit))
-			})
+			for _, ct := range candidateTiers {
+				w, scheme, ct := w, scheme, ct
+				t.Run(w.Name+"/"+scheme+"/"+ct.name, func(t *testing.T) {
+					t.Parallel()
+					seed := uint64(0xd1ff<<16) ^ uint64(len(w.Name)+17*len(scheme))
+					const limit = 2_000_000_000
+					diffTiers(t,
+						runTier(t, w.Prog(), scheme, seed, ct.tier, limit),
+						runTier(t, w.Prog(), scheme, seed, vm.TierSwitch, limit))
+				})
+			}
 		}
 	}
 }
@@ -188,15 +203,17 @@ func TestTierDifferentialGenerated(t *testing.T) {
 			t.Fatalf("snippet %d does not compile: %v\n%s", i, err, src)
 		}
 		for _, scheme := range differentialEngines {
-			scheme := scheme
-			t.Run(fmt.Sprintf("gen%d/%s", i, scheme), func(t *testing.T) {
-				t.Parallel()
-				seed := uint64(0x9e3779b9*uint32(i+1)) ^ uint64(len(scheme))
-				const limit = 50_000_000
-				diffTiers(t,
-					runTier(t, prog, scheme, seed, vm.TierCompiled, limit),
-					runTier(t, prog, scheme, seed, vm.TierSwitch, limit))
-			})
+			for _, ct := range candidateTiers {
+				scheme, ct := scheme, ct
+				t.Run(fmt.Sprintf("gen%d/%s/%s", i, scheme, ct.name), func(t *testing.T) {
+					t.Parallel()
+					seed := uint64(0x9e3779b9*uint32(i+1)) ^ uint64(len(scheme))
+					const limit = 50_000_000
+					diffTiers(t,
+						runTier(t, prog, scheme, seed, ct.tier, limit),
+						runTier(t, prog, scheme, seed, vm.TierSwitch, limit))
+				})
+			}
 		}
 	}
 
@@ -221,13 +238,15 @@ func TestTierDifferentialGenerated(t *testing.T) {
 				t.Fatal(err)
 			}
 			for _, scheme := range differentialEngines {
-				const limit = 2_000_000_000
-				a := runTier(t, prog, scheme, 11, vm.TierCompiled, limit)
-				b := runTier(t, prog, scheme, 11, vm.TierSwitch, limit)
-				if a.errStr == "" {
-					t.Fatalf("%s/%s: expected a fault, got clean return %d", name, scheme, a.ret)
+				for _, ct := range candidateTiers {
+					const limit = 2_000_000_000
+					a := runTier(t, prog, scheme, 11, ct.tier, limit)
+					b := runTier(t, prog, scheme, 11, vm.TierSwitch, limit)
+					if a.errStr == "" {
+						t.Fatalf("%s/%s/%s: expected a fault, got clean return %d", name, scheme, ct.name, a.ret)
+					}
+					diffTiers(t, a, b)
 				}
-				diffTiers(t, a, b)
 			}
 		})
 	}
@@ -236,12 +255,15 @@ func TestTierDifferentialGenerated(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Run("step-limit-sweep", func(t *testing.T) {
-		t.Parallel()
-		for limit := uint64(1); limit <= 400; limit++ {
-			diffTiers(t,
-				runTier(t, sweepProg, "smokestack+aes-10", 7, vm.TierCompiled, limit),
-				runTier(t, sweepProg, "smokestack+aes-10", 7, vm.TierSwitch, limit))
-		}
-	})
+	for _, ct := range candidateTiers {
+		ct := ct
+		t.Run("step-limit-sweep/"+ct.name, func(t *testing.T) {
+			t.Parallel()
+			for limit := uint64(1); limit <= 400; limit++ {
+				diffTiers(t,
+					runTier(t, sweepProg, "smokestack+aes-10", 7, ct.tier, limit),
+					runTier(t, sweepProg, "smokestack+aes-10", 7, vm.TierSwitch, limit))
+			}
+		})
+	}
 }
