@@ -13,12 +13,12 @@ RACE_TIMEOUT ?= 3600s
 # `make bench-compare` diffs it against BENCH_PREV. Roll both forward when
 # a PR lands a new snapshot; earlier snapshots stay in-tree for cross-PR
 # comparison.
-BENCH_PREV ?= BENCH_3.json
-BENCH_NEXT ?= BENCH_4.json
+BENCH_PREV ?= BENCH_4.json
+BENCH_NEXT ?= BENCH_5.json
 
-.PHONY: ci build vet test race bench bench-compare smokebench invariance blocktier faults telemetry defenses
+.PHONY: ci build vet test race bench bench-compare smokebench invariance blocktier faults telemetry defenses pool
 
-ci: build vet race invariance blocktier faults telemetry defenses smokebench
+ci: build vet race invariance blocktier faults telemetry defenses pool smokebench
 
 build:
 	$(GO) build ./...
@@ -108,14 +108,27 @@ bench:
 # part), and the attack benchmarks (Pentest/*, CVE/*) spend ~95% of their
 # time zeroing a fresh heap per attempt and swing ±40% with host allocator
 # state. Within scope, 35% leaves headroom for scheduler noise while a
-# genuine dispatch-level regression shows up as 1.5-2x.
+# genuine dispatch-level regression shows up as 1.5-2x. The -zeroalloc
+# gate additionally requires the pooled reset path to report 0 allocs/op
+# and 0 B/op in the new snapshot — allocation creep there is a regression
+# no matter how small the percentage.
 bench-compare:
 	$(GO) run ./cmd/benchjson -diff -threshold 35 \
-		-only 'VMThroughput|VMWorkloads|MemAccess' $(BENCH_PREV) $(BENCH_NEXT)
+		-only 'VMThroughput|VMWorkloads|MemAccess' \
+		-zeroalloc 'RunSetup/reset' $(BENCH_PREV) $(BENCH_NEXT)
 
 # Single-iteration pass over the hot-path benchmarks: catches benchmarks
 # that stopped compiling or started failing without paying for steady-state
 # timing. Part of `make ci`.
 smokebench:
-	$(GO) test -bench='VMThroughput|VMWorkloads|MemAccess|Table1' \
+	$(GO) test -bench='VMThroughput|VMWorkloads|MemAccess|Table1|RunSetup' \
 		-benchtime=1x -run='^$$' .
+
+# Machine-reuse gate: the Reset-vs-New differentials and snapshot/restore
+# suites (vm, mem), the registry-wide state-leak matrix, and the
+# pooled-vs-unpooled record differential — under -race, since the pool is
+# shared across the runner's workers.
+pool:
+	$(GO) test -race -timeout $(RACE_TIMEOUT) ./internal/vm ./internal/mem
+	$(GO) test -race -timeout $(RACE_TIMEOUT) ./internal/harness \
+		-run 'TestPooledMatchesUnpooled|TestMachineReuseNoLeakAcrossEngines|TestRunOnceRetryReusesMachine'

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/attack"
+	"repro/internal/exp"
 	"repro/internal/harness"
 	"repro/internal/layout"
 	"repro/internal/mem"
@@ -216,6 +217,83 @@ func BenchmarkFig4Pipeline(b *testing.B) {
 			cfg := harness.Config{Seed: 42, Parallel: par}
 			for i := 0; i < b.N; i++ {
 				if _, err := harness.Run(cfg, "fig4"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRunSetup isolates the per-run lifecycle cost the Machine pool
+// removes: "new" pays full construction for every run (segment mapping,
+// stack and heap allocation, image copies), "reset" recycles one pooled
+// Machine via copy-on-reset restore plus re-arming. The program is a few
+// hundred instructions, so lifecycle cost dominates both sides; the reset
+// path's steady state must stay at zero allocs/op (the bench-compare
+// zero-alloc gate pins it).
+func BenchmarkRunSetup(b *testing.B) {
+	w := &workload.Workload{Name: "setup-probe", Want: 63, Source: `
+int g[64];
+int main() {
+	int i;
+	for (i = 0; i < 64; i = i + 1) { g[i] = i; }
+	return g[63];
+}
+`}
+	prog := w.Prog()
+	eng := layout.NewFixed()
+	trng := rng.SeededTRNG(1)
+	env := &vm.Env{}
+	opts := &vm.Options{TRNG: trng}
+	b.Run("new", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			m := vm.New(prog, eng, env, opts)
+			if _, err := m.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("reset", func(b *testing.B) {
+		b.ReportAllocs()
+		pool := vm.NewMachinePool(0)
+		warm := pool.Get(prog, eng, env, opts)
+		if _, err := warm.Run(); err != nil {
+			b.Fatal(err)
+		}
+		pool.Put(warm)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m := pool.Get(prog, eng, env, opts)
+			if _, err := m.Run(); err != nil {
+				b.Fatal(err)
+			}
+			pool.Put(m)
+		}
+	})
+}
+
+// BenchmarkGridEndToEnd runs a mixed experiment grid — measurement cells
+// (fig3's run pairs), fault-injection cells, and attack campaigns
+// (entropy's probe/attack attempt loops) — with the shared Machine pool on
+// and off. The ratio is the pool's end-to-end payoff on real grids;
+// TestPooledMatchesUnpooled guarantees both settings produce identical
+// records.
+func BenchmarkGridEndToEnd(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		noPool bool
+	}{{"pooled", false}, {"nopool", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := harness.Config{Seed: 42, Parallel: 4, NoPool: mode.noPool}
+			for i := 0; i < b.N; i++ {
+				recs, err := harness.Run(cfg, "entropy", "faults", "fig4")
+				if err != nil {
+					b.Fatal(err)
+				}
+				// The fault sweep fails some cells by design (classified
+				// injected faults); only unclassified failures are bugs.
+				if err := exp.UnclassifiedErrors(recs); err != nil {
 					b.Fatal(err)
 				}
 			}

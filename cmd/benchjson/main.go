@@ -262,11 +262,21 @@ func diff(w *os.File, oldR, newR *Report, threshold float64) (regressed bool) {
 				fmt.Fprintf(w, "  %-22s %14.4g  (no baseline metric)\n", m.Unit, m.Value)
 				continue
 			}
-			pct := 0.0
-			if ov != 0 {
-				pct = (m.Value - ov) / ov * 100
-			}
 			verdict := ""
+			if ov == 0 {
+				// No percentage exists from a zero baseline. 0 -> N on a
+				// lower-is-better metric is still an unambiguous regression
+				// — a zero-alloc benchmark that started allocating is the
+				// canonical case — and must not slip through the threshold
+				// arithmetic as +0.00%.
+				if m.Value != 0 && !higherIsBetter(m.Unit) {
+					verdict = "  REGRESSION"
+					regressed = true
+				}
+				fmt.Fprintf(w, "  %-22s %14.4g -> %14.4g  (zero baseline)%s\n", m.Unit, ov, m.Value, verdict)
+				continue
+			}
+			pct := (m.Value - ov) / ov * 100
 			worse := pct > 0
 			if higherIsBetter(m.Unit) {
 				worse = pct < 0
@@ -306,6 +316,33 @@ func abs(x float64) float64 {
 		return -x
 	}
 	return x
+}
+
+// enforceZeroAlloc requires every benchmark matching re to report zero
+// allocs/op and B/op in the snapshot — the gate for pooled steady-state
+// paths, whose whole contract is allocation-free runs. A pattern that
+// matches nothing fails too: a gate that silently guards nothing is
+// misconfigured, not passing.
+func enforceZeroAlloc(w *os.File, r *Report, re *regexp.Regexp) (failed bool) {
+	matched := 0
+	for i := range r.Benchmarks {
+		b := &r.Benchmarks[i]
+		if !re.MatchString(b.Name) {
+			continue
+		}
+		matched++
+		for _, unit := range []string{"allocs/op", "B/op"} {
+			if v, ok := metricValue(b, unit); ok && v != 0 {
+				fmt.Fprintf(w, "zero-alloc violation: %s  %s = %g\n", b.Name, unit, v)
+				failed = true
+			}
+		}
+	}
+	if matched == 0 {
+		fmt.Fprintf(w, "zero-alloc gate: pattern matched no benchmarks\n")
+		return true
+	}
+	return failed
 }
 
 // restrict drops every benchmark whose name does not match re. Applied to
@@ -395,6 +432,7 @@ func main() {
 	diffMode := flag.Bool("diff", false, "compare two snapshots: benchjson -diff old.json new.json")
 	threshold := flag.Float64("threshold", 10, "regression threshold in percent for -diff's exit code")
 	only := flag.String("only", "", "for -diff: restrict the comparison to benchmarks whose name matches this regexp")
+	zeroAlloc := flag.String("zeroalloc", "", "for -diff: require benchmarks in the new snapshot matching this regexp to report 0 allocs/op and 0 B/op")
 	metricsFile := flag.String("metrics", "", "render a dopbench -metrics telemetry snapshot as text")
 	flag.Parse()
 
@@ -421,6 +459,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(2)
 		}
+		zeroFailed := false
+		if *zeroAlloc != "" {
+			re, err := regexp.Compile(*zeroAlloc)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson: bad -zeroalloc regexp:", err)
+				os.Exit(2)
+			}
+			// Checked against the full new snapshot, before -only narrows
+			// the diff scope.
+			zeroFailed = enforceZeroAlloc(os.Stdout, newR, re)
+		}
 		scope := ""
 		if *only != "" {
 			re, err := regexp.Compile(*only)
@@ -433,8 +482,14 @@ func main() {
 			scope = fmt.Sprintf(", only %q", *only)
 		}
 		fmt.Printf("benchjson diff: %s -> %s (threshold %.1f%%%s)\n\n", flag.Arg(0), flag.Arg(1), *threshold, scope)
-		if diff(os.Stdout, oldR, newR, *threshold) {
+		regressed := diff(os.Stdout, oldR, newR, *threshold)
+		if regressed {
 			fmt.Fprintf(os.Stderr, "benchjson: regression beyond %.1f%% detected\n", *threshold)
+		}
+		if zeroFailed {
+			fmt.Fprintln(os.Stderr, "benchjson: zero-alloc gate failed")
+		}
+		if regressed || zeroFailed {
 			os.Exit(1)
 		}
 		return

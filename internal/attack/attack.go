@@ -98,6 +98,11 @@ type Deployment struct {
 	TRNG rng.TRNG
 	// StepLimit bounds each run (default 50M instructions).
 	StepLimit uint64
+	// Pool, when non-nil, recycles service Machines across restarts:
+	// NewMachine Gets from the pool (a Reset instead of a rebuild — the
+	// per-run layout redraw is identical either way) and Release returns
+	// them. Nil keeps the historical construct-per-restart behaviour.
+	Pool *vm.MachinePool
 }
 
 // NewMachine starts one service instance.
@@ -110,7 +115,20 @@ func (d *Deployment) NewMachine(env *vm.Env) *vm.Machine {
 	if limit == 0 {
 		limit = 50_000_000
 	}
-	return vm.New(d.Program.Prog, d.Engine, env, &vm.Options{TRNG: trng, StepLimit: limit})
+	opts := &vm.Options{TRNG: trng, StepLimit: limit}
+	if d.Pool != nil {
+		return d.Pool.Get(d.Program.Prog, d.Engine, env, opts)
+	}
+	return vm.New(d.Program.Prog, d.Engine, env, opts)
+}
+
+// Release returns a Machine obtained from NewMachine once the caller has
+// finished reading it (outcome classified, goal inspected). No-op without
+// a pool; nil-safe.
+func (d *Deployment) Release(m *vm.Machine) {
+	if d.Pool != nil {
+		d.Pool.Put(m)
+	}
 }
 
 // ---------------------------------------------------------------------------
@@ -186,6 +204,9 @@ var errProbeDone = errors.New("probe complete")
 func Probe(d *Deployment, vulnFunc string) (*Belief, error) {
 	env := &vm.Env{}
 	m := d.NewMachine(env)
+	// Beliefs copy frame data out of the machine, so the probe instance can
+	// be recycled as soon as the run finishes.
+	defer d.Release(m)
 	var captured *Belief
 	capture := func() {
 		if captured != nil {
@@ -330,7 +351,9 @@ func (s *Scenario) Attempt(d *Deployment) (Outcome, error) {
 	m := d.NewMachine(env)
 	s.Build(belief, m, env)
 	_, runErr := m.Run()
-	return Classify(m, env, runErr, s.Goal), nil
+	out := Classify(m, env, runErr, s.Goal)
+	d.Release(m)
+	return out, nil
 }
 
 // Classify turns a finished run into an Outcome.

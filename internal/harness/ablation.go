@@ -84,11 +84,12 @@ func pboxAblationCellsFor(cfg Config, workloads []*workload.Workload) []exp.Cell
 func pboxAblationCell(cfg Config, w *workload.Workload) ([]exp.Record, error) {
 	o := cfg.obs("ablation-pbox", w.Name)
 	defer o.done()
-	base, err := runOnce(w, layout.NewFixed(), hashSeed(cfg.Seed, w.Name, "ab-base"), 0, o)
+	base, err := runOnce(cfg, w, layout.NewFixed(), hashSeed(cfg.Seed, w.Name, "ab-base"), 0, o)
 	if err != nil {
 		return nil, err
 	}
 	baseCycles := base.Stats().Cycles
+	cfg.release(base)
 	var recs []exp.Record
 	for _, v := range pboxVariants() {
 		seed := hashSeed(cfg.Seed, w.Name, "ab", v.Name)
@@ -99,10 +100,12 @@ func pboxAblationCell(cfg Config, w *workload.Workload) ([]exp.Record, error) {
 		eng := smokestackPlan(w.Prog(), &layout.SmokestackOptions{
 			PBox: v.Cfg, Guard: true, MaxVLAPad: 256,
 		}).NewEngine(src)
-		m, err := runOnce(w, eng, seed+1, 0, o)
+		m, err := runOnce(cfg, w, eng, seed+1, 0, o)
 		if err != nil {
 			return nil, fmt.Errorf("variant %s: %w", v.Name, err)
 		}
+		cycles := m.Stats().Cycles
+		cfg.release(m)
 		recs = append(recs, exp.Record{
 			Experiment: "ablation-pbox",
 			Cell:       w.Name + "/" + v.Name,
@@ -111,7 +114,7 @@ func pboxAblationCell(cfg Config, w *workload.Workload) ([]exp.Record, error) {
 				"pbox_bytes":            float64(eng.Box().TotalBytes()),
 				"tables":                float64(eng.Box().TableCount()),
 				"shared_entries":        float64(eng.Box().SharedCount()),
-				"prologue_overhead_pct": (m.Stats().Cycles - baseCycles) / baseCycles * 100,
+				"prologue_overhead_pct": (cycles - baseCycles) / baseCycles * 100,
 			},
 		})
 	}

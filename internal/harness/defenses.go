@@ -81,7 +81,7 @@ func overheadCell(cfg Config, name string) ([]exp.Record, error) {
 	o := cfg.obs("defenses", "overhead/"+name)
 	defer o.done()
 	seed := hashSeed(cfg.Seed, "defenses", "overhead", name)
-	base, err := runOnce(w, layout.NewFixed(), seed, 0, o)
+	base, err := runOnce(cfg, w, layout.NewFixed(), seed, 0, o)
 	if err != nil {
 		return nil, err
 	}
@@ -89,11 +89,13 @@ func overheadCell(cfg Config, name string) ([]exp.Record, error) {
 	if err != nil {
 		return nil, err
 	}
-	m, err := runOnce(w, eng, seed, 0, o)
+	m, err := runOnce(cfg, w, eng, seed, 0, o)
 	if err != nil {
 		return nil, err
 	}
 	baseline, cycles := base.Stats().Cycles, m.Stats().Cycles
+	cfg.release(base)
+	cfg.release(m)
 	return []exp.Record{{
 		Experiment: "defenses",
 		Cell:       "overhead/" + name,

@@ -70,7 +70,7 @@ func entropyCell(cfg Config, k, attempts int) ([]exp.Record, error) {
 		return nil, err
 	}
 	eng := smokestackPlan(p.Prog, nil).NewEngine(src)
-	d := &attack.Deployment{Program: p, Engine: eng, TRNG: rng.SeededTRNG(seed + 1)}
+	d := &attack.Deployment{Program: p, Engine: eng, TRNG: rng.SeededTRNG(seed + 1), Pool: cfg.attackPool()}
 	var successes, detected, crashed int
 	for i := 0; i < attempts; i++ {
 		out, err := s.Attempt(d)

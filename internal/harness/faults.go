@@ -138,7 +138,7 @@ func faultsEngine(name string, prog *ir.Program, seed uint64, trng rng.TRNG) (la
 // engine's entropy source, and the run error (nil on survival). o (nil =
 // dormant) attaches the cell profile and traces the run, the injector's
 // firings and the source's degradation-ladder transitions.
-func faultsRun(engine string, seed uint64, inj *faultinject.Injector, o *obs, label string) (vm.Stats, rng.Source, error) {
+func faultsRun(cfg Config, engine string, seed uint64, inj *faultinject.Injector, o *obs, label string) (vm.Stats, rng.Source, error) {
 	engineTRNG := rng.SeededTRNG(seed)
 	machineTRNG := rng.SeededTRNG(seed ^ 0xabc)
 	opts := &vm.Options{StepLimit: 50_000_000, Prof: o.profile()}
@@ -158,10 +158,12 @@ func faultsRun(engine string, seed uint64, inj *faultinject.Injector, o *obs, la
 	}
 	opts.TRNG = machineTRNG
 	o.runStart(label)
-	m := vm.New(faultProbeProg, eng, &vm.Env{}, opts)
+	m := cfg.machine(faultProbeProg, eng, &vm.Env{}, opts)
 	_, err = m.Run()
 	o.runEnd(label, m, err)
-	return m.Stats(), src, err
+	stats := m.Stats()
+	cfg.release(m)
+	return stats, src, err
 }
 
 // faultsCell measures one (engine, severity) point: a clean reference run,
@@ -170,7 +172,7 @@ func faultsCell(cfg Config, engine string, tier faultTier) ([]exp.Record, error)
 	o := cfg.obs("faults", engine+"/"+tier.name)
 	defer o.done()
 	seed := hashSeed(cfg.Seed, "faults", engine, tier.name)
-	cleanStats, _, err := faultsRun(engine, seed, nil, o, "clean")
+	cleanStats, _, err := faultsRun(cfg, engine, seed, nil, o, "clean")
 	if err != nil {
 		// The clean run must always pass: a failure here is a genuine bug,
 		// not an injected fault — leave it unclassified.
@@ -178,7 +180,7 @@ func faultsCell(cfg Config, engine string, tier faultTier) ([]exp.Record, error)
 	}
 
 	inj := faultinject.New(tier.plan(seed))
-	faultStats, src, runErr := faultsRun(engine, seed, inj, o, "injected")
+	faultStats, src, runErr := faultsRun(cfg, engine, seed, inj, o, "injected")
 	o.rngHealth(src)
 
 	vals := map[string]float64{

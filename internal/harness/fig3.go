@@ -55,11 +55,12 @@ func fig3Cells(cfg Config) []exp.Cell {
 func fig3Cell(cfg Config, w *workload.Workload) ([]exp.Record, error) {
 	o := cfg.obs("fig3", w.Name)
 	defer o.done()
-	base, err := runOnce(w, layout.NewFixed(), hashSeed(cfg.Seed, w.Name, "base"), 0, o)
+	base, err := runOnce(cfg, w, layout.NewFixed(), hashSeed(cfg.Seed, w.Name, "base"), 0, o)
 	if err != nil {
 		return nil, err
 	}
 	baseline := base.Stats().Cycles
+	cfg.release(base)
 	rec := exp.Record{
 		Experiment: "fig3",
 		Cell:       w.Name,
@@ -75,11 +76,12 @@ func fig3Cell(cfg Config, w *workload.Workload) ([]exp.Record, error) {
 		if cfg.Jitter {
 			amp = 0.026
 		}
-		m, err := runOnce(w, eng, hashSeed(cfg.Seed, w.Name, scheme, "run"), amp, o)
+		m, err := runOnce(cfg, w, eng, hashSeed(cfg.Seed, w.Name, scheme, "run"), amp, o)
 		if err != nil {
 			return nil, fmt.Errorf("scheme %s: %w", scheme, err)
 		}
 		rec.Values["overhead_pct/"+scheme] = (m.Stats().Cycles - baseline) / baseline * 100
+		cfg.release(m)
 	}
 	return []exp.Record{rec}, nil
 }

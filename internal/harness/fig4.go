@@ -50,20 +50,22 @@ func fig4Cells(cfg Config) []exp.Cell {
 func fig4Cell(cfg Config, w *workload.Workload) ([]exp.Record, error) {
 	o := cfg.obs("fig4", w.Name)
 	defer o.done()
-	base, err := runOnce(w, layout.NewFixed(), hashSeed(cfg.Seed, w.Name, "m-base"), 0, o)
-	if err != nil {
-		return nil, err
-	}
-	eng, err := smokestackEngine("aes-10", w.Prog(), hashSeed(cfg.Seed, w.Name, "m-ss"))
-	if err != nil {
-		return nil, err
-	}
-	m, err := runOnce(w, eng, hashSeed(cfg.Seed, w.Name, "m-run"), 0, o)
+	base, err := runOnce(cfg, w, layout.NewFixed(), hashSeed(cfg.Seed, w.Name, "m-base"), 0, o)
 	if err != nil {
 		return nil, err
 	}
 	baseRes := base.ResidentBytes()
+	cfg.release(base)
+	eng, err := smokestackEngine("aes-10", w.Prog(), hashSeed(cfg.Seed, w.Name, "m-ss"))
+	if err != nil {
+		return nil, err
+	}
+	m, err := runOnce(cfg, w, eng, hashSeed(cfg.Seed, w.Name, "m-run"), 0, o)
+	if err != nil {
+		return nil, err
+	}
 	ssRes := m.ResidentBytes()
+	cfg.release(m)
 	box := eng.Box()
 	return []exp.Record{{
 		Experiment: "fig4",

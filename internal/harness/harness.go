@@ -65,6 +65,11 @@ type Config struct {
 	// Ctx, when non-nil, cancels retry backoff waits promptly (the cells
 	// themselves are supervised separately, by VM watchdogs).
 	Ctx context.Context
+	// NoPool disables the shared Machine pool: every run constructs a
+	// fresh Machine instead of recycling one via Reset. Pooled and
+	// unpooled grids are record-identical (the differential tests pin
+	// this); the switch exists for that differential and for debugging.
+	NoPool bool
 }
 
 // lineup resolves the engine list for a lineup-driven experiment: the
@@ -121,9 +126,41 @@ func hashSeed(base uint64, parts ...string) uint64 {
 // the wall clock.
 
 var (
-	tableCache = pbox.NewCache()
-	planCache  = layout.NewPlanCache()
+	tableCache  = pbox.NewCache()
+	planCache   = layout.NewPlanCache()
+	machinePool = vm.NewMachinePool(0)
 )
+
+// machine constructs or recycles the Machine for one experiment run: a
+// pooled Get (Reset instead of rebuild) unless the config opts out.
+func (c Config) machine(prog *ir.Program, eng layout.Engine, env *vm.Env, opts *vm.Options) *vm.Machine {
+	if c.NoPool {
+		return vm.New(prog, eng, env, opts)
+	}
+	return machinePool.Get(prog, eng, env, opts)
+}
+
+// release returns a run's Machine to the shared pool once the caller has
+// read everything it needs (stats, resident set). Nil-safe, so error
+// paths can release unconditionally.
+func (c Config) release(m *vm.Machine) {
+	if !c.NoPool {
+		machinePool.Put(m)
+	}
+}
+
+// attackPool returns the pool attack Deployments should recycle service
+// Machines through (nil when the config opts out — Deployment treats a
+// nil pool as construct-per-restart).
+func (c Config) attackPool() *vm.MachinePool {
+	if c.NoPool {
+		return nil
+	}
+	return machinePool
+}
+
+// MachinePoolStats snapshots the shared Machine pool counters (tooling).
+func MachinePoolStats() vm.PoolStats { return machinePool.Stats() }
 
 // smokestackPlan returns the shared plan for prog under opts (nil =
 // paper defaults), routed through both caches.
@@ -146,7 +183,13 @@ func BuildCacheStats() (planHits, planMisses, tableHits, tableMisses int) {
 // runOnce executes one workload under one engine and returns the machine
 // (for stats) after verifying the checksum. o (nil = dormant) attaches the
 // cell's cycle-attribution profile and traces the run.
-func runOnce(w *workload.Workload, eng layout.Engine, seed uint64, jitterAmp float64, o *obs) (*vm.Machine, error) {
+//
+// The machine comes from the shared pool (unless cfg.NoPool); the caller
+// owns releasing it via cfg.release once its stats are read. Error paths
+// release here — which is also how the runner's transient-retry path
+// reuses the cell's Machine: the failed attempt's Put makes the retry's
+// Get pop the same Machine and Reset it instead of rebuilding.
+func runOnce(cfg Config, w *workload.Workload, eng layout.Engine, seed uint64, jitterAmp float64, o *obs) (*vm.Machine, error) {
 	opts := &vm.Options{
 		TRNG:       rng.SeededTRNG(seed),
 		JitterAmp:  jitterAmp,
@@ -156,13 +199,15 @@ func runOnce(w *workload.Workload, eng layout.Engine, seed uint64, jitterAmp flo
 	}
 	label := w.Name + "/" + eng.Name()
 	o.runStart(label)
-	m := vm.New(w.Prog(), eng, &vm.Env{}, opts)
+	m := cfg.machine(w.Prog(), eng, &vm.Env{}, opts)
 	v, err := m.Run()
 	o.runEnd(label, m, err)
 	if err != nil {
+		cfg.release(m)
 		return nil, fmt.Errorf("%s under %s: %w", w.Name, eng.Name(), err)
 	}
 	if w.Want != 0 && v != w.Want {
+		cfg.release(m)
 		return nil, fmt.Errorf("%s under %s: checksum %d, want %d (instrumentation corrupted results)",
 			w.Name, eng.Name(), v, w.Want)
 	}

@@ -90,7 +90,7 @@ func campaignCells(cfg Config, experiment string, engines []string,
 					if err != nil {
 						return nil, err
 					}
-					d := &attack.Deployment{Program: s.Program, Engine: eng, TRNG: rng.SeededTRNG(seed + 1)}
+					d := &attack.Deployment{Program: s.Program, Engine: eng, TRNG: rng.SeededTRNG(seed + 1), Pool: cfg.attackPool()}
 					return []exp.Record{resultRecord(experiment, s.Run(d, AttackBudget))}, nil
 				},
 			})
@@ -179,7 +179,7 @@ func ablationRNGCells(cfg Config) []exp.Cell {
 					return nil, err
 				}
 				eng := smokestackPlan(p.Prog, nil).NewEngine(src)
-				d := &attack.Deployment{Program: p, Engine: eng, TRNG: rng.SeededTRNG(seed + 1)}
+				d := &attack.Deployment{Program: p, Engine: eng, TRNG: rng.SeededTRNG(seed + 1), Pool: cfg.attackPool()}
 				r := attack.PredictionScenario(eng).Run(d, 20)
 				r.Scenario = "rng-predict/" + scheme
 				return []exp.Record{resultRecord("ablation-rng", r)}, nil

@@ -223,4 +223,9 @@ func (c Config) registerGauges() {
 	reg.SetGauge("vm.blockcache.len", func() float64 { return float64(cc.BlockLen()) })
 	reg.SetGauge("vm.blockcache.hits", func() float64 { h, _ := cc.BlockStats(); return float64(h) })
 	reg.SetGauge("vm.blockcache.misses", func() float64 { _, m := cc.BlockStats(); return float64(m) })
+	reg.SetGauge("vm.pool.hits", func() float64 { return float64(machinePool.Stats().Hits) })
+	reg.SetGauge("vm.pool.misses", func() float64 { return float64(machinePool.Stats().Misses) })
+	reg.SetGauge("vm.pool.puts", func() float64 { return float64(machinePool.Stats().Puts) })
+	reg.SetGauge("vm.pool.drops", func() float64 { return float64(machinePool.Stats().Drops) })
+	reg.SetGauge("mem.snapshot.restored_bytes", func() float64 { return float64(machinePool.Stats().RestoredBytes) })
 }

@@ -213,6 +213,25 @@ func (r *splitmix) next() uint64 {
 // ---------------------------------------------------------------------------
 // Fixed
 
+// fixedLayoutCache shares declaration-order layouts across every engine
+// instance that uses them verbatim (Fixed, BaseRand). The layout is a pure
+// function of the IR, so all instances agree on the value, and engines are
+// constructed per run — a per-instance cache would never warm. Keyed by
+// function identity (IDs are only unique within one program); entries live
+// as long as the program, which the compiled-code caches pin anyway.
+var fixedLayoutCache sync.Map // *ir.Function -> FrameLayout
+
+// fixedLayout returns fn's cached declaration-order layout.
+func fixedLayout(fn *ir.Function) FrameLayout {
+	if fl, ok := fixedLayoutCache.Load(fn); ok {
+		return fl.(FrameLayout)
+	}
+	off, size := fixedOffsets(fn)
+	fl := FrameLayout{Offsets: off, Size: size}
+	fixedLayoutCache.Store(fn, fl)
+	return fl
+}
+
 // Fixed is the uninstrumented baseline.
 type Fixed struct{}
 
@@ -227,8 +246,7 @@ func (*Fixed) NewRun() {}
 
 // Layout implements Engine.
 func (*Fixed) Layout(fn *ir.Function) FrameLayout {
-	off, size := fixedOffsets(fn)
-	return FrameLayout{Offsets: off, Size: size}
+	return fixedLayout(fn)
 }
 
 // PrologueCycles implements Engine.
@@ -435,8 +453,7 @@ func (b *BaseRand) NewRun() {
 
 // Layout implements Engine.
 func (*BaseRand) Layout(fn *ir.Function) FrameLayout {
-	off, size := fixedOffsets(fn)
-	return FrameLayout{Offsets: off, Size: size}
+	return fixedLayout(fn)
 }
 
 // PrologueCycles implements Engine.

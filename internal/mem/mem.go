@@ -85,6 +85,69 @@ type Segment struct {
 	// so the hot-path contains check fails and callers fall through to the
 	// materializing FindSegment walk.
 	dataEnd uint64
+	// touchLo/touchHi bound the touched window [touchLo, touchHi): every
+	// byte that may differ from the segment's pristine contents lies inside
+	// it. For read-only segments the window is pinned to the full backed
+	// extent. For writable segments it starts empty (touchLo == touchHi)
+	// and widens monotonically: every write path widens it before storing,
+	// and FindSegment widens it on any resolution so interpreter fast paths
+	// that subsequently go through View stay fast. The window is what makes
+	// copy-on-reset cheap — Restore only rewrites the touched span — and it
+	// doubles as the bound on the View fast path, which is how open-coded
+	// interpreter stores are captured without any per-store bookkeeping: a
+	// store outside the window fails the view bounds probe, takes the slow
+	// path once, and the slow path widens the window.
+	touchLo, touchHi uint64
+	// viewData is data[touchLo-Base:], kept in sync by widen/materialize so
+	// View stays a three-field return (it must inline into interpreter
+	// cores). nil while the window is empty.
+	viewData []byte
+	// pristine is the sealed baseline image (Seal). nil means the baseline
+	// is all-zero bytes, which holds for every segment that was untouched
+	// when sealed (stack, heap); segments carrying an initialization image
+	// (globals) get a full copy.
+	pristine []byte
+}
+
+// touch widens the touched window to cover [addr, addr+n). Callers
+// guarantee the range lies inside the backed extent. The fast path — range
+// already inside the window — is two compares, cheap enough for every
+// write-path accessor.
+func (s *Segment) touch(addr uint64, n int) {
+	end := addr + uint64(n)
+	if addr >= s.touchLo && end <= s.touchHi {
+		return
+	}
+	s.widen(addr, end)
+}
+
+// widen grows the touched window to include [addr, end) and re-aims the
+// view slice. Split from touch so touch's fast path stays inlinable.
+func (s *Segment) widen(addr, end uint64) {
+	if s.touchHi == s.touchLo {
+		s.touchLo, s.touchHi = addr, end
+	} else {
+		if addr < s.touchLo {
+			s.touchLo = addr
+		}
+		if end > s.touchHi {
+			s.touchHi = end
+		}
+	}
+	s.viewData = s.data[s.touchLo-s.Base:]
+}
+
+// resetWindow empties a writable segment's touched window.
+func (s *Segment) resetWindow() {
+	s.touchLo, s.touchHi = s.Base, s.Base
+	s.viewData = nil
+}
+
+// pinWindow pins the window to the full backed extent (read-only segments,
+// and writable segments whose raw backing has been handed out via Bytes).
+func (s *Segment) pinWindow() {
+	s.touchLo, s.touchHi = s.Base, s.dataEnd
+	s.viewData = s.data
 }
 
 // Size returns the segment length in bytes.
@@ -112,13 +175,22 @@ func (s *Segment) materialize() {
 	if s.dataEnd != s.end {
 		s.data = make([]byte, s.end-s.Base)
 		s.dataEnd = s.end
+		if !s.Writable {
+			s.pinWindow()
+		}
 	}
 }
 
 // Bytes exposes the raw backing store (for snapshotting and the attacker's
-// disclosure oracle), materializing a lazy segment first.
+// disclosure oracle), materializing a lazy segment first. Because the
+// returned slice is a writable alias outside all tracked accessors, a
+// writable segment's touched window is conservatively pinned to the whole
+// segment: anything may have changed by the time it matters.
 func (s *Segment) Bytes() []byte {
 	s.materialize()
+	if s.Writable {
+		s.pinWindow()
+	}
 	return s.data
 }
 
@@ -127,18 +199,26 @@ func (s *Segment) Bytes() []byte {
 // view).
 func (s *Segment) Contains(addr uint64, n int) bool { return s.contains(addr, n) }
 
-// View returns the backing store and its backed address bounds in one
-// tiny (always-inlinable) call, for interpreter loops that open-code the
+// View returns the backing store and its address bounds in one tiny
+// (always-inlinable) call, for interpreter loops that open-code the
 // ReadU64At/WriteU64At fast path: those loops are far past the inliner's
 // big-function threshold, where only very small callees still inline, so
 // the method forms cost a real call per access. The returned slice
-// aliases the segment and is valid until the next materialize; an
-// unmaterialized segment returns dataEnd == Base, so every bounds check
-// against the view fails and callers take their slow path, exactly like
-// contains. Callers writing through the view must check Writable
-// themselves.
+// aliases the segment and is valid until the next widen/materialize.
+//
+// The view spans the segment's touched window, not its full extent: for
+// read-only segments the two coincide, while a writable segment exposes
+// only [touchLo, touchHi). An access outside the window (including any
+// access to an unmaterialized or untouched segment — the window is empty,
+// so every probe fails) sends the caller to its slow path, which widens
+// the window through the Memory accessors and re-aims the view; from then
+// on the access pattern is served inline again. That round-trip is paid
+// once per window extreme, and in exchange every byte an interpreter core
+// can possibly have dirtied is provably inside the window — the invariant
+// copy-on-reset (Seal/Restore) depends on. Callers writing through the
+// view must check Writable themselves.
 func (s *Segment) View() (data []byte, base, dataEnd uint64) {
-	return s.data, s.Base, s.dataEnd
+	return s.viewData, s.touchLo, s.touchHi
 }
 
 // ReadU64At reads the 8-byte little-endian value at addr directly from the
@@ -159,6 +239,7 @@ func (s *Segment) WriteU64At(addr uint64, val uint64) bool {
 	if !s.Writable || !s.contains(addr, 8) {
 		return false
 	}
+	s.touch(addr, 8)
 	off := addr - s.Base
 	binary.LittleEndian.PutUint64(s.data[off:off+8], val)
 	return true
@@ -188,6 +269,7 @@ func (s *Segment) WriteU32At(addr uint64, val uint32) bool {
 	if !s.Writable || !s.contains(addr, 4) {
 		return false
 	}
+	s.touch(addr, 4)
 	off := addr - s.Base
 	binary.LittleEndian.PutUint32(s.data[off:off+4], val)
 	return true
@@ -198,6 +280,7 @@ func (s *Segment) WriteU8At(addr uint64, val byte) bool {
 	if !s.Writable || !s.contains(addr, 1) {
 		return false
 	}
+	s.touch(addr, 1)
 	s.data[addr-s.Base] = val
 	return true
 }
@@ -211,6 +294,7 @@ func (s *Segment) WriteUAt(addr uint64, n int, val uint64) bool {
 	if !s.Writable || !s.contains(addr, n) {
 		return false
 	}
+	s.touch(addr, n)
 	off := addr - s.Base
 	switch n {
 	case 8:
@@ -247,6 +331,10 @@ type Memory struct {
 	// deltas at run boundaries (Machine.flushProfile).
 	cacheHits  uint64
 	cacheWalks uint64
+	// sealed records that Seal captured a pristine baseline; Restore
+	// refuses to run without one (it would misread initialized segments
+	// as zero-pristine).
+	sealed bool
 }
 
 // CacheStats reports the segment cache's cumulative hit and walk counts.
@@ -291,6 +379,9 @@ func (m *Memory) Map(name string, base, size uint64, writable bool) (*Segment, e
 		return nil, err
 	}
 	seg := &Segment{Name: name, Base: base, Writable: writable, data: make([]byte, size), end: base + size, dataEnd: base + size}
+	if !writable {
+		seg.pinWindow()
+	}
 	m.segs = append(m.segs, seg)
 	return seg, nil
 }
@@ -337,16 +428,22 @@ func (m *Memory) Segments() []*Segment { return m.segs }
 func (m *Memory) HotSegment() *Segment { return m.last }
 
 // FindSegment returns the segment containing [addr, addr+n), or nil. Hits
-// populate the segment cache consulted by the fast-path accessors.
+// populate the segment cache consulted by the fast-path accessors, and
+// widen the serving segment's touched window over the resolved range: the
+// interpreter cores route every view miss through here (directly or via
+// the Memory accessors), so widening at resolution time is what lets the
+// window-bounded views re-serve the access pattern inline afterwards.
 func (m *Memory) FindSegment(addr uint64, n int) *Segment {
 	if s := m.last; s != nil && s.contains(addr, n) {
 		m.cacheHits++
+		s.touch(addr, n)
 		return s
 	}
 	if s := m.prev; s != nil && s.contains(addr, n) {
 		m.cacheHits++
 		m.prev = m.last
 		m.last = s
+		s.touch(addr, n)
 		return s
 	}
 	m.cacheWalks++
@@ -357,6 +454,7 @@ func (m *Memory) FindSegment(addr uint64, n int) *Segment {
 			s.materialize()
 			m.prev = m.last
 			m.last = s
+			s.touch(addr, n)
 			return s
 		}
 	}
@@ -419,6 +517,7 @@ func (m *Memory) WriteUFast(addr uint64, n int, val uint64) bool {
 	if !s.Writable {
 		return false
 	}
+	s.touch(addr, n)
 	off := addr - s.Base
 	switch n {
 	case 8:
@@ -456,6 +555,30 @@ func (m *Memory) ReadBytes(addr uint64, n int) ([]byte, error) {
 	out := make([]byte, n)
 	copy(out, v)
 	return out, nil
+}
+
+// ReadBytesAppend appends n bytes starting at addr to dst and returns the
+// extended slice. The allocation-free form of ReadBytes for hot callers
+// (host builtins) that own a reusable buffer.
+func (m *Memory) ReadBytesAppend(dst []byte, addr uint64, n int) ([]byte, error) {
+	v, err := m.view(addr, n, Read)
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, v...), nil
+}
+
+// Fill stores n copies of b starting at addr (memset, without the staging
+// buffer ReadBytes/WriteBytes would need).
+func (m *Memory) Fill(addr uint64, b byte, n int) error {
+	v, err := m.view(addr, n, Write)
+	if err != nil {
+		return err
+	}
+	for i := range v {
+		v[i] = b
+	}
+	return nil
 }
 
 // WriteBytes stores b at addr.
@@ -510,9 +633,42 @@ func (m *Memory) WriteU(addr uint64, n int, val uint64) error {
 // max while still inside the segment returns *UnterminatedString, since the
 // address after the scan window is often perfectly valid memory.
 func (m *Memory) ReadCString(addr uint64, max int) (string, error) {
+	b, err := m.cstring(addr, max)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// CStringLen scans a NUL-terminated string like ReadCString but returns
+// only its length, allocating nothing. Same fault semantics.
+func (m *Memory) CStringLen(addr uint64, max int) (int, error) {
+	b, err := m.cstring(addr, max)
+	if err != nil {
+		return 0, err
+	}
+	return len(b), nil
+}
+
+// ReadCStringAppend appends a NUL-terminated string (terminator excluded)
+// starting at addr to dst and returns the extended slice; on error dst is
+// returned unchanged. The allocation-free form of ReadCString for hot
+// callers that own a reusable buffer. Same fault semantics.
+func (m *Memory) ReadCStringAppend(dst []byte, addr uint64, max int) ([]byte, error) {
+	b, err := m.cstring(addr, max)
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, b...), nil
+}
+
+// cstring locates a NUL-terminated string in its segment and returns the
+// aliasing subslice (terminator excluded) — valid only until the next
+// mutation, so every exported wrapper copies before returning.
+func (m *Memory) cstring(addr uint64, max int) ([]byte, error) {
 	s := m.FindSegment(addr, 1)
 	if s == nil {
-		return "", &Fault{Addr: addr, Size: 1, Kind: Read}
+		return nil, &Fault{Addr: addr, Size: 1, Kind: Read}
 	}
 	off := addr - s.Base
 	buf := s.data[off:]
@@ -524,15 +680,15 @@ func (m *Memory) ReadCString(addr uint64, max int) (string, error) {
 	}
 	for i := 0; i < limit; i++ {
 		if buf[i] == 0 {
-			return string(buf[:i]), nil
+			return buf[:i], nil
 		}
 	}
 	if truncated {
-		return "", &UnterminatedString{Addr: addr, Limit: limit}
+		return nil, &UnterminatedString{Addr: addr, Limit: limit}
 	}
 	// The scan genuinely ran off the segment end: addr+limit is the first
 	// unmapped address.
-	return "", &Fault{Addr: addr + uint64(limit), Size: 1, Kind: Read}
+	return nil, &Fault{Addr: addr + uint64(limit), Size: 1, Kind: Read}
 }
 
 // Zero clears n bytes at addr.
@@ -553,7 +709,11 @@ func (m *Memory) Zero(addr uint64, n int) error {
 func (m *Memory) Snapshot() map[string][]byte {
 	out := make(map[string][]byte, len(m.segs))
 	for _, s := range m.segs {
-		out[s.Name] = append([]byte(nil), s.Bytes()...)
+		// Copy straight from the backing store: Bytes() would pin the
+		// touched window (it hands out a writable alias), which would turn
+		// every copy-on-reset restore after a snapshot into a full rewrite.
+		s.materialize()
+		out[s.Name] = append([]byte(nil), s.data...)
 	}
 	return out
 }

@@ -1,0 +1,189 @@
+package mem_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// sealProbe returns a sealed two-segment memory: "data" carries a nonzero
+// construction image (so its baseline is a real copy), "scratch" is
+// all-zero at seal time (nil baseline, restored by memclr).
+func sealProbe(t *testing.T) *mem.Memory {
+	t.Helper()
+	m := mem.New()
+	m.AddSegment("data", 0x1000, 0x100, true)
+	m.AddSegment("scratch", 0x4000, 0x1000, true)
+	m.AddSegment("ro", 0x8000, 0x40, false)
+	if err := m.WriteBytes(0x1000, []byte("image")); err != nil {
+		t.Fatal(err)
+	}
+	m.Seal()
+	return m
+}
+
+func TestSealRestoreBaseline(t *testing.T) {
+	m := sealProbe(t)
+	if !m.Sealed() {
+		t.Fatal("not sealed")
+	}
+	if err := m.VerifyPristine(); err != nil {
+		t.Fatalf("pristine right after seal: %v", err)
+	}
+
+	// Dirty both segments: overwrite part of the image, scribble scratch.
+	if err := m.WriteBytes(0x1002, []byte("XX")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteU(0x4010, 8, 0xdeadbeef); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.VerifyPristine(); err == nil {
+		t.Fatal("dirty memory verified pristine")
+	}
+
+	restored, ok := m.Restore()
+	if !ok {
+		t.Fatal("restore refused on sealed memory")
+	}
+	// Both touched spans rewritten; at minimum the bytes we wrote.
+	if restored < 10 {
+		t.Fatalf("restored %d bytes, wrote at least 10", restored)
+	}
+	if err := m.VerifyPristine(); err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.ReadBytes(0x1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, []byte("image")) {
+		t.Fatalf("baseline image not restored: %q", b)
+	}
+	if v, _ := m.ReadU(0x4010, 8); v != 0 {
+		t.Fatalf("scratch not cleared: %#x", v)
+	}
+}
+
+func TestRestoreIsIncremental(t *testing.T) {
+	m := sealProbe(t)
+	// An untouched memory restores nothing.
+	if restored, ok := m.Restore(); !ok || restored != 0 {
+		t.Fatalf("clean restore rewrote %d bytes", restored)
+	}
+	// One 8-byte store to the 4 KiB scratch segment restores only the
+	// touched window, not the whole segment.
+	if err := m.WriteU(0x4800, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	restored, _ := m.Restore()
+	if restored == 0 || restored >= 0x1000 {
+		t.Fatalf("restored %d bytes for an 8-byte write (want small nonzero)", restored)
+	}
+}
+
+func TestRestoreRequiresSeal(t *testing.T) {
+	m := mem.New()
+	m.AddSegment("data", 0x1000, 0x100, true)
+	if _, ok := m.Restore(); ok {
+		t.Fatal("restore succeeded on unsealed memory")
+	}
+	if err := m.VerifyPristine(); err == nil {
+		t.Fatal("unsealed memory verified pristine")
+	}
+}
+
+// TestBytesPinsWindow pins the escape hatch: handing out a raw writable
+// alias (Bytes) must make the next restore rewrite the whole segment,
+// because stores through the alias bypass the window bookkeeping.
+func TestBytesPinsWindow(t *testing.T) {
+	m := sealProbe(t)
+	s := m.FindSegment(0x4000, 1)
+	raw := s.Bytes()
+	raw[0x800] = 0xAB // invisible to touch tracking
+	restored, _ := m.Restore()
+	if restored < 0x1000 {
+		t.Fatalf("restored %d bytes after Bytes() alias; want full segment", restored)
+	}
+	if err := m.VerifyPristine(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSnapshotDoesNotPin pins the read-only counterpart: Snapshot copies
+// everything out but must not pin windows (it creates no writable alias),
+// so a snapshot between runs keeps copy-on-reset incremental.
+func TestSnapshotDoesNotPin(t *testing.T) {
+	m := sealProbe(t)
+	if err := m.WriteU(0x4000, 8, 7); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if len(snap["scratch"]) != 0x1000 {
+		t.Fatalf("snapshot scratch %d bytes", len(snap["scratch"]))
+	}
+	restored, _ := m.Restore()
+	if restored >= 0x1000 {
+		t.Fatalf("snapshot pinned the window: restored %d bytes", restored)
+	}
+}
+
+// TestWindowCoversAllWritePaths drives every exported write path and
+// checks Restore returns the memory to baseline — the property the
+// window-clamped views must uphold for copy-on-reset to be sound.
+func TestWindowCoversAllWritePaths(t *testing.T) {
+	m := sealProbe(t)
+	writes := []func() error{
+		func() error { return m.WriteU(0x1010, 1, 0xFF) },
+		func() error { return m.WriteU(0x1020, 4, 0xFFFF) },
+		func() error { return m.WriteU(0x1030, 8, 0xFFFFFF) },
+		func() error { return m.WriteBytes(0x4100, []byte{1, 2, 3}) },
+		func() error { return m.Zero(0x1000, 4) },
+		func() error { return m.Fill(0x4200, 0xEE, 16) },
+		func() error {
+			if !m.WriteUFast(0x4300, 8, 0x1234) {
+				return m.WriteU(0x4300, 8, 0x1234)
+			}
+			return nil
+		},
+		func() error {
+			s := m.FindSegment(0x4000, 1)
+			if !s.WriteU64At(0x4400, 0x5678) {
+				t.Fatal("WriteU64At missed")
+			}
+			s.WriteU32At(0x4410, 9)
+			s.WriteU8At(0x4420, 3)
+			return nil
+		},
+	}
+	for i, w := range writes {
+		if err := w(); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if _, ok := m.Restore(); !ok {
+		t.Fatal("restore refused")
+	}
+	if err := m.VerifyPristine(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRepeatedSealCycles(t *testing.T) {
+	m := sealProbe(t)
+	for i := 0; i < 5; i++ {
+		if err := m.WriteU(0x1000+uint64(i*8), 8, uint64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.WriteU(0x4000+uint64(i*64), 8, uint64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := m.Restore(); !ok {
+			t.Fatal("restore refused")
+		}
+		if err := m.VerifyPristine(); err != nil {
+			t.Fatalf("cycle %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package rng
+
+import (
+	"errors"
+	"testing"
+)
+
+// trngScript builds a deterministic TRNG whose k-th call fails whenever
+// fail(k) is true; successful calls yield a splitmix stream. Two scripts
+// built from the same parameters produce identical call-by-call behaviour,
+// which is what the batched/unbatched differentials need.
+func trngScript(seed uint64, fail func(k int) bool) TRNG {
+	s, k := seed, 0
+	return func() (uint64, bool) {
+		i := k
+		k++
+		if fail != nil && fail(i) {
+			return 0, false
+		}
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31), true
+	}
+}
+
+// drainCompare draws n values from both sources, comparing value, cost,
+// and the full health snapshot after every single draw — the strongest
+// form of "buffering is invisible": not just equal totals, but equal
+// observable state at every stream position.
+func drainCompare(t *testing.T, label string, ref, bat Source, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		rv, bv := ref.Next(), bat.Next()
+		if rv != bv {
+			t.Fatalf("%s: draw %d: value %#x != %#x", label, i, bv, rv)
+		}
+		if rc, bc := ref.Cost(), bat.Cost(); rc != bc {
+			t.Fatalf("%s: draw %d: cost %v != %v", label, i, bc, rc)
+		}
+		rh, _ := HealthOf(ref)
+		bh, _ := HealthOf(bat)
+		if rh != bh {
+			t.Fatalf("%s: draw %d: health %+v != %+v", label, i, bh, rh)
+		}
+		re, be := SourceErr(ref), SourceErr(bat)
+		if (re == nil) != (be == nil) {
+			t.Fatalf("%s: draw %d: err %v != %v", label, i, be, re)
+		}
+	}
+}
+
+// aesPair constructs two AESCtrs over identical TRNG scripts: ref serves
+// word-at-a-time (batch 1 refills on every draw, reproducing the
+// pre-batching generation order exactly), bat uses the production batch.
+func aesPair(rounds int, seed uint64, fail func(int) bool, interval uint64) (ref, bat *AESCtr) {
+	ref = NewAESCtr(rounds, trngScript(seed, fail))
+	ref.batch = 1
+	ref.ReseedInterval = interval
+	bat = NewAESCtr(rounds, trngScript(seed, fail))
+	bat.ReseedInterval = interval
+	return ref, bat
+}
+
+func TestAESCtrBatchEquivalence(t *testing.T) {
+	fails := map[string]func(int) bool{
+		"healthy": nil,
+		// Every 5th TRNG call fails: re-keys retry and occasionally walk
+		// into the stale-key fallback.
+		"flaky": func(k int) bool { return k%5 == 4 },
+		// TRNG dies after the construction draws: every later re-key fails.
+		"dies": func(k int) bool { return k >= 3 },
+	}
+	for _, rounds := range []int{1, 10} {
+		for name, fail := range fails {
+			// Interval 16 with 100 draws crosses six re-key boundaries;
+			// interval 0 never re-keys and lets refills run at full width.
+			for _, interval := range []uint64{16, 0} {
+				ref, bat := aesPair(rounds, 99, fail, interval)
+				drainCompare(t, name, ref, bat, 100)
+			}
+		}
+	}
+}
+
+// TestAESCtrBatchDeadSeed pins the construction-failure path: a dead TRNG
+// marks the source, and the deterministic zero-key stream it still emits
+// is identical batched and unbatched.
+func TestAESCtrBatchDeadSeed(t *testing.T) {
+	dead := func(int) bool { return true }
+	ref, bat := aesPair(10, 1, dead, DefaultReseedInterval)
+	if SourceErr(ref) == nil || SourceErr(bat) == nil {
+		t.Fatal("dead-seed source not marked failed")
+	}
+	if !errors.Is(SourceErr(bat), ErrEntropyExhausted) {
+		t.Fatalf("err %v", SourceErr(bat))
+	}
+	drainCompare(t, "dead-seed", ref, bat, 50)
+}
+
+// TestAESCtrBoundaryExact pins re-key timing at the draw level: with
+// interval N, the TRNG must be untouched until exactly draw N (counting
+// from 1), buffered keystream notwithstanding.
+func TestAESCtrBoundaryExact(t *testing.T) {
+	calls := 0
+	counting := func() (uint64, bool) {
+		calls++
+		s := uint64(calls) * 0x9e3779b97f4a7c15
+		return s ^ (s >> 29), true
+	}
+	a := NewAESCtr(10, counting)
+	a.ReseedInterval = 8
+	seedCalls := calls // 3 construction draws
+	// Draws 1..8 serve from the first key: no TRNG activity even though
+	// the whole batch was generated on draw 1.
+	for i := 0; i < 8; i++ {
+		a.Next()
+		if calls != seedCalls {
+			t.Fatalf("draw %d: TRNG touched before the boundary (%d calls)", i+1, calls)
+		}
+	}
+	// Draw 9 crosses the boundary (calls == 8 before serving): re-key.
+	a.Next()
+	if calls != seedCalls+3 {
+		t.Fatalf("boundary re-key drew %d words, want 3", calls-seedCalls)
+	}
+}
+
+// TestRDRandFallbackBatched pins the RDRand ladder against batching in its
+// fallback stream: hardware death after some successes engages the
+// cached-entropy AES fallback, whose draws are buffered — and every value,
+// cost and health counter still matches a word-at-a-time reference.
+func TestRDRandFallbackBatched(t *testing.T) {
+	// 6 good draws, then a brownout long enough to engage the fallback and
+	// serve well past one reprobe interval, then recovery.
+	script := func(k int) bool { return k >= 6 && k < 200 }
+	mk := func() *RDRand { return NewRDRand(trngScript(7, script)) }
+
+	ref, bat := mk(), mk()
+	// Force the reference's fallback stream (built lazily at ladder time)
+	// to refill word-at-a-time, while bat uses production batching. The
+	// direct-draw path has no buffering on either side by design: fault
+	// schedules key on global TRNG call order.
+	refFB := func() {
+		if ref.fallback != nil {
+			ref.fallback.batch = 1
+		}
+	}
+	for i := 0; i < 300; i++ {
+		rv, bv := ref.Next(), bat.Next()
+		refFB()
+		if rv != bv {
+			t.Fatalf("draw %d: %#x != %#x", i, bv, rv)
+		}
+		if rc, bc := ref.Cost(), bat.Cost(); rc != bc {
+			t.Fatalf("draw %d: cost %v != %v", i, bc, rc)
+		}
+		rh, bh := ref.Health(), bat.Health()
+		if rh != bh {
+			t.Fatalf("draw %d: health %+v != %+v", i, bh, rh)
+		}
+	}
+	h := bat.Health()
+	if h.Fallbacks == 0 {
+		t.Fatal("script never engaged the fallback")
+	}
+	if h.Draws != 300 {
+		t.Fatalf("draws %d != 300", h.Draws)
+	}
+}
+
+// TestAESCtrMidStreamIntervalChange pins a defensive corner: shrinking
+// ReseedInterval between draws (as the fault harness does right after
+// construction) must re-key on the new schedule even if keystream was
+// buffered under the old one.
+func TestAESCtrMidStreamIntervalChange(t *testing.T) {
+	calls := 0
+	counting := func() (uint64, bool) {
+		calls++
+		s := uint64(calls) * 0x9e3779b97f4a7c15
+		return s ^ (s >> 29), true
+	}
+	a := NewAESCtr(10, counting)
+	a.ReseedInterval = 0 // buffer fills at full width, no boundary cap
+	for i := 0; i < 4; i++ {
+		a.Next()
+	}
+	base := calls
+	a.ReseedInterval = 8 // next boundary: draw index 8 (calls==8 before serve)
+	for i := 4; i < 8; i++ {
+		a.Next()
+	}
+	if calls != base {
+		t.Fatal("re-keyed before the new boundary")
+	}
+	a.Next()
+	if calls != base+3 {
+		t.Fatalf("boundary re-key drew %d words, want 3", calls-base)
+	}
+}

@@ -268,6 +268,21 @@ func (p *Pseudo) Predict() Source { return &Pseudo{state: p.state} }
 // (re)seeding.
 const aesSeedRetries = 8
 
+// aesBatchWords is the keystream refill size: one refill prices the
+// per-draw dispatch (reseed-boundary math, block I/O marshalling) once per
+// batch instead of once per word. Bounded well below DefaultReseedInterval
+// so refills usually run at full width.
+//
+// Batching stops here, at TRNG-silent keystream generation. RDRand's
+// direct draws are NOT prefetched: every one is a TRNG call, and fault
+// schedules (faultinject.Injector) key on the *global* TRNG call order
+// across all consumers — the engine's source and the Machine's guard-key
+// draws share one injector counter — so prefetching would reorder which
+// consumer absorbs an injected entropy fault. RDRand still benefits from
+// this buffer through its cached-entropy fallback stream, which is an
+// AESCtr that never re-keys.
+const aesBatchWords = 64
+
 // AESCtr is an AES-128-CTR pseudo-random source seeded from a TRNG. A
 // universal call counter triggers re-keying every ReseedInterval outputs, as
 // described in §III-D1. Rounds selects the 1-round (fast, low security) or
@@ -289,6 +304,16 @@ type AESCtr struct {
 	calls   uint64
 	health  healthCounters
 	err     error
+
+	// buf holds pre-generated keystream words (batched refill); bufPos is
+	// the next word to serve. Refills never perform TRNG draws and never
+	// cross a re-key boundary, so buffering is invisible: draw values, the
+	// stream position after every draw, re-key timing and health counters
+	// are bit-identical to word-at-a-time generation. batch overrides the
+	// refill size for the equivalence tests (0 = aesBatchWords).
+	buf    []uint64
+	bufPos int
+	batch  int
 	// ReseedInterval is the number of outputs between re-keying events.
 	// 0 means "never re-key": the source keeps its initial key and nonce
 	// for the whole run.
@@ -334,6 +359,8 @@ func (a *AESCtr) reseed() bool {
 	a.blk = newBlock(key, a.rounds)
 	a.nonce = words[2]
 	a.counter = 0
+	// Any buffered keystream belongs to the old key/nonce.
+	a.buf, a.bufPos = a.buf[:0], 0
 	a.health.reseeds.Add(1)
 	if a.Notify != nil {
 		a.Notify(LadderReseed)
@@ -341,28 +368,58 @@ func (a *AESCtr) reseed() bool {
 	return true
 }
 
+// refill batch-generates keystream words from the current key, nonce and
+// counter. No TRNG draws happen here, and the batch is capped at the next
+// re-key boundary, so the re-key (and its TRNG activity) still lands on
+// its exact draw index.
+func (a *AESCtr) refill() {
+	n := a.batch
+	if n <= 0 {
+		n = aesBatchWords
+	}
+	if a.ReseedInterval > 0 {
+		if remaining := a.ReseedInterval - a.calls%a.ReseedInterval; uint64(n) > remaining {
+			n = int(remaining)
+		}
+	}
+	if cap(a.buf) < n {
+		a.buf = make([]uint64, 0, n)
+	}
+	a.buf, a.bufPos = a.buf[:0], 0
+	var in [16]byte
+	binary.LittleEndian.PutUint64(in[0:8], a.nonce)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint64(in[8:16], a.counter)
+		a.counter++
+		out := a.blk.encrypt(in)
+		// Fold both halves of the block together: with a single round, the
+		// counter's diffusion reaches only one column group, which may lie
+		// entirely in either half; folding guarantees every output bit sees
+		// it.
+		a.buf = append(a.buf, binary.LittleEndian.Uint64(out[:8])^binary.LittleEndian.Uint64(out[8:]))
+	}
+}
+
 // Next implements Source.
 func (a *AESCtr) Next() uint64 {
 	if a.ReseedInterval > 0 && a.calls > 0 && a.calls%a.ReseedInterval == 0 {
 		if !a.reseed() {
-			// TRNG down at re-key time: keep the stale key, keep serving.
+			// TRNG down at re-key time: keep the stale key, keep serving —
+			// buffered keystream stays valid (same key, same counters).
 			a.health.fallbacks.Add(1)
 			if a.Notify != nil {
 				a.Notify(LadderReseedFailed)
 			}
 		}
 	}
+	if a.bufPos == len(a.buf) {
+		a.refill()
+	}
+	v := a.buf[a.bufPos]
+	a.bufPos++
 	a.calls++
 	a.health.draws.Add(1)
-	var in [16]byte
-	binary.LittleEndian.PutUint64(in[0:8], a.nonce)
-	binary.LittleEndian.PutUint64(in[8:16], a.counter)
-	a.counter++
-	out := a.blk.encrypt(in)
-	// Fold both halves of the block together: with a single round, the
-	// counter's diffusion reaches only one column group, which may lie
-	// entirely in either half; folding guarantees every output bit sees it.
-	return binary.LittleEndian.Uint64(out[:8]) ^ binary.LittleEndian.Uint64(out[8:])
+	return v
 }
 
 // Cost implements Source.

@@ -7,6 +7,7 @@
 package vm
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"strconv"
@@ -89,11 +90,12 @@ func (m *Machine) hostDispatch(fn *ir.Function, pc int, host int, args []int64) 
 	}
 	switch name {
 	case "print":
-		m.Env.Output = append(m.Env.Output, []byte(strconv.FormatInt(args[0], 10))...)
+		m.Env.Output = strconv.AppendInt(m.Env.Output, args[0], 10)
 		m.Env.Output = append(m.Env.Output, '\n')
 		return 0, nil
 	case "prints":
-		s, err := m.Mem.ReadCString(uint64(args[0]), cstringMax)
+		s, err := m.Mem.ReadCStringAppend(m.hostBuf[:0], uint64(args[0]), cstringMax)
+		m.hostBuf = s[:0]
 		if err != nil {
 			return 0, memFault(err)
 		}
@@ -128,7 +130,11 @@ func (m *Machine) hostDispatch(fn *ir.Function, pc int, host int, args []int64) 
 	case "memcpy":
 		n := args[2]
 		if n > 0 {
-			b, err := m.Mem.ReadBytes(uint64(args[1]), int(n))
+			// Stage through the reusable buffer: reading the whole source
+			// before writing keeps the overlapping-range behaviour of the
+			// original two-step copy (memmove semantics).
+			b, err := m.Mem.ReadBytesAppend(m.hostBuf[:0], uint64(args[1]), int(n))
+			m.hostBuf = b[:0]
 			if err != nil {
 				return 0, memFault(err)
 			}
@@ -141,47 +147,49 @@ func (m *Machine) hostDispatch(fn *ir.Function, pc int, host int, args []int64) 
 	case "memset":
 		n := args[2]
 		if n > 0 {
-			b := make([]byte, n)
-			for i := range b {
-				b[i] = byte(args[1])
-			}
-			if err := m.Mem.WriteBytes(uint64(args[0]), b); err != nil {
+			if err := m.Mem.Fill(uint64(args[0]), byte(args[1]), int(n)); err != nil {
 				return 0, memFault(err)
 			}
 			m.stats.Cycles += float64(n) * m.costs.PerByte
 		}
 		return args[0], nil
 	case "strlen":
-		s, err := m.Mem.ReadCString(uint64(args[0]), cstringMax)
+		n, err := m.Mem.CStringLen(uint64(args[0]), cstringMax)
 		if err != nil {
 			return 0, memFault(err)
 		}
-		m.stats.Cycles += float64(len(s)) * m.costs.PerByte
-		return int64(len(s)), nil
+		m.stats.Cycles += float64(n) * m.costs.PerByte
+		return int64(n), nil
 	case "strcpy":
-		s, err := m.Mem.ReadCString(uint64(args[1]), cstringMax)
+		s, err := m.Mem.ReadCStringAppend(m.hostBuf[:0], uint64(args[1]), cstringMax)
 		if err != nil {
+			m.hostBuf = s[:0]
 			return 0, memFault(err)
 		}
-		if err := m.Mem.WriteBytes(uint64(args[0]), append([]byte(s), 0)); err != nil {
+		n := len(s)
+		s = append(s, 0) // store back after the NUL so a growth here is kept
+		m.hostBuf = s[:0]
+		if err := m.Mem.WriteBytes(uint64(args[0]), s); err != nil {
 			return 0, memFault(err)
 		}
-		m.stats.Cycles += float64(len(s)) * m.costs.PerByte
+		m.stats.Cycles += float64(n) * m.costs.PerByte
 		return args[0], nil
 	case "strcmp":
-		a, err := m.Mem.ReadCString(uint64(args[0]), cstringMax)
+		a, err := m.Mem.ReadCStringAppend(m.hostBuf[:0], uint64(args[0]), cstringMax)
+		m.hostBuf = a[:0]
 		if err != nil {
 			return 0, memFault(err)
 		}
-		b, err := m.Mem.ReadCString(uint64(args[1]), cstringMax)
+		b, err := m.Mem.ReadCStringAppend(m.hostBuf2[:0], uint64(args[1]), cstringMax)
+		m.hostBuf2 = b[:0]
 		if err != nil {
 			return 0, memFault(err)
 		}
 		m.stats.Cycles += float64(min(len(a), len(b))) * m.costs.PerByte
-		switch {
-		case a < b:
+		switch c := bytes.Compare(a, b); {
+		case c < 0:
 			return -1, nil
-		case a > b:
+		case c > 0:
 			return 1, nil
 		}
 		return 0, nil
@@ -222,7 +230,8 @@ func (m *Machine) hostDispatch(fn *ir.Function, pc int, host int, args []int64) 
 	case "sendout":
 		n := args[1]
 		if n > 0 {
-			b, err := m.Mem.ReadBytes(uint64(args[0]), int(n))
+			b, err := m.Mem.ReadBytesAppend(m.hostBuf[:0], uint64(args[0]), int(n))
+			m.hostBuf = b[:0]
 			if err != nil {
 				return 0, memFault(err)
 			}
@@ -249,7 +258,8 @@ func (m *Machine) sncat(args []int64, memFault func(error) error) (int64, error)
 	var src []byte
 	if n > 0 {
 		var err error
-		src, err = m.Mem.ReadBytes(uint64(args[3]), int(n))
+		src, err = m.Mem.ReadBytesAppend(m.hostBuf[:0], uint64(args[3]), int(n))
+		m.hostBuf = src[:0]
 		if err != nil {
 			return 0, memFault(err)
 		}

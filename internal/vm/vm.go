@@ -423,6 +423,26 @@ type Machine struct {
 	// hot basic blocks. Nil on every ordinary Machine: the hot loop pays a
 	// hoisted nil check, same discipline as the profiler fields.
 	bbCount [][]uint64
+
+	// Pooled-reuse plumbing (reset.go / pool.go). tier is the resolved
+	// execution tier and codeCache the resolved cache — construction-time
+	// choices a Reset cannot change, recorded so it can verify
+	// compatibility and re-look-up compiled streams when the engine
+	// surcharge changes. armed marks that the engine-dependent pricing
+	// state (cost table, ccode) has been built at least once; jitterBuf is
+	// the retained backing for the jitter table so re-arming with jitter
+	// allocates only on first use.
+	tier      ExecTier
+	codeCache *CodeCache
+	armed     bool
+	jitterBuf []float64
+
+	// hostBuf/hostBuf2 are reusable staging buffers for host builtins that
+	// move byte ranges through Go (strcpy, memcpy, strcmp, ...): with them
+	// the whole builtin surface allocates nothing in steady state. Contents
+	// are never observable across calls, so Reset leaves them alone.
+	hostBuf  []byte
+	hostBuf2 []byte
 }
 
 // supervisionInterval is the step count between watchdog polls while a
@@ -441,16 +461,15 @@ func supNext(steps, limit uint64) uint64 {
 	return next
 }
 
-// New prepares a Machine for one run of prog under engine. The engine's
-// NewRun is invoked (drawing per-run randomness such as the stack bias).
-func New(prog *ir.Program, engine layout.Engine, env *Env, opts *Options) *Machine {
+// normalizeOptions applies New's defaulting rules to opts (without
+// mutating the caller's struct): zero values become the documented
+// defaults and the heap size is clamped below the lowest stack segment.
+// Shared with the pool key computation and Machine.Reset, which must both
+// see exactly the options a corresponding New would run with.
+func normalizeOptions(engine layout.Engine, opts *Options) Options {
 	o := Options{}
 	if opts != nil {
 		o = *opts
-	}
-	costs := DefaultCosts()
-	if o.Costs != nil {
-		costs = *o.Costs
 	}
 	if o.StepLimit == 0 {
 		o.StepLimit = 500_000_000
@@ -475,6 +494,43 @@ func New(prog *ir.Program, engine layout.Engine, env *Env, opts *Options) *Machi
 	if maxHeap := stackFloor - mem.HeapBase; o.HeapSize > maxHeap {
 		o.HeapSize = maxHeap
 	}
+	return o
+}
+
+// costsOf resolves the cost model a normalized Options selects.
+func costsOf(o *Options) Costs {
+	if o.Costs != nil {
+		return *o.Costs
+	}
+	return DefaultCosts()
+}
+
+// resolveTier resolves TierAuto (environment, default block) and applies
+// the block tier's step-limit fallback, yielding the tier the Machine
+// actually runs.
+func resolveTier(o *Options) ExecTier {
+	tier := o.Exec
+	if tier == TierAuto {
+		if t, ok := ParseExecTier(os.Getenv(execTierEnv)); ok && t != TierAuto {
+			tier = t
+		} else {
+			tier = TierBlock
+		}
+	}
+	// The block tier's exact pre-summed costs need the in-core cycle
+	// accumulator to stay in float64's exact-integer range; huge step
+	// limits fall back to the threaded tier's per-constituent accounting
+	// (bit-identical, just unaccelerated).
+	if tier == TierBlock && o.StepLimit > blockMaxStepLimit {
+		tier = TierCompiled
+	}
+	return tier
+}
+
+// New prepares a Machine for one run of prog under engine. The engine's
+// NewRun is invoked (drawing per-run randomness such as the stack bias).
+func New(prog *ir.Program, engine layout.Engine, env *Env, opts *Options) *Machine {
+	o := normalizeOptions(engine, opts)
 	if env == nil {
 		env = &Env{}
 	}
@@ -483,15 +539,18 @@ func New(prog *ir.Program, engine layout.Engine, env *Env, opts *Options) *Machi
 	}
 
 	m := &Machine{
-		Prog:         prog,
-		Mem:          mem.New(),
-		Engine:       engine,
-		Env:          env,
-		costs:        costs,
-		stepLimit:    o.StepLimit,
-		maxDepth:     o.MaxCallDepth,
-		hostHook:     o.HostHook,
-		entropyCheck: o.EntropyCheck,
+		Prog:      prog,
+		Mem:       mem.New(),
+		Engine:    engine,
+		Env:       env,
+		costs:     costsOf(&o),
+		stepLimit: o.StepLimit,
+		maxDepth:  o.MaxCallDepth,
+	}
+	m.tier = resolveTier(&o)
+	m.codeCache = o.CodeCache
+	if m.codeCache == nil {
+		m.codeCache = defaultCodeCache
 	}
 
 	// Rodata: interned strings. Program images with fuzzer-scale data or
@@ -556,7 +615,7 @@ func New(prog *ir.Program, engine layout.Engine, env *Env, opts *Options) *Machi
 	// per-run bias; for everyone else ustack stays nil and unsafeTop/usp
 	// stay 0, leaving segment lists, digests and stack accounting exactly
 	// as before the region seam existed.
-	ds, dualStack := engine.(layout.DualStacker)
+	_, dualStack := engine.(layout.DualStacker)
 	if dualStack {
 		if m.ustack, err = m.Mem.Map("ustack", mem.UnsafeStackTop-mem.UnsafeStackSize, mem.UnsafeStackSize, true); err != nil {
 			m.initErr = fmt.Errorf("vm: program image: %w", err)
@@ -565,10 +624,25 @@ func New(prog *ir.Program, engine layout.Engine, env *Env, opts *Options) *Machi
 		m.unsafeBase = mem.UnsafeStackTop - mem.UnsafeStackSize
 	}
 
+	m.arm(engine, env, &o)
+	return m
+}
+
+// arm applies the per-run half of construction: engine rebias, guard-key
+// draw and derived keys, engine-dependent pricing state, profiler
+// attachment and the jitter table. Shared verbatim between New and Reset
+// so a reset Machine's observable behaviour — including the TRNG draw
+// sequence — is bit-identical to a freshly constructed one.
+func (m *Machine) arm(engine layout.Engine, env *Env, o *Options) {
+	m.Engine = engine
+	m.Env = env
+	m.hostHook = o.HostHook
+	m.entropyCheck = o.EntropyCheck
+
 	engine.NewRun()
 	m.stackTop = mem.StackTop - engine.StackBias()
 	m.sp = m.stackTop
-	if dualStack {
+	if ds, ok := engine.(layout.DualStacker); ok {
 		m.unsafeTop = mem.UnsafeStackTop - ds.UnsafeBias()
 		m.usp = m.unsafeTop
 	}
@@ -586,17 +660,34 @@ func New(prog *ir.Program, engine layout.Engine, env *Env, opts *Options) *Machi
 	}
 	if !keyed {
 		m.initErr = &EntropyFault{Func: "init (guard key)", Err: rng.ErrEntropyExhausted}
-		return m
+		return
 	}
 	// Canary and shadow keys derive deterministically from the guard key:
 	// engines using those slots consume no extra TRNG draws, so every
 	// pre-existing engine's entropy stream is bit-identical to before.
 	m.canaryKey = splitmix64(m.guardKey)
 	m.shadowKey = splitmix64(m.canaryKey)
-	m.buildCostTable()
-	m.addrExtra = engine.AddrLocalExtraCycles()
+
+	// Engine-dependent pricing state. Streams and tables depend on the
+	// engine only through its AddrLocal surcharge, so a reset that swaps
+	// engines within the same surcharge (the common grid pattern:
+	// baseline, then each scheme) skips the rebuild and the cache lookup
+	// entirely.
+	if ae := engine.AddrLocalExtraCycles(); !m.armed || ae != m.addrExtra {
+		m.addrExtra = ae
+		m.buildCostTable()
+		switch m.tier {
+		case TierBlock:
+			m.ccode = m.codeCache.blockCompiled(m.Prog, m.costs, ae, m.globalAddr, m.dataAddr)
+		case TierCompiled:
+			m.ccode = m.codeCache.compiled(m.Prog, m.costs, ae, m.globalAddr, m.dataAddr)
+		}
+	}
+	m.armed = true
+
+	m.prof = o.Prof
+	m.profProlog, m.profDefense = nil, nil
 	if o.Prof != nil {
-		m.prof = o.Prof
 		if pp, ok := engine.(PrologueProfiler); ok {
 			m.profProlog = pp
 		}
@@ -604,42 +695,22 @@ func New(prog *ir.Program, engine layout.Engine, env *Env, opts *Options) *Machi
 			m.profDefense = dp
 		}
 		// Per-cop slabs for the compiled tier's dispatch counts. Allocated
-		// here, once, so attaching a profile adds zero per-step and
-		// zero per-call allocations (TestProfileAllocs pins this).
-		m.profPN = make([]uint64, numCops)
-		m.profCW = make([]float64, numCops)
-		m.profCN = make([]uint64, numCops)
-	}
-
-	tier := o.Exec
-	if tier == TierAuto {
-		if t, ok := ParseExecTier(os.Getenv(execTierEnv)); ok && t != TierAuto {
-			tier = t
-		} else {
-			tier = TierBlock
-		}
-	}
-	// The block tier's exact pre-summed costs need the in-core cycle
-	// accumulator to stay in float64's exact-integer range; huge step
-	// limits fall back to the threaded tier's per-constituent accounting
-	// (bit-identical, just unaccelerated).
-	if tier == TierBlock && o.StepLimit > blockMaxStepLimit {
-		tier = TierCompiled
-	}
-	if tier == TierCompiled || tier == TierBlock {
-		cache := o.CodeCache
-		if cache == nil {
-			cache = defaultCodeCache
-		}
-		if tier == TierBlock {
-			m.ccode = cache.blockCompiled(prog, costs, engine.AddrLocalExtraCycles(), m.globalAddr, m.dataAddr)
-		} else {
-			m.ccode = cache.compiled(prog, costs, engine.AddrLocalExtraCycles(), m.globalAddr, m.dataAddr)
+		// once per Machine (and retained across resets), so attaching a
+		// profile adds zero per-step and zero per-call allocations
+		// (TestProfileAllocs pins this).
+		if m.profPN == nil {
+			m.profPN = make([]uint64, numCops)
+			m.profCW = make([]float64, numCops)
+			m.profCN = make([]uint64, numCops)
 		}
 	}
 
 	if o.JitterAmp > 0 && engine.Name() != "fixed" {
-		m.jitter = make([]float64, len(prog.Funcs))
+		n := len(m.Prog.Funcs)
+		if cap(m.jitterBuf) < n {
+			m.jitterBuf = make([]float64, n)
+		}
+		m.jitter = m.jitterBuf[:n]
 		s := o.JitterSeed
 		for i := range m.jitter {
 			s += 0x9e3779b97f4a7c15
@@ -651,8 +722,9 @@ func New(prog *ir.Program, engine layout.Engine, env *Env, opts *Options) *Machi
 			u := float64(z%100001)/100000*2 - 1
 			m.jitter[i] = 1 + u*o.JitterAmp
 		}
+	} else {
+		m.jitter = nil
 	}
-	return m
 }
 
 // buildCostTable fills the per-opcode price table from the cost model and
