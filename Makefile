@@ -16,9 +16,9 @@ RACE_TIMEOUT ?= 3600s
 BENCH_PREV ?= BENCH_4.json
 BENCH_NEXT ?= BENCH_5.json
 
-.PHONY: ci build vet test race bench bench-compare smokebench invariance blocktier faults telemetry defenses pool
+.PHONY: ci build vet test race bench bench-compare smokebench invariance blocktier faults telemetry defenses pool service
 
-ci: build vet race invariance blocktier faults telemetry defenses pool smokebench
+ci: build vet race invariance blocktier faults telemetry defenses pool service smokebench
 
 build:
 	$(GO) build ./...
@@ -123,6 +123,21 @@ bench-compare:
 smokebench:
 	$(GO) test -bench='VMThroughput|VMWorkloads|MemAccess|Table1|RunSetup' \
 		-benchtime=1x -run='^$$' .
+
+# Service gate: build smokestackd, run its endpoint smoke end-to-end
+# against a live listener (submit → stream → drain via -selftest), then
+# the full server suite — admission/backpressure units, the chaos suite
+# (typed errors only, no goroutine leaks, drain under load, byte parity
+# with the offline pipeline), the fuzz seed corpus, the session layer,
+# and the MachinePool race hammer — all under -race, since every piece
+# is written from concurrent request goroutines.
+service:
+	$(GO) build -o /dev/null ./cmd/smokestackd
+	$(GO) run ./cmd/smokestackd -addr 127.0.0.1:0 -selftest > /dev/null
+	$(GO) test -race -timeout $(RACE_TIMEOUT) ./internal/server/
+	$(GO) test -race -timeout $(RACE_TIMEOUT) -count=1 \
+		-run 'TestSession|TestRunnerCtxCancel|TestPreCancelledContextSkipsCells|TestMachinePoolRaceHammer' \
+		./internal/harness/ ./internal/exp/ ./internal/vm/
 
 # Machine-reuse gate: the Reset-vs-New differentials and snapshot/restore
 # suites (vm, mem), the registry-wide state-leak matrix, and the

@@ -1,0 +1,256 @@
+// Command smokestackd serves the Smokestack engine as a long-lived,
+// multi-tenant HTTP/JSON service. Tenants POST sessions — a MiniC program
+// or named workload, an engine lineup, a seed — and receive the typed
+// experiment records as an NDJSON stream, byte-identical to what the
+// offline experiment pipeline would emit for the same spec.
+//
+// Usage:
+//
+//	smokestackd [-addr :8677] [-rate 5] [-burst 10] [-tenant-sessions 4]
+//	            [-concurrency N] [-queue N] [-queue-timeout 5s]
+//	            [-deadline 30s] [-max-deadline 2m] [-drain-grace 15s] [-v]
+//
+// Endpoints:
+//
+//	POST /v1/sessions   submit a session, stream records (NDJSON)
+//	GET  /metrics       telemetry (Prometheus text; ?format=json for JSON)
+//	GET  /healthz       liveness + drain state
+//	GET  /v1/stats      admission/queue/pool snapshot
+//
+// On SIGTERM or SIGINT the daemon drains: new sessions get typed 503s,
+// in-flight sessions run to completion within the drain grace, stragglers
+// are watchdog-cancelled (their clients still receive complete record
+// streams, the tail classified "canceled"), telemetry is flushed to
+// stderr, and the process exits 0.
+//
+// -selftest starts the daemon on an ephemeral port, exercises the
+// submit → stream → drain cycle against it, and exits — the CI smoke gate.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", ":8677", "listen address")
+	rate := flag.Float64("rate", 5, "per-tenant sessions per second")
+	burst := flag.Float64("burst", 10, "per-tenant burst")
+	tenantSessions := flag.Int("tenant-sessions", 4, "per-tenant concurrent session quota")
+	concurrency := flag.Int("concurrency", 0, "concurrent sessions (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "queued sessions beyond the concurrency slots (0 = 2x)")
+	queueTimeout := flag.Duration("queue-timeout", 5*time.Second, "max wait for an execution slot")
+	deadline := flag.Duration("deadline", 30*time.Second, "default session deadline")
+	maxDeadline := flag.Duration("max-deadline", 2*time.Minute, "ceiling for requested deadlines")
+	drainGrace := flag.Duration("drain-grace", 15*time.Second, "drain grace before hard-cancelling sessions")
+	retries := flag.Int("retries", 0, "per-cell transient retry budget")
+	verbose := flag.Bool("v", false, "log sessions to stderr")
+	selftest := flag.Bool("selftest", false, "run the submit/stream/drain smoke cycle and exit")
+	flag.Parse()
+
+	logger := log.New(io.Discard, "", 0)
+	if *verbose || *selftest {
+		logger = log.New(os.Stderr, "smokestackd: ", log.LstdFlags)
+	}
+	reg := telemetry.NewRegistry()
+	srv := server.New(server.Config{
+		RatePerSec:           *rate,
+		Burst:                *burst,
+		MaxSessionsPerTenant: *tenantSessions,
+		MaxConcurrent:        *concurrency,
+		MaxQueued:            *queue,
+		QueueTimeout:         *queueTimeout,
+		Limits: server.Limits{
+			DefaultDeadline: *deadline,
+			MaxDeadline:     *maxDeadline,
+		},
+		Retries: *retries,
+		Metrics: reg,
+		Log:     logger,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "smokestackd: listen %s: %v\n", *addr, err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	logger.Printf("serving on %s", ln.Addr())
+
+	if *selftest {
+		if err := runSelftest(ln.Addr().String(), srv, httpSrv, *drainGrace); err != nil {
+			fmt.Fprintf(os.Stderr, "smokestackd: selftest: %v\n", err)
+			os.Exit(1)
+		}
+		flushTelemetry(reg, logger)
+		fmt.Println("smokestackd: selftest ok")
+		return
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case sig := <-stop:
+		logger.Printf("received %v, draining (grace %v)", sig, *drainGrace)
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "smokestackd: serve: %v\n", err)
+		os.Exit(1)
+	}
+
+	if err := shutdown(srv, httpSrv, *drainGrace); err != nil {
+		logger.Printf("drain: %v", err)
+	}
+	flushTelemetry(reg, logger)
+	logger.Printf("drained, exiting")
+}
+
+// shutdown drains the session layer first (typed refusals, classified
+// cancellation) and only then closes the HTTP listener, so every in-flight
+// stream completes.
+func shutdown(srv *server.Server, httpSrv *http.Server, grace time.Duration) error {
+	drainErr := srv.Drain(grace)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return errors.Join(drainErr, err)
+	}
+	return drainErr
+}
+
+// flushTelemetry writes the final metrics snapshot to stderr so a drained
+// daemon leaves its counters behind even with no scraper attached.
+func flushTelemetry(reg *telemetry.Registry, logger *log.Logger) {
+	var sb strings.Builder
+	if err := reg.Snapshot().WriteJSON(&sb); err == nil {
+		logger.Printf("final telemetry: %s", strings.TrimSpace(sb.String()))
+	}
+}
+
+// runSelftest drives one full service lifecycle against the live
+// listener: healthz, a clean streamed session, a typed rejection, a
+// faulted session with classified records, metrics, then drain.
+func runSelftest(addr string, srv *server.Server, httpSrv *http.Server, grace time.Duration) error {
+	base := "http://" + addr
+	client := &http.Client{Timeout: 60 * time.Second}
+
+	resp, err := client.Get(base + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: %v (status %v)", err, statusOf(resp))
+	}
+	resp.Body.Close()
+
+	// Clean session streams one record per engine×run, all measured.
+	body := `{"tenant":"selftest","workload":"lbm","engines":["fixed","smokestack+aes-10"],"seed":7,"runs":2}`
+	recs, err := streamSession(client, base, body)
+	if err != nil {
+		return fmt.Errorf("clean session: %w", err)
+	}
+	if len(recs) != 4 {
+		return fmt.Errorf("clean session: %d records, want 4", len(recs))
+	}
+	for _, r := range recs {
+		if r.Err != "" {
+			return fmt.Errorf("clean session record %s failed: %s", r.Cell, r.Err)
+		}
+	}
+
+	// A bad request must be a typed 4xx.
+	resp, err = client.Post(base+"/v1/sessions", "application/json",
+		strings.NewReader(`{"tenant":"selftest","engines":["warpdrive"],"workload":"lbm"}`))
+	if err != nil {
+		return fmt.Errorf("bad request: %w", err)
+	}
+	var typed struct {
+		Code string `json:"code"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&typed)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusBadRequest || typed.Code != "unknown_engine" {
+		return fmt.Errorf("bad request: status %d code %q (decode err %v)", resp.StatusCode, typed.Code, err)
+	}
+
+	// Chaos: an entropy blackout degrades into classified records.
+	recs, err = streamSession(client, base,
+		`{"tenant":"selftest","workload":"lbm","engines":["smokestack+aes-10"],"seed":7,"faults":{"entropy_period":1,"entropy_burst":1}}`)
+	if err != nil {
+		return fmt.Errorf("faulted session: %w", err)
+	}
+	for _, r := range recs {
+		if r.Err != "" && r.ErrClass != "injected" {
+			return fmt.Errorf("faulted record %s: class %q, want injected", r.Cell, r.ErrClass)
+		}
+	}
+
+	resp, err = client.Get(base + "/metrics")
+	if err != nil {
+		return fmt.Errorf("metrics: %w", err)
+	}
+	mb, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(mb), "server_sessions_completed") {
+		return fmt.Errorf("metrics missing session counters")
+	}
+
+	if err := shutdown(srv, httpSrv, grace); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	return nil
+}
+
+// record is the subset of exp.Record the selftest asserts on.
+type record struct {
+	Cell     string `json:"cell"`
+	Err      string `json:"err"`
+	ErrClass string `json:"err_class"`
+}
+
+func streamSession(client *http.Client, base, body string) ([]record, error) {
+	resp, err := client.Post(base+"/v1/sessions", "application/json", strings.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, b)
+	}
+	var recs []record
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		if len(strings.TrimSpace(sc.Text())) == 0 {
+			continue
+		}
+		var r record
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			return nil, fmt.Errorf("bad record line %q: %w", sc.Text(), err)
+		}
+		recs = append(recs, r)
+	}
+	return recs, sc.Err()
+}
+
+func statusOf(r *http.Response) any {
+	if r == nil {
+		return "no response"
+	}
+	return r.StatusCode
+}

@@ -107,11 +107,14 @@ type Runner struct {
 	// When set it is called instead of the context-aware timer wait, so a
 	// recorder sees exactly the durations the default path would sleep.
 	Sleep func(time.Duration)
-	// Ctx, when non-nil, cancels retry waits: a cell sleeping between
-	// attempts wakes immediately on cancellation and emits its error record
-	// instead of retrying, so a cancelled run never blocks a worker for the
-	// remaining backoff. Already-running cell bodies are not interrupted —
-	// cancellation is the cell body's own concern (e.g. via a watchdog).
+	// Ctx, when non-nil, cancels retry waits and cell scheduling: a cell
+	// sleeping between attempts wakes immediately on cancellation and emits
+	// its error record instead of retrying, and cells that have not started
+	// yet settle with a classified "canceled" record instead of running at
+	// all — a cancelled grid stops at the next cell boundary rather than
+	// running every remaining cell to completion. Already-running cell
+	// bodies are not interrupted — cancellation is the cell body's own
+	// concern (e.g. via a watchdog).
 	Ctx context.Context
 	// Hooks observe cell lifecycle (all optional; see Hooks).
 	Hooks Hooks
@@ -128,9 +131,13 @@ type Hooks struct {
 	// CellRetry fires after a transient failure, before the backoff wait,
 	// with the attempt number that just failed and the wait about to begin.
 	CellRetry func(c Cell, attempt int, err error, wait time.Duration)
-	// CellEnd fires after the cell settles (success, terminal failure, or
-	// cancelled retry wait) with its records, total wall time across all
-	// attempts, and the number of attempts made.
+	// CellEnd fires after the cell settles (success, terminal failure,
+	// cancelled retry wait, or skipped because the Runner's Ctx was already
+	// cancelled) with its records, total wall time across all attempts, and
+	// the number of attempts made (0 for skipped cells, whose CellStart
+	// never fires). The streaming service relies on CellEnd firing for
+	// every cell, settled or skipped, so a drained session still delivers
+	// its full record set.
 	CellEnd func(c Cell, recs []Record, wall time.Duration, attempts int)
 }
 
@@ -155,12 +162,26 @@ func (r *Runner) workers(n int) int {
 // records it produced before failing and contributes one additional Record
 // carrying its identity, the failure and its classification; the other
 // cells still run. Transient failures retry per the Runner's policy.
+//
+// When the Runner's Ctx is cancelled, cells that have not started yet do
+// not run: each settles immediately with one record classified "canceled"
+// (CanceledError), so a cancelled grid's output still covers every cell —
+// exactly which cells computed and which were shed is machine-readable.
+// Cells already inside their Run body finish on their own terms (typically
+// via a VM watchdog wired to the same context).
 func (r *Runner) Run(cells []Cell) []Record {
 	perCell := make([][]Record, len(cells))
 	w := r.workers(len(cells))
+	runOne := func(i int) {
+		if r != nil && r.Ctx != nil && r.Ctx.Err() != nil {
+			perCell[i] = r.skipCanceled(cells[i])
+			return
+		}
+		perCell[i] = r.runCell(cells[i])
+	}
 	if w == 1 {
 		for i := range cells {
-			perCell[i] = r.runCell(cells[i])
+			runOne(i)
 		}
 	} else {
 		var next atomic.Int64
@@ -175,7 +196,7 @@ func (r *Runner) Run(cells []Cell) []Record {
 					if i >= len(cells) {
 						return
 					}
-					perCell[i] = r.runCell(cells[i])
+					runOne(i)
 				}
 			}()
 		}
@@ -186,6 +207,36 @@ func (r *Runner) Run(cells []Cell) []Record {
 		out = append(out, recs...)
 	}
 	return out
+}
+
+// CanceledError classifies a failure as "canceled": the work was shed
+// because its supervising context ended, not because it computed and
+// failed. The Runner emits it for cells skipped after cancellation; cell
+// bodies wrap watchdog cancellations in it so their records classify the
+// same way.
+type CanceledError struct{ Err error }
+
+func (e *CanceledError) Error() string {
+	if e.Err == nil {
+		return "canceled"
+	}
+	return "canceled: " + e.Err.Error()
+}
+
+func (e *CanceledError) Unwrap() error      { return e.Err }
+func (e *CanceledError) ErrorClass() string { return "canceled" }
+
+// skipCanceled settles a cell that never started because the Runner's Ctx
+// was already cancelled: one classified record, no CellStart (the cell
+// never ran), CellEnd with zero attempts.
+func (r *Runner) skipCanceled(c Cell) []Record {
+	err := &CanceledError{Err: context.Cause(r.Ctx)}
+	recs := []Record{{Experiment: c.Experiment, Cell: c.Name,
+		Err: err.Error(), ErrClass: err.ErrorClass()}}
+	if r.Hooks.CellEnd != nil {
+		r.Hooks.CellEnd(c, recs, 0, 0)
+	}
+	return recs
 }
 
 // panicError carries a recovered cell panic as a classified error.

@@ -184,9 +184,30 @@ func TestBackoffAbortsOnCancel(t *testing.T) {
 	}
 }
 
-// TestCancelledContextSkipsRetries pins that a context cancelled before the
-// retry decision prevents further attempts outright (no wait at all).
+// TestCancelledContextSkipsRetries pins that a context cancelled during a
+// cell's first attempt prevents further attempts outright (no wait at
+// all): the retry decision observes the dead context.
 func TestCancelledContextSkipsRetries(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Runner{Workers: 1, Retries: 5, Backoff: time.Hour, Ctx: ctx}
+	attempts := 0
+	recs := r.Run([]Cell{{Experiment: "e", Name: "c", Run: func() ([]Record, error) {
+		attempts++
+		cancel() // dies mid-attempt; the retry decision must see it
+		return nil, &transientErr{msg: "down"}
+	}}})
+	if attempts != 1 {
+		t.Fatalf("%d attempts under a dead context, want 1", attempts)
+	}
+	if len(recs) != 1 || recs[0].Err == "" {
+		t.Fatalf("records %+v", recs)
+	}
+}
+
+// TestPreCancelledContextSkipsCells pins the between-cell contract: a
+// context already dead before Run means no cell body executes at all —
+// every cell settles with a classified "canceled" record.
+func TestPreCancelledContextSkipsCells(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	r := &Runner{Workers: 1, Retries: 5, Backoff: time.Hour, Ctx: ctx}
@@ -195,11 +216,11 @@ func TestCancelledContextSkipsRetries(t *testing.T) {
 		attempts++
 		return nil, &transientErr{msg: "down"}
 	}}})
-	if attempts != 1 {
-		t.Fatalf("%d attempts under a dead context, want 1", attempts)
+	if attempts != 0 {
+		t.Fatalf("%d attempts under a pre-dead context, want 0", attempts)
 	}
-	if len(recs) != 1 || recs[0].Err == "" {
-		t.Fatalf("records %+v", recs)
+	if len(recs) != 1 || recs[0].ErrClass != "canceled" {
+		t.Fatalf("records %+v, want one canceled record", recs)
 	}
 }
 

@@ -165,12 +165,21 @@ func MachinePoolStats() vm.PoolStats { return machinePool.Stats() }
 // smokestackPlan returns the shared plan for prog under opts (nil =
 // paper defaults), routed through both caches.
 func smokestackPlan(prog *ir.Program, opts *layout.SmokestackOptions) *layout.SmokestackPlan {
+	return smokestackPlanIn(planCache, prog, opts)
+}
+
+// smokestackPlanIn is smokestackPlan with an explicit plan cache: session
+// cells for inline tenant programs route through their program's private
+// cache so evicting the program releases its plans too. The P-BOX table
+// cache stays shared — it keys on canonical frame shapes, not program
+// identity.
+func smokestackPlanIn(pc *layout.PlanCache, prog *ir.Program, opts *layout.SmokestackOptions) *layout.SmokestackPlan {
 	o := layout.SmokestackOptions{PBox: pbox.DefaultConfig(), Guard: true, MaxVLAPad: 256}
 	if opts != nil {
 		o = *opts
 	}
 	o.TableCache = tableCache
-	return planCache.Plan(prog, &o)
+	return pc.Plan(prog, &o)
 }
 
 // BuildCacheStats reports the shared cache hit/miss counters (tooling).

@@ -1,0 +1,246 @@
+// Admission control and backpressure: per-tenant token buckets and
+// in-flight session quotas in front of a bounded work queue. The
+// invariants the chaos suite leans on: a rejected request costs O(1) and
+// no goroutine; the number of sessions executing concurrently never
+// exceeds the queue's slot count; the number *waiting* never exceeds its
+// waiter bound — overload degrades into typed 429/503 responses, not into
+// goroutine or memory growth.
+package server
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// tenantBucket is one tenant's refillable token bucket.
+type tenantBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// admission is the per-tenant gate: rate (token bucket) plus an in-flight
+// session quota. The tenant map itself is bounded — beyond maxTenants,
+// idle buckets are swept, and if every bucket is live the new tenant is
+// rejected rather than grow the map.
+type admission struct {
+	mu          sync.Mutex
+	rate, burst float64
+	maxInflight int
+	maxTenants  int
+	buckets     map[string]*tenantBucket
+	inflight    map[string]int
+}
+
+func newAdmission(rate, burst float64, maxInflight, maxTenants int) *admission {
+	return &admission{
+		rate: rate, burst: burst,
+		maxInflight: maxInflight,
+		maxTenants:  maxTenants,
+		buckets:     make(map[string]*tenantBucket),
+		inflight:    make(map[string]int),
+	}
+}
+
+// admit charges one session against the tenant, or explains the refusal.
+// On success the caller owes one release.
+func (a *admission) admit(tenant string, now time.Time) *Error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b, ok := a.buckets[tenant]
+	if !ok {
+		if len(a.buckets) >= a.maxTenants {
+			a.sweepLocked(now)
+			if len(a.buckets) >= a.maxTenants {
+				return errf(http.StatusServiceUnavailable, CodeTenantCapacity,
+					"server is tracking %d live tenants; try again later", len(a.buckets))
+			}
+		}
+		b = &tenantBucket{tokens: a.burst, last: now}
+		a.buckets[tenant] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = min(a.burst, b.tokens+dt*a.rate)
+		b.last = now
+	}
+	if a.inflight[tenant] >= a.maxInflight {
+		return errf(http.StatusTooManyRequests, CodeSessionQuota,
+			"tenant %s already has %d sessions in flight (limit %d)",
+			tenant, a.inflight[tenant], a.maxInflight)
+	}
+	if b.tokens < 1 {
+		return errf(http.StatusTooManyRequests, CodeRateLimited,
+			"tenant %s exceeded %.3g sessions/s (burst %.3g)", tenant, a.rate, a.burst)
+	}
+	b.tokens--
+	a.inflight[tenant]++
+	return nil
+}
+
+// release returns a tenant's in-flight slot.
+func (a *admission) release(tenant string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if n := a.inflight[tenant]; n <= 1 {
+		delete(a.inflight, tenant)
+	} else {
+		a.inflight[tenant] = n - 1
+	}
+}
+
+// sweepLocked evicts buckets that have nothing in flight and would be
+// fully refilled as of now — tenants the server owes no state.
+func (a *admission) sweepLocked(now time.Time) {
+	for t, b := range a.buckets {
+		tokens := b.tokens
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			tokens = min(a.burst, tokens+dt*a.rate)
+		}
+		if a.inflight[t] == 0 && tokens >= a.burst {
+			delete(a.buckets, t)
+		}
+	}
+}
+
+// snapshot reports (tracked tenants, total in-flight sessions).
+func (a *admission) snapshot() (tenants, inflight int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, n := range a.inflight {
+		inflight += n
+	}
+	return len(a.buckets), inflight
+}
+
+// workQueue is the global backpressure point: a slot channel bounds
+// concurrent sessions, and an atomic waiter counter bounds how many may
+// block for a slot. Everything beyond that sheds immediately with a typed
+// 503 — the server's goroutine count stays bounded by slots + waiters no
+// matter the offered load.
+type workQueue struct {
+	slots      chan struct{}
+	waiting    atomic.Int64
+	maxWaiting int64
+	timeout    time.Duration
+}
+
+func newWorkQueue(slots, maxWaiting int, timeout time.Duration) *workQueue {
+	return &workQueue{
+		slots:      make(chan struct{}, slots),
+		maxWaiting: int64(maxWaiting),
+		timeout:    timeout,
+	}
+}
+
+// acquire takes a slot, waiting up to the queue timeout while the request
+// context and the admit context stay alive. The returned release func is
+// non-nil exactly when the error is nil.
+func (q *workQueue) acquire(reqCtx, admitCtx context.Context) (func(), *Error) {
+	select {
+	case q.slots <- struct{}{}:
+		return q.release, nil
+	default:
+	}
+	if q.waiting.Add(1) > q.maxWaiting {
+		q.waiting.Add(-1)
+		return nil, errf(http.StatusServiceUnavailable, CodeQueueFull,
+			"work queue is full (%d executing, %d waiting)", cap(q.slots), q.maxWaiting)
+	}
+	defer q.waiting.Add(-1)
+	t := time.NewTimer(q.timeout)
+	defer t.Stop()
+	select {
+	case q.slots <- struct{}{}:
+		return q.release, nil
+	case <-t.C:
+		return nil, errf(http.StatusServiceUnavailable, CodeQueueTimeout,
+			"no execution slot within %v", q.timeout)
+	case <-reqCtx.Done():
+		return nil, errf(499, CodeClientGone, "client went away while queued")
+	case <-admitCtx.Done():
+		return nil, errf(http.StatusServiceUnavailable, CodeDraining, "server is draining")
+	}
+}
+
+func (q *workQueue) release() { <-q.slots }
+
+// depth reports (executing, waiting).
+func (q *workQueue) depth() (executing, waiting int64) {
+	return int64(len(q.slots)), q.waiting.Load()
+}
+
+// sessionGate tracks live sessions for graceful drain: begin/end bracket
+// each session, startDrain flips admission off, and waitIdle blocks until
+// the last session ends (or the wait context dies).
+type sessionGate struct {
+	mu       sync.Mutex
+	n        int
+	draining bool
+	idle     chan struct{} // non-nil while a drainer waits for n == 0
+}
+
+// begin registers a session; false means the server is draining and the
+// session must be refused.
+func (g *sessionGate) begin() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.draining {
+		return false
+	}
+	g.n++
+	return true
+}
+
+// end unregisters a session, waking the drainer on the last one out.
+func (g *sessionGate) end() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n--
+	if g.n == 0 && g.idle != nil {
+		close(g.idle)
+		g.idle = nil
+	}
+}
+
+// startDrain stops admission. Idempotent.
+func (g *sessionGate) startDrain() {
+	g.mu.Lock()
+	g.draining = true
+	g.mu.Unlock()
+}
+
+// isDraining reports the admission state.
+func (g *sessionGate) isDraining() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.draining
+}
+
+// active reports the live session count.
+func (g *sessionGate) active() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// waitIdle blocks until no sessions are live or ctx ends.
+func (g *sessionGate) waitIdle(ctx context.Context) error {
+	g.mu.Lock()
+	if g.n == 0 {
+		g.mu.Unlock()
+		return nil
+	}
+	if g.idle == nil {
+		g.idle = make(chan struct{})
+	}
+	ch := g.idle
+	g.mu.Unlock()
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

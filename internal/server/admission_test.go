@@ -1,0 +1,194 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixed clock helpers so bucket refill is deterministic.
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func wantCode(t *testing.T, err *Error, code string, status int) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("admitted, want %s", code)
+	}
+	if err.Code != code || err.Status != status {
+		t.Fatalf("got (%d, %s), want (%d, %s)", err.Status, err.Code, status, code)
+	}
+}
+
+func TestTokenBucketRefill(t *testing.T) {
+	a := newAdmission(1, 2, 100, 100) // 1/s, burst 2
+	if err := a.admit("alice", t0); err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+	a.release("alice")
+	if err := a.admit("alice", t0); err != nil {
+		t.Fatalf("second admit (burst): %v", err)
+	}
+	a.release("alice")
+	wantCode(t, a.admit("alice", t0), CodeRateLimited, http.StatusTooManyRequests)
+	// One second later one token has refilled.
+	if err := a.admit("alice", t0.Add(time.Second)); err != nil {
+		t.Fatalf("admit after refill: %v", err)
+	}
+	a.release("alice")
+	// Refill saturates at burst, never beyond.
+	wantCode(t, a.admit("alice", t0.Add(time.Second)), CodeRateLimited, http.StatusTooManyRequests)
+	if err := a.admit("alice", t0.Add(time.Hour)); err != nil {
+		t.Fatalf("admit after long idle: %v", err)
+	}
+	a.release("alice")
+	if err := a.admit("alice", t0.Add(time.Hour)); err != nil {
+		t.Fatalf("second admit after long idle: %v", err)
+	}
+	a.release("alice")
+	wantCode(t, a.admit("alice", t0.Add(time.Hour)), CodeRateLimited, http.StatusTooManyRequests)
+}
+
+func TestSessionQuota(t *testing.T) {
+	a := newAdmission(1000, 1000, 2, 100)
+	if err := a.admit("bob", t0); err != nil {
+		t.Fatalf("admit 1: %v", err)
+	}
+	if err := a.admit("bob", t0); err != nil {
+		t.Fatalf("admit 2: %v", err)
+	}
+	wantCode(t, a.admit("bob", t0), CodeSessionQuota, http.StatusTooManyRequests)
+	// Quotas are per tenant.
+	if err := a.admit("carol", t0); err != nil {
+		t.Fatalf("other tenant blocked by bob's quota: %v", err)
+	}
+	a.release("bob")
+	if err := a.admit("bob", t0); err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+}
+
+func TestTenantCapacitySweep(t *testing.T) {
+	a := newAdmission(1000, 1000, 4, 2)
+	if err := a.admit("t1", t0); err != nil {
+		t.Fatalf("t1: %v", err)
+	}
+	if err := a.admit("t2", t0); err != nil {
+		t.Fatalf("t2: %v", err)
+	}
+	// Both tenants live (in flight): the table is full and unsweepable.
+	wantCode(t, a.admit("t3", t0), CodeTenantCapacity, http.StatusServiceUnavailable)
+	// Idle + fully refilled tenants get swept to make room.
+	a.release("t1")
+	a.release("t2")
+	if err := a.admit("t3", t0.Add(time.Hour)); err != nil {
+		t.Fatalf("t3 after sweepable idle: %v", err)
+	}
+	tenants, inflight := a.snapshot()
+	if tenants > 2 || inflight != 1 {
+		t.Fatalf("snapshot (%d tenants, %d inflight), want <=2 tenants, 1 inflight", tenants, inflight)
+	}
+}
+
+func TestWorkQueueBounds(t *testing.T) {
+	q := newWorkQueue(1, 1, 50*time.Millisecond)
+	bg := context.Background()
+
+	rel, err := q.acquire(bg, bg)
+	if err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+
+	// Second caller may wait; third must shed immediately as queue_full.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	waited := make(chan *Error, 1)
+	started := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		close(started)
+		_, werr := q.acquire(bg, bg)
+		waited <- werr
+	}()
+	<-started
+	// Let the waiter register before probing the full queue.
+	deadline := time.Now().Add(time.Second)
+	for q.waiting.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	_, err3 := q.acquire(bg, bg)
+	wantCode(t, err3, CodeQueueFull, http.StatusServiceUnavailable)
+
+	// The waiter times out with queue_timeout while the slot stays held.
+	wg.Wait()
+	wantCode(t, <-waited, CodeQueueTimeout, http.StatusServiceUnavailable)
+	rel()
+
+	// Client disconnect while queued → client_gone.
+	rel, err = q.acquire(bg, bg)
+	if err != nil {
+		t.Fatalf("reacquire: %v", err)
+	}
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	_, err = q.acquire(ctx, bg)
+	wantCode(t, err, CodeClientGone, 499)
+
+	// Drain while queued → draining.
+	admitCtx, admitCancel := context.WithCancel(bg)
+	admitCancel()
+	_, err = q.acquire(bg, admitCtx)
+	wantCode(t, err, CodeDraining, http.StatusServiceUnavailable)
+	rel()
+
+	if e, w := q.depth(); e != 0 || w != 0 {
+		t.Fatalf("queue not empty after test: executing %d waiting %d", e, w)
+	}
+}
+
+func TestSessionGateDrain(t *testing.T) {
+	g := &sessionGate{}
+	if !g.begin() {
+		t.Fatal("begin refused on fresh gate")
+	}
+	g.startDrain()
+	if g.begin() {
+		t.Fatal("begin admitted while draining")
+	}
+	if !g.isDraining() {
+		t.Fatal("isDraining false after startDrain")
+	}
+
+	// waitIdle blocks until the live session ends.
+	idle := make(chan error, 1)
+	go func() { idle <- g.waitIdle(context.Background()) }()
+	select {
+	case <-idle:
+		t.Fatal("waitIdle returned with a session live")
+	case <-time.After(20 * time.Millisecond):
+	}
+	g.end()
+	select {
+	case err := <-idle:
+		if err != nil {
+			t.Fatalf("waitIdle: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waitIdle did not wake on last session end")
+	}
+
+	// waitIdle honors its context.
+	if !g.begin() {
+		// draining; force a live session for the timeout path
+		g.mu.Lock()
+		g.n++
+		g.mu.Unlock()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := g.waitIdle(ctx); err == nil {
+		t.Fatal("waitIdle ignored its context deadline")
+	}
+	g.end()
+}
