@@ -16,9 +16,9 @@ RACE_TIMEOUT ?= 3600s
 BENCH_PREV ?= BENCH_4.json
 BENCH_NEXT ?= BENCH_5.json
 
-.PHONY: ci build vet test race bench bench-compare smokebench invariance blocktier faults telemetry defenses pool service
+.PHONY: ci build vet test race bench bench-compare smokebench invariance blocktier faults telemetry defenses pool service obsv
 
-ci: build vet race invariance blocktier faults telemetry defenses pool service smokebench
+ci: build vet race invariance blocktier faults telemetry defenses pool service obsv smokebench
 
 build:
 	$(GO) build ./...
@@ -78,6 +78,26 @@ telemetry:
 		./internal/vm/ ./internal/telemetry/ ./internal/rng/ ./internal/exp/ ./internal/harness/
 	$(GO) run ./cmd/dopbench -faults -metrics /tmp/smokestack-metrics.json -trace /tmp/smokestack-trace.jsonl > /dev/null
 	$(GO) run ./cmd/benchjson -metrics /tmp/smokestack-metrics.json > /dev/null
+
+# Session-observability gate. Under -race: span-mode dormancy (a session
+# run with tracing, labeled metrics, CellDone capture and an audit sink
+# streams records byte-identical to the bare run), trace-tree
+# reconciliation (every run span's rows sum to its recorded total and the
+# folded per-cell totals equal the flight/snapshot totals, bit-for-bit),
+# label-cardinality bounds under a tenant flood, the hardened trace/audit
+# readers, and the flight-recorder ring + goroutine-leak checks. Then two
+# end-to-end passes: the smokestackd -selftest observability cycle (traced
+# canary detection → flight record → folded trace → audit log, dormant
+# twin byte-identical), and a span-mode dopbench trace folded through
+# benchjson -tracetree, which exits non-zero on any reconciliation
+# mismatch.
+obsv:
+	$(GO) test -race -timeout $(RACE_TIMEOUT) -count=1 \
+		-run 'TestSpanMode|TestAuditDetection|TestLabel|TestPrometheus|TestReadTraceTruncated|TestSpanEvent|TestSpanIdentity|TestFoldTrace|TestReconcile|TestMergeRows|TestAuditSink|TestSweepLabels|TestTracedSession|TestFlightRecorder|TestStatsJSONShape|TestLabeledMetrics' \
+		./internal/telemetry/ ./internal/harness/ ./internal/server/
+	$(GO) run ./cmd/smokestackd -addr 127.0.0.1:0 -selftest > /dev/null
+	$(GO) run ./cmd/dopbench -exp fig4 -trace /tmp/smokestack-spans.jsonl > /dev/null
+	$(GO) run ./cmd/benchjson -tracetree /tmp/smokestack-spans.jsonl > /dev/null
 
 # Defense-zoo gate: the registry/layout property tests (every registered
 # engine × random frames), the cross-defense matrix smoke (overhead +

@@ -29,6 +29,16 @@
 // cycle-attribution rows with the cell's exact total:
 //
 //	go run ./cmd/benchjson -metrics metrics.json
+//
+// -tracetree folds a span-trace JSONL file (`dopbench -trace`, or a
+// session trace fetched from smokestackd's flight recorder) into the
+// per-session span tree — session → cell → attempt → run, each run
+// carrying its exact cycle-attribution rows — and verifies that every
+// run span's rows sum to its recorded total exactly before printing the
+// tree with per-cell and per-tree cycle totals. A trace that fails
+// reconciliation exits 1:
+//
+//	go run ./cmd/benchjson -tracetree trace.jsonl
 package main
 
 import (
@@ -416,6 +426,40 @@ func renderMetrics(w *os.File, path string) error {
 	return nil
 }
 
+// renderTraceTree folds a span-trace JSONL file into its span tree,
+// verifies the exactness contract (every run span's rows sum to its
+// recorded total, bit-for-bit), and prints the indented tree followed by
+// the per-cell exact cycle totals. A truncated tail, a corrupt line or a
+// reconciliation mismatch is an error.
+func renderTraceTree(w *os.File, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	events, err := telemetry.ReadTrace(f)
+	if err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	tree := telemetry.FoldTrace(events)
+	if err := tree.Reconcile(); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	if err := tree.Write(w); err != nil {
+		return err
+	}
+	cells := tree.CellTotals()
+	names := make([]string, 0, len(cells))
+	for name := range cells {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "cell %-40s total_cycles=%.6f\n", name, cells[name])
+	}
+	return nil
+}
+
 // sortedKeys returns m's keys in sorted order.
 func sortedKeys(m map[string]uint64) []string {
 	keys := make([]string, 0, len(m))
@@ -434,12 +478,21 @@ func main() {
 	only := flag.String("only", "", "for -diff: restrict the comparison to benchmarks whose name matches this regexp")
 	zeroAlloc := flag.String("zeroalloc", "", "for -diff: require benchmarks in the new snapshot matching this regexp to report 0 allocs/op and 0 B/op")
 	metricsFile := flag.String("metrics", "", "render a dopbench -metrics telemetry snapshot as text")
+	traceFile := flag.String("tracetree", "", "fold a span-trace JSONL file into its reconciled span tree")
 	flag.Parse()
 
 	if *metricsFile != "" {
 		if err := renderMetrics(os.Stdout, *metricsFile); err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(2)
+		}
+		return
+	}
+
+	if *traceFile != "" {
+		if err := renderTraceTree(os.Stdout, *traceFile); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
 		}
 		return
 	}

@@ -149,6 +149,10 @@ func run() int {
 		}
 		tr := telemetry.NewTracer(f)
 		cfg.Trace = tr
+		// Span mode: cells nest under a trace root, run.end events carry
+		// exact attribution rows, and the trace folds with benchjson
+		// -tracetree. Records stay byte-identical either way.
+		cfg.TraceID = "dopbench"
 		defer func() {
 			if err := tr.Flush(); err != nil {
 				fmt.Fprintf(os.Stderr, "dopbench: -trace: %v\n", err)

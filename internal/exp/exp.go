@@ -128,6 +128,11 @@ type Runner struct {
 type Hooks struct {
 	// CellStart fires immediately before a cell's first attempt.
 	CellStart func(c Cell)
+	// CellAttempt fires immediately before every attempt (including the
+	// first, after CellStart) with the 1-based attempt number about to
+	// run. Observation layers use it to scope per-attempt context (span
+	// IDs) without changing the Cell.Run signature.
+	CellAttempt func(c Cell, attempt int)
 	// CellRetry fires after a transient failure, before the backoff wait,
 	// with the attempt number that just failed and the wait about to begin.
 	CellRetry func(c Cell, attempt int, err error, wait time.Duration)
@@ -281,6 +286,9 @@ func (r *Runner) runCell(c Cell) []Record {
 	attempt := 0
 	for {
 		attempt++
+		if hooks.CellAttempt != nil {
+			hooks.CellAttempt(c, attempt)
+		}
 		recs, err := runCellOnce(c)
 		if err == nil {
 			if attempt > 1 {

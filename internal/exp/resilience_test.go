@@ -235,6 +235,9 @@ func TestHooksFireInOrder(t *testing.T) {
 		Sleep:   func(time.Duration) {},
 		Hooks: Hooks{
 			CellStart: func(c Cell) { events = append(events, "start:"+c.Name) },
+			CellAttempt: func(c Cell, attempt int) {
+				events = append(events, fmt.Sprintf("attempt:%s:%d", c.Name, attempt))
+			},
 			CellRetry: func(c Cell, attempt int, err error, wait time.Duration) {
 				events = append(events, fmt.Sprintf("retry:%s:%d", c.Name, attempt))
 			},
@@ -251,7 +254,10 @@ func TestHooksFireInOrder(t *testing.T) {
 		}
 		return []Record{{Experiment: "e", Cell: "c"}}, nil
 	}}})
-	want := []string{"start:c", "retry:c:1", "retry:c:2", "end:c:3:1"}
+	want := []string{
+		"start:c", "attempt:c:1", "retry:c:1", "attempt:c:2",
+		"retry:c:2", "attempt:c:3", "end:c:3:1",
+	}
 	if fmt.Sprint(events) != fmt.Sprint(want) {
 		t.Fatalf("events %v, want %v", events, want)
 	}

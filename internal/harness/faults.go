@@ -61,8 +61,8 @@ var faultProbeProg = compile.MustCompile("faultprobe.c", faultProbeSrc)
 
 // faultTier is one severity level of the sweep.
 type faultTier struct {
-	name          string
-	period, burst uint64 // entropy brownout shape (0 = no injection)
+	name            string
+	period, burst   uint64 // entropy brownout shape (0 = no injection)
 	hostDelayEvery  uint64
 	hostDelayCycles float64
 	hostFaultEvery  uint64
@@ -95,7 +95,9 @@ func (t faultTier) plan(seed uint64) faultinject.Plan {
 }
 
 // injecting reports whether the tier perturbs anything.
-func (t faultTier) injecting() bool { return t.period > 0 || t.hostDelayEvery > 0 || t.hostFaultEvery > 0 }
+func (t faultTier) injecting() bool {
+	return t.period > 0 || t.hostDelayEvery > 0 || t.hostFaultEvery > 0
+}
 
 // faultsCells builds the registry grid: engines × severities.
 func faultsCells(cfg Config) []exp.Cell {

@@ -62,6 +62,25 @@ type Config struct {
 	// (cell lifecycle, compiles, VM runs, fault-injection firings,
 	// watchdog cancellations, rng degradation-ladder transitions).
 	Trace *telemetry.Tracer
+	// TraceID, when set alongside Trace, switches the trace into span
+	// mode: events carry trace/span/parent IDs forming a session → cell →
+	// attempt → run tree (telemetry.FoldTrace), and run.end events carry
+	// the run's exact cycle-attribution rows. Empty keeps the flat trace
+	// byte-identical to earlier versions.
+	TraceID string
+	// Tenant labels security audit events with the submitting tenant (the
+	// service sets it per session; offline runs leave it empty).
+	Tenant string
+	// CellDone, when non-nil, receives each cell attempt's accumulated
+	// cycle-attribution rows, fused counters and RNG health once the
+	// attempt's last machine has finished — per-session capture for the
+	// flight recorder, independent of the shared Metrics registry. Fires
+	// once per attempt; callers accumulate across attempts.
+	CellDone func(cell string, rows []telemetry.Row, counters, rngHealth map[string]uint64)
+	// Audit, when non-nil, receives a structured security event for every
+	// defense detection (canary, shadow-stack or guard violation) raised
+	// by a session cell. Nil is dormant.
+	Audit *telemetry.AuditSink
 	// Ctx, when non-nil, cancels retry backoff waits promptly (the cells
 	// themselves are supervised separately, by VM watchdogs).
 	Ctx context.Context

@@ -93,8 +93,8 @@ type sessionProg struct {
 // progCache is the bounded inline-source compilation cache.
 var progCache = struct {
 	sync.Mutex
-	m     map[string]*sessionProg
-	order []string // FIFO eviction order
+	m                       map[string]*sessionProg
+	order                   []string // FIFO eviction order
 	hits, misses, evictions uint64
 }{m: make(map[string]*sessionProg)}
 
@@ -206,6 +206,16 @@ func SessionCells(cfg Config, spec SessionSpec) ([]exp.Cell, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Trace != nil && cfg.TraceID != "" {
+		// Inline programs compile into per-program private code caches, so
+		// the global OnCompile mirror never sees them; a span-mode session
+		// records its compile phase explicitly instead.
+		f := map[string]any{"funcs": len(p.prog.Funcs)}
+		if spec.Workload != "" {
+			f["workload"] = spec.Workload
+		}
+		cfg.Trace.SpanEvent("compile", "", telemetry.NewSpan(cfg.TraceID).Child("compile"), f)
+	}
 	var cells []exp.Cell
 	for _, engine := range spec.Engines {
 		for run := 0; run < runs; run++ {
@@ -284,6 +294,7 @@ func sessionCell(cfg Config, spec SessionSpec, p *sessionProg, engine string, ru
 		runErr = fmt.Errorf("%s under %s: checksum %d, want %d (instrumentation corrupted results)",
 			spec.Workload, engine, v, p.want)
 	}
+	cfg.auditDetection(name, engine, seed, runErr)
 	rec := exp.Record{
 		Experiment: "session",
 		Cell:       name,

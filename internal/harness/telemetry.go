@@ -1,19 +1,29 @@
 // Telemetry glue: how the experiment harness feeds the observability layer.
-// Everything in this file is dormant when Config.Metrics and Config.Trace
-// are both nil — the cells run exactly as before, with nil *vm.Profile
-// pointers, nil exp.Hooks and no gauges registered — so goldens and the
-// invariance suite see bit-identical results.
+// Everything in this file is dormant when Config.Metrics, Config.Trace and
+// Config.CellDone are all nil — the cells run exactly as before, with nil
+// *vm.Profile pointers, nil exp.Hooks and no gauges registered — so goldens
+// and the invariance suite see bit-identical results.
 //
 // Threading model: one obs per experiment-cell attempt. The obs owns the
 // cell's *vm.Profile (shared by every Machine the cell constructs, which
 // run sequentially within the cell), mirrors fault-injector firings and
 // rng degradation-ladder transitions into the trace, and folds the
 // accumulated profile into the Registry cell when the attempt finishes.
+//
+// Span mode (Config.TraceID set alongside Trace) threads a deterministic
+// span hierarchy through the same paths: session → cell → attempt → run.
+// Span IDs hash the path from the trace root, so the runner hooks and the
+// per-attempt obs derive identical IDs without sharing state; the only
+// coordination is a bounded table mapping in-flight (trace, cell) pairs to
+// their current attempt number, written by the CellAttempt hook and read
+// when the attempt's obs is built.
 
 package harness
 
 import (
 	"errors"
+	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/exp"
@@ -23,24 +33,75 @@ import (
 	"repro/internal/vm"
 )
 
-// obs is a per-cell observation context; a nil *obs is the dormant case
-// and every method no-ops on it.
+// attempts maps in-flight (trace, cell) pairs to the attempt number about
+// to run, so the per-attempt obs can derive its attempt span without
+// changing the Cell.Run signature. Entries live from CellAttempt to
+// CellEnd, so the table is bounded by concurrently running span-mode
+// cells.
+var attempts = struct {
+	sync.Mutex
+	m map[string]int
+}{m: make(map[string]int)}
+
+func attemptKey(trace, cell string) string { return trace + "\x00" + cell }
+
+func setAttempt(trace, cell string, n int) {
+	attempts.Lock()
+	attempts.m[attemptKey(trace, cell)] = n
+	attempts.Unlock()
+}
+
+// currentAttempt reads the in-flight attempt number, defaulting to 1 for
+// cells executed outside a hooked runner (direct Run calls in tests).
+func currentAttempt(trace, cell string) int {
+	attempts.Lock()
+	defer attempts.Unlock()
+	if n, ok := attempts.m[attemptKey(trace, cell)]; ok {
+		return n
+	}
+	return 1
+}
+
+func clearAttempt(trace, cell string) {
+	attempts.Lock()
+	delete(attempts.m, attemptKey(trace, cell))
+	attempts.Unlock()
+}
+
+// obs is a per-cell-attempt observation context; a nil *obs is the dormant
+// case and every method no-ops on it.
 type obs struct {
 	reg  *telemetry.Registry
 	tr   *telemetry.Tracer
 	cell string
 	prof *vm.Profile
+	// Span-mode state, zero otherwise. span is the attempt span; cur the
+	// innermost active span (the attempt between runs, the run during
+	// one). cur is only touched from the cell goroutine — the fault and
+	// rng callbacks fire synchronously on it — so it needs no lock.
+	span     telemetry.Span
+	cur      telemetry.Span
+	runs     int
+	prevRows []telemetry.Row
+	rngh     map[string]uint64
+	cellDone func(cell string, rows []telemetry.Row, counters, rngHealth map[string]uint64)
 }
 
 // obs builds the observation context for one cell attempt, or nil when
 // telemetry is dormant.
 func (c Config) obs(experiment, name string) *obs {
-	if c.Metrics == nil && c.Trace == nil {
+	if c.Metrics == nil && c.Trace == nil && c.CellDone == nil {
 		return nil
 	}
-	o := &obs{reg: c.Metrics, tr: c.Trace, cell: experiment + "/" + name}
-	if c.Metrics != nil {
+	o := &obs{reg: c.Metrics, tr: c.Trace, cell: experiment + "/" + name, cellDone: c.CellDone}
+	spanned := c.Trace != nil && c.TraceID != ""
+	if c.Metrics != nil || c.CellDone != nil || spanned {
 		o.prof = vm.NewProfile()
+	}
+	if spanned {
+		attempt := currentAttempt(c.TraceID, o.cell)
+		o.span = telemetry.NewSpan(c.TraceID).Child("cell", o.cell).Child("attempt", strconv.Itoa(attempt))
+		o.cur = o.span
 	}
 	return o
 }
@@ -54,15 +115,24 @@ func (o *obs) profile() *vm.Profile {
 	return o.prof
 }
 
-// runStart traces the start of one VM run within the cell.
+// runStart traces the start of one VM run within the cell. In span mode
+// each run opens its own child span of the attempt.
 func (o *obs) runStart(label string) {
 	if o == nil {
 		return
 	}
-	o.tr.Event("run.start", o.cell, map[string]any{"label": label})
+	if o.span.ID != "" {
+		o.runs++
+		o.cur = o.span.Child("run", strconv.Itoa(o.runs), label)
+	}
+	o.tr.SpanEvent("run.start", o.cell, o.cur, map[string]any{"label": label})
 }
 
-// runEnd traces the end of one VM run with its modeled stats.
+// runEnd traces the end of one VM run with its modeled stats. In span mode
+// the run.end event additionally carries the run's exact attribution
+// delta: the profile rows accumulated by this run alone (grid-rounded
+// cycles subtract exactly) plus their sum, the reconciliation target for
+// FoldTrace.Reconcile and the obsv gate.
 func (o *obs) runEnd(label string, m *vm.Machine, err error) {
 	if o == nil {
 		return
@@ -77,38 +147,78 @@ func (o *obs) runEnd(label string, m *vm.Machine, err error) {
 		f["err"] = err.Error()
 		var c *vm.Canceled
 		if errors.As(err, &c) {
-			o.tr.Event("watchdog.cancel", o.cell, map[string]any{"label": label, "err": err.Error()})
+			o.tr.SpanEvent("watchdog.cancel", o.cell, o.cur, map[string]any{"label": label, "err": err.Error()})
 		}
 	}
-	o.tr.Event("run.end", o.cell, f)
+	if o.span.ID != "" && o.prof != nil {
+		rows := o.prof.Rows()
+		delta := deltaRows(rows, o.prevRows)
+		o.prevRows = rows
+		var total float64
+		for _, r := range delta {
+			total += r.Cycles
+		}
+		f["rows"] = delta
+		f["total_cycles"] = total
+	}
+	o.tr.SpanEvent("run.end", o.cell, o.cur, f)
+	o.cur = o.span
+}
+
+// deltaRows subtracts the prev snapshot from cur by (kind, name). Both
+// sides are monotone accumulations of 2^-20-grid cycles, so counts never
+// go negative and the cycle subtraction is exact.
+func deltaRows(cur, prev []telemetry.Row) []telemetry.Row {
+	type key struct{ kind, name string }
+	old := make(map[key]telemetry.Row, len(prev))
+	for _, r := range prev {
+		old[key{r.Kind, r.Name}] = r
+	}
+	var out []telemetry.Row
+	for _, r := range cur {
+		p := old[key{r.Kind, r.Name}]
+		r.Count -= p.Count
+		r.Cycles -= p.Cycles
+		if r.Count != 0 || r.Cycles != 0 {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // rngHealth exports the entropy source's health counters into the cell
-// snapshot (satellite: rng.Health through the telemetry snapshot).
+// snapshot (satellite: rng.Health through the telemetry snapshot) and
+// retains them for CellDone.
 func (o *obs) rngHealth(src rng.Source) {
-	if o == nil || o.reg == nil {
+	if o == nil {
 		return
 	}
-	if h, ok := rng.HealthOf(src); ok {
-		o.reg.Cell(o.cell).SetRNG(map[string]uint64{
-			"draws":     h.Draws,
-			"retries":   h.Retries,
-			"fallbacks": h.Fallbacks,
-			"reseeds":   h.Reseeds,
-			"failures":  h.Failures,
-		})
+	h, ok := rng.HealthOf(src)
+	if !ok {
+		return
+	}
+	m := map[string]uint64{
+		"draws":     h.Draws,
+		"retries":   h.Retries,
+		"fallbacks": h.Fallbacks,
+		"reseeds":   h.Reseeds,
+		"failures":  h.Failures,
+	}
+	o.rngh = m
+	if o.reg != nil {
+		o.reg.Cell(o.cell).SetRNG(m)
 	}
 }
 
 // watchRNG mirrors the source's degradation-ladder transitions (reseed,
-// fallback engagement, reprobe recovery, exhaustion) into the trace.
+// fallback engagement, reprobe recovery, exhaustion) into the trace,
+// scoped to the innermost active span.
 func (o *obs) watchRNG(src rng.Source) {
 	if o == nil || o.tr == nil {
 		return
 	}
-	tr, cell := o.tr, o.cell
 	fn := func(event string) {
-		tr.Event("rng.ladder", cell, map[string]any{"event": event})
+		o.tr.SpanEvent("rng.ladder", o.cell, o.cur, map[string]any{"event": event})
 	}
 	switch s := src.(type) {
 	case *rng.AESCtr:
@@ -120,37 +230,78 @@ func (o *obs) watchRNG(src rng.Source) {
 
 // watchFaults mirrors the injector's applied faults into the trace, in
 // application order (the trace's global sequence numbers replay a sweep's
-// injection events exactly).
+// injection events exactly), scoped to the innermost active span.
 func (o *obs) watchFaults(inj *faultinject.Injector) {
 	if o == nil || o.tr == nil || inj == nil {
 		return
 	}
-	tr, cell := o.tr, o.cell
 	inj.Observe(func(kind string, index uint64, detail string) {
 		f := map[string]any{"index": index}
 		if detail != "" {
 			f["name"] = detail
 		}
-		tr.Event("fault."+kind, cell, f)
+		o.tr.SpanEvent("fault."+kind, o.cell, o.cur, f)
 	})
 }
 
-// done folds the attempt's accumulated VM profile into the registry cell.
-// Call after the cell's last machine has finished (machine profiles flush
-// at Run exit, so the rows are complete by then).
+// done folds the attempt's accumulated VM profile into the registry cell
+// and hands the per-attempt capture to CellDone. Call after the cell's
+// last machine has finished (machine profiles flush at Run exit, so the
+// rows are complete by then).
 func (o *obs) done() {
-	if o == nil || o.reg == nil || o.prof == nil {
+	if o == nil {
 		return
 	}
-	c := o.reg.Cell(o.cell)
-	c.AddRows(o.prof.Rows())
-	for name, n := range o.prof.Counters() {
-		c.AddCounter(name, n)
+	var rows []telemetry.Row
+	var counters map[string]uint64
+	if o.prof != nil {
+		rows = o.prof.Rows()
+		counters = o.prof.Counters()
+	}
+	if o.reg != nil && o.prof != nil {
+		c := o.reg.Cell(o.cell)
+		c.AddRows(rows)
+		for name, n := range counters {
+			c.AddCounter(name, n)
+		}
+	}
+	if o.cellDone != nil {
+		o.cellDone(o.cell, rows, counters, o.rngh)
 	}
 }
 
+// auditDetection emits a structured security audit event when err is a
+// defense detection; other errors and a nil sink are ignored, so call
+// sites need no guards.
+func (c Config) auditDetection(cell, engine string, seed uint64, err error) {
+	if c.Audit == nil || err == nil {
+		return
+	}
+	e := telemetry.AuditEvent{
+		Tenant: c.Tenant, Trace: c.TraceID, Cell: cell, Engine: engine,
+		Seed: seed, Detail: err.Error(),
+	}
+	var (
+		cv *vm.CanaryViolation
+		sv *vm.ShadowStackViolation
+		gv *vm.GuardViolation
+	)
+	switch {
+	case errors.As(err, &cv):
+		e.Kind, e.Slot, e.Func, e.Addr = "canary", "canary", cv.Func, cv.Addr
+	case errors.As(err, &sv):
+		e.Kind, e.Slot, e.Func, e.Addr = "shadowstack", "return", sv.Func, sv.Addr
+	case errors.As(err, &gv):
+		e.Kind, e.Slot, e.Func, e.Addr = "guard", "guard", gv.Func, gv.Addr
+	default:
+		return
+	}
+	c.Audit.Emit(e)
+}
+
 // hooks builds the runner lifecycle hooks feeding cell wall-time and
-// attempt metrics plus cell.start/retry/end trace events. Dormant
+// attempt metrics plus cell.start/retry/end trace events (span-scoped in
+// span mode, plus cell.attempt events and the attempt table). Dormant
 // configurations return the zero Hooks (all nil).
 func (c Config) hooks() exp.Hooks {
 	reg, tr := c.Metrics, c.Trace
@@ -158,12 +309,20 @@ func (c Config) hooks() exp.Hooks {
 		return exp.Hooks{}
 	}
 	key := func(cell exp.Cell) string { return cell.Experiment + "/" + cell.Name }
-	return exp.Hooks{
+	root := telemetry.Span{}
+	if tr != nil && c.TraceID != "" {
+		root = telemetry.NewSpan(c.TraceID)
+	}
+	// Child on the zero Span returns the zero Span, and SpanEvent with it
+	// degrades to a plain Event — outside span mode these hooks emit
+	// byte-identical records to earlier versions.
+	cellSpan := func(cell exp.Cell) telemetry.Span { return root.Child("cell", key(cell)) }
+	h := exp.Hooks{
 		CellStart: func(cell exp.Cell) {
-			tr.Event("cell.start", key(cell), nil)
+			tr.SpanEvent("cell.start", key(cell), cellSpan(cell), nil)
 		},
 		CellRetry: func(cell exp.Cell, attempt int, err error, wait time.Duration) {
-			tr.Event("cell.retry", key(cell), map[string]any{
+			tr.SpanEvent("cell.retry", key(cell), cellSpan(cell), map[string]any{
 				"attempt": attempt, "err": err.Error(), "wait_ns": wait.Nanoseconds(),
 			})
 		},
@@ -179,12 +338,24 @@ func (c Config) hooks() exp.Hooks {
 					failed++
 				}
 			}
-			tr.Event("cell.end", key(cell), map[string]any{
+			tr.SpanEvent("cell.end", key(cell), cellSpan(cell), map[string]any{
 				"wall_ns": wall.Nanoseconds(), "attempts": attempts,
 				"records": len(recs), "failed": failed,
 			})
+			if root.ID != "" {
+				clearAttempt(c.TraceID, key(cell))
+			}
 		},
 	}
+	if root.ID != "" {
+		h.CellAttempt = func(cell exp.Cell, attempt int) {
+			k := key(cell)
+			setAttempt(c.TraceID, k, attempt)
+			tr.SpanEvent("cell.attempt", k, cellSpan(cell).Child("attempt", strconv.Itoa(attempt)),
+				map[string]any{"attempt": attempt})
+		}
+	}
+	return h
 }
 
 // wallBounds/attemptBounds are the fixed histogram bucket layouts for the

@@ -123,6 +123,12 @@ type Request struct {
 	// Faults requests a seeded fault schedule injected into every run —
 	// the chaos interface.
 	Faults *FaultSpec `json:"faults,omitempty"`
+	// Trace opts the session into span tracing: events capture into a
+	// bounded per-session buffer, the response carries an X-Trace-Ref
+	// header, and the trace is served from the flight recorder after the
+	// session ends. Traced and untraced runs of the same spec stream
+	// byte-identical records.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // FaultSpec mirrors faultinject.Plan field-for-field in JSON form.

@@ -76,7 +76,16 @@ type Config struct {
 	// registry, exposed at /metrics either way).
 	Metrics *telemetry.Registry
 	// Trace, when non-nil, receives the harness JSONL event stream.
+	// Sessions submitted with "trace": true capture into a per-session
+	// buffer instead (served at /v1/debug/sessions/{id}/trace).
 	Trace *telemetry.Tracer
+	// Audit receives structured security events for defense detections
+	// (default: a count-only sink, so detection counters and the flight
+	// recorder's detection tail work with no audit file configured).
+	Audit *telemetry.AuditSink
+	// FlightCap bounds the flight recorder's session ring (default 128;
+	// < 0 disables the recorder).
+	FlightCap int
 	// NoPool disables Machine pooling (differential tests).
 	NoPool bool
 	// Log receives operational messages (default: silent).
@@ -114,6 +123,12 @@ func (c Config) withDefaults() Config {
 	if c.Metrics == nil {
 		c.Metrics = telemetry.NewRegistry()
 	}
+	if c.Audit == nil {
+		c.Audit = telemetry.NewAuditSink(nil)
+	}
+	if c.FlightCap == 0 {
+		c.FlightCap = 128
+	}
 	if c.Log == nil {
 		c.Log = log.New(io.Discard, "", 0)
 	}
@@ -124,11 +139,12 @@ func (c Config) withDefaults() Config {
 // Server is the execution service. Create with New, serve via Handler,
 // shut down via Drain (then Close).
 type Server struct {
-	cfg  Config
-	adm  *admission
-	q    *workQueue
-	gate *sessionGate
-	mux  *http.ServeMux
+	cfg    Config
+	adm    *admission
+	q      *workQueue
+	gate   *sessionGate
+	mux    *http.ServeMux
+	flight *flightRecorder
 
 	// admitCtx dies when drain starts: queued waiters shed immediately.
 	admitCtx    context.Context
@@ -150,11 +166,12 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:  cfg,
-		adm:  newAdmission(cfg.RatePerSec, cfg.Burst, cfg.MaxSessionsPerTenant, cfg.MaxTenants),
-		q:    newWorkQueue(cfg.MaxConcurrent, cfg.MaxQueued, cfg.QueueTimeout),
-		gate: &sessionGate{},
-		mux:  http.NewServeMux(),
+		cfg:    cfg,
+		adm:    newAdmission(cfg.RatePerSec, cfg.Burst, cfg.MaxSessionsPerTenant, cfg.MaxTenants),
+		q:      newWorkQueue(cfg.MaxConcurrent, cfg.MaxQueued, cfg.QueueTimeout),
+		gate:   &sessionGate{},
+		mux:    http.NewServeMux(),
+		flight: newFlightRecorder(cfg.FlightCap),
 	}
 	s.admitCtx, s.admitCancel = context.WithCancel(context.Background())
 	s.hardCtx, s.hardCancel = context.WithCancel(context.Background())
@@ -165,9 +182,21 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /metrics", s.recoverWrap(s.handleMetrics))
 	s.mux.HandleFunc("GET /healthz", s.recoverWrap(s.handleHealth))
 	s.mux.HandleFunc("GET /v1/stats", s.recoverWrap(s.handleStats))
+	s.mux.HandleFunc("GET /v1/debug/sessions", s.recoverWrap(s.handleDebugSessions))
+	s.mux.HandleFunc("GET /v1/debug/sessions/{id}", s.recoverWrap(s.handleDebugSession))
+	s.mux.HandleFunc("GET /v1/debug/sessions/{id}/trace", s.recoverWrap(s.handleDebugTrace))
 
 	harness.RegisterGauges(cfg.Metrics)
 	reg := cfg.Metrics
+	// Detections tee: every audit event lands in the flight recorder's
+	// detection tail and the labeled detection counters, whether or not
+	// the sink serializes to a file.
+	cfg.Audit.OnEvent(func(e telemetry.AuditEvent) {
+		s.flight.addDetection(e)
+		reg.CounterWith("server.detections", map[string]string{
+			"kind": e.Kind, "engine": e.Engine,
+		}).Inc()
+	})
 	reg.SetGauge("server.sessions.active", func() float64 { return float64(s.gate.active()) })
 	reg.SetGauge("server.queue.executing", func() float64 { e, _ := s.q.depth(); return float64(e) })
 	reg.SetGauge("server.queue.waiting", func() float64 { _, w := s.q.depth(); return float64(w) })
@@ -197,6 +226,9 @@ func (s *Server) janitor() {
 				harness.DrainMachinePool()
 				s.cfg.Metrics.Counter("server.pool.idle_evictions").Inc()
 			}
+			// Labeled series shed on the same cadence and bound as the
+			// admission tenant table.
+			s.cfg.Metrics.SweepLabels(s.cfg.IdleEvictAfter)
 		}
 	}
 }
@@ -232,9 +264,11 @@ func writeError(w http.ResponseWriter, e *Error) {
 	_ = json.NewEncoder(w).Encode(e)
 }
 
-// reject counts and writes a refusal.
+// reject counts and writes a refusal: the historical per-code counter
+// plus the labeled refusal family.
 func (s *Server) reject(w http.ResponseWriter, e *Error) {
 	s.cfg.Metrics.Counter("server.rejected." + e.Code).Inc()
+	s.cfg.Metrics.CounterWith("server.rejected", map[string]string{"code": e.Code}).Inc()
 	writeError(w, e)
 }
 
@@ -267,7 +301,14 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.adm.release(req.Tenant)
+	qStart := time.Now()
 	release, aerr := s.q.acquire(r.Context(), s.admitCtx)
+	qOutcome := "acquired"
+	if aerr != nil {
+		qOutcome = aerr.Code
+	}
+	s.cfg.Metrics.HistogramWith("server.queue.wait_seconds", queueWaitBounds,
+		map[string]string{"outcome": qOutcome}).Observe(time.Since(qStart).Seconds())
 	if aerr != nil {
 		s.reject(w, aerr)
 		return
@@ -282,13 +323,37 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 	stopHard := context.AfterFunc(s.hardCtx, cancel)
 	defer stopHard()
 
-	hcfg := harness.Config{
-		Ctx:     ctx,
-		Retries: s.cfg.Retries,
-		Metrics: s.cfg.Metrics,
-		Trace:   s.cfg.Trace,
-		NoPool:  s.cfg.NoPool,
+	// Session identity and optional per-session span trace. A traced
+	// session captures into a bounded buffer served from the flight
+	// recorder after the session ends; untraced sessions keep the global
+	// (flat) tracer, so their event bytes are unchanged.
+	id := s.seq.Add(1)
+	sid := fmt.Sprintf("%d", id)
+	tracer := s.cfg.Trace
+	traceID := ""
+	var traceBuf *limitBuffer
+	if req.Trace {
+		traceBuf = &limitBuffer{max: flightTraceCap}
+		tracer = telemetry.NewTracer(traceBuf)
+		traceID = "session-" + sid
 	}
+	capture := newFlightCapture()
+
+	hcfg := harness.Config{
+		Ctx:      ctx,
+		Retries:  s.cfg.Retries,
+		Metrics:  s.cfg.Metrics,
+		Trace:    tracer,
+		TraceID:  traceID,
+		Tenant:   req.Tenant,
+		Audit:    s.cfg.Audit,
+		CellDone: capture.cellDone,
+		NoPool:   s.cfg.NoPool,
+	}
+	root := telemetry.NewSpan(traceID)
+	tracer.SpanEvent("session.start", "", root, map[string]any{
+		"id": sid, "tenant": req.Tenant, "engines": len(spec.Engines), "runs": spec.Runs,
+	})
 	cells, err := harness.SessionCells(hcfg, spec)
 	if err != nil {
 		s.reject(w, specError(err))
@@ -297,9 +362,11 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 
 	// Stream. From here the status is committed: failures inside cells
 	// surface as classified records, not HTTP errors.
-	id := s.seq.Add(1)
 	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.Header().Set("X-Session-Id", fmt.Sprintf("%d", id))
+	w.Header().Set("X-Session-Id", sid)
+	if traceID != "" {
+		w.Header().Set("X-Trace-Ref", "/v1/debug/sessions/"+sid+"/trace")
+	}
 	w.WriteHeader(http.StatusOK)
 	rc := http.NewResponseController(w)
 	// A slow client cannot hold the slot past its deadline: writes past
@@ -317,16 +384,50 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 		st.write(recs)
 	}
 	start := time.Now()
+	startNS := nowNS()
 	recs := runner.Run(cells)
-	s.observeOutcome(req.Tenant, recs, time.Since(start), st)
+	wall := time.Since(start)
+	outcome := s.observeOutcome(req.Tenant, recs, wall, st)
+	tracer.SpanEvent("session.end", "", root, map[string]any{
+		"id": sid, "outcome": outcome, "records": len(recs), "wall_ns": wall.Nanoseconds(),
+	})
+
+	entry := &flightEntry{SessionSummary: SessionSummary{
+		ID: sid, Tenant: req.Tenant, SpecDigest: specDigest(spec),
+		Workload: spec.Workload, Engines: spec.Engines, Seed: spec.Seed,
+		Runs: max(spec.Runs, 1), StartNS: startNS, WallSeconds: wall.Seconds(),
+		Outcome: outcome, Records: len(recs), Cells: capture.summaries(recs),
+	}}
+	for _, cs := range entry.Cells {
+		if isDetection(cs.Err) {
+			entry.Detections++
+		}
+		if cs.Class != "ok" && cs.Class != "canceled" {
+			s.flight.addError(FlightError{
+				TimeNS: nowNS(), Session: sid, Tenant: req.Tenant,
+				Cell: cs.Cell, Class: cs.Class, Err: cs.Err,
+			})
+		}
+	}
+	if traceID != "" {
+		if err := tracer.Flush(); err != nil {
+			s.cfg.Metrics.Counter("server.trace.capped").Inc()
+		}
+		entry.TraceRef = "/v1/debug/sessions/" + sid + "/trace"
+		entry.trace = traceBuf.buf.Bytes()
+	}
+	s.flight.record(entry)
 }
 
-// observeOutcome folds a finished session into the service counters.
-func (s *Server) observeOutcome(tenant string, recs []exp.Record, wall time.Duration, st *recordStream) {
+// queueWaitBounds buckets slot-wait latency (seconds).
+var queueWaitBounds = []float64{0.0001, 0.001, 0.01, 0.1, 0.5, 1, 2, 5}
+
+// observeOutcome folds a finished session into the service counters —
+// the historical unlabeled series plus the tenant/outcome-labeled
+// families — and returns the outcome class.
+func (s *Server) observeOutcome(tenant string, recs []exp.Record, wall time.Duration, st *recordStream) string {
 	reg := s.cfg.Metrics
 	reg.Counter("server.records.streamed").Add(uint64(st.records))
-	reg.Histogram("server.session.wall_seconds",
-		[]float64{0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60}).Observe(wall.Seconds())
 	outcome := "completed"
 	for _, rec := range recs {
 		if rec.ErrClass == "canceled" {
@@ -337,9 +438,28 @@ func (s *Server) observeOutcome(tenant string, recs []exp.Record, wall time.Dura
 	if st.err != nil {
 		outcome = "disconnected"
 	}
+	reg.Histogram("server.session.wall_seconds", sessionWallBounds).Observe(wall.Seconds())
+	reg.HistogramWith("server.session.wall_seconds", sessionWallBounds,
+		map[string]string{"tenant": tenant, "outcome": outcome}).Observe(wall.Seconds())
 	reg.Counter("server.sessions." + outcome).Inc()
+	reg.CounterWith("server.sessions.outcome",
+		map[string]string{"tenant": tenant, "outcome": outcome}).Inc()
+	for _, rec := range recs {
+		class := rec.ErrClass
+		if rec.Err == "" {
+			class = "ok"
+		} else if class == "" {
+			class = "error"
+		}
+		reg.CounterWith("server.cells.outcome",
+			map[string]string{"engine": rec.Labels["engine"], "class": class}).Inc()
+	}
 	s.cfg.Log.Printf("session tenant=%s records=%d wall=%v outcome=%s", tenant, len(recs), wall, outcome)
+	return outcome
 }
+
+// sessionWallBounds buckets whole-session wall time (seconds).
+var sessionWallBounds = []float64{0.01, 0.05, 0.1, 0.5, 1, 5, 10, 30, 60}
 
 // recordStream writes records as JSON lines with per-cell flushes. The
 // first write failure (client gone, write deadline) cancels the session
@@ -392,24 +512,36 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, `{"status":"ok"}`)
 }
 
-// StatsSnapshot is the /v1/stats payload.
+// StatsSnapshot is the /v1/stats payload: a superset of the historical
+// fields (existing assertions keep passing) plus the Machine pool, work
+// queue, program cache, audit and flight-recorder views.
 type StatsSnapshot struct {
-	ActiveSessions int   `json:"active_sessions"`
-	Executing      int64 `json:"executing"`
-	Queued         int64 `json:"queued"`
-	Tenants        int   `json:"tenants"`
-	Inflight       int   `json:"inflight"`
-	Draining       bool  `json:"draining"`
-	PoolHits       uint64 `json:"pool_hits"`
-	PoolMisses     uint64 `json:"pool_misses"`
-	ProgCacheLen   int    `json:"progcache_len"`
+	ActiveSessions int               `json:"active_sessions"`
+	Executing      int64             `json:"executing"`
+	Queued         int64             `json:"queued"`
+	Tenants        int               `json:"tenants"`
+	Inflight       int               `json:"inflight"`
+	Draining       bool              `json:"draining"`
+	PoolHits       uint64            `json:"pool_hits"`
+	PoolMisses     uint64            `json:"pool_misses"`
+	PoolPuts       uint64            `json:"pool_puts"`
+	PoolDrops      uint64            `json:"pool_drops"`
+	QueueSlots     int               `json:"queue_slots"`
+	QueueMaxWait   int               `json:"queue_max_waiters"`
+	ProgCacheLen   int               `json:"progcache_len"`
+	ProgCacheHits  uint64            `json:"progcache_hits"`
+	ProgCacheMiss  uint64            `json:"progcache_misses"`
+	ProgCacheEvict uint64            `json:"progcache_evictions"`
+	AuditEvents    uint64            `json:"audit_events"`
+	AuditByKind    map[string]uint64 `json:"audit_by_kind,omitempty"`
+	FlightSessions int               `json:"flight_sessions"`
 }
 
 func (s *Server) stats() StatsSnapshot {
 	e, q := s.q.depth()
 	tenants, inflight := s.adm.snapshot()
 	pool := harness.MachinePoolStats()
-	progLen, _, _, _ := harness.SessionProgCacheStats()
+	progLen, progHits, progMiss, progEvict := harness.SessionProgCacheStats()
 	return StatsSnapshot{
 		ActiveSessions: s.gate.active(),
 		Executing:      e,
@@ -419,7 +551,17 @@ func (s *Server) stats() StatsSnapshot {
 		Draining:       s.gate.isDraining(),
 		PoolHits:       pool.Hits,
 		PoolMisses:     pool.Misses,
+		PoolPuts:       pool.Puts,
+		PoolDrops:      pool.Drops,
+		QueueSlots:     s.cfg.MaxConcurrent,
+		QueueMaxWait:   s.cfg.MaxQueued,
 		ProgCacheLen:   progLen,
+		ProgCacheHits:  progHits,
+		ProgCacheMiss:  progMiss,
+		ProgCacheEvict: progEvict,
+		AuditEvents:    s.cfg.Audit.Total(),
+		AuditByKind:    s.cfg.Audit.Counts(),
+		FlightSessions: s.flight.sessions(),
 	}
 }
 

@@ -1,0 +1,165 @@
+// Security audit log: defense detections (canary, shadow-stack, guard
+// violations) become structured, attributable events on a dedicated JSONL
+// sink instead of anonymous error strings inside experiment records. The
+// sink is append-only and deliberately separate from the trace stream — an
+// operator tails the audit log alone, and the flight recorder / metrics
+// tee rides on OnEvent without touching the serialization path.
+//
+// Like the Tracer, a nil *AuditSink is a valid dormant sink and a sink
+// constructed over a nil writer counts and tees without serializing — the
+// server always has detection counters even with no audit file configured.
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// AuditEvent is one security detection. Kind is the violated defense
+// mechanism ("canary", "shadowstack", "guard"); Slot the layout slot kind
+// that tripped; Addr the absolute address of the corrupted slot. Tenant,
+// Trace, Cell, Engine and Seed tie the detection back to the session that
+// triggered it.
+type AuditEvent struct {
+	Seq    uint64 `json:"seq"`
+	TimeNS int64  `json:"time_ns"`
+	Kind   string `json:"kind"`
+	Tenant string `json:"tenant,omitempty"`
+	Trace  string `json:"trace,omitempty"`
+	Cell   string `json:"cell,omitempty"`
+	Engine string `json:"engine,omitempty"`
+	Seed   uint64 `json:"seed"`
+	Func   string `json:"func,omitempty"`
+	Slot   string `json:"slot,omitempty"`
+	Addr   uint64 `json:"addr,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// AuditSink serializes audit events as JSONL and keeps per-kind counters.
+// All methods are safe for concurrent use and no-op on a nil receiver.
+type AuditSink struct {
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	enc    *json.Encoder
+	seq    uint64
+	err    error
+	now    func() int64
+	counts map[string]uint64
+	tee    func(AuditEvent)
+}
+
+// NewAuditSink creates a sink writing to w. A nil w makes a count-only
+// sink: events are numbered, counted and teed but not serialized.
+func NewAuditSink(w io.Writer) *AuditSink {
+	a := &AuditSink{
+		now:    func() int64 { return time.Now().UnixNano() },
+		counts: make(map[string]uint64),
+	}
+	if w != nil {
+		a.bw = bufio.NewWriter(w)
+		a.enc = json.NewEncoder(a.bw)
+	}
+	return a
+}
+
+// OnEvent registers a tee called (under the sink lock, events in emission
+// order) for every emitted event — the flight recorder and metric bridges
+// attach here. Replaces any previous tee.
+func (a *AuditSink) OnEvent(fn func(AuditEvent)) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	a.tee = fn
+	a.mu.Unlock()
+}
+
+// Emit records one event, filling Seq and TimeNS.
+func (a *AuditSink) Emit(e AuditEvent) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.seq++
+	e.Seq = a.seq
+	e.TimeNS = a.now()
+	a.counts[e.Kind]++
+	if a.enc != nil && a.err == nil {
+		a.err = a.enc.Encode(e)
+	}
+	if a.tee != nil {
+		a.tee(e)
+	}
+}
+
+// Counts snapshots the per-kind detection counters.
+func (a *AuditSink) Counts() map[string]uint64 {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]uint64, len(a.counts))
+	for k, v := range a.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// Total reports the total emitted events.
+func (a *AuditSink) Total() uint64 {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.seq
+}
+
+// Flush drains buffered events and returns the first serialization error.
+func (a *AuditSink) Flush() error {
+	if a == nil {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.bw != nil {
+		if err := a.bw.Flush(); a.err == nil {
+			a.err = err
+		}
+	}
+	return a.err
+}
+
+// ReadAudit parses a JSONL audit log written by an AuditSink, with the
+// same truncation tolerance as ReadTrace: a corrupt tail yields the valid
+// prefix plus a *TruncatedTraceError.
+func ReadAudit(r io.Reader) ([]AuditEvent, error) {
+	var events []AuditEvent
+	br := bufio.NewReader(r)
+	line := 0
+	for {
+		raw, err := br.ReadBytes('\n')
+		if len(raw) > 0 {
+			line++
+			if trimmed := bytes.TrimSpace(raw); len(trimmed) > 0 {
+				var e AuditEvent
+				if jerr := json.Unmarshal(trimmed, &e); jerr != nil {
+					return events, &TruncatedTraceError{Line: line, Err: jerr}
+				}
+				events = append(events, e)
+			}
+		}
+		if err == io.EOF {
+			return events, nil
+		}
+		if err != nil {
+			return events, &TruncatedTraceError{Line: line + 1, Err: err}
+		}
+	}
+}

@@ -1,0 +1,213 @@
+// Labeled metric families: counters and histograms keyed by a small label
+// set (tenant, engine, outcome, ...), with bounded cardinality. A hostile
+// or merely enthusiastic tenant population must not grow the registry
+// without bound, so each family caps its live series; beyond the cap new
+// label sets are folded into a catch-all overflow series and counted,
+// mirroring how the server's admission table sheds rather than grows.
+// Idle series are swept on the same janitor cadence as the tenant table.
+package telemetry
+
+import (
+	"sort"
+	"strings"
+	"time"
+)
+
+// DefaultLabelCap bounds the live series per labeled family.
+const DefaultLabelCap = 64
+
+// overflowKey is the catch-all series absorbing observations past the cap.
+var overflowLabels = map[string]string{"overflow": "true"}
+
+// labeledEntry is one live series of a family.
+type labeledEntry struct {
+	labels  map[string]string
+	counter *Counter
+	hist    *Histogram
+	touched time.Time
+}
+
+// family is one labeled metric name's series table.
+type family struct {
+	bounds  []float64 // histogram families only
+	entries map[string]*labeledEntry
+}
+
+// encodeLabels canonicalizes a label set (sorted k=v pairs) for use as a
+// series key. Keys and values are caller-controlled; the separator bytes
+// cannot collide with validated tenant/engine/outcome names.
+func encodeLabels(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+	}
+	return b.String()
+}
+
+// copyLabels snapshots a caller's label map so later mutation cannot
+// corrupt the series identity.
+func copyLabels(labels map[string]string) map[string]string {
+	out := make(map[string]string, len(labels))
+	for k, v := range labels {
+		out[k] = v
+	}
+	return out
+}
+
+// labeledLocked returns the family's entry for labels, creating it when
+// the family has room. At the cap, the overflow series is returned instead
+// and the family's overflow counter is bumped — observations are folded,
+// never dropped, and the registry's footprint stays bounded.
+func (r *Registry) labeledLocked(name string, bounds []float64, labels map[string]string) *labeledEntry {
+	fam, ok := r.labeled[name]
+	if !ok {
+		fam = &family{entries: make(map[string]*labeledEntry)}
+		if bounds != nil {
+			b := append([]float64(nil), bounds...)
+			sort.Float64s(b)
+			fam.bounds = b
+		}
+		r.labeled[name] = fam
+	}
+	key := encodeLabels(labels)
+	e, ok := fam.entries[key]
+	if !ok {
+		cap := r.labelCap
+		if cap <= 0 {
+			cap = DefaultLabelCap
+		}
+		overflowed := len(fam.entries) >= cap
+		if overflowed {
+			r.overflowLocked(name).v.Add(1)
+			key = encodeLabels(overflowLabels)
+			if e, ok = fam.entries[key]; ok {
+				e.touched = r.lnow()
+				return e
+			}
+			labels = overflowLabels
+		}
+		e = &labeledEntry{labels: copyLabels(labels)}
+		if fam.bounds != nil || bounds != nil {
+			b := fam.bounds
+			if b == nil {
+				b = append([]float64(nil), bounds...)
+				sort.Float64s(b)
+				fam.bounds = b
+			}
+			e.hist = &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+		} else {
+			e.counter = &Counter{}
+		}
+		fam.entries[key] = e
+	}
+	e.touched = r.lnow()
+	return e
+}
+
+// overflowLocked returns the family's overflow counter (a plain counter
+// named <family>.label_overflow), creating it on first overflow.
+func (r *Registry) overflowLocked(name string) *Counter {
+	on := name + ".label_overflow"
+	c, ok := r.counters[on]
+	if !ok {
+		c = &Counter{}
+		r.counters[on] = c
+	}
+	return c
+}
+
+// lnow returns the registry's clock (overridable in tests).
+func (r *Registry) lnow() time.Time {
+	if r.labelNow != nil {
+		return r.labelNow()
+	}
+	return time.Now()
+}
+
+// CounterWith returns the counter series for (name, labels), creating it
+// on first use. Past the family's cardinality cap the catch-all
+// {overflow="true"} series is returned and <name>.label_overflow counts
+// the shed series — bounded memory under a flood of distinct label values.
+func (r *Registry) CounterWith(name string, labels map[string]string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.labeledLocked(name, nil, labels).counter
+}
+
+// HistogramWith returns the histogram series for (name, labels), creating
+// it with the family's bucket bounds on first use (later bounds are
+// ignored, matching Histogram). Cardinality-bounded like CounterWith.
+func (r *Registry) HistogramWith(name string, bounds []float64, labels map[string]string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.labeledLocked(name, bounds, labels).hist
+}
+
+// SetLabelCap overrides the per-family live-series bound (tests; <= 0
+// restores the default).
+func (r *Registry) SetLabelCap(n int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.labelCap = n
+}
+
+// SweepLabels evicts labeled series idle for at least maxIdle — the same
+// shedding discipline as the admission tenant table, run from the same
+// janitor. Returns how many series were dropped. The overflow catch-all
+// sweeps like any other series; its counts are cumulative in the family
+// overflow counter either way.
+func (r *Registry) SweepLabels(maxIdle time.Duration) int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.lnow()
+	dropped := 0
+	for name, fam := range r.labeled {
+		for key, e := range fam.entries {
+			if now.Sub(e.touched) >= maxIdle {
+				delete(fam.entries, key)
+				dropped++
+			}
+		}
+		if len(fam.entries) == 0 {
+			delete(r.labeled, name)
+		}
+	}
+	return dropped
+}
+
+// LabelSeries reports the live series count of one family (tests and
+// stats).
+func (r *Registry) LabelSeries(name string) int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam, ok := r.labeled[name]
+	if !ok {
+		return 0
+	}
+	return len(fam.entries)
+}

@@ -24,6 +24,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically-increasing atomic counter.
@@ -72,12 +73,15 @@ func (h *Histogram) Observe(v float64) {
 	h.n++
 }
 
-// HistogramSnap is the serialized form of a Histogram.
+// HistogramSnap is the serialized form of a Histogram. Labels is set only
+// for labeled series (HistogramWith); unlabeled snapshots serialize
+// exactly as before.
 type HistogramSnap struct {
-	Name    string       `json:"name"`
-	Count   uint64       `json:"count"`
-	Sum     float64      `json:"sum"`
-	Buckets []BucketSnap `json:"buckets"`
+	Name    string            `json:"name"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Count   uint64            `json:"count"`
+	Sum     float64           `json:"sum"`
+	Buckets []BucketSnap      `json:"buckets"`
 }
 
 // BucketSnap is one cumulative histogram bucket; LE is +Inf for the
@@ -244,6 +248,9 @@ type Registry struct {
 	hists     map[string]*Histogram
 	histBound map[string][]float64
 	cells     map[string]*Cell
+	labeled   map[string]*family
+	labelCap  int
+	labelNow  func() time.Time // test clock for the label sweep
 }
 
 // NewRegistry creates an empty registry.
@@ -254,6 +261,7 @@ func NewRegistry() *Registry {
 		hists:     make(map[string]*Histogram),
 		histBound: make(map[string][]float64),
 		cells:     make(map[string]*Cell),
+		labeled:   make(map[string]*family),
 	}
 }
 
@@ -326,10 +334,12 @@ type Snapshot struct {
 	Cells      []CellSnap      `json:"cells,omitempty"`
 }
 
-// CounterSnap is one serialized counter.
+// CounterSnap is one serialized counter. Labels is set only for labeled
+// series (CounterWith).
 type CounterSnap struct {
-	Name  string `json:"name"`
-	Value uint64 `json:"value"`
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  uint64            `json:"value"`
 }
 
 // GaugeSnap is one serialized gauge sample.
@@ -373,6 +383,24 @@ func (r *Registry) Snapshot() Snapshot {
 	for name, c := range r.cells {
 		cells = append(cells, cell{name, c})
 	}
+	type labeledHist struct {
+		name   string
+		labels map[string]string
+		h      *Histogram
+	}
+	var lhists []labeledHist
+	for name, fam := range r.labeled {
+		for _, e := range fam.entries {
+			if e.counter != nil {
+				s.Counters = append(s.Counters, CounterSnap{
+					Name: name, Labels: copyLabels(e.labels), Value: e.counter.Value(),
+				})
+			}
+			if e.hist != nil {
+				lhists = append(lhists, labeledHist{name, copyLabels(e.labels), e.hist})
+			}
+		}
+	}
 	r.mu.Unlock()
 
 	for _, g := range gauges {
@@ -381,12 +409,27 @@ func (r *Registry) Snapshot() Snapshot {
 	for _, h := range hists {
 		s.Histograms = append(s.Histograms, h.h.snap(h.name))
 	}
+	for _, lh := range lhists {
+		hs := lh.h.snap(lh.name)
+		hs.Labels = lh.labels
+		s.Histograms = append(s.Histograms, hs)
+	}
 	for _, c := range cells {
 		s.Cells = append(s.Cells, c.c.snap(c.name))
 	}
-	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Counters, func(i, j int) bool {
+		if s.Counters[i].Name != s.Counters[j].Name {
+			return s.Counters[i].Name < s.Counters[j].Name
+		}
+		return encodeLabels(s.Counters[i].Labels) < encodeLabels(s.Counters[j].Labels)
+	})
 	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
-	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool {
+		if s.Histograms[i].Name != s.Histograms[j].Name {
+			return s.Histograms[i].Name < s.Histograms[j].Name
+		}
+		return encodeLabels(s.Histograms[i].Labels) < encodeLabels(s.Histograms[j].Labels)
+	})
 	sort.Slice(s.Cells, func(i, j int) bool { return s.Cells[i].Name < s.Cells[j].Name })
 	return s
 }
@@ -406,25 +449,40 @@ func ReadSnapshot(r io.Reader) (Snapshot, error) {
 }
 
 // WritePrometheus writes the snapshot in the Prometheus text exposition
-// format (metric names prefixed smokestack_, label-qualified per-cell
-// series).
+// format (metric names prefixed smokestack_, label-qualified per-cell and
+// labeled-family series). Histograms are conformant: cumulative _bucket
+// series with an explicit +Inf bucket, plus _sum and _count (the +Inf
+// bucket equals _count by construction). Dotted source names that sanitize
+// to the same Prometheus name are disambiguated with a stable numeric
+// suffix instead of silently merging (promNames).
 func (s Snapshot) WritePrometheus(w io.Writer) error {
 	bw := &errWriter{w: w}
+	names := s.promNames()
+	lastType := ""
 	for _, c := range s.Counters {
-		n := promName(c.Name)
-		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", n, n, c.Value)
+		n := names[c.Name]
+		if n != lastType {
+			fmt.Fprintf(bw, "# TYPE %s counter\n", n)
+			lastType = n
+		}
+		fmt.Fprintf(bw, "%s%s %d\n", n, promLabels(c.Labels), c.Value)
 	}
 	for _, g := range s.Gauges {
-		n := promName(g.Name)
+		n := names[g.Name]
 		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %s\n", n, n, formatFloat(g.Value))
 	}
+	lastType = ""
 	for _, h := range s.Histograms {
-		n := promName(h.Name)
-		fmt.Fprintf(bw, "# TYPE %s histogram\n", n)
-		for _, b := range h.Buckets {
-			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", n, b.LE, b.Count)
+		n := names[h.Name]
+		if n != lastType {
+			fmt.Fprintf(bw, "# TYPE %s histogram\n", n)
+			lastType = n
 		}
-		fmt.Fprintf(bw, "%s_sum %s\n%s_count %d\n", n, formatFloat(h.Sum), n, h.Count)
+		ls := promLabels(h.Labels)
+		for _, b := range h.Buckets {
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", n, promBucketLabels(h.Labels, b.LE), b.Count)
+		}
+		fmt.Fprintf(bw, "%s_sum%s %s\n%s_count%s %d\n", n, ls, formatFloat(h.Sum), n, ls, h.Count)
 	}
 	if len(s.Cells) > 0 {
 		fmt.Fprintf(bw, "# TYPE smokestack_cell_cycles gauge\n")
@@ -462,7 +520,10 @@ func sortedKeys(m map[string]uint64) []string {
 	return keys
 }
 
-// promName maps a dotted metric name to a Prometheus-legal one.
+// promName maps a dotted metric name to a Prometheus-legal one. The
+// mapping is lossy (every illegal rune becomes '_'), so distinct source
+// names can collide; use promNames over a whole snapshot for a
+// collision-free assignment.
 func promName(name string) string {
 	var b strings.Builder
 	b.WriteString("smokestack_")
@@ -474,6 +535,86 @@ func promName(name string) string {
 			b.WriteByte('_')
 		}
 	}
+	return b.String()
+}
+
+// promNames assigns each distinct source metric name in the snapshot a
+// unique Prometheus name: the plain promName sanitization when it is free,
+// else a deterministic _2/_3/... suffix in sorted source-name order — two
+// dotted names that sanitize identically (e.g. "a.b_c" and "a_b.c") can
+// never silently merge into one series.
+func (s Snapshot) promNames() map[string]string {
+	seen := make(map[string]struct{})
+	for _, c := range s.Counters {
+		seen[c.Name] = struct{}{}
+	}
+	for _, g := range s.Gauges {
+		seen[g.Name] = struct{}{}
+	}
+	for _, h := range s.Histograms {
+		seen[h.Name] = struct{}{}
+	}
+	srcs := make([]string, 0, len(seen))
+	for name := range seen {
+		srcs = append(srcs, name)
+	}
+	sort.Strings(srcs)
+	out := make(map[string]string, len(srcs))
+	used := make(map[string]bool, len(srcs))
+	for _, src := range srcs {
+		n := promName(src)
+		if used[n] {
+			for i := 2; ; i++ {
+				cand := fmt.Sprintf("%s_%d", n, i)
+				if !used[cand] {
+					n = cand
+					break
+				}
+			}
+		}
+		used[n] = true
+		out[src] = n
+	}
+	return out
+}
+
+// promLabels renders a label set as {k="v",...} with sorted keys ("" when
+// empty).
+func promLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promBucketLabels renders a histogram bucket's label set: le first, then
+// the series labels.
+func promBucketLabels(labels map[string]string, le string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "{le=%q", le)
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, ",%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
 	return b.String()
 }
 

@@ -2,26 +2,77 @@
 // JSON object per line (JSONL). Events carry a global monotonic sequence
 // number so a reader can replay the whole run — or any one cell's slice of
 // it — in exact emission order even when cells ran concurrently.
+//
+// Span mode layers a trace/span ID hierarchy on top (session → cell →
+// attempt → phase): callers that thread a Span through SpanEvent get
+// events that fold into a per-session tree (FoldTrace), while plain Event
+// callers keep emitting byte-identical records — the span fields are
+// omitempty and a zero Span adds nothing.
 package telemetry
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"fmt"
+	"hash/fnv"
 	"io"
+	"strings"
 	"sync"
 	"time"
 )
 
 // Event is one trace record. Kind is dot-namespaced (cell.start, cell.end,
-// cell.retry, compile, run.start, run.end, fault.entropy, fault.hostdelay,
-// fault.hostfail, watchdog.cancel, rng.ladder); Cell scopes the event to an
-// experiment cell when one is in scope.
+// cell.retry, cell.attempt, compile, run.start, run.end, fault.entropy,
+// fault.hostdelay, fault.hostfail, watchdog.cancel, rng.ladder,
+// session.start, session.end); Cell scopes the event to an experiment cell
+// when one is in scope. Trace/Span/Parent are set only in span mode: Span
+// identifies the span the event belongs to and Parent that span's parent,
+// denormalized per event so a trace folds into a tree without external
+// state.
 type Event struct {
 	Seq    uint64         `json:"seq"`
 	TimeNS int64          `json:"time_ns"` // wall clock, UnixNano
 	Kind   string         `json:"kind"`
 	Cell   string         `json:"cell,omitempty"`
+	Trace  string         `json:"trace,omitempty"`
+	Span   string         `json:"span,omitempty"`
+	Parent string         `json:"parent,omitempty"`
 	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// Span names one node of a trace's span tree. IDs are deterministic
+// hashes of the path from the trace root, so independent emitters (the
+// runner hooks, the per-attempt observation context) derive identical IDs
+// for the same logical span without coordination. The zero Span is "no
+// span": SpanEvent with it behaves exactly like Event.
+type Span struct {
+	Trace  string
+	ID     string
+	Parent string
+}
+
+// NewSpan returns the root span of a trace.
+func NewSpan(trace string) Span {
+	if trace == "" {
+		return Span{}
+	}
+	return Span{Trace: trace, ID: spanID(trace)}
+}
+
+// Child derives a deterministic child span from the path parts.
+func (s Span) Child(parts ...string) Span {
+	if s.ID == "" {
+		return Span{}
+	}
+	return Span{Trace: s.Trace, ID: spanID(s.ID + "/" + strings.Join(parts, "/")), Parent: s.ID}
+}
+
+// spanID hashes a span path to a compact stable identifier.
+func spanID(path string) string {
+	h := fnv.New64a()
+	h.Write([]byte(path))
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // Tracer writes events as JSONL. All methods are safe for concurrent use
@@ -45,6 +96,12 @@ func NewTracer(w io.Writer) *Tracer {
 
 // Event emits one record. fields may be nil.
 func (t *Tracer) Event(kind, cell string, fields map[string]any) {
+	t.SpanEvent(kind, cell, Span{}, fields)
+}
+
+// SpanEvent emits one record scoped to a span. A zero Span degrades to a
+// plain Event — span-aware call sites need no dormant guard.
+func (t *Tracer) SpanEvent(kind, cell string, sp Span, fields map[string]any) {
 	if t == nil {
 		return
 	}
@@ -54,7 +111,11 @@ func (t *Tracer) Event(kind, cell string, fields map[string]any) {
 		return
 	}
 	t.seq++
-	t.err = t.enc.Encode(Event{Seq: t.seq, TimeNS: t.now(), Kind: kind, Cell: cell, Fields: fields})
+	t.err = t.enc.Encode(Event{
+		Seq: t.seq, TimeNS: t.now(), Kind: kind, Cell: cell,
+		Trace: sp.Trace, Span: sp.ID, Parent: sp.Parent,
+		Fields: fields,
+	})
 }
 
 // Flush drains buffered events and returns the first error encountered
@@ -71,18 +132,46 @@ func (t *Tracer) Flush() error {
 	return t.err
 }
 
-// ReadTrace parses a JSONL trace written by a Tracer.
+// TruncatedTraceError reports a trace whose tail was cut or corrupted
+// (crashed writer, full disk, capped capture buffer). ReadTrace returns it
+// alongside the valid prefix so post-mortem tooling keeps everything that
+// survived.
+type TruncatedTraceError struct {
+	Line int // 1-based line number of the first bad line
+	Err  error
+}
+
+func (e *TruncatedTraceError) Error() string {
+	return fmt.Sprintf("telemetry: trace truncated or corrupt at line %d: %v", e.Line, e.Err)
+}
+
+func (e *TruncatedTraceError) Unwrap() error { return e.Err }
+
+// ReadTrace parses a JSONL trace written by a Tracer. A malformed line —
+// typically a partial tail after a crash — terminates the parse with the
+// valid prefix and a *TruncatedTraceError instead of failing outright;
+// every event before the bad line is returned.
 func ReadTrace(r io.Reader) ([]Event, error) {
 	var events []Event
-	dec := json.NewDecoder(r)
+	br := bufio.NewReader(r)
+	line := 0
 	for {
-		var e Event
-		if err := dec.Decode(&e); err != nil {
-			if err == io.EOF {
-				return events, nil
+		raw, err := br.ReadBytes('\n')
+		if len(raw) > 0 {
+			line++
+			if trimmed := bytes.TrimSpace(raw); len(trimmed) > 0 {
+				var e Event
+				if jerr := json.Unmarshal(trimmed, &e); jerr != nil {
+					return events, &TruncatedTraceError{Line: line, Err: jerr}
+				}
+				events = append(events, e)
 			}
-			return events, err
 		}
-		events = append(events, e)
+		if err == io.EOF {
+			return events, nil
+		}
+		if err != nil {
+			return events, &TruncatedTraceError{Line: line + 1, Err: err}
+		}
 	}
 }

@@ -34,20 +34,28 @@ type (
 		Err  error
 	}
 	// GuardViolation reports a corrupted function-identifier slot detected
-	// at epilogue — Smokestack's attack detection (§III-D2).
+	// at epilogue — Smokestack's attack detection (§III-D2). Addr is the
+	// absolute stack address of the corrupted slot (the nearest
+	// attributable location: the check runs at epilogue, after the store
+	// that corrupted the slot has long retired).
 	GuardViolation struct {
 		Func string
+		Addr uint64
 	}
 	// CanaryViolation reports a corrupted per-frame canary slot detected at
-	// epilogue (Stackato/StackGuard-style defenses).
+	// epilogue (Stackato/StackGuard-style defenses). Addr is the canary
+	// slot's absolute stack address.
 	CanaryViolation struct {
 		Func string
+		Addr uint64
 	}
 	// ShadowStackViolation reports a frame return-token that no longer
 	// matches the disjoint shadow stack at epilogue: backward-edge
-	// corruption caught by shadow-stack defenses.
+	// corruption caught by shadow-stack defenses. Addr is the in-frame
+	// return-token slot's absolute stack address.
 	ShadowStackViolation struct {
 		Func string
+		Addr uint64
 	}
 	// StackOverflow reports frame allocation below the stack segment.
 	StackOverflow struct {
@@ -1135,17 +1143,17 @@ func (m *Machine) call(fn *ir.Function, args []int64) (int64, error) {
 		case layout.SlotGuard:
 			if v != m.guardKey^uint64(fn.ID) {
 				m.popFrame()
-				return 0, &GuardViolation{Func: fn.Name}
+				return 0, &GuardViolation{Func: fn.Name, Addr: saddr}
 			}
 		case layout.SlotCanary:
 			if v != m.canaryKey^uint64(fn.ID) {
 				m.popFrame()
-				return 0, &CanaryViolation{Func: fn.Name}
+				return 0, &CanaryViolation{Func: fn.Name, Addr: saddr}
 			}
 		case layout.SlotReturn:
 			if len(m.shadow) == 0 || v != m.shadow[len(m.shadow)-1] {
 				m.popFrame()
-				return 0, &ShadowStackViolation{Func: fn.Name}
+				return 0, &ShadowStackViolation{Func: fn.Name, Addr: saddr}
 			}
 		}
 	}
